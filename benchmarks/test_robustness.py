@@ -1,0 +1,194 @@
+"""Robustness sweeps — beyond the paper's single-video evaluation.
+
+The paper's imagined deployment ("upload a video sequence ... with a
+proper setting of the video capturing") raises the questions its
+evaluation never answers: how much sensor noise, how small a jumper,
+and how low a frame rate can the pipeline tolerate?  Ground truth makes
+the answers measurable.
+
+Expected shapes: graceful degradation with noise until the subtraction
+threshold drowns (σ ≈ threshold/2); tracking degrades as the jumper
+shrinks (limbs approach 1–2 px); fewer frames mean larger per-frame
+motion and harder tracking.
+"""
+
+import pytest
+
+from repro.evaluation import evaluate_tracking
+from repro.ga.engine import GAConfig
+from repro.ga.temporal import TrackerConfig
+from repro.model.fitness import FitnessConfig
+from repro.pipeline import AnalyzerConfig
+from repro.segmentation.evaluation import evaluate_sequence
+from repro.segmentation.pipeline import SegmentationPipeline
+from repro.video.synthesis import (
+    JumpParameters,
+    NoiseConfig,
+    SyntheticJumpConfig,
+    synthesize_jump,
+)
+
+
+def _fast_config() -> AnalyzerConfig:
+    return AnalyzerConfig(
+        tracker=TrackerConfig(
+            ga=GAConfig(population_size=30, max_generations=10, patience=5),
+            fitness=FitnessConfig(max_points=600),
+            containment_margin=1,
+            min_inside_fraction=0.95,
+            containment_samples=7,
+        )
+    )
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_noise_robustness(benchmark, repro_table):
+    rows = []
+    for sigma in (0.005, 0.012, 0.030, 0.050):
+        noise = NoiseConfig(pixel_sigma=sigma)
+        jump = synthesize_jump(SyntheticJumpConfig(seed=0, noise=noise))
+        pipeline = SegmentationPipeline()
+        segmentations = pipeline.segment_video(jump.video)
+        evaluation = evaluate_sequence(segmentations, jump, pipeline.background)
+        rows.append(
+            [
+                f"pixel sigma {sigma}",
+                evaluation.mean_person_iou,
+                float(min(evaluation.person_iou)),
+                evaluation.background_rmse,
+            ]
+        )
+
+    def run_default():
+        jump = synthesize_jump(SyntheticJumpConfig(seed=0))
+        return SegmentationPipeline().silhouettes(jump.video)
+
+    benchmark.pedantic(run_default, rounds=1, iterations=1)
+
+    repro_table(
+        "Robustness - sensor noise vs segmentation",
+        ["noise level", "mean IoU", "min IoU", "background rmse"],
+        rows,
+        note="subtraction threshold is 0.09; noise above ~half of it hurts",
+    )
+    assert rows[0][1] > 0.97
+    assert rows[0][1] >= rows[-1][1], "more noise must not improve IoU"
+
+
+def _medium_config() -> AnalyzerConfig:
+    # Larger bodies cover more silhouette pixels and need a larger
+    # search effort: the fast config that suffices at stature 60 loses
+    # limbs at stature 90 (a finding in its own right).
+    return AnalyzerConfig(
+        tracker=TrackerConfig(
+            ga=GAConfig(population_size=40, max_generations=14, patience=6),
+            fitness=FitnessConfig(max_points=1200),
+            containment_margin=1,
+            min_inside_fraction=0.95,
+            containment_samples=7,
+        )
+    )
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_body_scale_robustness(benchmark, repro_table):
+    rows = []
+    for stature in (48.0, 60.0, 72.0, 90.0):
+        jump = synthesize_jump(SyntheticJumpConfig(seed=0, stature=stature))
+        pipeline = SegmentationPipeline()
+        segmentations = pipeline.segment_video(jump.video)
+        evaluation = evaluate_sequence(segmentations, jump, pipeline.background)
+        tracking = evaluate_tracking([jump], config=_medium_config())
+        rows.append(
+            [
+                f"stature {stature:.0f}px",
+                evaluation.mean_person_iou,
+                tracking.mean_joint_error,
+                tracking.mean_joint_error / stature * 100.0,
+            ]
+        )
+
+    def run_small():
+        jump = synthesize_jump(SyntheticJumpConfig(seed=0, stature=48.0))
+        return evaluate_tracking([jump], config=_medium_config())
+
+    benchmark.pedantic(run_small, rounds=1, iterations=1)
+
+    repro_table(
+        "Robustness - jumper size vs accuracy",
+        ["body size", "silhouette IoU", "joint err px", "joint err % of stature"],
+        rows,
+        note="small figures lose thin limbs; large figures need more GA budget",
+    )
+    # relative joint error stays bounded across a ~2x size range
+    assert all(row[3] < 14.0 for row in rows)
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_motion_blur_robustness(benchmark, repro_table):
+    rows = []
+    for blur in (1, 3, 5):
+        jump = synthesize_jump(
+            SyntheticJumpConfig(seed=0, motion_blur_samples=blur)
+        )
+        pipeline = SegmentationPipeline()
+        segmentations = pipeline.segment_video(jump.video)
+        evaluation = evaluate_sequence(segmentations, jump, pipeline.background)
+        rows.append(
+            [
+                "sharp exposure" if blur == 1 else f"{blur} sub-exposures",
+                evaluation.mean_person_iou,
+                float(min(evaluation.person_iou)),
+            ]
+        )
+
+    def run_blurred():
+        jump = synthesize_jump(SyntheticJumpConfig(seed=0, motion_blur_samples=3))
+        return SegmentationPipeline().silhouettes(jump.video)
+
+    benchmark.pedantic(run_blurred, rounds=1, iterations=1)
+
+    repro_table(
+        "Robustness - motion blur vs segmentation",
+        ["exposure", "mean IoU", "min IoU"],
+        rows,
+        note="ground truth stays sharp; blur smears the fast-moving limbs",
+    )
+    assert rows[0][1] > rows[-1][1], "blur must cost accuracy"
+    assert rows[-1][1] > 0.7, "but the pipeline must survive it"
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_frame_rate_robustness(benchmark, repro_table):
+    rows = []
+    for frames in (12, 20, 32):
+        jump = synthesize_jump(
+            SyntheticJumpConfig(seed=0, params=JumpParameters(num_frames=frames))
+        )
+        tracking = evaluate_tracking([jump], config=_fast_config())
+        rows.append(
+            [
+                f"{frames} frames/jump",
+                tracking.mean_joint_error,
+                tracking.mean_angle_error,
+                tracking.per_stick_angle_error[2],  # upper arm
+            ]
+        )
+
+    def run_short():
+        jump = synthesize_jump(
+            SyntheticJumpConfig(seed=0, params=JumpParameters(num_frames=12))
+        )
+        return evaluate_tracking([jump], config=_fast_config())
+
+    benchmark.pedantic(run_short, rounds=1, iterations=1)
+
+    repro_table(
+        "Robustness - frames per jump vs tracking",
+        ["sampling", "joint err px", "angle err deg", "arm angle err deg"],
+        rows,
+        note="fewer frames = larger per-frame motion = harder temporal seeding",
+    )
+    assert rows[-1][1] <= rows[0][1] + 2.0, (
+        "denser sampling must not be much worse than sparse"
+    )

@@ -1,0 +1,65 @@
+"""Handheld footage: break the pipeline with camera shake, then fix it.
+
+Run with::
+
+    python examples/handheld_recovery.py [output_dir]
+
+The paper assumes a tripod.  This example simulates a parent filming
+by hand (per-frame camera jitter), shows how badly the Section 2
+pipeline degrades, then turns on the registration-based stabilisation
+pre-pass and recovers tripod-level silhouettes.  Writes a comparison
+strip PNG.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.imaging.io import write_png
+from repro.imaging.metrics import iou
+from repro.segmentation import SegmentationConfig, SegmentationPipeline
+from repro.video.synthesis import SyntheticJumpConfig, synthesize_jump
+from repro.visualization import mask_to_rgb
+
+
+def evaluate(jump, stabilize: bool):
+    pipeline = SegmentationPipeline(SegmentationConfig(stabilize=stabilize))
+    segmentations = pipeline.segment_video(jump.video)
+    scores = [
+        iou(seg.person, jump.person_masks[k])
+        for k, seg in enumerate(segmentations)
+    ]
+    return segmentations, float(np.mean(scores)), float(min(scores))
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures")
+    out.mkdir(parents=True, exist_ok=True)
+
+    jump = synthesize_jump(SyntheticJumpConfig(seed=0, camera_jitter=2.0))
+    print("synthesized a jump filmed with a shaky hand (jitter sigma = 2px)\n")
+
+    raw_segs, raw_mean, raw_min = evaluate(jump, stabilize=False)
+    print(f"tripod-assuming pipeline : mean IoU {raw_mean:.3f} (min {raw_min:.3f})")
+
+    stable_segs, stable_mean, stable_min = evaluate(jump, stabilize=True)
+    print(f"with stabilisation       : mean IoU {stable_mean:.3f} (min {stable_min:.3f})")
+
+    k = int(np.argmin([iou(s.person, jump.person_masks[i]) for i, s in enumerate(raw_segs)]))
+    strip = np.concatenate(
+        [
+            jump.video[k],
+            mask_to_rgb(jump.person_masks[k]),
+            mask_to_rgb(raw_segs[k].person),
+            mask_to_rgb(stable_segs[k].person),
+        ],
+        axis=1,
+    )
+    path = out / "handheld_recovery.png"
+    write_png(path, strip)
+    print(f"\nwrote frame {k} comparison (video | truth | raw | stabilised) to {path}")
+
+
+if __name__ == "__main__":
+    main()

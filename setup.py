@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail.  Keeping this
+shim and omitting ``[build-system]`` from pyproject.toml makes
+``pip install -e .`` take the legacy ``setup.py develop`` path, which
+needs neither network access nor the wheel package.
+"""
+
+from setuptools import setup
+
+setup()

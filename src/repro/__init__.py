@@ -1,0 +1,144 @@
+"""repro — a full reproduction of *Motion Analysis for the Standing
+Long Jump* (Hsu et al., ICDCSW 2006).
+
+The library implements the paper's three-part system end to end, plus
+the synthetic-video substrate and ground truth needed to evaluate it:
+
+* :mod:`repro.segmentation` — the five-step human segmentation of
+  Section 2 (change-detection background, subtraction, noise/spot/hole
+  cleanup, HSV shadow removal);
+* :mod:`repro.model` / :mod:`repro.ga` — the stick model and GA pose
+  estimation of Section 3, including the temporal tracker;
+* :mod:`repro.scoring` — the standards and rules of Section 4 with
+  report generation;
+* :mod:`repro.video.synthesis` — parametric standing-long-jump videos
+  with exact silhouette/shadow/pose ground truth;
+* :mod:`repro.imaging` — the from-scratch image-processing substrate;
+* :mod:`repro.analysis` — trajectory smoothing, event detection and
+  flight kinematics;
+* :mod:`repro.pipeline` — the end-to-end :class:`JumpAnalyzer`.
+
+Quickstart::
+
+    from repro import JumpAnalyzer, synthesize_jump, simulate_human_annotation
+
+    jump = synthesize_jump()
+    annotation = simulate_human_annotation(
+        jump.motion.poses[0], jump.dims, mask=jump.person_masks[0]
+    )
+    analysis = JumpAnalyzer().analyze(jump.video, annotation=annotation)
+    print(analysis.report.render_text())
+"""
+
+from .errors import (
+    ConfigurationError,
+    ImageError,
+    ModelError,
+    ReproError,
+    ScoringError,
+    SegmentationError,
+    TrackingError,
+    VideoError,
+)
+from .ga import (
+    GAConfig,
+    GeneticAlgorithm,
+    SingleFrameConfig,
+    TemporalPoseTracker,
+    TrackerConfig,
+    TrackingResult,
+    estimate_single_frame,
+)
+from .model import (
+    AngleWindows,
+    BodyDimensions,
+    FirstFrameAnnotation,
+    SilhouetteFitness,
+    StickPose,
+    auto_annotate,
+    default_body,
+    simulate_human_annotation,
+)
+from .evaluation import (
+    DetectionEvaluation,
+    TrackingEvaluation,
+    evaluate_detection,
+    evaluate_tracking,
+)
+from .pipeline import AnalyzerConfig, JumpAnalysis, JumpAnalyzer, analyze_video
+from .scoring import (
+    RULES,
+    JumpMeasurement,
+    JumpReport,
+    JumpScorer,
+    PixelCalibration,
+    StageWindows,
+    Standard,
+    grade_distance,
+    measure_jump,
+)
+from .segmentation import SegmentationConfig, SegmentationPipeline
+from .video import VideoSequence
+from .video.synthesis import (
+    JumpParameters,
+    JumpStyle,
+    SyntheticJump,
+    SyntheticJumpConfig,
+    synthesize_flawed_jump,
+    synthesize_jump,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "ImageError",
+    "ModelError",
+    "ReproError",
+    "ScoringError",
+    "SegmentationError",
+    "TrackingError",
+    "VideoError",
+    "GAConfig",
+    "GeneticAlgorithm",
+    "SingleFrameConfig",
+    "TemporalPoseTracker",
+    "TrackerConfig",
+    "TrackingResult",
+    "estimate_single_frame",
+    "AngleWindows",
+    "BodyDimensions",
+    "FirstFrameAnnotation",
+    "SilhouetteFitness",
+    "StickPose",
+    "auto_annotate",
+    "default_body",
+    "simulate_human_annotation",
+    "AnalyzerConfig",
+    "JumpAnalysis",
+    "JumpAnalyzer",
+    "analyze_video",
+    "DetectionEvaluation",
+    "TrackingEvaluation",
+    "evaluate_detection",
+    "evaluate_tracking",
+    "JumpMeasurement",
+    "JumpReport",
+    "JumpScorer",
+    "PixelCalibration",
+    "RULES",
+    "StageWindows",
+    "Standard",
+    "grade_distance",
+    "measure_jump",
+    "SegmentationConfig",
+    "SegmentationPipeline",
+    "VideoSequence",
+    "JumpParameters",
+    "JumpStyle",
+    "SyntheticJump",
+    "SyntheticJumpConfig",
+    "synthesize_flawed_jump",
+    "synthesize_jump",
+    "__version__",
+]

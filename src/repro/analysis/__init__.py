@@ -1,0 +1,25 @@
+"""Trajectory analysis: smoothing, events, kinematics."""
+
+from .events import JumpEvents, detect_events, foot_clearance
+from .kalman import KalmanConfig, kalman_smooth
+from .kinematics import (
+    FlightFit,
+    center_of_mass,
+    center_of_mass_track,
+    fit_flight_parabola,
+)
+from .trajectory import PoseTrajectory, unwrap_degrees
+
+__all__ = [
+    "KalmanConfig",
+    "kalman_smooth",
+    "JumpEvents",
+    "detect_events",
+    "foot_clearance",
+    "FlightFit",
+    "center_of_mass",
+    "center_of_mass_track",
+    "fit_flight_parabola",
+    "PoseTrajectory",
+    "unwrap_degrees",
+]

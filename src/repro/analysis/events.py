@@ -1,0 +1,85 @@
+"""Takeoff / landing detection from tracked poses.
+
+The scoring windows of Section 4 split the sequence at the takeoff.
+With tracked stick poses the takeoff is observable: the foot's lowest
+point leaves the ground plane.  The ground height itself is estimated
+from the first frames (the jumper starts standing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ScoringError
+from ..model.pose import StickPose
+from ..model.sticks import FOOT, BodyDimensions
+
+
+@dataclass(frozen=True, slots=True)
+class JumpEvents:
+    """Detected temporal structure of one jump."""
+
+    takeoff_frame: int  # first airborne frame
+    landing_frame: int  # first grounded frame after flight
+    peak_frame: int  # frame of maximum trunk-centre height
+    ground_height: float  # estimated ground plane (world y)
+
+
+def foot_clearance(
+    poses: Sequence[StickPose], dims: BodyDimensions
+) -> np.ndarray:
+    """Lowest foot-endpoint height per frame (world y)."""
+    heights = np.empty(len(poses))
+    for index, pose in enumerate(poses):
+        segments = pose.segments(dims)
+        heights[index] = min(segments[FOOT, 0, 1], segments[FOOT, 1, 1])
+    return heights
+
+
+def detect_events(
+    poses: Sequence[StickPose],
+    dims: BodyDimensions,
+    clearance_threshold: float = 2.5,
+    baseline_frames: int = 3,
+) -> JumpEvents:
+    """Detect takeoff, landing and peak from a pose sequence.
+
+    ``clearance_threshold`` (pixels) is how far the foot must rise
+    above the standing baseline to count as airborne.
+    """
+    if len(poses) < 4:
+        raise ScoringError(f"need at least 4 poses, got {len(poses)}")
+    clearance = foot_clearance(poses, dims)
+    ground = float(np.median(clearance[: max(baseline_frames, 1)]))
+    airborne = clearance > ground + clearance_threshold
+
+    takeoff = None
+    for index in range(1, len(poses)):
+        if airborne[index] and not airborne[index - 1]:
+            takeoff = index
+            break
+    if takeoff is None:
+        # Never clearly airborne: fall back to the midpoint split the
+        # paper uses for its fixed windows.
+        takeoff = len(poses) // 2
+
+    landing = None
+    for index in range(takeoff + 1, len(poses)):
+        if not airborne[index]:
+            landing = index
+            break
+    if landing is None:
+        landing = len(poses) - 1
+
+    heights = np.array([pose.y0 for pose in poses])
+    peak = int(heights[takeoff:landing + 1].argmax()) + takeoff if landing > takeoff else takeoff
+
+    return JumpEvents(
+        takeoff_frame=int(takeoff),
+        landing_frame=int(landing),
+        peak_frame=int(peak),
+        ground_height=ground,
+    )

@@ -1,0 +1,104 @@
+"""Whole-body kinematics: centre of mass and flight ballistics.
+
+Extensions that the paper's future-work section implies: with the pose
+track available, the centre of mass can be estimated from standard
+segment mass fractions and the flight phase fitted with a parabola,
+giving physically interpretable measures (apex height, horizontal
+velocity, effective gravity of the fit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ScoringError
+from ..model.pose import StickPose
+from ..model.sticks import (
+    FOOT,
+    FOREARM,
+    HEAD,
+    NECK,
+    NUM_STICKS,
+    SHANK,
+    THIGH,
+    TRUNK,
+    UPPER_ARM,
+    BodyDimensions,
+)
+
+# Segment mass fractions (Winter's anthropometric tables, side-view
+# merged limbs: both arms/legs collapsed into one stick each).
+_MASS_FRACTIONS = np.zeros(NUM_STICKS)
+_MASS_FRACTIONS[TRUNK] = 0.497
+_MASS_FRACTIONS[NECK] = 0.02
+_MASS_FRACTIONS[HEAD] = 0.061
+_MASS_FRACTIONS[UPPER_ARM] = 0.056  # both upper arms
+_MASS_FRACTIONS[FOREARM] = 0.044  # both forearms + hands
+_MASS_FRACTIONS[THIGH] = 0.20  # both thighs
+_MASS_FRACTIONS[SHANK] = 0.093  # both shanks
+_MASS_FRACTIONS[FOOT] = 0.029  # both feet
+_MASS_FRACTIONS = _MASS_FRACTIONS / _MASS_FRACTIONS.sum()
+
+
+def center_of_mass(pose: StickPose, dims: BodyDimensions) -> np.ndarray:
+    """Whole-body centre of mass (world coords) of one pose."""
+    segments = pose.segments(dims)
+    midpoints = segments.mean(axis=1)  # (8, 2)
+    return (midpoints * _MASS_FRACTIONS[:, None]).sum(axis=0)
+
+
+def center_of_mass_track(
+    poses: Sequence[StickPose], dims: BodyDimensions
+) -> np.ndarray:
+    """Centre-of-mass positions ``(T, 2)`` over a pose sequence."""
+    if not poses:
+        raise ScoringError("cannot compute a CoM track of no poses")
+    return np.array([center_of_mass(pose, dims) for pose in poses])
+
+
+@dataclass(frozen=True, slots=True)
+class FlightFit:
+    """Least-squares parabola fit of the flight phase."""
+
+    apex_height: float  # peak CoM height above takeoff CoM (pixels)
+    apex_frame: float  # fractional frame index of the apex
+    horizontal_velocity: float  # px / frame, mean over flight
+    gravity: float  # px / frame², the fitted downward acceleration
+    residual_rms: float  # fit quality (pixels)
+
+
+def fit_flight_parabola(
+    poses: Sequence[StickPose],
+    dims: BodyDimensions,
+    takeoff_frame: int,
+    landing_frame: int,
+) -> FlightFit:
+    """Fit ``y(t) = a t² + b t + c`` to the CoM during flight."""
+    if not 0 <= takeoff_frame < landing_frame < len(poses):
+        raise ScoringError(
+            f"invalid flight window [{takeoff_frame}, {landing_frame}] "
+            f"for {len(poses)} poses"
+        )
+    if landing_frame - takeoff_frame < 2:
+        raise ScoringError("need at least 3 flight frames to fit a parabola")
+
+    com = center_of_mass_track(poses[takeoff_frame : landing_frame + 1], dims)
+    t = np.arange(com.shape[0], dtype=np.float64)
+    coeffs = np.polyfit(t, com[:, 1], deg=2)
+    a, b, c = coeffs
+    fitted = np.polyval(coeffs, t)
+    residual = float(np.sqrt(np.mean((fitted - com[:, 1]) ** 2)))
+
+    apex_t = -b / (2.0 * a) if a < 0 else 0.0
+    apex_y = np.polyval(coeffs, apex_t)
+    vx = float((com[-1, 0] - com[0, 0]) / max(com.shape[0] - 1, 1))
+    return FlightFit(
+        apex_height=float(apex_y - com[0, 1]),
+        apex_frame=float(takeoff_frame + apex_t),
+        horizontal_velocity=vx,
+        gravity=float(-2.0 * a),
+        residual_rms=residual,
+    )

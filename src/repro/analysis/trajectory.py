@@ -1,0 +1,119 @@
+"""Pose trajectories: time-series view of a tracked jump.
+
+Wraps a pose sequence as dense arrays (angles unwrapped over time,
+trunk-centre track), with smoothing and angular-velocity estimation.
+Smoothing operates on the unwrapped angle tracks so a limb crossing
+0°/360° is handled correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ScoringError
+from ..model.geometry import wrap_angle
+from ..model.pose import StickPose
+from ..model.sticks import NUM_STICKS
+
+
+def unwrap_degrees(angles: np.ndarray, axis: int = 0) -> np.ndarray:
+    """``np.unwrap`` for degree-valued tracks."""
+    return np.degrees(np.unwrap(np.radians(angles), axis=axis))
+
+
+@dataclass(frozen=True, slots=True)
+class PoseTrajectory:
+    """Dense representation of a pose sequence.
+
+    ``angles`` is ``(T, 8)`` in degrees, **unwrapped** along time so
+    consecutive frames never jump by more than 180°; ``centers`` is
+    ``(T, 2)`` world coordinates.
+    """
+
+    angles: np.ndarray
+    centers: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.angles.ndim != 2 or self.angles.shape[1] != NUM_STICKS:
+            raise ScoringError(
+                f"angles must be (T, {NUM_STICKS}), got {self.angles.shape}"
+            )
+        if self.centers.shape != (self.angles.shape[0], 2):
+            raise ScoringError(
+                f"centers must be (T, 2) matching angles, got {self.centers.shape}"
+            )
+
+    @classmethod
+    def from_poses(cls, poses: Sequence[StickPose]) -> "PoseTrajectory":
+        """Build a trajectory from poses (angles are unwrapped)."""
+        if not poses:
+            raise ScoringError("cannot build a trajectory from no poses")
+        raw = np.array([pose.angles_deg for pose in poses], dtype=np.float64)
+        centers = np.array([[pose.x0, pose.y0] for pose in poses])
+        return cls(angles=unwrap_degrees(raw, axis=0), centers=centers)
+
+    def __len__(self) -> int:
+        return self.angles.shape[0]
+
+    def to_poses(self) -> list[StickPose]:
+        """Convert back to poses (angles re-wrapped to [0, 360))."""
+        return [
+            StickPose(
+                x0=float(self.centers[t, 0]),
+                y0=float(self.centers[t, 1]),
+                angles_deg=tuple(float(wrap_angle(a)) for a in self.angles[t]),
+            )
+            for t in range(len(self))
+        ]
+
+    def smoothed(self, window: int = 3) -> "PoseTrajectory":
+        """Centered moving-average smoothing of angles and centres.
+
+        ``window`` must be odd; endpoints use a shrunken window.
+        """
+        if window < 1 or window % 2 == 0:
+            raise ScoringError(f"window must be odd and >= 1, got {window}")
+        if window == 1 or len(self) < 3:
+            return self
+        half = window // 2
+        angles = np.empty_like(self.angles)
+        centers = np.empty_like(self.centers)
+        for t in range(len(self)):
+            lo = max(0, t - half)
+            hi = min(len(self), t + half + 1)
+            angles[t] = self.angles[lo:hi].mean(axis=0)
+            centers[t] = self.centers[lo:hi].mean(axis=0)
+        return PoseTrajectory(angles=angles, centers=centers)
+
+    def median_filtered(self, window: int = 3) -> "PoseTrajectory":
+        """Sliding-median filter on angles and centres.
+
+        Unlike the moving average, a median filter removes single-frame
+        tracking spikes *without* shaving multi-frame extremes — which
+        matters for the scoring rules, all of which take the max/min
+        over a stage window.
+        """
+        if window < 1 or window % 2 == 0:
+            raise ScoringError(f"window must be odd and >= 1, got {window}")
+        if window == 1 or len(self) < 3:
+            return self
+        half = window // 2
+        angles = np.empty_like(self.angles)
+        centers = np.empty_like(self.centers)
+        for t in range(len(self)):
+            lo = max(0, t - half)
+            hi = min(len(self), t + half + 1)
+            angles[t] = np.median(self.angles[lo:hi], axis=0)
+            centers[t] = np.median(self.centers[lo:hi], axis=0)
+        return PoseTrajectory(angles=angles, centers=centers)
+
+    def angular_velocity(self) -> np.ndarray:
+        """Per-frame angular velocity ``(T-1, 8)`` in degrees/frame."""
+        return np.diff(self.angles, axis=0)
+
+    def center_velocity(self) -> np.ndarray:
+        """Per-frame trunk-centre velocity ``(T-1, 2)`` in px/frame."""
+        return np.diff(self.centers, axis=0)

@@ -1,0 +1,285 @@
+"""Command-line interface: ``slj``.
+
+Subcommands:
+
+* ``slj synthesize`` — generate a synthetic jump video (optionally
+  violating chosen standards) and save frames/ground truth.
+* ``slj analyze`` — run the full pipeline on a saved video and print
+  the scoring report.
+* ``slj demo`` — synthesize + analyze end to end in one go.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .model.annotation import simulate_human_annotation
+from .pipeline import JumpAnalyzer
+from .scoring.standards import Standard
+from .video.sequence import VideoSequence
+from .video.synthesis.dataset import SyntheticJumpConfig, synthesize_jump
+
+
+def _parse_standards(raw: list[str]) -> tuple[Standard, ...]:
+    out = []
+    for name in raw:
+        try:
+            out.append(Standard[name.upper()])
+        except KeyError:
+            valid = ", ".join(s.name for s in Standard)
+            raise SystemExit(f"unknown standard {name!r}; choose from {valid}")
+    return tuple(out)
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    config = SyntheticJumpConfig(
+        seed=args.seed, violated=_parse_standards(args.violate or [])
+    )
+    jump = synthesize_jump(config)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    jump.video.save(out / "video.npz")
+
+    if args.frames:
+        from .imaging.io import write_png
+
+        for index, frame in enumerate(jump.video):
+            write_png(out / f"frame_{index:03d}.png", frame)
+    poses = np.array([pose.to_genes() for pose in jump.motion.poses])
+    np.savez_compressed(
+        out / "ground_truth.npz",
+        poses=poses,
+        person_masks=np.stack(jump.person_masks),
+        shadow_masks=np.stack(jump.shadow_masks),
+        stature=jump.config.stature,
+    )
+    violated = ", ".join(s.name for s in config.violated) or "none"
+    print(f"wrote {len(jump.video)}-frame jump to {out} (violated: {violated})")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    video = VideoSequence.load(args.video)
+    analyzer = JumpAnalyzer()
+
+    annotation = None
+    truth_path = Path(args.video).parent / "ground_truth.npz"
+    if args.annotation == "ground-truth":
+        if not truth_path.exists():
+            raise SystemExit(f"no ground truth next to the video: {truth_path}")
+        from .model.pose import StickPose
+        from .model.sticks import default_body
+
+        with np.load(truth_path) as archive:
+            pose0 = StickPose.from_genes(archive["poses"][0])
+            dims = default_body(float(archive["stature"]))
+            mask0 = archive["person_masks"][0].astype(bool)
+        annotation = simulate_human_annotation(
+            pose0, dims, mask=mask0, rng=np.random.default_rng(args.seed)
+        )
+
+    analysis = analyzer.analyze(
+        video, annotation=annotation, rng=np.random.default_rng(args.seed)
+    )
+    print(analysis.report.render_text())
+    print()
+    print(
+        f"jump distance: {analysis.measurement.distance:.1f} px "
+        f"({analysis.measurement.relative_to_stature:.2f} statures); "
+        f"takeoff frame {analysis.events.takeoff_frame}, "
+        f"landing frame {analysis.events.landing_frame}"
+    )
+
+    if args.stature_cm is not None:
+        from .scoring.calibration import PixelCalibration, grade_distance
+
+        calibration = PixelCalibration.from_stature(
+            analysis.annotation.dims.stature, args.stature_cm
+        )
+        distance_cm = calibration.jump_distance_cm(analysis.measurement)
+        line = f"calibrated distance: {distance_cm:.0f} cm"
+        if args.age is not None:
+            line += f" ({grade_distance(distance_cm, args.age)} for age {args.age})"
+        print(line)
+
+    if args.json is not None:
+        import json as json_module
+
+        from .serialization import analysis_to_dict
+
+        Path(args.json).write_text(
+            json_module.dumps(analysis_to_dict(analysis), indent=2)
+        )
+        print(f"wrote analysis JSON to {args.json}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    config = SyntheticJumpConfig(
+        seed=args.seed, violated=_parse_standards(args.violate or [])
+    )
+    jump = synthesize_jump(config)
+    annotation = simulate_human_annotation(
+        jump.motion.poses[0],
+        jump.dims,
+        mask=jump.person_masks[0],
+        rng=np.random.default_rng(args.seed),
+    )
+    analysis = JumpAnalyzer().analyze(
+        jump.video, annotation=annotation, rng=np.random.default_rng(args.seed)
+    )
+    violated = ", ".join(s.name for s in config.violated) or "none"
+    print(f"synthetic jump (seed {args.seed}, violated: {violated})")
+    print()
+    print(analysis.report.render_text())
+    detected = {s.name for s in analysis.report.violated_standards}
+    injected = {s.name for s in config.violated}
+    print()
+    print(f"injected flaws: {sorted(injected) or 'none'}")
+    print(f"detected flaws: {sorted(detected) or 'none'}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .evaluation import evaluate_detection, evaluate_tracking
+    from .video.synthesis.dataset import synthesize_flawed_jump
+
+    config = None
+    if args.fast:
+        from .ga.engine import GAConfig
+        from .ga.temporal import TrackerConfig
+        from .model.fitness import FitnessConfig
+        from .pipeline import AnalyzerConfig
+
+        config = AnalyzerConfig(
+            tracker=TrackerConfig(
+                ga=GAConfig(population_size=30, max_generations=10, patience=5),
+                fitness=FitnessConfig(max_points=600),
+                containment_margin=1,
+                min_inside_fraction=0.95,
+                containment_samples=7,
+            )
+        )
+
+    jumps = [synthesize_jump(SyntheticJumpConfig(seed=s)) for s in args.seeds]
+    if args.flaws:
+        jumps += [
+            synthesize_flawed_jump(standard, seed=900 + i)
+            for i, standard in enumerate(Standard)
+        ]
+    print(f"evaluating {len(jumps)} jumps (this runs the full pipeline)…")
+
+    detection = evaluate_detection(jumps, config=config)
+    print()
+    print("flaw detection per standard:")
+    for stats in detection.per_standard:
+        print(
+            f"  {stats.standard.name}: recall {stats.recall:.2f} "
+            f"({stats.true_positive}/{stats.true_positive + stats.false_negative}), "
+            f"false alarms {stats.false_positive}/{stats.false_positive + stats.true_negative}"
+        )
+    print(
+        f"overall: recall {detection.overall_recall:.2f}, "
+        f"false-alarm rate {detection.overall_false_alarm_rate:.2f}"
+    )
+
+    tracking = evaluate_tracking(jumps, config=config)
+    print()
+    print(
+        f"tracking: mean joint err {tracking.mean_joint_error:.2f}px "
+        f"(max {tracking.max_joint_error:.2f}px), "
+        f"mean angle err {tracking.mean_angle_error:.1f} deg"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    serve(host=args.host, port=args.port)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="slj",
+        description="Standing-long-jump motion analysis (Hsu et al. 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_syn = sub.add_parser("synthesize", help="generate a synthetic jump video")
+    p_syn.add_argument("--out", default="jump_out", help="output directory")
+    p_syn.add_argument("--seed", type=int, default=0)
+    p_syn.add_argument(
+        "--violate", nargs="*", metavar="E#", help="standards to violate (E1..E7)"
+    )
+    p_syn.add_argument(
+        "--frames", action="store_true", help="also dump per-frame PNGs"
+    )
+    p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_ana = sub.add_parser("analyze", help="analyze a saved video (.npz)")
+    p_ana.add_argument("video", help="video .npz written by synthesize")
+    p_ana.add_argument(
+        "--annotation",
+        choices=["auto", "ground-truth"],
+        default="ground-truth",
+        help="first-frame stick model source",
+    )
+    p_ana.add_argument("--seed", type=int, default=0)
+    p_ana.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the analysis as JSON"
+    )
+    p_ana.add_argument(
+        "--stature-cm",
+        type=float,
+        default=None,
+        help="jumper's real height for pixel→cm calibration",
+    )
+    p_ana.add_argument(
+        "--age", type=int, default=None, help="age for distance grading (6-12)"
+    )
+    p_ana.set_defaults(func=_cmd_analyze)
+
+    p_demo = sub.add_parser("demo", help="synthesize and analyze in one go")
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.add_argument(
+        "--violate", nargs="*", metavar="E#", help="standards to violate (E1..E7)"
+    )
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_serve = sub.add_parser("serve", help="run the analysis web service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_eval = sub.add_parser(
+        "evaluate", help="corpus evaluation: detection + tracking accuracy"
+    )
+    p_eval.add_argument(
+        "--seeds", type=int, nargs="*", default=[0], help="clean-jump seeds"
+    )
+    p_eval.add_argument(
+        "--flaws", action="store_true", help="also include one jump per flaw"
+    )
+    p_eval.add_argument(
+        "--fast", action="store_true", help="reduced GA budget (quicker, noisier)"
+    )
+    p_eval.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object holds values that cannot work together."""
+
+
+class ImageError(ReproError):
+    """An image array has the wrong dtype, shape, or value range."""
+
+
+class VideoError(ReproError):
+    """A video sequence is empty, ragged, or otherwise malformed."""
+
+
+class SegmentationError(ReproError):
+    """The segmentation pipeline could not produce a usable silhouette."""
+
+
+class ModelError(ReproError):
+    """A stick model or chromosome is inconsistent with its topology."""
+
+
+class TrackingError(ReproError):
+    """Pose tracking failed (e.g. empty silhouette, infeasible seed)."""
+
+
+class ScoringError(ReproError):
+    """A score request referenced frames or rules that do not exist."""

@@ -1,0 +1,151 @@
+"""Corpus-level evaluation: the study the paper left as future work.
+
+"The scoring system will soon be developed and the results will be
+compared with human evaluation."  Synthetic ground truth stands in for
+the human evaluator: :func:`evaluate_detection` runs the full pipeline
+over a corpus of labelled jumps (clean and flawed) and aggregates
+per-standard detection statistics, and :func:`evaluate_tracking`
+aggregates pose-tracking accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model.annotation import simulate_human_annotation
+from .model.pose import mean_joint_error, pose_angle_errors
+from .pipeline import AnalyzerConfig, JumpAnalyzer
+from .scoring.standards import Standard
+from .video.synthesis.dataset import SyntheticJump
+
+
+@dataclass(frozen=True, slots=True)
+class StandardStats:
+    """Detection counts for one standard over a corpus."""
+
+    standard: Standard
+    true_positive: int = 0  # flaw injected and detected
+    false_negative: int = 0  # flaw injected, missed
+    false_positive: int = 0  # flaw detected on a jump that conformed
+    true_negative: int = 0
+
+    @property
+    def recall(self) -> float:
+        """Detected fraction of injected flaws (1.0 when none injected)."""
+        total = self.true_positive + self.false_negative
+        return self.true_positive / total if total else 1.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """Fraction of conforming jumps falsely flagged."""
+        total = self.false_positive + self.true_negative
+        return self.false_positive / total if total else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionEvaluation:
+    """Aggregate flaw-detection quality over a corpus."""
+
+    per_standard: tuple[StandardStats, ...]
+    num_jumps: int
+
+    @property
+    def overall_recall(self) -> float:
+        """Micro-averaged recall over all injected flaws."""
+        tp = sum(s.true_positive for s in self.per_standard)
+        fn = sum(s.false_negative for s in self.per_standard)
+        return tp / (tp + fn) if (tp + fn) else 1.0
+
+    @property
+    def overall_false_alarm_rate(self) -> float:
+        """Micro-averaged false-alarm rate."""
+        fp = sum(s.false_positive for s in self.per_standard)
+        tn = sum(s.true_negative for s in self.per_standard)
+        return fp / (fp + tn) if (fp + tn) else 0.0
+
+
+def _analyze(jump: SyntheticJump, analyzer: JumpAnalyzer, seed: int):
+    annotation = simulate_human_annotation(
+        jump.motion.poses[0],
+        jump.dims,
+        mask=jump.person_masks[0],
+        rng=np.random.default_rng(seed),
+    )
+    return analyzer.analyze(
+        jump.video, annotation=annotation, rng=np.random.default_rng(seed + 1)
+    )
+
+
+def evaluate_detection(
+    jumps: list[SyntheticJump],
+    config: AnalyzerConfig | None = None,
+    seed: int = 0,
+) -> DetectionEvaluation:
+    """Run the full pipeline over a corpus and score flaw detection."""
+    analyzer = JumpAnalyzer(config)
+    counts = {
+        standard: {"tp": 0, "fn": 0, "fp": 0, "tn": 0} for standard in Standard
+    }
+    for index, jump in enumerate(jumps):
+        analysis = _analyze(jump, analyzer, seed + 10 * index)
+        detected = set(analysis.report.violated_standards)
+        injected = set(jump.violated)
+        for standard in Standard:
+            if standard in injected:
+                key = "tp" if standard in detected else "fn"
+            else:
+                key = "fp" if standard in detected else "tn"
+            counts[standard][key] += 1
+
+    per_standard = tuple(
+        StandardStats(
+            standard=standard,
+            true_positive=c["tp"],
+            false_negative=c["fn"],
+            false_positive=c["fp"],
+            true_negative=c["tn"],
+        )
+        for standard, c in counts.items()
+    )
+    return DetectionEvaluation(per_standard=per_standard, num_jumps=len(jumps))
+
+
+@dataclass(frozen=True, slots=True)
+class TrackingEvaluation:
+    """Aggregate pose-tracking accuracy over a corpus."""
+
+    mean_joint_error: float
+    max_joint_error: float
+    mean_angle_error: float
+    per_stick_angle_error: tuple[float, ...]
+    num_jumps: int
+
+
+def evaluate_tracking(
+    jumps: list[SyntheticJump],
+    config: AnalyzerConfig | None = None,
+    seed: int = 0,
+) -> TrackingEvaluation:
+    """Run the full pipeline over a corpus and score tracking accuracy."""
+    analyzer = JumpAnalyzer(config)
+    joint_errors: list[float] = []
+    stick_errors: list[np.ndarray] = []
+    for index, jump in enumerate(jumps):
+        analysis = _analyze(jump, analyzer, seed + 10 * index)
+        for k in range(1, jump.num_frames):
+            joint_errors.append(
+                mean_joint_error(analysis.poses[k], jump.motion.poses[k], jump.dims)
+            )
+            stick_errors.append(
+                pose_angle_errors(analysis.poses[k], jump.motion.poses[k])
+            )
+    per_stick = np.mean(stick_errors, axis=0)
+    return TrackingEvaluation(
+        mean_joint_error=float(np.mean(joint_errors)),
+        max_joint_error=float(np.max(joint_errors)),
+        mean_angle_error=float(per_stick.mean()),
+        per_stick_angle_error=tuple(float(v) for v in per_stick),
+        num_jumps=len(jumps),
+    )

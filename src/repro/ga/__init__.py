@@ -1,0 +1,43 @@
+"""GA-based pose estimation: engine, temporal tracker, and baselines."""
+
+from .baselines import HillClimbConfig, hill_climb, nelder_mead, random_search
+from .convergence import GenerationStats, SearchResult
+from .engine import GAConfig, GeneticAlgorithm
+from .operators import OperatorConfig, grouped_crossover, mutate, singleton_groups
+from .population import random_population, silhouette_centroid, temporal_population
+from .single_frame import (
+    SingleFrameConfig,
+    SingleFrameEstimate,
+    estimate_single_frame,
+)
+from .temporal import (
+    FrameTrackingRecord,
+    TemporalPoseTracker,
+    TrackerConfig,
+    TrackingResult,
+)
+
+__all__ = [
+    "HillClimbConfig",
+    "hill_climb",
+    "nelder_mead",
+    "random_search",
+    "GenerationStats",
+    "SearchResult",
+    "GAConfig",
+    "GeneticAlgorithm",
+    "OperatorConfig",
+    "singleton_groups",
+    "grouped_crossover",
+    "mutate",
+    "random_population",
+    "silhouette_centroid",
+    "temporal_population",
+    "SingleFrameConfig",
+    "SingleFrameEstimate",
+    "estimate_single_frame",
+    "FrameTrackingRecord",
+    "TemporalPoseTracker",
+    "TrackerConfig",
+    "TrackingResult",
+]

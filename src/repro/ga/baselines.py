@@ -1,0 +1,184 @@
+"""Non-GA search baselines for the pose-fitting problem.
+
+The paper only compares against Shoji et al.'s single-frame GA; these
+classical local-search baselines (hill climbing, pure random search,
+Nelder–Mead via scipy) calibrate how much of the temporal tracker's
+speed comes from the GA itself versus from the temporal seeding.  All
+return the shared :class:`~repro.ga.convergence.SearchResult` so the
+comparison bench can treat every strategy uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import optimize
+
+from .convergence import GenerationStats, SearchResult
+from ..errors import ConfigurationError
+from ..model.geometry import wrap_angle
+from ..model.pose import GENES
+
+ScalarFitness = Callable[[np.ndarray], float]
+BatchFitness = Callable[[np.ndarray], np.ndarray]
+
+
+def _as_scalar(fitness_fn: BatchFitness) -> ScalarFitness:
+    def scalar(genes: np.ndarray) -> float:
+        return float(np.atleast_1d(fitness_fn(genes[None, :]))[0])
+
+    return scalar
+
+
+@dataclass(frozen=True, slots=True)
+class HillClimbConfig:
+    """Random-restart-free stochastic hill climbing."""
+
+    iterations: int = 300
+    center_sigma: float = 2.0
+    angle_sigma: float = 8.0
+    shrink_every: int = 100  # halve step sizes periodically
+    record_every: int = 10  # history granularity
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigurationError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if self.record_every < 1 or self.shrink_every < 1:
+            raise ConfigurationError("record/shrink intervals must be >= 1")
+
+
+def hill_climb(
+    start: np.ndarray,
+    fitness_fn: BatchFitness,
+    config: HillClimbConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> SearchResult:
+    """Stochastic hill climbing from ``start``.
+
+    Each iteration perturbs one random gene; the move is kept only if
+    it improves fitness.  Step sizes shrink geometrically.
+    """
+    config = config or HillClimbConfig()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    scalar = _as_scalar(fitness_fn)
+
+    current = np.array(start, dtype=np.float64, copy=True)
+    if current.shape != (GENES,):
+        raise ConfigurationError(f"start must have shape ({GENES},)")
+    current_fit = scalar(current)
+    evaluations = 1
+
+    result = SearchResult(best_genes=current.copy(), best_fitness=current_fit)
+    result.history.append(GenerationStats(0, current_fit, current_fit, evaluations))
+
+    center_sigma = config.center_sigma
+    angle_sigma = config.angle_sigma
+    for iteration in range(1, config.iterations + 1):
+        candidate = current.copy()
+        gene = int(rng.integers(0, GENES))
+        if gene < 2:
+            candidate[gene] += rng.normal(0.0, center_sigma)
+        else:
+            candidate[gene] = wrap_angle(candidate[gene] + rng.normal(0.0, angle_sigma))
+        candidate_fit = scalar(candidate)
+        evaluations += 1
+        if candidate_fit < current_fit:
+            current, current_fit = candidate, candidate_fit
+            if current_fit < result.best_fitness:
+                result.best_fitness = current_fit
+                result.best_genes = current.copy()
+        if iteration % config.shrink_every == 0:
+            center_sigma *= 0.5
+            angle_sigma *= 0.5
+        if iteration % config.record_every == 0:
+            result.history.append(
+                GenerationStats(
+                    iteration // config.record_every,
+                    result.best_fitness,
+                    current_fit,
+                    evaluations,
+                )
+            )
+    result.total_evaluations = evaluations
+    return result
+
+
+def random_search(
+    sampler: Callable[[int], np.ndarray],
+    fitness_fn: BatchFitness,
+    budget: int = 2000,
+    batch_size: int = 50,
+) -> SearchResult:
+    """Pure random search: sample, evaluate, keep the best.
+
+    ``sampler(n)`` must return ``(n, 10)`` chromosomes.
+    """
+    if budget < 1:
+        raise ConfigurationError(f"budget must be >= 1, got {budget}")
+    result = SearchResult(best_genes=np.zeros(GENES), best_fitness=np.inf)
+    evaluations = 0
+    generation = 0
+    while evaluations < budget:
+        n = min(batch_size, budget - evaluations)
+        batch = sampler(n)
+        fits = np.asarray(fitness_fn(batch), dtype=np.float64)
+        evaluations += n
+        best_idx = int(fits.argmin())
+        if fits[best_idx] < result.best_fitness:
+            result.best_fitness = float(fits[best_idx])
+            result.best_genes = batch[best_idx].copy()
+        result.history.append(
+            GenerationStats(
+                generation, result.best_fitness, float(fits.mean()), evaluations
+            )
+        )
+        generation += 1
+    result.total_evaluations = evaluations
+    return result
+
+
+def nelder_mead(
+    start: np.ndarray,
+    fitness_fn: BatchFitness,
+    max_evaluations: int = 1500,
+) -> SearchResult:
+    """Nelder–Mead simplex refinement from ``start`` (scipy).
+
+    Angles are optimised without wrapping (the simplex stays local);
+    the final chromosome is wrapped before being returned.
+    """
+    scalar = _as_scalar(fitness_fn)
+    counter = {"n": 0}
+    history: list[GenerationStats] = []
+    best = {"fit": np.inf, "genes": np.array(start, dtype=np.float64, copy=True)}
+
+    def objective(genes: np.ndarray) -> float:
+        counter["n"] += 1
+        value = scalar(genes)
+        if value < best["fit"]:
+            best["fit"] = value
+            best["genes"] = genes.copy()
+        if counter["n"] % 50 == 0:
+            history.append(
+                GenerationStats(len(history), best["fit"], value, counter["n"])
+            )
+        return value
+
+    optimize.minimize(
+        objective,
+        np.asarray(start, dtype=np.float64),
+        method="Nelder-Mead",
+        options={"maxfev": max_evaluations, "xatol": 0.05, "fatol": 1e-5},
+    )
+    genes = best["genes"].copy()
+    genes[2:] = wrap_angle(genes[2:])
+    result = SearchResult(best_genes=genes, best_fitness=float(best["fit"]))
+    result.history = history or [
+        GenerationStats(0, float(best["fit"]), float(best["fit"]), counter["n"])
+    ]
+    result.total_evaluations = counter["n"]
+    return result

@@ -1,0 +1,68 @@
+"""Convergence records shared by every search strategy.
+
+The paper's headline pose-estimation claim is about *when* the best
+model appears ("the shown best estimated model was generated at the
+second generation"), so every optimiser in this package reports a
+generation-indexed history, the generation of its best solution, and
+its evaluation budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class GenerationStats:
+    """Fitness statistics of one generation."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    evaluations: int  # cumulative fitness evaluations so far
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Outcome of one optimisation run (GA or baseline)."""
+
+    best_genes: np.ndarray
+    best_fitness: float
+    history: list[GenerationStats] = field(default_factory=list)
+    total_evaluations: int = 0
+    rejected_offspring: int = 0
+    # When the optimiser ran on an augmented objective (e.g. Eq. 3 plus
+    # a temporal prior), this holds the raw Eq. 3 fitness of the best
+    # chromosome; None when the objective was already the raw fitness.
+    raw_fitness: float | None = None
+
+    @property
+    def generations(self) -> int:
+        """Number of generations (or iterations) executed."""
+        return len(self.history)
+
+    @property
+    def generation_of_best(self) -> int:
+        """First generation whose best fitness equals the final best.
+
+        This is the number the paper reports for Fig. 7 ("generated at
+        the second generation").  Generation 0 is the initial
+        population.
+        """
+        for stats in self.history:
+            if stats.best_fitness <= self.best_fitness + 1e-12:
+                return stats.generation
+        return self.generations - 1
+
+    def generations_to_reach(self, threshold: float) -> int | None:
+        """First generation at or below ``threshold``, or None."""
+        for stats in self.history:
+            if stats.best_fitness <= threshold:
+                return stats.generation
+        return None
+
+    def fitness_curve(self) -> np.ndarray:
+        """Best-fitness-so-far per generation, as an array."""
+        return np.array([stats.best_fitness for stats in self.history])

@@ -1,0 +1,158 @@
+"""Initial populations (paper Section 3).
+
+For frame ``k > 0`` the paper seeds the GA from the previous frame:
+centres are "randomly selected from the rectangle
+{(xc − Δx, yc − Δy), (xc + Δx, yc + Δy)}" around the silhouette's
+geometric centre, and each angle from ``ρ_{l,k−1} ± Δρ_l``.  Any
+chromosome not inside the silhouette is rejected.  For the Shoji-style
+single-frame baseline there is no previous pose and angles start
+uniformly random.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrackingError
+from ..imaging.image import ensure_mask
+from ..model.containment import ContainmentChecker
+from ..model.geometry import mask_points_world, wrap_angle
+from ..model.pose import GENES, StickPose
+from ..model.sticks import NUM_STICKS, AngleWindows
+
+
+def silhouette_centroid(mask: np.ndarray) -> tuple[float, float]:
+    """Geometric centre of a silhouette in world coordinates."""
+    points = mask_points_world(ensure_mask(mask))
+    if points.shape[0] == 0:
+        raise TrackingError("cannot compute the centroid of an empty silhouette")
+    return float(points[:, 0].mean()), float(points[:, 1].mean())
+
+
+def _sample_window(
+    prev_pose: StickPose,
+    center: tuple[float, float],
+    windows: AngleWindows,
+    size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    genes = np.empty((size, GENES), dtype=np.float64)
+    cx, cy = center
+    genes[:, 0] = rng.uniform(cx - windows.center_delta, cx + windows.center_delta, size)
+    genes[:, 1] = rng.uniform(cy - windows.center_delta, cy + windows.center_delta, size)
+    prev = np.asarray(prev_pose.angles_deg)
+    for stick in range(NUM_STICKS):
+        delta = windows.deltas_deg[stick]
+        genes[:, 2 + stick] = wrap_angle(
+            rng.uniform(prev[stick] - delta, prev[stick] + delta, size)
+        )
+    return genes
+
+
+def _reseed_groups(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Randomise one angle gene-group per chromosome, uniformly.
+
+    Recovery mechanism (extension beyond the paper): when the temporal
+    prior for one limb is wrong — e.g. the arm whips from behind the
+    body to in front between two frames — no chromosome inside the
+    ``±Δρ`` window can be correct, and the low mutation rate (0.01)
+    cannot recover it.  Reseeding a whole gene group uniformly restores
+    the GA's ability to rediscover a lost limb while all other genes
+    keep the temporal prior.
+    """
+    from ..model.chromosome import GENE_GROUPS
+
+    out = batch.copy()
+    angle_groups = [g for g in GENE_GROUPS if min(g) >= 2]
+    for row in range(out.shape[0]):
+        group = angle_groups[int(rng.integers(0, len(angle_groups)))]
+        for gene in group:
+            out[row, gene] = rng.uniform(0.0, 360.0)
+    return out
+
+
+def temporal_population(
+    prev_pose: StickPose,
+    mask: np.ndarray,
+    windows: AngleWindows,
+    size: int,
+    checker: ContainmentChecker | None = None,
+    rng: np.random.Generator | None = None,
+    include_previous: bool = True,
+    reseed_fraction: float = 0.0,
+    extra_seeds: list[StickPose] | None = None,
+    max_batches: int = 20,
+) -> np.ndarray:
+    """The paper's temporally seeded initial population for one frame.
+
+    Rejection-samples inside the windows until ``size`` chromosomes
+    pass the containment check; if feasible samples are too rare the
+    remainder is filled with the best-effort (infeasible) samples so
+    tracking degrades gracefully instead of dying.
+
+    ``reseed_fraction`` of the population has one angle group
+    uniformly randomised (limb-recovery immigrants, see
+    :func:`_reseed_groups`); ``extra_seeds`` (e.g. an extrapolated
+    pose) are prepended like the previous pose.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if not 0.0 <= reseed_fraction <= 1.0:
+        raise TrackingError(
+            f"reseed_fraction must be in [0, 1], got {reseed_fraction}"
+        )
+    center = silhouette_centroid(mask)
+    num_reseed = int(round(reseed_fraction * size))
+
+    accepted: list[np.ndarray] = []
+    overflow: list[np.ndarray] = []
+    for _ in range(max_batches):
+        batch = _sample_window(prev_pose, center, windows, size, rng)
+        if num_reseed:
+            count = max(1, num_reseed * batch.shape[0] // size)
+            batch[:count] = _reseed_groups(batch[:count], rng)
+        if checker is None:
+            accepted.extend(batch)
+        else:
+            valid = checker.check(batch)
+            accepted.extend(batch[valid])
+            overflow.extend(batch[~valid])
+        if len(accepted) >= size:
+            break
+
+    seeds: list[np.ndarray] = []
+    if include_previous:
+        seeds.append(prev_pose.to_genes())
+    for pose in extra_seeds or []:
+        seeds.append(pose.to_genes())
+    accepted = seeds + accepted
+
+    if len(accepted) < size:
+        needed = size - len(accepted)
+        accepted.extend(overflow[:needed])
+    if len(accepted) < size:  # no overflow either: duplicate what we have
+        reps = int(np.ceil(size / max(len(accepted), 1)))
+        accepted = (accepted * reps)[:size]
+    return np.asarray(accepted[:size], dtype=np.float64)
+
+
+def random_population(
+    mask: np.ndarray,
+    size: int,
+    rng: np.random.Generator | None = None,
+    center_delta: float = 10.0,
+) -> np.ndarray:
+    """Shoji-style random initial population (no temporal prior).
+
+    Centres are sampled around the silhouette centroid (the paper's [5]
+    likewise assumes a known rough location); every angle is uniform in
+    [0, 360).  No containment filtering — the single-frame baseline
+    relies on a penalised fitness instead, because uniformly random
+    articulations are almost never fully inside a silhouette.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    cx, cy = silhouette_centroid(mask)
+    genes = np.empty((size, GENES), dtype=np.float64)
+    genes[:, 0] = rng.uniform(cx - center_delta, cx + center_delta, size)
+    genes[:, 1] = rng.uniform(cy - center_delta, cy + center_delta, size)
+    genes[:, 2:] = rng.uniform(0.0, 360.0, (size, NUM_STICKS))
+    return genes

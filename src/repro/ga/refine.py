@@ -1,0 +1,62 @@
+"""Local pose refinement by coordinate descent.
+
+Shared by the temporal tracker's polish stage and by
+:func:`repro.model.annotation` refinement: starting from a chromosome,
+each gene is nudged by shrinking steps and a move is kept only when it
+improves the raw Eq. 3 fitness while staying feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..model.geometry import wrap_angle
+from ..model.pose import GENES
+
+BatchFitness = Callable[[np.ndarray], np.ndarray]
+BatchValidity = Callable[[np.ndarray], np.ndarray]
+
+
+def local_polish(
+    genes: np.ndarray,
+    fitness_fn: BatchFitness,
+    validity_fn: BatchValidity | None = None,
+    angle_steps: tuple[float, ...] = (12.0, 6.0, 3.0),
+    center_steps: tuple[float, ...] = (2.0, 1.0),
+) -> np.ndarray:
+    """Coordinate descent over all genes with shrinking steps.
+
+    ``angle_steps`` drives the schedule; ``center_steps`` is padded
+    with its last value when shorter.  Returns an improved copy.
+    """
+    best = np.array(genes, dtype=np.float64, copy=True)
+    if best.shape != (GENES,):
+        raise ValueError(f"expected a ({GENES},) chromosome, got {best.shape}")
+    best_score = float(np.atleast_1d(fitness_fn(best[None, :]))[0])
+
+    padded_centers = list(center_steps) + [center_steps[-1]] * len(angle_steps)
+    for angle_step, center_step in zip(angle_steps, padded_centers):
+        for gene in range(GENES):
+            step = center_step if gene < 2 else angle_step
+            candidates = []
+            for delta in (-step, step):
+                candidate = best.copy()
+                if gene < 2:
+                    candidate[gene] += delta
+                else:
+                    candidate[gene] = wrap_angle(candidate[gene] + delta)
+                candidates.append(candidate)
+            batch = np.asarray(candidates)
+            if validity_fn is not None:
+                feasible = np.asarray(validity_fn(batch), dtype=bool)
+                if not feasible.any():
+                    continue
+                batch = batch[feasible]
+            scores = np.atleast_1d(fitness_fn(batch))
+            index = int(scores.argmin())
+            if scores[index] < best_score - 1e-9:
+                best = batch[index].copy()
+                best_score = float(scores[index])
+    return best

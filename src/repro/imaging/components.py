@@ -1,0 +1,193 @@
+"""Connected-component labelling with union–find (from scratch).
+
+Used by Step 3 of the paper's segmentation pipeline ("smaller spots can
+be removed from the scene"): after noise removal, connected foreground
+regions below an area threshold are discarded because a human object is
+necessarily large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .image import ensure_mask
+from ..types import BoundingBox, mask_bounding_box
+
+
+class _UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self) -> None:
+        self._parent: list[int] = []
+        self._size: list[int] = []
+
+    def make_set(self) -> int:
+        index = len(self._parent)
+        self._parent.append(index)
+        self._size.append(1)
+        return index
+
+    def find(self, index: int) -> int:
+        root = index
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[index] != root:
+            parent[index], index = root, parent[index]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return root_a
+
+
+def label_components(mask: np.ndarray, connectivity: int = 8) -> tuple[np.ndarray, int]:
+    """Label connected foreground regions.
+
+    Returns ``(labels, count)`` where ``labels`` is an int array with 0
+    for background and ``1..count`` for each component, numbered in
+    raster order of their first pixel.
+    """
+    mask = ensure_mask(mask)
+    if connectivity not in (4, 8):
+        raise ValueError(f"connectivity must be 4 or 8, got {connectivity}")
+
+    rows, cols = mask.shape
+    labels = np.zeros((rows, cols), dtype=np.int32)
+    uf = _UnionFind()
+    # Provisional labels start at 1; slot 0 of the forest is a dummy so
+    # provisional label L maps to forest index L - 1.
+    next_label = 1
+
+    if connectivity == 4:
+        prior = ((-1, 0), (0, -1))
+    else:
+        prior = ((-1, -1), (-1, 0), (-1, 1), (0, -1))
+
+    fg_rows, fg_cols = np.nonzero(mask)
+    for r, c in zip(fg_rows.tolist(), fg_cols.tolist()):
+        neighbor_labels = []
+        for dr, dc in prior:
+            rr, cc = r + dr, c + dc
+            if 0 <= rr < rows and 0 <= cc < cols and labels[rr, cc]:
+                neighbor_labels.append(labels[rr, cc])
+        if not neighbor_labels:
+            uf.make_set()
+            labels[r, c] = next_label
+            next_label += 1
+        else:
+            smallest = min(neighbor_labels)
+            labels[r, c] = smallest
+            for other in neighbor_labels:
+                if other != smallest:
+                    uf.union(smallest - 1, other - 1)
+
+    if next_label == 1:
+        return labels, 0
+
+    # Second pass: resolve provisional labels to compact final labels.
+    roots = np.array([uf.find(i) for i in range(next_label - 1)], dtype=np.int32)
+    unique_roots, compact = np.unique(roots, return_inverse=True)
+    remap = np.zeros(next_label, dtype=np.int32)
+    remap[1:] = compact + 1
+    labels = remap[labels]
+    return labels, len(unique_roots)
+
+
+@dataclass(frozen=True, slots=True)
+class Component:
+    """Summary of one connected component."""
+
+    label: int
+    area: int
+    bbox: BoundingBox
+    centroid: tuple[float, float]  # (row, col)
+
+
+def component_stats(labels: np.ndarray, count: int) -> list[Component]:
+    """Compute area, bounding box and centroid for each component."""
+    stats: list[Component] = []
+    for label in range(1, count + 1):
+        mask = labels == label
+        area = int(mask.sum())
+        if area == 0:
+            continue
+        bbox = mask_bounding_box(mask)
+        assert bbox is not None
+        rows, cols = np.nonzero(mask)
+        stats.append(
+            Component(
+                label=label,
+                area=area,
+                bbox=bbox,
+                centroid=(float(rows.mean()), float(cols.mean())),
+            )
+        )
+    return stats
+
+
+def remove_small_components(
+    mask: np.ndarray,
+    min_area: int,
+    connectivity: int = 8,
+) -> np.ndarray:
+    """Drop connected regions smaller than ``min_area`` pixels.
+
+    This is the "smaller spots can be removed" part of the paper's
+    Step 3.
+    """
+    mask = ensure_mask(mask)
+    if min_area <= 1:
+        return mask.copy()
+    labels, count = label_components(mask, connectivity=connectivity)
+    if count == 0:
+        return mask.copy()
+    areas = np.bincount(labels.ravel(), minlength=count + 1)
+    keep = areas >= min_area
+    keep[0] = False
+    return keep[labels]
+
+
+def largest_component(mask: np.ndarray, connectivity: int = 8) -> np.ndarray:
+    """Keep only the largest connected region (empty mask stays empty)."""
+    mask = ensure_mask(mask)
+    labels, count = label_components(mask, connectivity=connectivity)
+    if count == 0:
+        return np.zeros_like(mask)
+    areas = np.bincount(labels.ravel(), minlength=count + 1)
+    areas[0] = 0
+    return labels == int(areas.argmax())
+
+
+def dominant_components(
+    mask: np.ndarray,
+    keep_fraction: float = 0.3,
+    connectivity: int = 8,
+) -> np.ndarray:
+    """Keep every region at least ``keep_fraction`` of the largest one.
+
+    A cleanup step can sever one object into a few big parts (e.g. a
+    fully extended jumper cut at a thin junction); keeping only the
+    single largest region would then drop half the person.  Small
+    debris stays excluded because it is far below the fraction.
+    """
+    mask = ensure_mask(mask)
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    labels, count = label_components(mask, connectivity=connectivity)
+    if count == 0:
+        return np.zeros_like(mask)
+    areas = np.bincount(labels.ravel(), minlength=count + 1)
+    areas[0] = 0
+    keep = areas >= keep_fraction * areas.max()
+    keep[0] = False
+    return keep[labels]

@@ -1,0 +1,190 @@
+"""Rasterisation primitives: capsules, disks, polygons, stick overlays.
+
+Everything the synthetic renderer and the stick-model code needs to
+turn geometry into pixels.  Coordinates follow the image convention
+``(row, col)`` with row 0 at the top; the world → image flip happens in
+the callers (:mod:`repro.video.synthesis.render` and
+:mod:`repro.model.pose`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .image import blank_mask, ensure_mask
+from ..errors import ImageError
+
+
+def _pixel_grid(shape: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    rows = np.arange(shape[0], dtype=np.float64)
+    cols = np.arange(shape[1], dtype=np.float64)
+    return np.meshgrid(rows, cols, indexing="ij")
+
+
+def _clip_box(
+    shape: tuple[int, int],
+    row_lo: float,
+    row_hi: float,
+    col_lo: float,
+    col_hi: float,
+) -> tuple[slice, slice] | None:
+    r0 = max(int(np.floor(row_lo)), 0)
+    r1 = min(int(np.ceil(row_hi)) + 1, shape[0])
+    c0 = max(int(np.floor(col_lo)), 0)
+    c1 = min(int(np.ceil(col_hi)) + 1, shape[1])
+    if r0 >= r1 or c0 >= c1:
+        return None
+    return slice(r0, r1), slice(c0, c1)
+
+
+def segment_distance_field(
+    shape: tuple[int, int],
+    start: tuple[float, float],
+    end: tuple[float, float],
+) -> np.ndarray:
+    """Distance of every pixel centre to the segment ``start``–``end``.
+
+    Points are ``(row, col)`` floats.  Degenerate segments reduce to
+    point distance.
+    """
+    rr, cc = _pixel_grid(shape)
+    return _segment_distance(rr, cc, start, end)
+
+
+def _segment_distance(
+    rr: np.ndarray,
+    cc: np.ndarray,
+    start: tuple[float, float],
+    end: tuple[float, float],
+) -> np.ndarray:
+    r0, c0 = start
+    r1, c1 = end
+    dr, dc = r1 - r0, c1 - c0
+    length_sq = dr * dr + dc * dc
+    if length_sq == 0.0:
+        return np.hypot(rr - r0, cc - c0)
+    t = ((rr - r0) * dr + (cc - c0) * dc) / length_sq
+    t = np.clip(t, 0.0, 1.0)
+    return np.hypot(rr - (r0 + t * dr), cc - (c0 + t * dc))
+
+
+def draw_capsule(
+    mask: np.ndarray,
+    start: tuple[float, float],
+    end: tuple[float, float],
+    radius: float,
+) -> np.ndarray:
+    """Set pixels within ``radius`` of the segment (a stadium shape).
+
+    Returns the same array, modified in place, for chaining.
+    """
+    mask = ensure_mask(mask)
+    if radius < 0:
+        raise ImageError(f"capsule radius must be >= 0, got {radius}")
+    row_lo = min(start[0], end[0]) - radius
+    row_hi = max(start[0], end[0]) + radius
+    col_lo = min(start[1], end[1]) - radius
+    col_hi = max(start[1], end[1]) + radius
+    box = _clip_box(mask.shape, row_lo, row_hi, col_lo, col_hi)
+    if box is None:
+        return mask
+    rs, cs = box
+    rr, cc = np.meshgrid(
+        np.arange(rs.start, rs.stop, dtype=np.float64),
+        np.arange(cs.start, cs.stop, dtype=np.float64),
+        indexing="ij",
+    )
+    dist = _segment_distance(rr, cc, start, end)
+    mask[rs, cs] |= dist <= radius
+    return mask
+
+
+def draw_disk(mask: np.ndarray, center: tuple[float, float], radius: float) -> np.ndarray:
+    """Set pixels within ``radius`` of ``center`` (in place)."""
+    return draw_capsule(mask, center, center, radius)
+
+
+def draw_line(
+    mask: np.ndarray,
+    start: tuple[float, float],
+    end: tuple[float, float],
+    thickness: float = 1.0,
+) -> np.ndarray:
+    """Draw a line of the given total thickness (capsule of radius t/2)."""
+    return draw_capsule(mask, start, end, max(thickness, 1.0) / 2.0)
+
+
+def draw_polygon(mask: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+    """Fill a simple polygon given ``(N, 2)`` vertices in (row, col).
+
+    Uses the even–odd rule on pixel centres.  The polygon is closed
+    automatically.  Modifies ``mask`` in place and returns it.
+    """
+    mask = ensure_mask(mask)
+    verts = np.asarray(vertices, dtype=np.float64)
+    if verts.ndim != 2 or verts.shape[1] != 2 or verts.shape[0] < 3:
+        raise ImageError(
+            f"polygon vertices must have shape (N>=3, 2), got {verts.shape}"
+        )
+    box = _clip_box(
+        mask.shape,
+        verts[:, 0].min(),
+        verts[:, 0].max(),
+        verts[:, 1].min(),
+        verts[:, 1].max(),
+    )
+    if box is None:
+        return mask
+    rs, cs = box
+    rr, cc = np.meshgrid(
+        np.arange(rs.start, rs.stop, dtype=np.float64),
+        np.arange(cs.start, cs.stop, dtype=np.float64),
+        indexing="ij",
+    )
+    inside = np.zeros(rr.shape, dtype=bool)
+    n = verts.shape[0]
+    for i in range(n):
+        r0, c0 = verts[i]
+        r1, c1 = verts[(i + 1) % n]
+        if r0 == r1:
+            continue
+        crosses = ((r0 <= rr) & (rr < r1)) | ((r1 <= rr) & (rr < r0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            col_at = c0 + (rr - r0) * (c1 - c0) / (r1 - r0)
+        inside ^= crosses & (cc < col_at)
+    mask[rs, cs] |= inside
+    return mask
+
+
+def paint_mask(
+    image: np.ndarray,
+    mask: np.ndarray,
+    color: tuple[float, float, float],
+    opacity: float = 1.0,
+) -> np.ndarray:
+    """Blend ``color`` over the pixels of ``image`` selected by ``mask``.
+
+    ``image`` is modified in place and returned.
+    """
+    mask = ensure_mask(mask)
+    if image.shape[:2] != mask.shape:
+        raise ImageError(
+            f"image {image.shape[:2]} and mask {mask.shape} sizes differ"
+        )
+    if not 0.0 <= opacity <= 1.0:
+        raise ImageError(f"opacity must be in [0, 1], got {opacity}")
+    color_arr = np.clip(np.asarray(color, dtype=np.float64), 0.0, 1.0)
+    image[mask] = (1.0 - opacity) * image[mask] + opacity * color_arr
+    return image
+
+
+def stick_figure_mask(
+    shape: tuple[int, int],
+    segments: list[tuple[tuple[float, float], tuple[float, float]]],
+    thickness: float = 2.0,
+) -> np.ndarray:
+    """Rasterise a list of (row, col) segments into a fresh mask."""
+    mask = blank_mask(*shape)
+    for start, end in segments:
+        draw_line(mask, start, end, thickness=thickness)
+    return mask

@@ -1,0 +1,80 @@
+"""Smoothing filters used by the synthetic scene generator.
+
+Implemented from scratch with separable passes and edge replication, so
+the library has no dependency on an image-processing package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ImageError
+
+
+def _replicate_pad_1d(array: np.ndarray, pad: int, axis: int) -> np.ndarray:
+    return np.pad(
+        array,
+        [(pad, pad) if ax == axis else (0, 0) for ax in range(array.ndim)],
+        mode="edge",
+    )
+
+
+def _convolve_axis(array: np.ndarray, kernel: np.ndarray, axis: int) -> np.ndarray:
+    """1-D correlation along ``axis`` with replicated edges."""
+    pad = kernel.size // 2
+    padded = _replicate_pad_1d(array.astype(np.float64, copy=False), pad, axis)
+    out = np.zeros_like(array, dtype=np.float64)
+    for offset, weight in enumerate(kernel):
+        sl = [slice(None)] * array.ndim
+        sl[axis] = slice(offset, offset + array.shape[axis])
+        out += weight * padded[tuple(sl)]
+    return out
+
+
+def box_kernel(size: int) -> np.ndarray:
+    """Uniform averaging kernel of odd ``size``."""
+    if size < 1 or size % 2 == 0:
+        raise ImageError(f"kernel size must be odd and >= 1, got {size}")
+    return np.full(size, 1.0 / size)
+
+
+def gaussian_kernel(sigma: float, truncate: float = 3.0) -> np.ndarray:
+    """Normalised 1-D Gaussian kernel truncated at ``truncate`` sigmas."""
+    if sigma <= 0:
+        raise ImageError(f"sigma must be > 0, got {sigma}")
+    radius = max(int(np.ceil(truncate * sigma)), 1)
+    x = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-0.5 * (x / sigma) ** 2)
+    return kernel / kernel.sum()
+
+
+def box_blur(image: np.ndarray, size: int = 3) -> np.ndarray:
+    """Separable box blur; works on (H, W) or (H, W, C) arrays."""
+    kernel = box_kernel(size)
+    out = _convolve_axis(np.asarray(image), kernel, axis=0)
+    return _convolve_axis(out, kernel, axis=1)
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur; works on (H, W) or (H, W, C) arrays."""
+    kernel = gaussian_kernel(sigma)
+    out = _convolve_axis(np.asarray(image), kernel, axis=0)
+    return _convolve_axis(out, kernel, axis=1)
+
+
+def median_filter(image: np.ndarray, size: int = 3) -> np.ndarray:
+    """Median filter on a 2-D array via stacked shifted views."""
+    if size < 1 or size % 2 == 0:
+        raise ImageError(f"kernel size must be odd and >= 1, got {size}")
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ImageError(f"median_filter expects a 2-D array, got {arr.shape}")
+    pad = size // 2
+    padded = np.pad(arr, pad, mode="edge")
+    windows = np.empty((size * size,) + arr.shape, dtype=np.float64)
+    index = 0
+    for dr in range(size):
+        for dc in range(size):
+            windows[index] = padded[dr : dr + arr.shape[0], dc : dc + arr.shape[1]]
+            index += 1
+    return np.median(windows, axis=0)

@@ -1,0 +1,59 @@
+"""Hole filling for binary silhouettes.
+
+The paper's Step 4 uses a local 4-neighbour rule
+(:func:`repro.imaging.neighbors.fill_single_pixel_holes`).  That rule
+only closes holes of one or two pixels; as an extension this module
+also provides complete topological hole filling via background flood
+fill, which the full pipeline can optionally enable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .image import ensure_mask
+from .neighbors import fill_single_pixel_holes
+
+__all__ = ["fill_single_pixel_holes", "fill_holes", "hole_mask"]
+
+
+def _background_reachable_from_border(mask: np.ndarray) -> np.ndarray:
+    """Flood-fill background from the image border (4-connectivity)."""
+    rows, cols = mask.shape
+    reachable = np.zeros((rows, cols), dtype=bool)
+    queue: deque[tuple[int, int]] = deque()
+
+    for c in range(cols):
+        for r in (0, rows - 1):
+            if not mask[r, c] and not reachable[r, c]:
+                reachable[r, c] = True
+                queue.append((r, c))
+    for r in range(rows):
+        for c in (0, cols - 1):
+            if not mask[r, c] and not reachable[r, c]:
+                reachable[r, c] = True
+                queue.append((r, c))
+
+    while queue:
+        r, c = queue.popleft()
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            rr, cc = r + dr, c + dc
+            if 0 <= rr < rows and 0 <= cc < cols:
+                if not mask[rr, cc] and not reachable[rr, cc]:
+                    reachable[rr, cc] = True
+                    queue.append((rr, cc))
+    return reachable
+
+
+def hole_mask(mask: np.ndarray) -> np.ndarray:
+    """Background pixels enclosed by foreground (not border-reachable)."""
+    mask = ensure_mask(mask)
+    return ~mask & ~_background_reachable_from_border(mask)
+
+
+def fill_holes(mask: np.ndarray) -> np.ndarray:
+    """Fill every enclosed background region, regardless of size."""
+    mask = ensure_mask(mask)
+    return mask | hole_mask(mask)

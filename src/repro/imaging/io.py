@@ -1,0 +1,136 @@
+"""Minimal image and mask I/O: binary PGM/PPM plus numpy archives.
+
+Netpbm formats are chosen because they need no codec: P5 (grayscale)
+and P6 (RGB) are header + raw bytes.  They let the examples dump frames
+that any external viewer can open.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from .image import ensure_gray, ensure_mask, ensure_rgb, to_uint8
+from ..errors import ImageError
+
+_HEADER_RE = re.compile(rb"^(P[56])\s+(?:#[^\n]*\s+)*(\d+)\s+(\d+)\s+(\d+)\s")
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> None:
+    """Write an RGB image (float [0,1] or uint8) as binary PPM (P6)."""
+    rgb = to_uint8(ensure_rgb(image))
+    height, width = rgb.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        fh.write(rgb.tobytes())
+
+
+def write_pgm(path: str | Path, image: np.ndarray) -> None:
+    """Write a grayscale image (float [0,1] or uint8) as binary PGM (P5)."""
+    gray = to_uint8(ensure_gray(image))
+    height, width = gray.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        fh.write(gray.tobytes())
+
+
+def write_mask_pgm(path: str | Path, mask: np.ndarray) -> None:
+    """Write a binary mask as a black/white PGM."""
+    mask = ensure_mask(mask)
+    write_pgm(path, mask.astype(np.float64))
+
+
+def _read_netpbm(path: str | Path) -> tuple[bytes, int, int, int, bytes]:
+    data = Path(path).read_bytes()
+    match = _HEADER_RE.match(data)
+    if match is None:
+        raise ImageError(f"{path} is not a binary PGM/PPM file")
+    magic = match.group(1)
+    width = int(match.group(2))
+    height = int(match.group(3))
+    maxval = int(match.group(4))
+    if maxval != 255:
+        raise ImageError(f"only maxval 255 is supported, got {maxval}")
+    return magic, width, height, maxval, data[match.end():]
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary PPM into a float RGB image in [0, 1]."""
+    magic, width, height, _, payload = _read_netpbm(path)
+    if magic != b"P6":
+        raise ImageError(f"{path} is not a P6 PPM file")
+    expected = width * height * 3
+    if len(payload) < expected:
+        raise ImageError(f"{path} is truncated: {len(payload)} < {expected} bytes")
+    arr = np.frombuffer(payload[:expected], dtype=np.uint8)
+    return arr.reshape(height, width, 3).astype(np.float64) / 255.0
+
+
+def read_pgm(path: str | Path) -> np.ndarray:
+    """Read a binary PGM into a float grayscale image in [0, 1]."""
+    magic, width, height, _, payload = _read_netpbm(path)
+    if magic != b"P5":
+        raise ImageError(f"{path} is not a P5 PGM file")
+    expected = width * height
+    if len(payload) < expected:
+        raise ImageError(f"{path} is truncated: {len(payload)} < {expected} bytes")
+    arr = np.frombuffer(payload[:expected], dtype=np.uint8)
+    return arr.reshape(height, width).astype(np.float64) / 255.0
+
+
+def write_png(path: str | Path, image: np.ndarray) -> None:
+    """Write an RGB or grayscale image as PNG (stdlib zlib, no deps).
+
+    Accepts float images in [0, 1] (RGB ``(H, W, 3)`` or gray
+    ``(H, W)``) or uint8 equivalents.
+    """
+    import struct
+    import zlib
+
+    arr = np.asarray(image)
+    if arr.ndim == 2:
+        pixels = to_uint8(ensure_gray(arr))[..., None]
+        color_type = 0
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        pixels = to_uint8(ensure_rgb(arr))
+        color_type = 2
+    else:
+        raise ImageError(f"cannot write PNG for array of shape {arr.shape}")
+
+    height, width = pixels.shape[:2]
+    # Each scanline is prefixed with filter type 0 (None).
+    raw = b"".join(
+        b"\x00" + pixels[row].tobytes() for row in range(height)
+    )
+
+    def chunk(tag: bytes, payload: bytes) -> bytes:
+        body = tag + payload
+        return (
+            struct.pack(">I", len(payload))
+            + body
+            + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+        )
+
+    header = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    data = (
+        b"\x89PNG\r\n\x1a\n"
+        + chunk(b"IHDR", header)
+        + chunk(b"IDAT", zlib.compress(raw, 6))
+        + chunk(b"IEND", b"")
+    )
+    Path(path).write_bytes(data)
+
+
+def save_masks_npz(path: str | Path, masks: list[np.ndarray]) -> None:
+    """Save a list of boolean masks into one compressed ``.npz``."""
+    arrays = {f"mask_{i:04d}": ensure_mask(m) for i, m in enumerate(masks)}
+    np.savez_compressed(path, **arrays)
+
+
+def load_masks_npz(path: str | Path) -> list[np.ndarray]:
+    """Load masks written by :func:`save_masks_npz` in order."""
+    with np.load(path) as archive:
+        keys = sorted(archive.files)
+        return [archive[key].astype(bool) for key in keys]

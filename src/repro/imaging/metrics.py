@@ -1,0 +1,132 @@
+"""Pixel-level evaluation metrics for segmentation quality.
+
+The paper assesses its figures visually ("the result for human
+segmentation is quite successful"); the benchmark harness quantifies
+the same comparisons with the standard detection metrics below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .image import ensure_mask, ensure_same_shape
+
+
+@dataclass(frozen=True, slots=True)
+class ConfusionCounts:
+    """Pixel confusion counts of a predicted mask against ground truth."""
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+    true_negative: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was predicted."""
+        denom = self.true_positive + self.false_positive
+        return self.true_positive / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there is nothing to find."""
+        denom = self.true_positive + self.false_negative
+        return self.true_positive / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def iou(self) -> float:
+        """Intersection over union (Jaccard); 1.0 for two empty masks."""
+        union = self.true_positive + self.false_positive + self.false_negative
+        return self.true_positive / union if union else 1.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of pixels classified correctly."""
+        total = (
+            self.true_positive
+            + self.false_positive
+            + self.false_negative
+            + self.true_negative
+        )
+        return (self.true_positive + self.true_negative) / total if total else 1.0
+
+
+def confusion(predicted: np.ndarray, truth: np.ndarray) -> ConfusionCounts:
+    """Compute pixel confusion counts between two masks."""
+    predicted = ensure_mask(predicted, "predicted")
+    truth = ensure_mask(truth, "truth")
+    ensure_same_shape(predicted, truth, "masks")
+    tp = int(np.count_nonzero(predicted & truth))
+    fp = int(np.count_nonzero(predicted & ~truth))
+    fn = int(np.count_nonzero(~predicted & truth))
+    tn = int(np.count_nonzero(~predicted & ~truth))
+    return ConfusionCounts(tp, fp, fn, tn)
+
+
+def iou(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """Intersection-over-union of two masks."""
+    return confusion(predicted, truth).iou
+
+
+def f1_score(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """F1 of two masks."""
+    return confusion(predicted, truth).f1
+
+
+def shadow_detection_rates(
+    predicted_shadow: np.ndarray,
+    true_shadow: np.ndarray,
+    true_person: np.ndarray,
+) -> tuple[float, float]:
+    """Shadow-removal quality: (detection rate, discrimination rate).
+
+    Following Prati et al.'s shadow-benchmark convention:
+
+    * **detection rate** — fraction of true shadow pixels classified as
+      shadow (higher is better: shadows get removed);
+    * **discrimination rate** — fraction of true person pixels *not*
+      classified as shadow (higher is better: the person survives).
+    """
+    predicted_shadow = ensure_mask(predicted_shadow, "predicted_shadow")
+    true_shadow = ensure_mask(true_shadow, "true_shadow")
+    true_person = ensure_mask(true_person, "true_person")
+    ensure_same_shape(predicted_shadow, true_shadow, "shadow masks")
+    ensure_same_shape(predicted_shadow, true_person, "masks")
+
+    shadow_total = int(true_shadow.sum())
+    detection = (
+        int((predicted_shadow & true_shadow).sum()) / shadow_total
+        if shadow_total
+        else 1.0
+    )
+    person_total = int(true_person.sum())
+    discrimination = (
+        int((~predicted_shadow & true_person).sum()) / person_total
+        if person_total
+        else 1.0
+    )
+    return detection, discrimination
+
+
+def mean_absolute_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean absolute per-pixel difference of two images."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    ensure_same_shape(a, b, "images")
+    return float(np.abs(a - b).mean())
+
+
+def rmse(a: np.ndarray, b: np.ndarray) -> float:
+    """Root-mean-square per-pixel difference of two images."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    ensure_same_shape(a, b, "images")
+    return float(np.sqrt(((a - b) ** 2).mean()))

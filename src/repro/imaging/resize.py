@@ -1,0 +1,81 @@
+"""Image resizing (nearest-neighbour and bilinear), from scratch.
+
+Real uploaded videos arrive at arbitrary resolutions; the pipeline's
+defaults are tuned around a ~70 px jumper, so callers need a resizer.
+Masks resize with nearest-neighbour; frames with bilinear sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .image import ensure_mask
+from ..errors import ImageError
+
+
+def _target_shape(shape: tuple[int, int], height: int, width: int) -> None:
+    if height < 1 or width < 1:
+        raise ImageError(f"target size must be positive, got {height}x{width}")
+
+
+def resize_nearest(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Nearest-neighbour resize for 2-D or 3-D arrays (masks included)."""
+    arr = np.asarray(image)
+    if arr.ndim not in (2, 3):
+        raise ImageError(f"cannot resize array of shape {arr.shape}")
+    _target_shape(arr.shape[:2], height, width)
+    rows = np.clip(
+        np.round(np.arange(height) * arr.shape[0] / height).astype(int),
+        0,
+        arr.shape[0] - 1,
+    )
+    cols = np.clip(
+        np.round(np.arange(width) * arr.shape[1] / width).astype(int),
+        0,
+        arr.shape[1] - 1,
+    )
+    return arr[np.ix_(rows, cols)]
+
+
+def resize_bilinear(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Bilinear resize for float images (2-D or 3-D)."""
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim not in (2, 3):
+        raise ImageError(f"cannot resize array of shape {arr.shape}")
+    _target_shape(arr.shape[:2], height, width)
+    src_h, src_w = arr.shape[:2]
+
+    # Sample positions mapping target pixel centres into source space.
+    r = (np.arange(height) + 0.5) * src_h / height - 0.5
+    c = (np.arange(width) + 0.5) * src_w / width - 0.5
+    r = np.clip(r, 0.0, src_h - 1.0)
+    c = np.clip(c, 0.0, src_w - 1.0)
+
+    r0 = np.floor(r).astype(int)
+    c0 = np.floor(c).astype(int)
+    r1 = np.minimum(r0 + 1, src_h - 1)
+    c1 = np.minimum(c0 + 1, src_w - 1)
+    fr = (r - r0)[:, None]
+    fc = (c - c0)[None, :]
+    if arr.ndim == 3:
+        fr = fr[..., None]
+        fc = fc[..., None]
+
+    top = arr[np.ix_(r0, c0)] * (1 - fc) + arr[np.ix_(r0, c1)] * fc
+    bottom = arr[np.ix_(r1, c0)] * (1 - fc) + arr[np.ix_(r1, c1)] * fc
+    return top * (1 - fr) + bottom * fr
+
+
+def resize_mask(mask: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Resize a boolean mask (nearest-neighbour)."""
+    return resize_nearest(ensure_mask(mask), height, width)
+
+
+def resize_video_frames(frames: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Bilinear-resize a ``(T, H, W, 3)`` frame stack."""
+    arr = np.asarray(frames, dtype=np.float64)
+    if arr.ndim != 4:
+        raise ImageError(f"expected (T, H, W, C) frames, got {arr.shape}")
+    return np.stack(
+        [resize_bilinear(frame, height, width) for frame in arr], axis=0
+    )

@@ -1,0 +1,61 @@
+"""Automatic thresholding (Otsu's method), from scratch.
+
+The paper's background-subtraction threshold is a hand-tuned constant.
+Otsu's method picks the threshold that maximises between-class variance
+of the difference-image histogram, removing one magic number from the
+pipeline (offered as an option, ablated in the benches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ImageError
+
+
+def otsu_threshold(values: np.ndarray, bins: int = 256) -> float:
+    """Otsu's threshold over a sample of values in [0, 1].
+
+    Returns the bin edge that maximises the between-class variance.
+    Degenerate inputs (constant values) return the single value itself.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ImageError("cannot threshold an empty array")
+    if bins < 2:
+        raise ImageError(f"need at least 2 bins, got {bins}")
+    lo = float(arr.min())
+    hi = float(arr.max())
+    if hi - lo < 1e-12:
+        return lo
+
+    histogram, edges = np.histogram(arr, bins=bins, range=(lo, hi))
+    histogram = histogram.astype(np.float64)
+    total = histogram.sum()
+
+    weights_low = np.cumsum(histogram)
+    weights_high = total - weights_low
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    cumulative_mean = np.cumsum(histogram * centers)
+    grand_mean = cumulative_mean[-1]
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mean_low = cumulative_mean / weights_low
+        mean_high = (grand_mean - cumulative_mean) / weights_high
+        between = weights_low * weights_high * (mean_low - mean_high) ** 2
+    between = np.nan_to_num(between, nan=-1.0)
+    # The criterion is flat across any empty gap between the classes;
+    # take the midpoint of the maximal plateau (the conventional choice)
+    # rather than its first bin.
+    peak = between.max()
+    plateau = np.nonzero(between >= peak - 1e-12)[0]
+    best = int(plateau[len(plateau) // 2])
+    return float(edges[best + 1])
+
+
+def otsu_binarize(image: np.ndarray, bins: int = 256) -> np.ndarray:
+    """Binarise a grayscale image at its Otsu threshold."""
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ImageError(f"otsu_binarize expects a 2-D image, got {arr.shape}")
+    return arr > otsu_threshold(arr, bins=bins)

@@ -1,0 +1,102 @@
+"""Distance transforms for binary masks, implemented from scratch.
+
+The GA containment check and several evaluation metrics need, for every
+pixel, the distance to the nearest foreground (or background) pixel.
+Two implementations are provided:
+
+* :func:`chamfer_distance` — the classical two-pass 3–4 chamfer
+  transform, O(pixels), accurate to a few percent of the true
+  Euclidean distance.
+* :func:`euclidean_distance_exact` — brute force against the set of
+  source pixels; exact but O(pixels x sources), used in tests and on
+  small inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .image import ensure_mask
+
+# Classical 3-4 chamfer weights, normalised so axial steps cost 1.
+_AXIAL = 3.0
+_DIAGONAL = 4.0
+_INF = np.float64(1e12)
+
+
+def chamfer_distance(mask: np.ndarray, *, to_foreground: bool = True) -> np.ndarray:
+    """Two-pass 3–4 chamfer distance transform.
+
+    Parameters
+    ----------
+    mask:
+        Binary mask.
+    to_foreground:
+        When True (default) the result holds, for every pixel, the
+        approximate distance to the nearest True pixel (zero on the
+        mask itself).  When False, distance to the nearest False pixel.
+
+    Returns
+    -------
+    Float array of distances in pixel units.  If no source pixel
+    exists, all entries are a large sentinel (> any image diagonal).
+    """
+    mask = ensure_mask(mask)
+    sources = mask if to_foreground else ~mask
+    rows, cols = mask.shape
+
+    dist = np.where(sources, 0.0, _INF)
+
+    # Forward pass: top-left to bottom-right.
+    for r in range(rows):
+        row = dist[r]
+        up = dist[r - 1] if r > 0 else None
+        if up is not None:
+            np.minimum(row, up + _AXIAL, out=row)
+            np.minimum(row[1:], up[:-1] + _DIAGONAL, out=row[1:])
+            np.minimum(row[:-1], up[1:] + _DIAGONAL, out=row[:-1])
+        for c in range(1, cols):
+            left = row[c - 1] + _AXIAL
+            if left < row[c]:
+                row[c] = left
+
+    # Backward pass: bottom-right to top-left.
+    for r in range(rows - 1, -1, -1):
+        row = dist[r]
+        down = dist[r + 1] if r < rows - 1 else None
+        if down is not None:
+            np.minimum(row, down + _AXIAL, out=row)
+            np.minimum(row[1:], down[:-1] + _DIAGONAL, out=row[1:])
+            np.minimum(row[:-1], down[1:] + _DIAGONAL, out=row[:-1])
+        for c in range(cols - 2, -1, -1):
+            right = row[c + 1] + _AXIAL
+            if right < row[c]:
+                row[c] = right
+
+    return dist / _AXIAL
+
+
+def euclidean_distance_exact(mask: np.ndarray, *, to_foreground: bool = True) -> np.ndarray:
+    """Exact Euclidean distance by brute force (small inputs only)."""
+    mask = ensure_mask(mask)
+    sources = mask if to_foreground else ~mask
+    src_r, src_c = np.nonzero(sources)
+    rows, cols = mask.shape
+    if src_r.size == 0:
+        return np.full((rows, cols), float(_INF / _AXIAL))
+    rr, cc = np.meshgrid(
+        np.arange(rows, dtype=np.float64),
+        np.arange(cols, dtype=np.float64),
+        indexing="ij",
+    )
+    dr = rr[..., None] - src_r[None, None, :]
+    dc = cc[..., None] - src_c[None, None, :]
+    return np.sqrt(dr * dr + dc * dc).min(axis=-1)
+
+
+def signed_distance(mask: np.ndarray) -> np.ndarray:
+    """Signed chamfer distance: negative inside the mask, positive outside."""
+    mask = ensure_mask(mask)
+    outside = chamfer_distance(mask, to_foreground=True)
+    inside = chamfer_distance(mask, to_foreground=False)
+    return np.where(mask, -inside, outside)

@@ -1,0 +1,161 @@
+"""First-frame stick-model annotation.
+
+The paper bootstraps tracking from a stick figure "drawn by a trained
+person" on the first frame, which fixes the model's size (stick lengths
+and thicknesses) and the frame-0 pose.  Real human annotation is not
+available here, so two substitutes are provided:
+
+* :func:`simulate_human_annotation` — the ground-truth pose perturbed by
+  a configurable jitter (a trained annotator is accurate to a few
+  degrees and pixels, not perfect);
+* :func:`auto_annotate` — a moment-based automatic initialiser
+  (extension beyond the paper) that derives the trunk placement from
+  the silhouette's centroid and principal axis and starts the limbs
+  from a standing prior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fitness import estimate_thicknesses
+from .geometry import mask_points_world, wrap_angle
+from .pose import StickPose
+from .sticks import FOOT, NUM_STICKS, SHANK, THIGH, UPPER_ARM, FOREARM, BodyDimensions, default_body
+from ..errors import ModelError
+from ..imaging.image import ensure_mask
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotationJitter:
+    """How imprecise the simulated human annotator is."""
+
+    center_sigma: float = 1.5  # pixels
+    angle_sigma: float = 4.0  # degrees
+
+    def __post_init__(self) -> None:
+        if self.center_sigma < 0 or self.angle_sigma < 0:
+            raise ModelError("annotation jitter sigmas must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class FirstFrameAnnotation:
+    """Result of annotating the first frame: pose + calibrated body."""
+
+    pose: StickPose
+    dims: BodyDimensions
+
+
+def simulate_human_annotation(
+    true_pose: StickPose,
+    dims: BodyDimensions,
+    mask: np.ndarray | None = None,
+    jitter: AnnotationJitter | None = None,
+    rng: np.random.Generator | None = None,
+) -> FirstFrameAnnotation:
+    """Simulate the trained person drawing the first-frame stick figure.
+
+    The annotated pose is the ground truth plus Gaussian jitter.  When
+    ``mask`` is given, per-stick thicknesses are re-estimated from the
+    silhouette around the annotated model, exactly the calibration the
+    paper performs.
+    """
+    jitter = jitter or AnnotationJitter()
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    pose = StickPose(
+        x0=true_pose.x0 + float(rng.normal(0.0, jitter.center_sigma)),
+        y0=true_pose.y0 + float(rng.normal(0.0, jitter.center_sigma)),
+        angles_deg=tuple(
+            float(wrap_angle(angle + rng.normal(0.0, jitter.angle_sigma)))
+            for angle in true_pose.angles_deg
+        ),
+    )
+    if mask is not None:
+        thickness = estimate_thicknesses(mask, pose, dims)
+        dims = dims.with_thicknesses(thickness)
+    return FirstFrameAnnotation(pose=pose, dims=dims)
+
+
+def auto_annotate(
+    mask: np.ndarray,
+    dims: BodyDimensions | None = None,
+) -> FirstFrameAnnotation:
+    """Derive a rough standing pose from silhouette moments (extension).
+
+    The trunk centre is placed at the silhouette centroid, the trunk
+    angle follows the principal axis of the point cloud, limbs start at
+    a standing prior, and the body is scaled so its stature matches the
+    silhouette height.  Intended for frames where the person is roughly
+    upright (the first frame of a standing long jump).
+    """
+    mask = ensure_mask(mask)
+    points = mask_points_world(mask)
+    if points.shape[0] < 10:
+        raise ModelError("silhouette too small to auto-annotate")
+
+    centroid = points.mean(axis=0)
+    centered = points - centroid
+    cov = centered.T @ centered / points.shape[0]
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    principal = eigvecs[:, int(np.argmax(eigvals))]
+    if principal[1] < 0:  # orient the axis upward
+        principal = -principal
+    trunk_angle = float(wrap_angle(np.degrees(np.arctan2(principal[0], principal[1]))))
+
+    height = points[:, 1].max() - points[:, 1].min()
+    base = dims or default_body(stature=max(height, 1.0))
+    scale = max(height, 1.0) / base.stature
+    scaled = base.scaled(scale)
+
+    pose = StickPose.standing(float(centroid[0]), float(centroid[1]))
+    pose = pose.with_angle(0, trunk_angle)
+    # The centroid of a standing body sits slightly below the trunk
+    # centre (legs are heavy); nudge the trunk centre up by a fraction
+    # of the trunk length.
+    pose = pose.translated(0.0, 0.15 * scaled.lengths[0])
+
+    thickness = estimate_thicknesses(mask, pose, scaled)
+    return FirstFrameAnnotation(pose=pose, dims=scaled.with_thicknesses(thickness))
+
+
+def refine_annotation(
+    annotation: FirstFrameAnnotation,
+    mask: np.ndarray,
+    containment_margin: int = 2,
+) -> FirstFrameAnnotation:
+    """Snap a rough first-frame annotation onto the silhouette.
+
+    A human annotator (or :func:`auto_annotate`) is accurate to a few
+    degrees; this polishes the drawn model by coordinate descent on the
+    Eq. 3 fitness, keeping the model inside the silhouette, and then
+    re-calibrates the per-stick thicknesses.
+    """
+    from .containment import ContainmentChecker
+    from .fitness import SilhouetteFitness
+    from ..ga.refine import local_polish
+
+    mask = ensure_mask(mask)
+    fitness = SilhouetteFitness(mask, annotation.dims)
+    checker = ContainmentChecker(mask, annotation.dims, margin=containment_margin)
+    genes = local_polish(
+        annotation.pose.to_genes(), fitness.evaluate, validity_fn=checker.check
+    )
+    pose = StickPose.from_genes(genes)
+    thickness = estimate_thicknesses(mask, pose, annotation.dims)
+    return FirstFrameAnnotation(
+        pose=pose, dims=annotation.dims.with_thicknesses(thickness)
+    )
+
+
+def standing_prior_angles() -> tuple[float, ...]:
+    """The limb angles of a relaxed standing pose (degrees)."""
+    angles = [0.0] * NUM_STICKS
+    angles[UPPER_ARM] = 180.0
+    angles[FOREARM] = 180.0
+    angles[THIGH] = 180.0
+    angles[SHANK] = 180.0
+    angles[FOOT] = 90.0
+    return tuple(angles)

@@ -1,0 +1,78 @@
+"""Chromosome layout and gene groups for the GA (paper Section 3).
+
+A chromosome is the 10-vector ``(x0, y0, ρ0, ρ1, ..., ρ7)``.  The
+paper's "multiple crossover" exchanges whole **gene groups** between
+parents; the groups keep kinematically related sticks together:
+
+* ``(x0, y0)`` — the trunk centre,
+* ``(ρ0)`` — the trunk angle,
+* ``(ρ1, ρ4)`` — neck and head,
+* ``(ρ2, ρ5)`` — upper arm and forearm,
+* ``(ρ3, ρ6, ρ7)`` — thigh, shank and foot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import wrap_angle
+from .pose import GENES
+from ..errors import ModelError
+
+#: Gene indices: 0=x0, 1=y0, 2+l = rho_l.
+GENE_X0 = 0
+GENE_Y0 = 1
+
+
+def angle_gene(stick: int) -> int:
+    """Chromosome index of stick ``Sl``'s angle gene."""
+    if not 0 <= stick < GENES - 2:
+        raise ModelError(f"stick index out of range: {stick}")
+    return 2 + stick
+
+#: The paper's crossover groups (Section 3): (x0,y0) (ρ0) (ρ1,ρ4)
+#: (ρ2,ρ5) (ρ3,ρ6,ρ7).
+GENE_GROUPS: tuple[tuple[int, ...], ...] = (
+    (GENE_X0, GENE_Y0),
+    (angle_gene(0),),
+    (angle_gene(1), angle_gene(4)),
+    (angle_gene(2), angle_gene(5)),
+    (angle_gene(3), angle_gene(6), angle_gene(7)),
+)
+
+
+def validate_chromosomes(genes: np.ndarray) -> np.ndarray:
+    """Validate a batch of chromosomes and normalise its angles.
+
+    Returns a float copy with angle genes wrapped into ``[0, 360)``.
+    """
+    arr = np.asarray(genes, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] != GENES:
+        raise ModelError(
+            f"chromosomes must have shape (P, {GENES}), got {np.shape(genes)}"
+        )
+    out = arr.copy()
+    out[:, 2:] = wrap_angle(out[:, 2:])
+    return out
+
+
+def group_spans() -> list[np.ndarray]:
+    """Gene groups as index arrays, for vectorised crossover."""
+    return [np.asarray(group, dtype=np.intp) for group in GENE_GROUPS]
+
+
+def chromosome_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Distance between two chromosomes: centre offset + mean angle gap.
+
+    Useful as a diversity measure.  Angle differences are taken along
+    the shortest arc so 359 and 1 are two degrees apart.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != (GENES,) or b.shape != (GENES,):
+        raise ModelError("chromosome_distance expects two 10-gene vectors")
+    center = float(np.hypot(a[0] - b[0], a[1] - b[1]))
+    diff = np.mod(a[2:] - b[2:] + 180.0, 360.0) - 180.0
+    return center + float(np.abs(diff).mean())

@@ -1,0 +1,221 @@
+"""Stick-model topology of the paper (Fig. 4) and body dimensions.
+
+The model has eight sticks.  Because the jump is filmed from the side,
+the paper merges both arms into one arm and both legs into one leg:
+
+====  ==========  =====================================
+Name  Index       Attached to
+====  ==========  =====================================
+S0    0 trunk     free (its centre is ``(x0, y0)``)
+S1    1 neck      upper end of trunk
+S2    2 upper arm upper end of trunk (shoulder)
+S3    3 thigh     lower end of trunk (hip)
+S4    4 head      distal end of neck
+S5    5 forearm   distal end of upper arm (elbow)
+S6    6 shank     distal end of thigh (knee)
+S7    7 foot      distal end of shank (ankle)
+====  ==========  =====================================
+
+Each stick ``Sl`` carries an angle ``ρl`` measured from the +y (vertical)
+axis rotating toward +x (the jump direction), so the stick's unit
+direction is ``(sin ρ, cos ρ)`` in world coordinates (y up).  This
+convention makes the paper's scoring thresholds come out directly:
+arms hanging straight down are at ``ρ2 = 180°``, arms swung back behind
+the body satisfy ``ρ2 > 270°`` (rule R3), and an upright trunk has
+``ρ0 = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from ..errors import ModelError
+
+NUM_STICKS = 8
+
+STICK_NAMES = (
+    "trunk",
+    "neck",
+    "upper_arm",
+    "thigh",
+    "head",
+    "forearm",
+    "shank",
+    "foot",
+)
+
+TRUNK = 0
+NECK = 1
+UPPER_ARM = 2
+THIGH = 3
+HEAD = 4
+FOREARM = 5
+SHANK = 6
+FOOT = 7
+
+# Parent stick for each non-trunk stick.  "upper"/"lower" refer to the
+# two ends of the trunk; every other stick attaches at its parent's
+# distal end.
+PARENT: dict[int, tuple[int, str]] = {
+    NECK: (TRUNK, "upper"),
+    UPPER_ARM: (TRUNK, "upper"),
+    THIGH: (TRUNK, "lower"),
+    HEAD: (NECK, "distal"),
+    FOREARM: (UPPER_ARM, "distal"),
+    SHANK: (THIGH, "distal"),
+    FOOT: (SHANK, "distal"),
+}
+
+# Kinematic evaluation order: parents before children.
+EVALUATION_ORDER = (TRUNK, NECK, UPPER_ARM, THIGH, HEAD, FOREARM, SHANK, FOOT)
+
+
+def stick_index(name: str) -> int:
+    """Map a stick name (e.g. ``"thigh"``) to its index."""
+    try:
+        return STICK_NAMES.index(name)
+    except ValueError:
+        raise ModelError(
+            f"unknown stick name {name!r}; expected one of {STICK_NAMES}"
+        ) from None
+
+
+@dataclass(frozen=True, slots=True)
+class BodyDimensions:
+    """Lengths and thicknesses (both in pixels) of the eight sticks.
+
+    ``lengths[l]`` is the length of stick ``Sl``; ``thicknesses[l]`` is
+    the full width ``t_l`` of the body part around the stick — the
+    denominator of the paper's fitness (Eq. 3) and twice the capsule
+    radius used by the synthetic renderer.
+    """
+
+    lengths: tuple[float, ...]
+    thicknesses: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lengths) != NUM_STICKS:
+            raise ModelError(
+                f"need {NUM_STICKS} stick lengths, got {len(self.lengths)}"
+            )
+        if len(self.thicknesses) != NUM_STICKS:
+            raise ModelError(
+                f"need {NUM_STICKS} stick thicknesses, got {len(self.thicknesses)}"
+            )
+        if any(length <= 0 for length in self.lengths):
+            raise ModelError(f"stick lengths must be positive: {self.lengths}")
+        if any(thickness <= 0 for thickness in self.thicknesses):
+            raise ModelError(
+                f"stick thicknesses must be positive: {self.thicknesses}"
+            )
+
+    @property
+    def stature(self) -> float:
+        """Standing height: foot-to-crown along a straight body."""
+        return (
+            self.lengths[THIGH]
+            + self.lengths[SHANK]
+            + self.lengths[TRUNK]
+            + self.lengths[NECK]
+            + self.lengths[HEAD]
+        )
+
+    def length_of(self, name: str) -> float:
+        """Length of the stick called ``name``."""
+        return self.lengths[stick_index(name)]
+
+    def thickness_of(self, name: str) -> float:
+        """Thickness of the stick called ``name``."""
+        return self.thicknesses[stick_index(name)]
+
+    def scaled(self, factor: float) -> "BodyDimensions":
+        """Return dimensions uniformly scaled by ``factor``."""
+        if factor <= 0:
+            raise ModelError(f"scale factor must be positive, got {factor}")
+        return BodyDimensions(
+            lengths=tuple(length * factor for length in self.lengths),
+            thicknesses=tuple(t * factor for t in self.thicknesses),
+        )
+
+    def with_thicknesses(self, thicknesses) -> "BodyDimensions":
+        """Return a copy with replaced thicknesses."""
+        return BodyDimensions(
+            lengths=self.lengths,
+            thicknesses=tuple(float(t) for t in thicknesses),
+        )
+
+
+# Segment lengths as fractions of stature, from standard anthropometric
+# tables (Winter, *Biomechanics and Motor Control of Human Movement*),
+# adjusted so the five vertical segments sum to 1.
+_LENGTH_FRACTIONS = {
+    TRUNK: 0.310,
+    NECK: 0.075,
+    UPPER_ARM: 0.186,
+    THIGH: 0.245,
+    HEAD: 0.125,
+    FOREARM: 0.190,  # forearm + hand
+    SHANK: 0.245,
+    FOOT: 0.120,
+}
+
+_THICKNESS_FRACTIONS = {
+    TRUNK: 0.160,
+    NECK: 0.055,
+    UPPER_ARM: 0.055,
+    THIGH: 0.085,
+    HEAD: 0.110,
+    FOREARM: 0.045,
+    SHANK: 0.060,
+    FOOT: 0.040,
+}
+
+
+def default_body(stature: float = 60.0) -> BodyDimensions:
+    """Anthropometric body dimensions for a person of ``stature`` pixels.
+
+    ``stature`` is the standing height of the rendered figure.  The
+    default (60 px) sits comfortably inside the library's default
+    160x120 frames.
+    """
+    if stature <= 0:
+        raise ModelError(f"stature must be positive, got {stature}")
+    lengths = tuple(
+        _LENGTH_FRACTIONS[index] * stature for index in range(NUM_STICKS)
+    )
+    thicknesses = tuple(
+        _THICKNESS_FRACTIONS[index] * stature for index in range(NUM_STICKS)
+    )
+    return BodyDimensions(lengths=lengths, thicknesses=thicknesses)
+
+
+@dataclass(frozen=True, slots=True)
+class AngleWindows:
+    """Per-stick search windows ``Δρ_l`` for temporal GA seeding.
+
+    The paper: "the initial angles can be randomly chosen from the
+    range ``ρ_{l,k-1} ± Δρ_l``, where ``Δρ_l`` is different for
+    different sticks [and] determined by the nature of connected joints".
+    The arm swings fastest in a standing long jump (back to front in a
+    few frames, ≈ 45°/frame at 20 frames per jump), so the upper-arm
+    and forearm windows are widest; the trunk barely rotates between
+    frames.
+    """
+
+    deltas_deg: tuple[float, ...] = field(
+        default=(15.0, 20.0, 60.0, 30.0, 20.0, 65.0, 35.0, 40.0)
+    )
+    center_delta: float = 6.0  # Δx = Δy rectangle half-width around centroid
+
+    def __post_init__(self) -> None:
+        if len(self.deltas_deg) != NUM_STICKS:
+            raise ModelError(
+                f"need {NUM_STICKS} angle windows, got {len(self.deltas_deg)}"
+            )
+        if any(delta <= 0 for delta in self.deltas_deg):
+            raise ModelError(f"angle windows must be positive: {self.deltas_deg}")
+        if self.center_delta <= 0:
+            raise ModelError(
+                f"center window must be positive, got {self.center_delta}"
+            )

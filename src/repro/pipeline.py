@@ -1,0 +1,161 @@
+"""End-to-end jump analysis: video → silhouettes → poses → report.
+
+:class:`JumpAnalyzer` chains the three parts of the paper's system
+(Section 1): human detection (Section 2), pose estimation (Section 3)
+and scoring (Section 4), plus the trajectory analysis extensions.
+
+The first-frame stick model must come from somewhere, exactly as in
+the paper ("a trained person is asked to draw the stick figure for the
+human object in the first frame"): pass a
+:class:`~repro.model.annotation.FirstFrameAnnotation`, or let the
+analyzer fall back to the automatic moment-based initialiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .analysis.events import JumpEvents, detect_events
+from .analysis.trajectory import PoseTrajectory
+from .errors import SegmentationError
+from .ga.temporal import TemporalPoseTracker, TrackerConfig, TrackingResult
+from .model.annotation import FirstFrameAnnotation, auto_annotate
+from .model.pose import StickPose
+from .scoring.distance import JumpMeasurement, measure_jump
+from .scoring.report import JumpReport, JumpScorer
+from .segmentation.pipeline import (
+    FrameSegmentation,
+    SegmentationConfig,
+    SegmentationPipeline,
+)
+from .video.sequence import VideoSequence
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyzerConfig:
+    """Configuration of the full pipeline."""
+
+    segmentation: SegmentationConfig = field(default_factory=SegmentationConfig)
+    tracker: TrackerConfig = field(
+        default_factory=lambda: TrackerConfig(
+            containment_margin=1,
+            min_inside_fraction=0.95,
+            containment_samples=7,
+        )
+    )
+    # Trajectory filtering before scoring.  "median" (default) removes
+    # single-frame tracking spikes without shaving multi-frame extremes
+    # — important because every rule aggregates with max/min over a
+    # stage window.  "mean" is a plain moving average (it systematically
+    # flattens the extremes the thresholds test); "kalman" is the
+    # constant-velocity RTS smoother; "none" scores the raw track.
+    smoothing_mode: str = "median"
+    smoothing_window: int = 3
+
+    def __post_init__(self) -> None:
+        from .errors import ConfigurationError
+
+        if self.smoothing_mode not in ("median", "mean", "kalman", "none"):
+            raise ConfigurationError(
+                "smoothing_mode must be median/mean/kalman/none, got "
+                f"{self.smoothing_mode!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class JumpAnalysis:
+    """Everything the pipeline produced for one video."""
+
+    segmentations: tuple[FrameSegmentation, ...]
+    background: np.ndarray
+    annotation: FirstFrameAnnotation
+    tracking: TrackingResult
+    poses: tuple[StickPose, ...]  # smoothed track actually scored
+    events: JumpEvents
+    report: JumpReport
+    measurement: JumpMeasurement
+
+    @property
+    def silhouettes(self) -> list[np.ndarray]:
+        """Final person mask of every frame."""
+        return [seg.person for seg in self.segmentations]
+
+
+class JumpAnalyzer:
+    """The complete standing-long-jump analysis system."""
+
+    def __init__(self, config: AnalyzerConfig | None = None) -> None:
+        self.config = config or AnalyzerConfig()
+
+    def analyze(
+        self,
+        video: VideoSequence,
+        annotation: FirstFrameAnnotation | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> JumpAnalysis:
+        """Run segmentation, tracking, event detection and scoring.
+
+        ``annotation`` provides the first-frame stick model (pose +
+        body dimensions).  When omitted, the automatic moment-based
+        initialiser runs on the first silhouette — convenient, but a
+        human-drawn model is what the paper assumes and tracks better.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+
+        segmenter = SegmentationPipeline(self.config.segmentation)
+        segmentations = segmenter.segment_video(video)
+        silhouettes = [seg.person for seg in segmentations]
+        if not silhouettes[0].any():
+            raise SegmentationError(
+                "no human object found in the first frame; cannot anchor "
+                "the stick model"
+            )
+
+        if annotation is None:
+            annotation = auto_annotate(silhouettes[0])
+
+        tracker = TemporalPoseTracker(annotation.dims, self.config.tracker)
+        tracking = tracker.track(silhouettes, annotation.pose, rng=rng)
+
+        poses: tuple[StickPose, ...]
+        if self.config.smoothing_mode != "none" and self.config.smoothing_window > 1:
+            trajectory = PoseTrajectory.from_poses(tracking.poses)
+            if self.config.smoothing_mode == "median":
+                trajectory = trajectory.median_filtered(self.config.smoothing_window)
+            elif self.config.smoothing_mode == "kalman":
+                from .analysis.kalman import kalman_smooth
+
+                trajectory = kalman_smooth(trajectory)
+            else:
+                trajectory = trajectory.smoothed(self.config.smoothing_window)
+            poses = tuple(trajectory.to_poses())
+        else:
+            poses = tracking.poses
+
+        events = detect_events(poses, annotation.dims)
+        report = JumpScorer().score(poses, takeoff_frame=events.takeoff_frame)
+        measurement = measure_jump(
+            poses, annotation.dims, landing_frame=len(poses) - 1
+        )
+        return JumpAnalysis(
+            segmentations=tuple(segmentations),
+            background=segmenter.background,
+            annotation=annotation,
+            tracking=tracking,
+            poses=poses,
+            events=events,
+            report=report,
+            measurement=measurement,
+        )
+
+
+def analyze_video(
+    video: VideoSequence,
+    annotation: FirstFrameAnnotation | None = None,
+    config: AnalyzerConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> JumpAnalysis:
+    """One-call convenience wrapper around :class:`JumpAnalyzer`."""
+    return JumpAnalyzer(config).analyze(video, annotation=annotation, rng=rng)

@@ -1,0 +1,40 @@
+"""Scoring of the standing long jump (paper Section 4, completed)."""
+
+from .calibration import AGE_NORMS_CM, PixelCalibration, grade_distance
+from .distance import JumpMeasurement, best_landing_frame, measure_jump
+from .phases import StageWindows
+from .progress import ProgressReport, RuleProgress, compare_reports
+from .report import JumpReport, JumpScorer
+from .rules import RULES, Rule, RuleResult, evaluate_rules, rule_for_standard
+from .standards import (
+    ADVICE,
+    STAGE_AIR_LANDING,
+    STAGE_INITIATION,
+    Standard,
+    all_standards,
+)
+
+__all__ = [
+    "AGE_NORMS_CM",
+    "PixelCalibration",
+    "grade_distance",
+    "JumpMeasurement",
+    "best_landing_frame",
+    "measure_jump",
+    "StageWindows",
+    "ProgressReport",
+    "RuleProgress",
+    "compare_reports",
+    "JumpReport",
+    "JumpScorer",
+    "RULES",
+    "Rule",
+    "RuleResult",
+    "evaluate_rules",
+    "rule_for_standard",
+    "ADVICE",
+    "STAGE_AIR_LANDING",
+    "STAGE_INITIATION",
+    "Standard",
+    "all_standards",
+]

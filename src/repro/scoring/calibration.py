@@ -1,0 +1,85 @@
+"""Pixel-to-metric calibration.
+
+The physical test reports the jump in centimetres.  With a single
+side-view camera the scale can be calibrated from any known length in
+the image plane of the jumper — most conveniently the jumper's own
+standing height, which the first-frame annotation already measures in
+pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .distance import JumpMeasurement
+from ..errors import ScoringError
+
+
+@dataclass(frozen=True, slots=True)
+class PixelCalibration:
+    """Linear image-to-world scale from one known length."""
+
+    known_pixels: float
+    known_centimeters: float
+
+    def __post_init__(self) -> None:
+        if self.known_pixels <= 0 or self.known_centimeters <= 0:
+            raise ScoringError(
+                "calibration lengths must be positive, got "
+                f"{self.known_pixels}px = {self.known_centimeters}cm"
+            )
+
+    @classmethod
+    def from_stature(
+        cls, stature_pixels: float, stature_centimeters: float
+    ) -> "PixelCalibration":
+        """Calibrate from the jumper's standing height."""
+        return cls(known_pixels=stature_pixels, known_centimeters=stature_centimeters)
+
+    @property
+    def centimeters_per_pixel(self) -> float:
+        """The scale factor."""
+        return self.known_centimeters / self.known_pixels
+
+    def to_centimeters(self, pixels: float) -> float:
+        """Convert an image-plane length to centimetres."""
+        return pixels * self.centimeters_per_pixel
+
+    def jump_distance_cm(self, measurement: JumpMeasurement) -> float:
+        """The measured jump distance in centimetres."""
+        return self.to_centimeters(measurement.distance)
+
+
+#: Reference jump distances (cm) for the standing long jump by age,
+#: from common primary-school fitness norms (boys / girls midpoints).
+#: Used by :func:`grade_distance` to put a measured jump in context.
+AGE_NORMS_CM: dict[int, tuple[float, float, float]] = {
+    # age: (needs work, average, excellent)
+    6: (70.0, 95.0, 120.0),
+    7: (80.0, 105.0, 130.0),
+    8: (90.0, 115.0, 140.0),
+    9: (100.0, 125.0, 150.0),
+    10: (110.0, 135.0, 160.0),
+    11: (120.0, 145.0, 170.0),
+    12: (130.0, 155.0, 180.0),
+}
+
+
+def grade_distance(distance_cm: float, age: int) -> str:
+    """Grade a jump distance against age norms.
+
+    Returns one of ``"needs work"``, ``"average"``, ``"good"``,
+    ``"excellent"``.
+    """
+    if age not in AGE_NORMS_CM:
+        raise ScoringError(
+            f"no norms for age {age}; available: {sorted(AGE_NORMS_CM)}"
+        )
+    low, mid, high = AGE_NORMS_CM[age]
+    if distance_cm < low:
+        return "needs work"
+    if distance_cm < mid:
+        return "average"
+    if distance_cm < high:
+        return "good"
+    return "excellent"

@@ -1,0 +1,79 @@
+"""Jump-distance measurement from tracked poses.
+
+The standing long jump is measured from the takeoff line (the toes at
+the start) to the rearmost landing contact (the heel).  With tracked
+stick poses both endpoints are available directly from the foot
+segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ScoringError
+from ..model.pose import StickPose
+from ..model.sticks import FOOT, BodyDimensions
+
+
+@dataclass(frozen=True, slots=True)
+class JumpMeasurement:
+    """Distance result of one jump."""
+
+    distance: float  # pixels, takeoff line to landing heel
+    takeoff_line_x: float
+    landing_heel_x: float
+    landing_frame: int
+    relative_to_stature: float  # distance / stature (dimensionless)
+
+
+def _foot_extent(pose: StickPose, dims: BodyDimensions) -> tuple[float, float]:
+    """(min x, max x) of the foot segment endpoints in world coords."""
+    segments = pose.segments(dims)
+    xs = (segments[FOOT, 0, 0], segments[FOOT, 1, 0])
+    return float(min(xs)), float(max(xs))
+
+
+def measure_jump(
+    poses: Sequence[StickPose],
+    dims: BodyDimensions,
+    landing_frame: int | None = None,
+) -> JumpMeasurement:
+    """Measure the jump distance of a tracked pose sequence.
+
+    ``landing_frame`` defaults to the last frame (the jumper has
+    settled by the end of a standing-long-jump clip).
+    """
+    if len(poses) < 2:
+        raise ScoringError("need at least two poses to measure a jump")
+    if landing_frame is None:
+        landing_frame = len(poses) - 1
+    if not 0 < landing_frame < len(poses):
+        raise ScoringError(
+            f"landing_frame {landing_frame} out of range for {len(poses)} poses"
+        )
+
+    _, takeoff_line = _foot_extent(poses[0], dims)  # toes at the start
+    landing_heel, _ = _foot_extent(poses[landing_frame], dims)
+    distance = landing_heel - takeoff_line
+    return JumpMeasurement(
+        distance=float(distance),
+        takeoff_line_x=takeoff_line,
+        landing_heel_x=landing_heel,
+        landing_frame=int(landing_frame),
+        relative_to_stature=float(distance / dims.stature),
+    )
+
+
+def best_landing_frame(poses: Sequence[StickPose]) -> int:
+    """Heuristic landing frame: first frame after the peak where the
+    trunk centre has returned close to its starting height."""
+    heights = np.array([pose.y0 for pose in poses])
+    peak = int(heights.argmax())
+    base = heights[0]
+    for index in range(peak + 1, len(poses)):
+        if heights[index] <= base + 0.05 * abs(base):
+            return index
+    return len(poses) - 1

@@ -1,0 +1,64 @@
+"""Frame windows for the two scoring stages (paper Section 4).
+
+"To check R1, the angle difference ... should be examined from the
+first frame to the 10th frame"; "to check R6 ... from the 11th frame to
+the 20th frame."  For the paper's ~20-frame videos the boundary is the
+middle of the sequence — which is where the takeoff falls.  When the
+takeoff frame is known (detected or ground truth), it is used directly;
+otherwise the midpoint reproduces the paper's fixed split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScoringError
+
+
+@dataclass(frozen=True, slots=True)
+class StageWindows:
+    """Half-open frame ranges of the two scoring stages."""
+
+    initiation: tuple[int, int]
+    air_landing: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        i0, i1 = self.initiation
+        a0, a1 = self.air_landing
+        if not (0 <= i0 < i1 <= a0 < a1):
+            raise ScoringError(
+                f"invalid stage windows: initiation={self.initiation}, "
+                f"air_landing={self.air_landing}"
+            )
+
+    @classmethod
+    def paper_default(cls) -> "StageWindows":
+        """Frames 1–10 and 11–20 of the paper, zero-based."""
+        return cls(initiation=(0, 10), air_landing=(10, 20))
+
+    @classmethod
+    def for_sequence(
+        cls, num_frames: int, takeoff_frame: int | None = None
+    ) -> "StageWindows":
+        """Windows for an arbitrary-length sequence.
+
+        ``takeoff_frame`` is the first airborne frame; it defaults to
+        the midpoint (the paper's fixed split for 20 frames).
+        """
+        if num_frames < 4:
+            raise ScoringError(
+                f"need at least 4 frames to score a jump, got {num_frames}"
+            )
+        boundary = takeoff_frame if takeoff_frame is not None else num_frames // 2
+        boundary = max(1, min(boundary, num_frames - 1))
+        return cls(
+            initiation=(0, boundary), air_landing=(boundary, num_frames)
+        )
+
+    def window(self, stage: str) -> tuple[int, int]:
+        """The frame range of ``"initiation"`` or ``"air_landing"``."""
+        if stage == "initiation":
+            return self.initiation
+        if stage == "air_landing":
+            return self.air_landing
+        raise ScoringError(f"unknown stage {stage!r}")

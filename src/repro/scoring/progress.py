@@ -1,0 +1,109 @@
+"""Progress comparison between two analysed jumps.
+
+The use the paper motivates is coaching children over time: the same
+jumper is filmed again after practising, and the coach wants to know
+what improved.  :func:`compare_reports` diffs two scoring reports
+rule by rule, and :class:`ProgressReport` renders the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .report import JumpReport
+from ..errors import ScoringError
+
+#: Transition labels per rule.
+FIXED = "fixed"
+REGRESSED = "regressed"
+STILL_PASSING = "still passing"
+STILL_FAILING = "still failing"
+
+
+@dataclass(frozen=True, slots=True)
+class RuleProgress:
+    """One rule's before/after outcome."""
+
+    rule_id: str
+    description: str
+    transition: str
+    value_before: float
+    value_after: float
+    margin_change: float  # positive = moved the right way
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressReport:
+    """Diff of two scoring reports of the same jumper."""
+
+    rules: tuple[RuleProgress, ...]
+    score_before: float
+    score_after: float
+
+    @property
+    def improved(self) -> tuple[RuleProgress, ...]:
+        """Rules that flipped from fail to pass."""
+        return tuple(r for r in self.rules if r.transition == FIXED)
+
+    @property
+    def regressed(self) -> tuple[RuleProgress, ...]:
+        """Rules that flipped from pass to fail."""
+        return tuple(r for r in self.rules if r.transition == REGRESSED)
+
+    @property
+    def outstanding(self) -> tuple[RuleProgress, ...]:
+        """Rules still failing after practice."""
+        return tuple(r for r in self.rules if r.transition == STILL_FAILING)
+
+    def render_text(self) -> str:
+        """Human-readable progress summary."""
+        lines = [
+            "Standing Long Jump — progress report",
+            f"score: {self.score_before * 100:.0f}% -> {self.score_after * 100:.0f}%",
+            "",
+        ]
+        for progress in self.rules:
+            lines.append(
+                f"  {progress.rule_id} [{progress.transition:>13s}] "
+                f"{progress.description:<34s} "
+                f"{progress.value_before:7.1f}° -> {progress.value_after:7.1f}°"
+            )
+        if self.outstanding:
+            lines.append("")
+            lines.append("keep working on:")
+            for progress in self.outstanding:
+                lines.append(f"  - {progress.description}")
+        return "\n".join(lines)
+
+
+def compare_reports(before: JumpReport, after: JumpReport) -> ProgressReport:
+    """Diff two reports rule by rule (same rule set required)."""
+    if len(before.results) != len(after.results):
+        raise ScoringError("reports have different rule sets")
+    rules: list[RuleProgress] = []
+    for result_before, result_after in zip(before.results, after.results):
+        if result_before.rule.rule_id != result_after.rule.rule_id:
+            raise ScoringError("reports have mismatched rule ordering")
+        if result_before.passed and result_after.passed:
+            transition = STILL_PASSING
+        elif not result_before.passed and result_after.passed:
+            transition = FIXED
+        elif result_before.passed and not result_after.passed:
+            transition = REGRESSED
+        else:
+            transition = STILL_FAILING
+        rules.append(
+            RuleProgress(
+                rule_id=result_before.rule.rule_id,
+                description=result_before.rule.standard.description,
+                transition=transition,
+                value_before=result_before.value,
+                value_after=result_after.value,
+                margin_change=result_after.margin - result_before.margin,
+            )
+        )
+    return ProgressReport(
+        rules=tuple(rules),
+        score_before=before.score,
+        score_after=after.score,
+    )

@@ -1,0 +1,94 @@
+"""Jump scoring report: rule outcomes, score, and coaching advice.
+
+This completes the system sketched in the paper's Section 4 ("the
+scoring part is yet to be implemented"): rules → detected improper
+movements → advice to the jumper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .phases import StageWindows
+from .rules import RuleResult, evaluate_rules
+from .standards import ADVICE, Standard
+from ..model.pose import StickPose
+
+
+@dataclass(frozen=True, slots=True)
+class JumpReport:
+    """Full scoring outcome of one jump."""
+
+    results: tuple[RuleResult, ...]
+    windows: StageWindows
+
+    @property
+    def passed(self) -> tuple[RuleResult, ...]:
+        """Rules the jumper satisfied."""
+        return tuple(r for r in self.results if r.passed)
+
+    @property
+    def failed(self) -> tuple[RuleResult, ...]:
+        """Rules the jumper violated."""
+        return tuple(r for r in self.results if not r.passed)
+
+    @property
+    def violated_standards(self) -> tuple[Standard, ...]:
+        """Standards of Table 1 the jumper failed to meet."""
+        return tuple(r.rule.standard for r in self.failed)
+
+    @property
+    def score(self) -> float:
+        """Fraction of the seven rules satisfied, in [0, 1]."""
+        return len(self.passed) / len(self.results) if self.results else 0.0
+
+    def advice(self) -> list[str]:
+        """Coaching advice for every violated standard."""
+        return [ADVICE[standard] for standard in self.violated_standards]
+
+    def render_text(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            "Standing Long Jump — scoring report",
+            f"score: {len(self.passed)}/{len(self.results)} rules satisfied",
+            "",
+        ]
+        for result in self.results:
+            status = "PASS" if result.passed else "FAIL"
+            rule = result.rule
+            lines.append(
+                f"  {rule.rule_id} [{status}]  {rule.standard.description:<34s}"
+                f" {rule.expression:<22s} observed {result.value:7.1f}°"
+                f" (frame {result.decisive_frame})"
+            )
+        if self.failed:
+            lines.append("")
+            lines.append("advice:")
+            for text in self.advice():
+                lines.append(f"  - {text}")
+        return "\n".join(lines)
+
+
+class JumpScorer:
+    """Score pose sequences against the rules of Table 2."""
+
+    def __init__(self, windows: StageWindows | None = None) -> None:
+        self._windows = windows
+
+    def score(
+        self,
+        poses: Sequence[StickPose],
+        takeoff_frame: int | None = None,
+    ) -> JumpReport:
+        """Evaluate all rules and return a report.
+
+        When no explicit windows were configured, the stage boundary is
+        ``takeoff_frame`` (if given) or the sequence midpoint.
+        """
+        windows = self._windows or StageWindows.for_sequence(
+            len(poses), takeoff_frame=takeoff_frame
+        )
+        return JumpReport(
+            results=tuple(evaluate_rules(poses, windows)), windows=windows
+        )

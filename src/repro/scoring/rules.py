@@ -1,0 +1,152 @@
+"""The scoring rules of Table 2, evaluated over stage windows.
+
+=====  ==================  ============  ==========================
+Rule   Standard (Table 1)  Stage         Condition
+=====  ==================  ============  ==========================
+R1     E1 knees bended     initiation    max(ρ6 − ρ3) > 60°
+R2     E2 neck forward     initiation    max(ρ1) > 30°
+R3     E3 arms swung back  initiation    max(ρ2) > 270°
+R4     E4 arms bended      initiation    max(ρ2 − ρ5) > 45°
+R5     E5 knees bended     air/landing   max(ρ6 − ρ3) > 60°
+R6     E6 trunk forward    air/landing   max(ρ0) > 45°
+R7     E7 arms forward     air/landing   min(ρ2) < 160°
+=====  ==================  ============  ==========================
+
+Angle differences are taken along the shortest arc (equivalent to the
+paper's raw subtraction for every physically reachable jump pose, but
+robust to the 0°/360° wrap of tracked angles).  ">" rules aggregate the
+per-frame value with ``max`` over the window — the paper: "the maximum
+of all the angle differences is then used"; the single "<" rule (R7)
+symmetrically uses ``min``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .phases import StageWindows
+from .standards import Standard
+from ..errors import ScoringError
+from ..model.geometry import angle_difference
+from ..model.pose import StickPose
+from ..model.sticks import FOREARM, NECK, SHANK, THIGH, TRUNK, UPPER_ARM
+
+
+def _knee_flexion(pose: StickPose) -> float:
+    return float(
+        angle_difference(pose.angles_deg[SHANK], pose.angles_deg[THIGH])
+    )
+
+
+def _signed(angle_deg: float) -> float:
+    """Map an angle to (-180, 180]: forward lean positive, back negative."""
+    return float(np.mod(angle_deg + 180.0, 360.0) - 180.0)
+
+
+def _neck_angle(pose: StickPose) -> float:
+    # Signed: a neck wobbling around vertical (e.g. 359° = −1°) must
+    # not read as a large forward bend.
+    return _signed(pose.angles_deg[NECK])
+
+
+def _arm_angle(pose: StickPose) -> float:
+    # Raw [0, 360): the arm sweeps the full circle and the paper's
+    # thresholds (R3 > 270°, R7 < 160°) are written for this range.
+    return pose.angles_deg[UPPER_ARM]
+
+
+def _elbow_flexion(pose: StickPose) -> float:
+    return float(
+        angle_difference(pose.angles_deg[UPPER_ARM], pose.angles_deg[FOREARM])
+    )
+
+
+def _trunk_angle(pose: StickPose) -> float:
+    # Signed, like the neck: the trunk never rotates past horizontal.
+    return _signed(pose.angles_deg[TRUNK])
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One scoring rule of Table 2."""
+
+    rule_id: str
+    standard: Standard
+    expression: str  # human-readable condition
+    measure: Callable[[StickPose], float]
+    threshold: float
+    greater: bool  # True: aggregate=max, pass if value > threshold
+
+    def evaluate(
+        self, poses: Sequence[StickPose], windows: StageWindows
+    ) -> "RuleResult":
+        """Evaluate the rule over its stage window of ``poses``."""
+        start, stop = windows.window(self.standard.stage)
+        if stop > len(poses):
+            raise ScoringError(
+                f"{self.rule_id} needs frames [{start}, {stop}) but only "
+                f"{len(poses)} poses were given"
+            )
+        values = np.array([self.measure(pose) for pose in poses[start:stop]])
+        if values.size == 0:
+            raise ScoringError(f"{self.rule_id}: empty stage window")
+        if self.greater:
+            value = float(values.max())
+            passed = value > self.threshold
+            margin = value - self.threshold
+        else:
+            value = float(values.min())
+            passed = value < self.threshold
+            margin = self.threshold - value
+        frame = int(start + (values.argmax() if self.greater else values.argmin()))
+        return RuleResult(
+            rule=self,
+            value=value,
+            passed=bool(passed),
+            margin=float(margin),
+            decisive_frame=frame,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RuleResult:
+    """Outcome of one rule on one jump."""
+
+    rule: Rule
+    value: float  # the aggregated angle (degrees)
+    passed: bool
+    margin: float  # how far past the threshold, positive = passed
+    decisive_frame: int  # frame where the aggregate was attained
+
+
+#: The seven rules of Table 2 in order.
+RULES: tuple[Rule, ...] = (
+    Rule("R1", Standard.E1, "max ρ6 − ρ3 > 60°", _knee_flexion, 60.0, True),
+    Rule("R2", Standard.E2, "max ρ1 > 30°", _neck_angle, 30.0, True),
+    Rule("R3", Standard.E3, "max ρ2 > 270°", _arm_angle, 270.0, True),
+    Rule("R4", Standard.E4, "max ρ2 − ρ5 > 45°", _elbow_flexion, 45.0, True),
+    Rule("R5", Standard.E5, "max ρ6 − ρ3 > 60°", _knee_flexion, 60.0, True),
+    Rule("R6", Standard.E6, "max ρ0 > 45°", _trunk_angle, 45.0, True),
+    Rule("R7", Standard.E7, "min ρ2 < 160°", _arm_angle, 160.0, False),
+)
+
+
+def rule_for_standard(standard: Standard) -> Rule:
+    """The Table 2 rule that checks a Table 1 standard."""
+    for rule in RULES:
+        if rule.standard is standard:
+            return rule
+    raise ScoringError(f"no rule for {standard!r}")
+
+
+def evaluate_rules(
+    poses: Sequence[StickPose],
+    windows: StageWindows | None = None,
+) -> list[RuleResult]:
+    """Evaluate all seven rules over a pose sequence."""
+    if windows is None:
+        windows = StageWindows.for_sequence(len(poses))
+    return [rule.evaluate(poses, windows) for rule in RULES]

@@ -1,0 +1,74 @@
+"""The physical-education standards of Table 1.
+
+"From the discussion with physical education experts, standards to
+evaluate the standing long jump are formulated."  Four initiation-stage
+standards (E1–E4) and three air/landing standards (E5–E7).  Each maps
+to one measurable rule in Table 2 (:mod:`repro.scoring.rules`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+STAGE_INITIATION = "initiation"
+STAGE_AIR_LANDING = "air_landing"
+
+
+class Standard(Enum):
+    """The seven evaluation standards of Table 1."""
+
+    E1 = (STAGE_INITIATION, "Knees bended")
+    E2 = (STAGE_INITIATION, "Neck bended forward")
+    E3 = (STAGE_INITIATION, "Arms swung back")
+    E4 = (STAGE_INITIATION, "Arms bended")
+    E5 = (STAGE_AIR_LANDING, "Knees bended")
+    E6 = (STAGE_AIR_LANDING, "Trunk bended forward")
+    E7 = (STAGE_AIR_LANDING, "Arms swung forward after landing")
+
+    @property
+    def stage(self) -> str:
+        """``"initiation"`` or ``"air_landing"``."""
+        return self.value[0]
+
+    @property
+    def description(self) -> str:
+        """The standard's wording from Table 1."""
+        return self.value[1]
+
+
+#: Coaching advice issued when a standard is not met, one per standard.
+ADVICE: dict[Standard, str] = {
+    Standard.E1: (
+        "Bend your knees deeply before jumping — crouch until your "
+        "shins and thighs form a clear angle, then push off."
+    ),
+    Standard.E2: (
+        "Lean your head and neck forward during the wind-up so your "
+        "whole body loads toward the jump direction."
+    ),
+    Standard.E3: (
+        "Swing your arms back behind your body during the crouch; the "
+        "backswing powers the jump."
+    ),
+    Standard.E4: (
+        "Keep your elbows bent while swinging the arms back — straight "
+        "arms slow the swing down."
+    ),
+    Standard.E5: (
+        "Tuck your knees while in the air; extended legs cut the jump "
+        "short."
+    ),
+    Standard.E6: (
+        "Lean your trunk forward over your knees during flight to carry "
+        "your momentum into the landing."
+    ),
+    Standard.E7: (
+        "Swing your arms forward for the landing — it moves your centre "
+        "of mass past your heels."
+    ),
+}
+
+
+def all_standards() -> tuple[Standard, ...]:
+    """All seven standards in Table 1 order."""
+    return tuple(Standard)

@@ -1,0 +1,144 @@
+"""Quantitative evaluation of segmentation against synthetic ground truth.
+
+The paper judges Figs. 1–3 visually; these helpers turn the same
+comparisons into numbers: background error (Fig. 1), per-stage
+foreground quality (Fig. 2), and shadow detection/discrimination rates
+plus final silhouette IoU (Fig. 3 / Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .pipeline import FrameSegmentation
+from ..imaging.metrics import ConfusionCounts, confusion, rmse, shadow_detection_rates
+from ..video.synthesis.dataset import SyntheticJump
+
+
+@dataclass(frozen=True, slots=True)
+class StageScores:
+    """Precision/recall/F1/IoU of every pipeline stage of one frame."""
+
+    raw_foreground: ConfusionCounts
+    after_noise_removal: ConfusionCounts
+    after_spot_removal: ConfusionCounts
+    after_hole_fill: ConfusionCounts
+    person: ConfusionCounts
+
+    def f1_by_stage(self) -> dict[str, float]:
+        """F1 per stage, in pipeline order."""
+        return {
+            "raw_foreground": self.raw_foreground.f1,
+            "after_noise_removal": self.after_noise_removal.f1,
+            "after_spot_removal": self.after_spot_removal.f1,
+            "after_hole_fill": self.after_hole_fill.f1,
+            "person": self.person.f1,
+        }
+
+
+def score_stages(seg: FrameSegmentation, jump: SyntheticJump, index: int) -> StageScores:
+    """Score every stage of one segmented frame.
+
+    Stages before shadow removal are scored against the *moving* mask
+    (person + shadow: that is what they are supposed to extract); the
+    final person mask is scored against the person-only mask.
+    """
+    moving = jump.foreground_mask(index)
+    person = jump.person_masks[index]
+    return StageScores(
+        raw_foreground=confusion(seg.raw_foreground, moving),
+        after_noise_removal=confusion(seg.after_noise_removal, moving),
+        after_spot_removal=confusion(seg.after_spot_removal, moving),
+        after_hole_fill=confusion(seg.after_hole_fill, moving),
+        person=confusion(seg.person, person),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SequenceEvaluation:
+    """Aggregate quality of a segmented sequence.
+
+    ``shadow_detection`` is *conditional*: among true shadow pixels
+    that reached the shadow-removal step as foreground candidates, the
+    fraction classified as shadow by Eq. 1.  (Shadow pixels that were
+    already absorbed into the background — e.g. the static shadow of
+    the jumper standing still — never threaten the silhouette, so they
+    are excluded from the denominator.)  ``shadow_leakage`` is the
+    end-to-end failure measure: the fraction of true shadow pixels that
+    survive into the final person mask.
+    """
+
+    background_rmse: float
+    person_iou: tuple[float, ...]
+    person_f1: tuple[float, ...]
+    shadow_detection: tuple[float, ...]
+    shadow_discrimination: tuple[float, ...]
+    shadow_leakage: tuple[float, ...]
+
+    @property
+    def mean_person_iou(self) -> float:
+        """Mean final-silhouette IoU over all frames."""
+        return float(np.mean(self.person_iou))
+
+    @property
+    def mean_shadow_detection(self) -> float:
+        """Mean conditional shadow detection rate."""
+        return float(np.mean(self.shadow_detection))
+
+    @property
+    def mean_shadow_discrimination(self) -> float:
+        """Mean fraction of true person pixels kept (not called shadow)."""
+        return float(np.mean(self.shadow_discrimination))
+
+    @property
+    def mean_shadow_leakage(self) -> float:
+        """Mean fraction of true shadow pixels leaking into the silhouette."""
+        return float(np.mean(self.shadow_leakage))
+
+
+def evaluate_sequence(
+    segmentations: list[FrameSegmentation],
+    jump: SyntheticJump,
+    background: np.ndarray,
+) -> SequenceEvaluation:
+    """Score a whole segmented jump against its ground truth."""
+    if len(segmentations) != jump.num_frames:
+        raise ValueError(
+            f"{len(segmentations)} segmentations for {jump.num_frames} frames"
+        )
+    ious: list[float] = []
+    f1s: list[float] = []
+    detections: list[float] = []
+    discriminations: list[float] = []
+    leakages: list[float] = []
+    for index, seg in enumerate(segmentations):
+        counts = confusion(seg.person, jump.person_masks[index])
+        ious.append(counts.iou)
+        f1s.append(counts.f1)
+        # Conditional detection: only shadow pixels that are foreground
+        # candidates can (and need to) be classified by Eq. 1.
+        candidates = jump.shadow_masks[index] & seg.after_hole_fill
+        detection, discrimination = shadow_detection_rates(
+            seg.detected_shadow,
+            candidates,
+            jump.person_masks[index],
+        )
+        detections.append(detection)
+        discriminations.append(discrimination)
+        true_shadow = jump.shadow_masks[index]
+        total_shadow = int(true_shadow.sum())
+        leakages.append(
+            int((seg.person & true_shadow).sum()) / total_shadow
+            if total_shadow
+            else 0.0
+        )
+    return SequenceEvaluation(
+        background_rmse=rmse(background, jump.background),
+        person_iou=tuple(ious),
+        person_f1=tuple(f1s),
+        shadow_detection=tuple(detections),
+        shadow_discrimination=tuple(discriminations),
+        shadow_leakage=tuple(leakages),
+    )

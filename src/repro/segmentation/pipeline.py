@@ -1,0 +1,181 @@
+"""The full five-step human-segmentation pipeline of Section 2.
+
+``SegmentationPipeline.fit`` runs Step 1 (background estimation) once
+for the whole sequence; ``segment`` then applies Steps 2–5 to a frame
+and returns every intermediate mask, which is what the Fig. 2 / Fig. 3
+benches plot.  A final (optional, on by default) largest-component
+selection yields the single jumper silhouette the pose estimator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .background import (
+    BackgroundResult,
+    ChangeDetectionBackgroundEstimator,
+    ChangeDetectionConfig,
+    MedianBackgroundEstimator,
+)
+from .cleanup import CleanupConfig, CleanupStages, clean_foreground
+from .shadow import ShadowMaskConfig, remove_shadows
+from .subtraction import SubtractionConfig, subtract_background
+from ..errors import SegmentationError
+from ..imaging.components import dominant_components
+from ..video.sequence import VideoSequence
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentationConfig:
+    """All parameters of the five-step pipeline."""
+
+    change_detection: ChangeDetectionConfig = field(
+        default_factory=ChangeDetectionConfig
+    )
+    subtraction: SubtractionConfig = field(default_factory=SubtractionConfig)
+    cleanup: CleanupConfig = field(default_factory=CleanupConfig)
+    shadow: ShadowMaskConfig = field(default_factory=ShadowMaskConfig)
+    use_median_background: bool = False  # baseline switch for Fig. 1 bench
+    # Align frames to the first frame by phase correlation before
+    # anything else.  Off by default (the paper assumes a tripod); turn
+    # on for handheld footage — an unstabilised shaky sequence destroys
+    # change-detection background estimation.
+    stabilize: bool = False
+    stabilize_max_shift: int = 8
+    keep_largest_component: bool = True
+    # A component is kept when its area is at least this fraction of
+    # the largest one; cleanup can sever the jumper at a thin junction,
+    # so strictly keeping one component would drop half the body.
+    component_keep_fraction: float = 0.3
+    remove_shadows: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class FrameSegmentation:
+    """Every intermediate mask of one frame (Fig. 2 a–d and Fig. 3)."""
+
+    raw_foreground: np.ndarray  # Step 2 (Fig. 2a)
+    after_noise_removal: np.ndarray  # Step 3, neighbour rule (Fig. 2b)
+    after_spot_removal: np.ndarray  # Step 3, small spots (Fig. 2c)
+    after_hole_fill: np.ndarray  # Step 4 (Fig. 2d)
+    detected_shadow: np.ndarray  # Step 5 shadow mask
+    person: np.ndarray  # final silhouette (Fig. 3)
+
+    def stages(self) -> dict[str, np.ndarray]:
+        """All masks keyed by stage name, in pipeline order."""
+        return {
+            "raw_foreground": self.raw_foreground,
+            "after_noise_removal": self.after_noise_removal,
+            "after_spot_removal": self.after_spot_removal,
+            "after_hole_fill": self.after_hole_fill,
+            "person": self.person,
+        }
+
+
+class SegmentationPipeline:
+    """Steps 1–5 of the paper, orchestrated over a video sequence."""
+
+    def __init__(self, config: SegmentationConfig | None = None) -> None:
+        self.config = config or SegmentationConfig()
+        self._background_result: BackgroundResult | None = None
+
+    # ------------------------------------------------------------------
+    # Step 1
+    # ------------------------------------------------------------------
+    def fit(self, video: VideoSequence) -> BackgroundResult:
+        """Estimate the background (Step 1) and remember it."""
+        if self.config.use_median_background:
+            estimator: MedianBackgroundEstimator | ChangeDetectionBackgroundEstimator
+            estimator = MedianBackgroundEstimator()
+        else:
+            estimator = ChangeDetectionBackgroundEstimator(
+                self.config.change_detection
+            )
+        self._background_result = estimator.estimate(video)
+        return self._background_result
+
+    @property
+    def background(self) -> np.ndarray:
+        """The estimated background image (requires :meth:`fit`)."""
+        if self._background_result is None:
+            raise SegmentationError("call fit() before reading the background")
+        return self._background_result.background
+
+    # ------------------------------------------------------------------
+    # Steps 2–5
+    # ------------------------------------------------------------------
+    def segment(self, frame: np.ndarray) -> FrameSegmentation:
+        """Apply Steps 2–5 to one frame."""
+        background = self.background
+
+        raw = subtract_background(frame, background, self.config.subtraction)
+        stages: CleanupStages = clean_foreground(raw, self.config.cleanup)
+
+        if self.config.remove_shadows:
+            person, detected = remove_shadows(
+                frame, background, stages.after_hole_fill, self.config.shadow
+            )
+        else:
+            person = stages.after_hole_fill
+            detected = np.zeros_like(person)
+
+        if self.config.keep_largest_component:
+            person = dominant_components(
+                person, keep_fraction=self.config.component_keep_fraction
+            )
+
+        return FrameSegmentation(
+            raw_foreground=raw,
+            after_noise_removal=stages.after_noise_removal,
+            after_spot_removal=stages.after_spot_removal,
+            after_hole_fill=stages.after_hole_fill,
+            detected_shadow=detected,
+            person=person,
+        )
+
+    def segment_video(self, video: VideoSequence) -> list[FrameSegmentation]:
+        """Fit on the sequence, then segment every frame.
+
+        With ``stabilize`` enabled, frames are first aligned to frame 0
+        by phase correlation; the returned masks are shifted back into
+        each original frame's coordinates.
+        """
+        offsets: list[tuple[int, int]] | None = None
+        if self.config.stabilize:
+            from ..imaging.registration import stabilize_frames
+
+            aligned, offsets = stabilize_frames(
+                video.frames, max_shift=self.config.stabilize_max_shift
+            )
+            video = VideoSequence(aligned)
+
+        self.fit(video)
+        segmentations = [self.segment(frame) for frame in video]
+
+        if offsets is not None:
+            from ..imaging.registration import shift_image
+
+            undone: list[FrameSegmentation] = []
+            for seg, (drow, dcol) in zip(segmentations, offsets):
+                undone.append(
+                    FrameSegmentation(
+                        raw_foreground=shift_image(seg.raw_foreground, -drow, -dcol),
+                        after_noise_removal=shift_image(
+                            seg.after_noise_removal, -drow, -dcol
+                        ),
+                        after_spot_removal=shift_image(
+                            seg.after_spot_removal, -drow, -dcol
+                        ),
+                        after_hole_fill=shift_image(seg.after_hole_fill, -drow, -dcol),
+                        detected_shadow=shift_image(seg.detected_shadow, -drow, -dcol),
+                        person=shift_image(seg.person, -drow, -dcol),
+                    )
+                )
+            segmentations = undone
+        return segmentations
+
+    def silhouettes(self, video: VideoSequence) -> list[np.ndarray]:
+        """Convenience: just the final person mask of every frame."""
+        return [seg.person for seg in self.segment_video(video)]

@@ -1,0 +1,162 @@
+"""JSON serialisation of analyses, reports and annotations.
+
+The paper's future work is a web service ("the user will be able to
+upload a video sequence ... the system will respond with advices"), so
+every user-facing artefact needs a wire format: scoring reports, pose
+tracks, and first-frame annotations all round-trip through plain JSON
+dictionaries here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .errors import ReproError
+from .model.annotation import FirstFrameAnnotation
+from .model.pose import StickPose
+from .model.sticks import BodyDimensions
+from .scoring.report import JumpReport
+from .scoring.phases import StageWindows
+from .scoring.rules import RULES
+
+
+# ----------------------------------------------------------------------
+# Poses
+# ----------------------------------------------------------------------
+def pose_to_dict(pose: StickPose) -> dict[str, Any]:
+    """Serialise a pose."""
+    return {
+        "x0": pose.x0,
+        "y0": pose.y0,
+        "angles_deg": list(pose.angles_deg),
+    }
+
+
+def pose_from_dict(data: dict[str, Any]) -> StickPose:
+    """Deserialise a pose."""
+    try:
+        return StickPose(
+            x0=float(data["x0"]),
+            y0=float(data["y0"]),
+            angles_deg=tuple(float(a) for a in data["angles_deg"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed pose payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Annotations (pose + body dimensions)
+# ----------------------------------------------------------------------
+def annotation_to_dict(annotation: FirstFrameAnnotation) -> dict[str, Any]:
+    """Serialise a first-frame annotation."""
+    return {
+        "pose": pose_to_dict(annotation.pose),
+        "lengths": list(annotation.dims.lengths),
+        "thicknesses": list(annotation.dims.thicknesses),
+    }
+
+
+def annotation_from_dict(data: dict[str, Any]) -> FirstFrameAnnotation:
+    """Deserialise a first-frame annotation."""
+    try:
+        dims = BodyDimensions(
+            lengths=tuple(float(v) for v in data["lengths"]),
+            thicknesses=tuple(float(v) for v in data["thicknesses"]),
+        )
+        return FirstFrameAnnotation(pose=pose_from_dict(data["pose"]), dims=dims)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed annotation payload: {exc}") from exc
+
+
+def save_annotation(path: str | Path, annotation: FirstFrameAnnotation) -> None:
+    """Write an annotation to a JSON file."""
+    Path(path).write_text(json.dumps(annotation_to_dict(annotation), indent=2))
+
+
+def load_annotation(path: str | Path) -> FirstFrameAnnotation:
+    """Read an annotation written by :func:`save_annotation`."""
+    return annotation_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+def report_to_dict(report: JumpReport) -> dict[str, Any]:
+    """Serialise a scoring report (one entry per rule + advice)."""
+    return {
+        "score": report.score,
+        "windows": {
+            "initiation": list(report.windows.initiation),
+            "air_landing": list(report.windows.air_landing),
+        },
+        "rules": [
+            {
+                "rule": result.rule.rule_id,
+                "standard": result.rule.standard.name,
+                "description": result.rule.standard.description,
+                "expression": result.rule.expression,
+                "value_deg": result.value,
+                "threshold_deg": result.rule.threshold,
+                "passed": result.passed,
+                "margin_deg": result.margin,
+                "decisive_frame": result.decisive_frame,
+            }
+            for result in report.results
+        ],
+        "violated_standards": [s.name for s in report.violated_standards],
+        "advice": report.advice(),
+    }
+
+
+def report_from_dict(data: dict[str, Any]) -> JumpReport:
+    """Deserialise a scoring report (rules resolved from Table 2)."""
+    from .scoring.rules import RuleResult
+
+    try:
+        windows = StageWindows(
+            initiation=tuple(data["windows"]["initiation"]),
+            air_landing=tuple(data["windows"]["air_landing"]),
+        )
+        by_id = {rule.rule_id: rule for rule in RULES}
+        results = tuple(
+            RuleResult(
+                rule=by_id[entry["rule"]],
+                value=float(entry["value_deg"]),
+                passed=bool(entry["passed"]),
+                margin=float(entry["margin_deg"]),
+                decisive_frame=int(entry["decisive_frame"]),
+            )
+            for entry in data["rules"]
+        )
+        return JumpReport(results=results, windows=windows)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed report payload: {exc}") from exc
+
+
+def analysis_to_dict(analysis) -> dict[str, Any]:
+    """Serialise the full outcome of :meth:`JumpAnalyzer.analyze`.
+
+    Masks and frames are intentionally excluded (they are bulky and
+    reproducible); the payload carries everything a client needs to
+    render feedback.
+    """
+    return {
+        "report": report_to_dict(analysis.report),
+        "poses": [pose_to_dict(pose) for pose in analysis.poses],
+        "events": {
+            "takeoff_frame": analysis.events.takeoff_frame,
+            "landing_frame": analysis.events.landing_frame,
+            "peak_frame": analysis.events.peak_frame,
+            "ground_height": analysis.events.ground_height,
+        },
+        "measurement": {
+            "distance_px": analysis.measurement.distance,
+            "relative_to_stature": analysis.measurement.relative_to_stature,
+            "takeoff_line_x": analysis.measurement.takeoff_line_x,
+            "landing_heel_x": analysis.measurement.landing_heel_x,
+            "landing_frame": analysis.measurement.landing_frame,
+        },
+        "annotation": annotation_to_dict(analysis.annotation),
+    }

@@ -1,0 +1,210 @@
+"""A minimal jump-analysis web service (stdlib only).
+
+The paper's future work: "we would also like to build a web-based
+system on the Internet.  The user will be able to upload a video
+sequence of a standing long jump ... the system will be able to
+respond with advices to the user."  This module implements that
+service over the library:
+
+* ``POST /analyze`` — body is a JSON object
+  ``{"video_npz_b64": <base64 of a compressed .npz with a 'frames'
+  array>, "annotation": <optional annotation dict>, "seed": <int>}``;
+  the response is the serialised analysis (report, advice, poses,
+  events, measurement).
+* ``GET /health`` — liveness probe.
+* ``GET /standards`` — the Table 1 standards and Table 2 rules, so a
+  client can render explanations.
+
+Start a server with :func:`serve` (blocking) or
+:class:`ServiceHandle` (background thread, used by the tests and the
+example).  Helpers :func:`encode_video` / :func:`request_analysis`
+implement the client side with stdlib ``urllib``.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import numpy as np
+
+from .errors import ReproError
+from .pipeline import AnalyzerConfig, JumpAnalyzer
+from .scoring.rules import RULES
+from .scoring.standards import ADVICE, Standard
+from .serialization import analysis_to_dict, annotation_from_dict
+from .video.sequence import VideoSequence
+
+
+def encode_video(video: VideoSequence) -> str:
+    """Encode a video as base64 of a compressed ``.npz`` payload."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, frames=video.frames)
+    return base64.b64encode(buffer.getvalue()).decode("ascii")
+
+
+def decode_video(payload_b64: str) -> VideoSequence:
+    """Inverse of :func:`encode_video`."""
+    try:
+        raw = base64.b64decode(payload_b64.encode("ascii"), validate=True)
+        with np.load(io.BytesIO(raw)) as archive:
+            return VideoSequence(archive["frames"])
+    except Exception as exc:  # malformed payloads map to a clean 400
+        raise ReproError(f"could not decode video payload: {exc}") from exc
+
+
+def _standards_payload() -> dict[str, Any]:
+    return {
+        "standards": [
+            {
+                "name": standard.name,
+                "stage": standard.stage,
+                "description": standard.description,
+                "advice": ADVICE[standard],
+            }
+            for standard in Standard
+        ],
+        "rules": [
+            {
+                "rule": rule.rule_id,
+                "standard": rule.standard.name,
+                "expression": rule.expression,
+                "threshold_deg": rule.threshold,
+                "direction": "greater" if rule.greater else "less",
+            }
+            for rule in RULES
+        ],
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one analyzer instance via the server."""
+
+    server_version = "slj/1.0"
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test output clean
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/health":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/standards":
+            self._send_json(200, _standards_payload())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/analyze":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = json.loads(self.rfile.read(length) or b"{}")
+            video = decode_video(request["video_npz_b64"])
+            annotation = (
+                annotation_from_dict(request["annotation"])
+                if request.get("annotation")
+                else None
+            )
+            seed = int(request.get("seed", 0))
+        except (KeyError, ValueError, json.JSONDecodeError, ReproError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+
+        try:
+            analysis = self.server.analyzer.analyze(  # type: ignore[attr-defined]
+                video, annotation=annotation, rng=np.random.default_rng(seed)
+            )
+        except ReproError as exc:
+            self._send_json(422, {"error": str(exc)})
+            return
+        self._send_json(200, analysis_to_dict(analysis))
+
+
+class ServiceHandle:
+    """A jump-analysis server running on a background thread."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: AnalyzerConfig | None = None,
+    ) -> None:
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.analyzer = JumpAnalyzer(config)  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+
+    @property
+    def address(self) -> str:
+        """The server's base URL."""
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceHandle":
+        """Start serving in the background; returns self."""
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    config: AnalyzerConfig | None = None,
+) -> None:
+    """Run the analysis service in the foreground (Ctrl-C to stop)."""
+    handle = ServiceHandle(host=host, port=port, config=config)
+    print(f"standing-long-jump analysis service on {handle.address}")
+    handle._server.serve_forever()
+
+
+def request_analysis(
+    base_url: str,
+    video: VideoSequence,
+    annotation_dict: dict[str, Any] | None = None,
+    seed: int = 0,
+    timeout: float = 300.0,
+) -> dict[str, Any]:
+    """Client helper: POST a video to a running service."""
+    import urllib.request
+
+    payload = json.dumps(
+        {
+            "video_npz_b64": encode_video(video),
+            "annotation": annotation_dict,
+            "seed": seed,
+        }
+    ).encode("utf-8")
+    request = urllib.request.Request(
+        f"{base_url}/analyze",
+        data=payload,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())

@@ -1,0 +1,166 @@
+"""Shared lightweight value types used across the library.
+
+These are deliberately tiny: plain frozen dataclasses and numpy-friendly
+aliases.  Heavier domain objects (poses, videos, reports) live in their
+own packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+# Type aliases for documentation purposes.  Binary masks are boolean
+# 2-D arrays; RGB images are float arrays in [0, 1] of shape (H, W, 3).
+Mask = np.ndarray
+RgbImage = np.ndarray
+HsvImage = np.ndarray
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A 2-D point in world coordinates (y grows upward)."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def as_array(self) -> np.ndarray:
+        """Return the point as a ``(2,)`` float array ``[x, y]``."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A 2-D line segment between two points."""
+
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.start.distance_to(self.end)
+
+    @property
+    def midpoint(self) -> Point:
+        """The point halfway between ``start`` and ``end``."""
+        return Point(
+            (self.start.x + self.end.x) / 2.0,
+            (self.start.y + self.end.y) / 2.0,
+        )
+
+    def as_array(self) -> np.ndarray:
+        """Return a ``(2, 2)`` array ``[[x0, y0], [x1, y1]]``."""
+        return np.array(
+            [[self.start.x, self.start.y], [self.end.x, self.end.y]],
+            dtype=float,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An axis-aligned box in image coordinates (inclusive bounds).
+
+    Rows index the vertical axis (top-down, as in numpy arrays) and
+    columns the horizontal axis.
+    """
+
+    row_min: int
+    col_min: int
+    row_max: int
+    col_max: int
+
+    def __post_init__(self) -> None:
+        if self.row_max < self.row_min or self.col_max < self.col_min:
+            raise ValueError(
+                f"degenerate bounding box: rows [{self.row_min}, {self.row_max}], "
+                f"cols [{self.col_min}, {self.col_max}]"
+            )
+
+    @property
+    def height(self) -> int:
+        """Number of rows covered (inclusive)."""
+        return self.row_max - self.row_min + 1
+
+    @property
+    def width(self) -> int:
+        """Number of columns covered (inclusive)."""
+        return self.col_max - self.col_min + 1
+
+    @property
+    def area(self) -> int:
+        """Number of pixels covered."""
+        return self.height * self.width
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """``(row, col)`` centre of the box."""
+        return (
+            (self.row_min + self.row_max) / 2.0,
+            (self.col_min + self.col_max) / 2.0,
+        )
+
+    def contains(self, row: int, col: int) -> bool:
+        """Whether pixel ``(row, col)`` lies inside the box."""
+        return (
+            self.row_min <= row <= self.row_max
+            and self.col_min <= col <= self.col_max
+        )
+
+    def expanded(self, margin: int, shape: tuple[int, int] | None = None) -> "BoundingBox":
+        """Return a box grown by ``margin`` pixels on every side.
+
+        When ``shape`` is given the result is clipped to
+        ``[0, shape[0]-1] x [0, shape[1]-1]``.
+        """
+        row_min = self.row_min - margin
+        col_min = self.col_min - margin
+        row_max = self.row_max + margin
+        col_max = self.col_max + margin
+        if shape is not None:
+            row_min = max(row_min, 0)
+            col_min = max(col_min, 0)
+            row_max = min(row_max, shape[0] - 1)
+            col_max = min(col_max, shape[1] - 1)
+        return BoundingBox(row_min, col_min, row_max, col_max)
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        """Return the overlapping box, or ``None`` when disjoint."""
+        row_min = max(self.row_min, other.row_min)
+        col_min = max(self.col_min, other.col_min)
+        row_max = min(self.row_max, other.row_max)
+        col_max = min(self.col_max, other.col_max)
+        if row_max < row_min or col_max < col_min:
+            return None
+        return BoundingBox(row_min, col_min, row_max, col_max)
+
+    def slices(self) -> tuple[slice, slice]:
+        """Return ``(row_slice, col_slice)`` for numpy indexing."""
+        return (
+            slice(self.row_min, self.row_max + 1),
+            slice(self.col_min, self.col_max + 1),
+        )
+
+
+def mask_bounding_box(mask: np.ndarray) -> BoundingBox | None:
+    """Bounding box of the True pixels of ``mask``, or ``None`` if empty."""
+    rows, cols = np.nonzero(mask)
+    if rows.size == 0:
+        return None
+    return BoundingBox(
+        int(rows.min()), int(cols.min()), int(rows.max()), int(cols.max())
+    )

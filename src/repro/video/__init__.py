@@ -1,0 +1,5 @@
+"""Video container and synthetic-video substrate."""
+
+from .sequence import VideoSequence
+
+__all__ = ["VideoSequence"]

@@ -1,0 +1,50 @@
+"""Video I/O beyond ``.npz``: frame directories of Netpbm images.
+
+The paper's imagined web system receives videos from CCD cameras; the
+portable interchange format this library supports without codecs is a
+directory of numbered PPM frames (any tool can produce those from a
+real video, e.g. ``ffmpeg -i jump.avi frame_%04d.ppm``).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .sequence import VideoSequence
+from ..errors import VideoError
+from ..imaging.io import read_ppm, write_ppm
+
+_FRAME_RE = re.compile(r"(\d+)\.ppm$")
+
+
+def save_ppm_dir(video: VideoSequence, directory: str | Path) -> list[Path]:
+    """Write every frame as ``frame_%04d.ppm`` into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for index, frame in enumerate(video):
+        path = directory / f"frame_{index:04d}.ppm"
+        write_ppm(path, frame)
+        paths.append(path)
+    return paths
+
+
+def load_ppm_dir(directory: str | Path) -> VideoSequence:
+    """Load a video from a directory of numbered ``.ppm`` frames.
+
+    Frames are ordered by the last integer in their file name, so both
+    ``frame_0001.ppm`` and ``7.ppm`` schemes work.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise VideoError(f"{directory} is not a directory")
+    entries = []
+    for path in directory.iterdir():
+        match = _FRAME_RE.search(path.name)
+        if match:
+            entries.append((int(match.group(1)), path))
+    if not entries:
+        raise VideoError(f"no numbered .ppm frames found in {directory}")
+    entries.sort()
+    return VideoSequence([read_ppm(path) for _, path in entries])

@@ -1,0 +1,67 @@
+"""Synthetic standing-long-jump video generation with ground truth."""
+
+from .body import BodyAppearance
+from .dataset import (
+    SyntheticJump,
+    SyntheticJumpConfig,
+    synthesize_dataset,
+    synthesize_flawed_jump,
+    synthesize_jump,
+)
+from .flaws import Standard, all_standards, apply_flaws, violate
+from .motion import (
+    PHASE_FLIGHT,
+    PHASE_INITIATION,
+    PHASE_LANDING,
+    JumpMotion,
+    JumpParameters,
+    JumpStyle,
+    generate_jump_motion,
+    good_style,
+)
+from .noise import NoiseConfig, apply_noise
+from .persistence import load_jump, save_jump
+from .render import (
+    ExtraActor,
+    RenderedJumpFrames,
+    person_mask_for_pose,
+    render_frame,
+    render_poses,
+)
+from .scene import Scene, SceneConfig
+from .shadow import ShadowConfig, apply_shadow, project_shadow_mask
+
+__all__ = [
+    "BodyAppearance",
+    "SyntheticJump",
+    "SyntheticJumpConfig",
+    "synthesize_dataset",
+    "synthesize_flawed_jump",
+    "synthesize_jump",
+    "Standard",
+    "all_standards",
+    "apply_flaws",
+    "violate",
+    "PHASE_FLIGHT",
+    "PHASE_INITIATION",
+    "PHASE_LANDING",
+    "JumpMotion",
+    "JumpParameters",
+    "JumpStyle",
+    "generate_jump_motion",
+    "good_style",
+    "NoiseConfig",
+    "apply_noise",
+    "load_jump",
+    "save_jump",
+    "ExtraActor",
+    "RenderedJumpFrames",
+    "person_mask_for_pose",
+    "render_frame",
+    "render_poses",
+    "Scene",
+    "SceneConfig",
+    "ShadowConfig",
+    "apply_shadow",
+    "project_shadow_mask",
+]

@@ -1,0 +1,91 @@
+"""Appearance of the rendered jumper: one colour per stick.
+
+Rendering assigns each stick a solid colour (skin for head and
+forearm, shirt for trunk/neck/upper arm, trousers for thigh and shank,
+shoe for the foot).  Colours are chosen saturated and distinct from
+the background so chroma-based shadow removal is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...model.sticks import (
+    FOOT,
+    FOREARM,
+    HEAD,
+    NECK,
+    NUM_STICKS,
+    SHANK,
+    THIGH,
+    TRUNK,
+    UPPER_ARM,
+)
+
+Color = tuple[float, float, float]
+
+
+def _validate_color(color: Color, name: str) -> None:
+    if len(color) != 3 or any(not 0.0 <= channel <= 1.0 for channel in color):
+        raise ConfigurationError(f"{name} must be three values in [0, 1], got {color}")
+
+
+@dataclass(frozen=True, slots=True)
+class BodyAppearance:
+    """Colours and cloth texture of the jumper's body parts.
+
+    ``texture_amplitude`` modulates each part's brightness along the
+    stick axis (folds and shading that move *with* the body).  This is
+    essential for the paper's change-detection background estimation:
+    a perfectly flat-coloured torso that stays in place for ten frames
+    is indistinguishable from static background, whereas real clothing
+    texture shifts with every small movement of the body.
+    """
+
+    shirt: Color = (0.78, 0.22, 0.18)  # red shirt
+    trousers: Color = (0.15, 0.25, 0.60)  # blue trousers
+    skin: Color = (0.85, 0.65, 0.48)
+    shoes: Color = (0.12, 0.12, 0.14)
+    texture_amplitude: float = 0.12
+    texture_period: float = 3.5  # pixels along the stick axis
+    skin_texture_scale: float = 0.35  # skin is smoother than cloth
+
+    def __post_init__(self) -> None:
+        _validate_color(self.shirt, "shirt")
+        _validate_color(self.trousers, "trousers")
+        _validate_color(self.skin, "skin")
+        _validate_color(self.shoes, "shoes")
+        if not 0.0 <= self.texture_amplitude <= 0.5:
+            raise ConfigurationError(
+                f"texture_amplitude must be in [0, 0.5], got {self.texture_amplitude}"
+            )
+        if self.texture_period <= 0:
+            raise ConfigurationError(
+                f"texture_period must be positive, got {self.texture_period}"
+            )
+        if not 0.0 <= self.skin_texture_scale <= 1.0:
+            raise ConfigurationError(
+                f"skin_texture_scale must be in [0, 1], got {self.skin_texture_scale}"
+            )
+
+    def texture_scale_for(self, stick: int) -> float:
+        """Per-stick multiplier on the texture amplitude."""
+        if stick in (HEAD, FOREARM, NECK):
+            return self.skin_texture_scale
+        return 1.0
+
+    def stick_colors(self) -> np.ndarray:
+        """``(8, 3)`` array: the render colour of each stick."""
+        colors = np.zeros((NUM_STICKS, 3), dtype=np.float64)
+        colors[TRUNK] = self.shirt
+        colors[NECK] = self.skin
+        colors[UPPER_ARM] = self.shirt
+        colors[THIGH] = self.trousers
+        colors[HEAD] = self.skin
+        colors[FOREARM] = self.skin
+        colors[SHANK] = self.trousers
+        colors[FOOT] = self.shoes
+        return colors

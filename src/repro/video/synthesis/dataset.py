@@ -1,0 +1,275 @@
+"""Labelled synthetic jump videos: the library's benchmark workload.
+
+:func:`synthesize_jump` is the one-stop generator: it builds a scene,
+synthesizes the ground-truth motion (optionally violating chosen
+standards), renders it with shadow and noise, and packs everything into
+a :class:`SyntheticJump` carrying the exact ground truth that the
+paper's authors never had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .body import BodyAppearance
+from .flaws import Standard, apply_flaws
+from .motion import (
+    JumpMotion,
+    JumpParameters,
+    generate_jump_motion,
+    good_style,
+)
+from .noise import NoiseConfig
+from .render import RenderedJumpFrames, render_poses
+from .scene import Scene, SceneConfig
+from .shadow import ShadowConfig
+from ..sequence import VideoSequence
+from ...errors import ConfigurationError
+from ...model.sticks import BodyDimensions, default_body
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticJumpConfig:
+    """All knobs of one synthetic jump video."""
+
+    seed: int = 0
+    stature: float = 72.0
+    params: JumpParameters = field(default_factory=JumpParameters)
+    scene: SceneConfig = field(default_factory=SceneConfig)
+    appearance: BodyAppearance = field(default_factory=BodyAppearance)
+    shadow: ShadowConfig = field(default_factory=ShadowConfig)
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    violated: tuple[Standard, ...] = ()
+    # Render a second, non-jumping person at the far side of the scene
+    # (a classmate waiting for their turn).  The bystander sways gently
+    # — enough that a naive pipeline could mistake them for the moving
+    # object — and is excluded from the ground-truth person masks.
+    bystander: bool = False
+    # Handheld-camera shake: per-frame integer translation of the whole
+    # image, drawn from a clipped Gaussian of this sigma (pixels).  The
+    # ground-truth masks shake identically.  0 = fixed camera (the
+    # paper's assumption).
+    camera_jitter: float = 0.0
+    # Motion blur: number of sub-exposures averaged per frame (shutter
+    # spans half the frame interval).  1 = instantaneous exposure.
+    # Ground-truth masks stay sharp (the nominal pose), so blur is a
+    # pure degradation for the pipeline to survive.
+    motion_blur_samples: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stature <= 0:
+            raise ConfigurationError(f"stature must be positive, got {self.stature}")
+        if self.camera_jitter < 0:
+            raise ConfigurationError(
+                f"camera_jitter must be >= 0, got {self.camera_jitter}"
+            )
+        if self.motion_blur_samples < 1:
+            raise ConfigurationError(
+                f"motion_blur_samples must be >= 1, got {self.motion_blur_samples}"
+            )
+        if abs(self.params.ground_level - self.scene.ground_level) > 1e-9:
+            raise ConfigurationError(
+                "jump parameters and scene disagree on ground level: "
+                f"{self.params.ground_level} vs {self.scene.ground_level}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticJump:
+    """A rendered jump with complete ground truth."""
+
+    video: VideoSequence
+    person_masks: tuple[np.ndarray, ...]
+    shadow_masks: tuple[np.ndarray, ...]
+    motion: JumpMotion
+    dims: BodyDimensions
+    config: SyntheticJumpConfig
+    distractor_masks: tuple[np.ndarray, ...] = ()
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the video."""
+        return len(self.video)
+
+    @property
+    def violated(self) -> tuple[Standard, ...]:
+        """Standards this jump was generated to violate."""
+        return self.config.violated
+
+    @property
+    def background(self) -> np.ndarray:
+        """The true (clean) background image."""
+        return Scene(self.config.scene).background
+
+    def foreground_mask(self, index: int) -> np.ndarray:
+        """Person + shadow: everything that moves in frame ``index``."""
+        return self.person_masks[index] | self.shadow_masks[index]
+
+
+def _bystander_actor(config: SyntheticJumpConfig, num_frames: int):
+    """A gently swaying onlooker at the far edge of the scene."""
+    from .motion import _grounded_y0
+    from .render import ExtraActor
+    from ...model.pose import StickPose
+
+    dims = default_body(stature=0.92 * config.stature)
+    x = config.scene.width - 18.0
+    base = StickPose.standing(0.0, 0.0)
+    poses = []
+    for index in range(num_frames):
+        wave = np.sin(2.0 * np.pi * index / max(num_frames - 1, 1) * 1.5)
+        pose = (
+            base.with_angle("upper_arm", 180.0 + 4.0 * wave)
+            .with_angle("forearm", 180.0 + 5.0 * wave)
+            .with_angle("trunk", 1.5 * wave)
+        )
+        y0 = _grounded_y0(pose.angles_deg, dims, config.params.ground_level)
+        poses.append(StickPose(x0=x, y0=y0, angles_deg=pose.angles_deg))
+    appearance = BodyAppearance(
+        shirt=(0.20, 0.55, 0.30),  # green shirt
+        trousers=(0.35, 0.33, 0.30),
+    )
+    return ExtraActor(poses=tuple(poses), dims=dims, appearance=appearance)
+
+
+def synthesize_jump(config: SyntheticJumpConfig | None = None) -> SyntheticJump:
+    """Generate one fully labelled synthetic standing-long-jump video."""
+    config = config or SyntheticJumpConfig()
+    rng = np.random.default_rng(config.seed)
+
+    dims = default_body(stature=config.stature)
+    style = apply_flaws(good_style(), config.violated)
+    motion = generate_jump_motion(dims, config.params, style)
+
+    extras = (
+        [_bystander_actor(config, len(motion.poses))] if config.bystander else []
+    )
+    scene = Scene(config.scene)
+    if config.motion_blur_samples > 1:
+        rendered = _render_with_motion_blur(config, motion, dims, scene, extras, rng)
+    else:
+        rendered = render_poses(
+            motion.poses,
+            dims,
+            scene,
+            appearance=config.appearance,
+            shadow_config=config.shadow,
+            noise_config=config.noise,
+            rng=rng,
+            extras=extras,
+        )
+    frames = rendered.video.frames
+    person_masks = rendered.person_masks
+    shadow_masks = rendered.shadow_masks
+    distractor_masks = rendered.distractor_masks if extras else ()
+    if config.camera_jitter > 0:
+        from ...imaging.registration import shift_image
+
+        jitter_rng = np.random.default_rng(config.seed + 77)
+        shaken_frames = []
+        shaken_person = []
+        shaken_shadow = []
+        shaken_distractor = []
+        for k in range(len(rendered.video)):
+            drow = int(np.clip(round(jitter_rng.normal(0, config.camera_jitter)), -4, 4))
+            dcol = int(np.clip(round(jitter_rng.normal(0, config.camera_jitter)), -4, 4))
+            shaken_frames.append(shift_image(frames[k], drow, dcol))
+            shaken_person.append(shift_image(person_masks[k], drow, dcol))
+            shaken_shadow.append(shift_image(shadow_masks[k], drow, dcol))
+            if distractor_masks:
+                shaken_distractor.append(
+                    shift_image(distractor_masks[k], drow, dcol)
+                )
+        frames = np.stack(shaken_frames)
+        person_masks = tuple(shaken_person)
+        shadow_masks = tuple(shaken_shadow)
+        distractor_masks = tuple(shaken_distractor)
+
+    return SyntheticJump(
+        video=VideoSequence(frames),
+        person_masks=person_masks,
+        shadow_masks=shadow_masks,
+        motion=motion,
+        dims=dims,
+        config=config,
+        distractor_masks=distractor_masks,
+    )
+
+
+def _render_with_motion_blur(
+    config: SyntheticJumpConfig,
+    motion: JumpMotion,
+    dims: BodyDimensions,
+    scene: Scene,
+    extras,
+    rng: np.random.Generator,
+) -> RenderedJumpFrames:
+    """Average sub-exposures toward the next frame's pose.
+
+    Ground truth comes from the sharp nominal render (first
+    sub-exposure); noise is applied once, after averaging, like a real
+    sensor integrating light before reading out.
+    """
+    from .noise import apply_noise
+
+    samples = config.motion_blur_samples
+    poses = motion.poses
+    stacks = []
+    nominal: RenderedJumpFrames | None = None
+    for sub in range(samples):
+        fraction = 0.5 * sub / samples  # shutter covers half the interval
+        sub_poses = [
+            pose if fraction == 0.0 else pose.blended(
+                poses[min(index + 1, len(poses) - 1)], fraction
+            )
+            for index, pose in enumerate(poses)
+        ]
+        rendered = render_poses(
+            sub_poses,
+            dims,
+            scene,
+            appearance=config.appearance,
+            shadow_config=config.shadow,
+            noise_config=NoiseConfig.none(),
+            rng=rng,
+            extras=extras,
+        )
+        stacks.append(rendered.video.frames)
+        if sub == 0:
+            nominal = rendered
+    assert nominal is not None
+    averaged = np.mean(stacks, axis=0)
+    noisy = [
+        apply_noise(frame, config.noise, rng) for frame in averaged
+    ]
+    return RenderedJumpFrames(
+        video=VideoSequence(noisy),
+        person_masks=nominal.person_masks,
+        shadow_masks=nominal.shadow_masks,
+        distractor_masks=nominal.distractor_masks,
+    )
+
+
+def synthesize_flawed_jump(
+    standard: Standard,
+    seed: int = 0,
+    **overrides,
+) -> SyntheticJump:
+    """A jump that violates exactly one standard of Table 1."""
+    config = SyntheticJumpConfig(seed=seed, violated=(standard,), **overrides)
+    return synthesize_jump(config)
+
+
+def synthesize_dataset(
+    seeds: list[int] | None = None,
+    include_flawed: bool = True,
+) -> list[SyntheticJump]:
+    """A small labelled corpus: clean jumps plus one jump per flaw."""
+    seeds = seeds if seeds is not None else [0, 1, 2]
+    jumps = [synthesize_jump(SyntheticJumpConfig(seed=seed)) for seed in seeds]
+    if include_flawed:
+        for index, standard in enumerate(Standard):
+            jumps.append(synthesize_flawed_jump(standard, seed=100 + index))
+    return jumps

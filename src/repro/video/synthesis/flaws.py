@@ -1,0 +1,120 @@
+"""Controlled violations of the standing-long-jump standards (Table 1).
+
+Each standard E1–E7 maps to a *flaw*: a modification of the keyframed
+:class:`~repro.video.synthesis.motion.JumpStyle` that makes the jumper
+fail that standard — and only that standard — so the scoring rules of
+Table 2 can be evaluated against labelled ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .motion import JumpStyle
+from ...errors import ConfigurationError
+from ...model.sticks import FOREARM, HEAD, NECK, SHANK, THIGH, TRUNK, UPPER_ARM
+from ...scoring.standards import Standard
+
+
+def _violate_e1(style: JumpStyle) -> JumpStyle:
+    """Jumper barely bends the knees before takeoff (fails R1)."""
+    return (
+        style.adjusted("crouch", THIGH, 170.0)
+        .adjusted("crouch", SHANK, 185.0)
+    )
+
+
+def _violate_e2(style: JumpStyle) -> JumpStyle:
+    """Neck stays upright during initiation (fails R2)."""
+    return (
+        style.adjusted("crouch", NECK, 10.0)
+        .adjusted("crouch", HEAD, 10.0)
+        .adjusted("takeoff", NECK, 18.0)
+        .adjusted("takeoff", HEAD, 18.0)
+    )
+
+
+def _violate_e3(style: JumpStyle) -> JumpStyle:
+    """Arms never swing back behind the body (fails R3, keeps R4).
+
+    The arms stay low (upper arm ≈ 200°, i.e. hanging slightly behind)
+    but remain clearly bent (elbow angle 60°) so the arms-bended rule
+    R4 still passes.
+    """
+    return (
+        style.adjusted("crouch", UPPER_ARM, 200.0)
+        .adjusted("crouch", FOREARM, 140.0)
+    )
+
+
+def _violate_e4(style: JumpStyle) -> JumpStyle:
+    """Arms swing back but stay straight (fails R4, keeps R3)."""
+    return style.adjusted("crouch", FOREARM, 285.0)
+
+
+def _violate_e5(style: JumpStyle) -> JumpStyle:
+    """Legs stay extended in the air (fails R5)."""
+    return (
+        style.adjusted("flight", THIGH, 165.0)
+        .adjusted("flight", SHANK, 185.0)
+        .adjusted("landing", THIGH, 150.0)
+        .adjusted("landing", SHANK, 175.0)
+        .adjusted("settle", THIGH, 155.0)
+        .adjusted("settle", SHANK, 190.0)
+    )
+
+
+def _violate_e6(style: JumpStyle) -> JumpStyle:
+    """Trunk stays upright in the air (fails R6)."""
+    return (
+        style.adjusted("takeoff", TRUNK, 30.0)
+        .adjusted("flight", TRUNK, 25.0)
+        .adjusted("landing", TRUNK, 20.0)
+        .adjusted("settle", TRUNK, 15.0)
+    )
+
+
+def _violate_e7(style: JumpStyle) -> JumpStyle:
+    """Arms never swing forward after takeoff (fails R7)."""
+    return (
+        style.adjusted("takeoff", UPPER_ARM, 210.0)
+        .adjusted("takeoff", FOREARM, 220.0)
+        .adjusted("flight", UPPER_ARM, 200.0)
+        .adjusted("flight", FOREARM, 210.0)
+        .adjusted("landing", UPPER_ARM, 190.0)
+        .adjusted("landing", FOREARM, 200.0)
+        .adjusted("settle", UPPER_ARM, 185.0)
+        .adjusted("settle", FOREARM, 195.0)
+    )
+
+
+_VIOLATORS = {
+    Standard.E1: _violate_e1,
+    Standard.E2: _violate_e2,
+    Standard.E3: _violate_e3,
+    Standard.E4: _violate_e4,
+    Standard.E5: _violate_e5,
+    Standard.E6: _violate_e6,
+    Standard.E7: _violate_e7,
+}
+
+
+def violate(style: JumpStyle, standard: Standard) -> JumpStyle:
+    """Return ``style`` modified so the jumper fails ``standard``."""
+    try:
+        violator = _VIOLATORS[standard]
+    except KeyError:
+        raise ConfigurationError(f"no flaw defined for {standard!r}") from None
+    return violator(style)
+
+
+def apply_flaws(style: JumpStyle, standards: Iterable[Standard]) -> JumpStyle:
+    """Apply several flaws in sequence (later flaws win on conflicts)."""
+    for standard in standards:
+        style = violate(style, standard)
+    return style
+
+
+def all_standards() -> tuple[Standard, ...]:
+    """All seven standards in Table 1 order."""
+    return tuple(Standard)

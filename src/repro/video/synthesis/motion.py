@@ -1,0 +1,285 @@
+"""Standing-long-jump motion synthesis.
+
+Produces the ground-truth pose sequence a real camera would have seen:
+a keyframed angle script (stand → crouch → takeoff → flight → landing →
+settle) with shortest-arc interpolation, a trunk-centre trajectory that
+keeps the feet on the ground during ground phases and follows a
+ballistic parabola during flight, and per-frame phase labels matching
+the paper's scoring windows (frames 1–10 initiation, 11–20
+air/landing for the default 20-frame video).
+
+The default :func:`good_style` satisfies all seven standards E1–E7 of
+Table 1; :mod:`repro.video.synthesis.flaws` derives styles that violate
+them one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...model.geometry import wrap_angle
+from ...model.pose import StickPose, forward_kinematics
+from ...model.sticks import FOOT, NUM_STICKS, BodyDimensions
+
+Angles = tuple[float, float, float, float, float, float, float, float]
+
+#: Phase labels attached to each generated frame.
+PHASE_INITIATION = "initiation"
+PHASE_FLIGHT = "flight"
+PHASE_LANDING = "landing"
+
+
+@dataclass(frozen=True, slots=True)
+class JumpParameters:
+    """Spatio-temporal layout of the jump inside the scene."""
+
+    num_frames: int = 20
+    stand_x: float = 34.0
+    jump_distance: float = 62.0
+    flight_height: float = 11.0
+    takeoff_fraction: float = 0.5
+    landing_fraction: float = 0.9
+    lean_advance: float = 5.0
+    settle_advance: float = 3.0
+    ground_level: float = 12.0
+    # Pre-jump sway: a person preparing to jump is never perfectly
+    # still — arms and trunk rock slightly.  Besides realism, this is
+    # what lets change-detection background estimation see a standing
+    # person as "changing" (a frozen body would be saved as
+    # background).  Amplitude in degrees, applied to the arm (x2.0),
+    # forearm (x2.5), trunk (x0.5) and neck (x0.8) during initiation.
+    sway_amplitude: float = 2.5
+    sway_cycles: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.num_frames < 4:
+            raise ConfigurationError(
+                f"a jump needs at least 4 frames, got {self.num_frames}"
+            )
+        if not 0.0 < self.takeoff_fraction < self.landing_fraction < 1.0:
+            raise ConfigurationError(
+                "need 0 < takeoff_fraction < landing_fraction < 1, got "
+                f"{self.takeoff_fraction} and {self.landing_fraction}"
+            )
+        if self.jump_distance <= 0:
+            raise ConfigurationError(
+                f"jump_distance must be positive, got {self.jump_distance}"
+            )
+        if self.flight_height < 0:
+            raise ConfigurationError(
+                f"flight_height must be >= 0, got {self.flight_height}"
+            )
+
+    @property
+    def takeoff_frame(self) -> int:
+        """Index of the first airborne frame."""
+        times = np.linspace(0.0, 1.0, self.num_frames)
+        return int(np.searchsorted(times, self.takeoff_fraction, side="right"))
+
+
+@dataclass(frozen=True, slots=True)
+class JumpStyle:
+    """Keyframed stick angles of the jump (all in degrees).
+
+    Angle order per keyframe follows the stick indices:
+    trunk, neck, upper arm, thigh, head, forearm, shank, foot.
+    """
+
+    stand: Angles = (0.0, 0.0, 180.0, 180.0, 0.0, 180.0, 180.0, 90.0)
+    crouch: Angles = (35.0, 45.0, 305.0, 140.0, 40.0, 240.0, 228.0, 90.0)
+    takeoff: Angles = (42.0, 30.0, 110.0, 195.0, 30.0, 130.0, 190.0, 135.0)
+    flight: Angles = (55.0, 35.0, 100.0, 115.0, 35.0, 120.0, 205.0, 120.0)
+    landing: Angles = (40.0, 25.0, 95.0, 130.0, 25.0, 105.0, 185.0, 95.0)
+    settle: Angles = (25.0, 15.0, 120.0, 150.0, 15.0, 130.0, 200.0, 90.0)
+    crouch_fraction: float = 0.32
+
+    def __post_init__(self) -> None:
+        for name in ("stand", "crouch", "takeoff", "flight", "landing", "settle"):
+            angles = getattr(self, name)
+            if len(angles) != NUM_STICKS:
+                raise ConfigurationError(
+                    f"keyframe {name!r} needs {NUM_STICKS} angles, got {len(angles)}"
+                )
+        if not 0.0 < self.crouch_fraction < 1.0:
+            raise ConfigurationError(
+                f"crouch_fraction must be in (0, 1), got {self.crouch_fraction}"
+            )
+
+    def with_keyframe(self, name: str, angles: Angles) -> "JumpStyle":
+        """Return a copy with one keyframe replaced."""
+        if name not in ("stand", "crouch", "takeoff", "flight", "landing", "settle"):
+            raise ConfigurationError(f"unknown keyframe {name!r}")
+        return replace(self, **{name: tuple(float(a) for a in angles)})
+
+    def adjusted(self, name: str, stick: int, angle: float) -> "JumpStyle":
+        """Return a copy with a single stick angle of one keyframe changed."""
+        angles = list(getattr(self, name))
+        angles[stick] = float(angle)
+        return self.with_keyframe(name, tuple(angles))
+
+
+def good_style() -> JumpStyle:
+    """A technically correct jump: satisfies all standards E1–E7."""
+    return JumpStyle()
+
+
+@dataclass(frozen=True, slots=True)
+class JumpMotion:
+    """Generated ground-truth motion."""
+
+    poses: tuple[StickPose, ...]
+    phases: tuple[str, ...]
+    times: tuple[float, ...]
+    params: JumpParameters
+    style: JumpStyle
+    dims: BodyDimensions
+
+    def __len__(self) -> int:
+        return len(self.poses)
+
+    @property
+    def takeoff_frame(self) -> int:
+        """Index of the first airborne frame."""
+        return self.params.takeoff_frame
+
+    def angle_track(self, stick: int) -> np.ndarray:
+        """Angle of one stick across all frames (degrees)."""
+        return np.array([pose.angles_deg[stick] for pose in self.poses])
+
+    def center_track(self) -> np.ndarray:
+        """Trunk-centre positions ``(T, 2)`` in world coordinates."""
+        return np.array([[pose.x0, pose.y0] for pose in self.poses])
+
+
+def _smoothstep(t: float) -> float:
+    """Cubic ease-in/ease-out on [0, 1]."""
+    t = min(max(t, 0.0), 1.0)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def _blend_angles(a: Angles, b: Angles, weight: float) -> Angles:
+    """Linear interpolation of two angle tuples on the *raw* values.
+
+    Keyframe angles are authored as continuous tracks, so plain linear
+    interpolation follows the physically intended path.  Shortest-arc
+    blending would be wrong here: the arm swing from 295° (behind the
+    body) to 110° (in front) must pass down through 180° (past the
+    legs), which is the long way around the circle.  Results are
+    wrapped to [0, 360) at the end.
+    """
+    return tuple(
+        float(wrap_angle(x + weight * (y - x))) for x, y in zip(a, b)
+    )
+
+
+def _interpolate_keyframes(
+    style: JumpStyle, params: JumpParameters, t: float
+) -> Angles:
+    keyframes = [
+        (0.0, style.stand),
+        (style.crouch_fraction, style.crouch),
+        (params.takeoff_fraction, style.takeoff),
+        ((params.takeoff_fraction + params.landing_fraction) / 2.0, style.flight),
+        (params.landing_fraction, style.landing),
+        (1.0, style.settle),
+    ]
+    if t <= 0.0:
+        return style.stand
+    for (t0, a0), (t1, a1) in zip(keyframes, keyframes[1:]):
+        if t <= t1:
+            local = (t - t0) / (t1 - t0) if t1 > t0 else 1.0
+            return _blend_angles(a0, a1, _smoothstep(local))
+    return style.settle
+
+
+def _apply_sway(angles: Angles, params: JumpParameters, t: float) -> Angles:
+    """Add the pre-jump sway during the initiation phase."""
+    if params.sway_amplitude <= 0 or t >= params.takeoff_fraction:
+        return angles
+    local = t / params.takeoff_fraction
+    envelope = 1.0 - local  # sway dies out as the crouch commits
+    wave = np.sin(2.0 * np.pi * params.sway_cycles * local)
+    sway = params.sway_amplitude * envelope * wave
+    # Per-stick sway gains: trunk, neck, arm, thigh, head, forearm,
+    # shank, foot.
+    gains = (0.5, 0.8, 2.0, 0.3, 0.8, 2.5, 0.2, 0.0)
+    return tuple(
+        float(wrap_angle(angle + gain * sway))
+        for angle, gain in zip(angles, gains)
+    )
+
+
+def _grounded_y0(angles: Angles, dims: BodyDimensions, ground: float) -> float:
+    """Trunk-centre height that puts the lowest foot point on the ground."""
+    genes = np.array([0.0, 0.0, *angles], dtype=np.float64)[None, :]
+    segments = forward_kinematics(genes, dims)[0]
+    foot_low = min(segments[FOOT, 0, 1], segments[FOOT, 1, 1])
+    # Account for the flesh below the foot axis: half the foot thickness.
+    return ground - foot_low + dims.thicknesses[FOOT] / 2.0
+
+
+def _center_x(params: JumpParameters, t: float) -> float:
+    takeoff_x = params.stand_x + params.lean_advance
+    landing_x = params.stand_x + params.jump_distance
+    if t <= params.takeoff_fraction:
+        local = t / params.takeoff_fraction
+        return params.stand_x + params.lean_advance * _smoothstep(local)
+    if t <= params.landing_fraction:
+        local = (t - params.takeoff_fraction) / (
+            params.landing_fraction - params.takeoff_fraction
+        )
+        return takeoff_x + (landing_x - takeoff_x) * local
+    local = (t - params.landing_fraction) / (1.0 - params.landing_fraction)
+    return landing_x + params.settle_advance * _smoothstep(local)
+
+
+def generate_jump_motion(
+    dims: BodyDimensions,
+    params: JumpParameters | None = None,
+    style: JumpStyle | None = None,
+) -> JumpMotion:
+    """Generate the ground-truth pose sequence of one standing long jump."""
+    params = params or JumpParameters()
+    style = style or good_style()
+
+    times = np.linspace(0.0, 1.0, params.num_frames)
+    ground = params.ground_level
+
+    takeoff_angles = _interpolate_keyframes(style, params, params.takeoff_fraction)
+    landing_angles = _interpolate_keyframes(style, params, params.landing_fraction)
+    y_takeoff = _grounded_y0(takeoff_angles, dims, ground)
+    y_landing = _grounded_y0(landing_angles, dims, ground)
+
+    poses: list[StickPose] = []
+    phases: list[str] = []
+    for t in times:
+        angles = _interpolate_keyframes(style, params, float(t))
+        angles = _apply_sway(angles, params, float(t))
+        x0 = _center_x(params, float(t))
+        if t < params.takeoff_fraction:
+            y0 = _grounded_y0(angles, dims, ground)
+            phase = PHASE_INITIATION
+        elif t <= params.landing_fraction:
+            s = (t - params.takeoff_fraction) / (
+                params.landing_fraction - params.takeoff_fraction
+            )
+            chord = (1.0 - s) * y_takeoff + s * y_landing
+            y0 = chord + 4.0 * params.flight_height * s * (1.0 - s)
+            phase = PHASE_FLIGHT
+        else:
+            y0 = _grounded_y0(angles, dims, ground)
+            phase = PHASE_LANDING
+        poses.append(StickPose(x0=float(x0), y0=float(y0), angles_deg=angles))
+        phases.append(phase)
+
+    return JumpMotion(
+        poses=tuple(poses),
+        phases=tuple(phases),
+        times=tuple(float(t) for t in times),
+        params=params,
+        style=style,
+        dims=dims,
+    )

@@ -1,0 +1,84 @@
+"""Sensor and illumination noise for synthetic frames.
+
+Three effects, each matched to a cleanup step of the paper's Section 2:
+
+* per-pixel Gaussian sensor noise — handled by the subtraction
+  threshold;
+* global multiplicative illumination flicker — the "light change"
+  the paper blames for residual noise after subtraction;
+* transient light blobs (small bright/dark patches that exist in a
+  single frame) — the "noises and small spots caused by the light
+  change" removed by Step 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...imaging.image import ensure_rgb
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseConfig:
+    """Strengths of the three noise processes."""
+
+    pixel_sigma: float = 0.012
+    flicker_sigma: float = 0.008
+    blob_count: int = 10
+    blob_radius_range: tuple[int, int] = (1, 3)
+    blob_strength: float = 0.18
+
+    def __post_init__(self) -> None:
+        if self.pixel_sigma < 0 or self.flicker_sigma < 0:
+            raise ConfigurationError("noise sigmas must be >= 0")
+        if self.blob_count < 0:
+            raise ConfigurationError(f"blob_count must be >= 0, got {self.blob_count}")
+        lo, hi = self.blob_radius_range
+        if lo < 0 or hi < lo:
+            raise ConfigurationError(
+                f"invalid blob radius range: {self.blob_radius_range}"
+            )
+
+    @classmethod
+    def none(cls) -> "NoiseConfig":
+        """A configuration that adds no noise at all."""
+        return cls(pixel_sigma=0.0, flicker_sigma=0.0, blob_count=0)
+
+
+def apply_noise(
+    frame: np.ndarray,
+    config: NoiseConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Apply flicker, light blobs and sensor noise to one frame.
+
+    Returns a new image in [0, 1]; the input is unchanged.
+    """
+    image = ensure_rgb(frame).copy()
+    height, width = image.shape[:2]
+
+    if config.flicker_sigma > 0:
+        image *= 1.0 + float(rng.normal(0.0, config.flicker_sigma))
+
+    lo, hi = config.blob_radius_range
+    for _ in range(config.blob_count):
+        radius = int(rng.integers(lo, hi + 1))
+        row = int(rng.integers(0, height))
+        col = int(rng.integers(0, width))
+        strength = float(rng.uniform(-config.blob_strength, config.blob_strength))
+        r0, r1 = max(row - radius, 0), min(row + radius + 1, height)
+        c0, c1 = max(col - radius, 0), min(col + radius + 1, width)
+        rr, cc = np.meshgrid(
+            np.arange(r0, r1), np.arange(c0, c1), indexing="ij"
+        )
+        inside = (rr - row) ** 2 + (cc - col) ** 2 <= radius * radius
+        patch = image[r0:r1, c0:c1]
+        patch[inside] += strength
+
+    if config.pixel_sigma > 0:
+        image += rng.normal(0.0, config.pixel_sigma, size=image.shape)
+
+    return np.clip(image, 0.0, 1.0)

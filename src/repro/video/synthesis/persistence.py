@@ -1,0 +1,136 @@
+"""Save/load labelled synthetic jumps to a single ``.npz`` archive.
+
+A benchmark corpus is expensive to regenerate (rendering plus noise);
+these helpers persist a :class:`SyntheticJump` with its full ground
+truth so experiment scripts can cache datasets on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .body import BodyAppearance
+from .dataset import SyntheticJump, SyntheticJumpConfig
+from .motion import JumpMotion, JumpParameters, JumpStyle
+from .noise import NoiseConfig
+from .scene import SceneConfig
+from .shadow import ShadowConfig
+from ..sequence import VideoSequence
+from ...errors import VideoError
+from ...model.pose import StickPose
+from ...model.sticks import BodyDimensions
+from ...scoring.standards import Standard
+
+
+def save_jump(path: str | Path, jump: SyntheticJump) -> None:
+    """Persist a jump (frames, masks, poses, config) to one ``.npz``."""
+    config = jump.config
+    meta = {
+        "seed": config.seed,
+        "stature": config.stature,
+        "params": asdict(config.params),
+        "scene": asdict(config.scene),
+        "appearance": asdict(config.appearance),
+        "shadow": asdict(config.shadow),
+        "noise": asdict(config.noise),
+        "violated": [standard.name for standard in config.violated],
+        "bystander": config.bystander,
+        "camera_jitter": config.camera_jitter,
+        "motion_blur_samples": config.motion_blur_samples,
+        "phases": list(jump.motion.phases),
+        "times": list(jump.motion.times),
+        "style": asdict(jump.motion.style),
+        "lengths": list(jump.dims.lengths),
+        "thicknesses": list(jump.dims.thicknesses),
+    }
+    arrays = dict(
+        frames=jump.video.frames,
+        person_masks=np.stack(jump.person_masks),
+        shadow_masks=np.stack(jump.shadow_masks),
+        poses=np.stack([pose.to_genes() for pose in jump.motion.poses]),
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+    if jump.distractor_masks:
+        arrays["distractor_masks"] = np.stack(jump.distractor_masks)
+    np.savez_compressed(path, **arrays)
+
+
+def load_jump(path: str | Path) -> SyntheticJump:
+    """Load a jump written by :func:`save_jump`."""
+    with np.load(path) as archive:
+        required = {"frames", "person_masks", "shadow_masks", "poses", "meta"}
+        if not required <= set(archive.files):
+            raise VideoError(
+                f"{path} is not a saved jump (missing {required - set(archive.files)})"
+            )
+        meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+        frames = archive["frames"]
+        person_masks = tuple(mask.astype(bool) for mask in archive["person_masks"])
+        shadow_masks = tuple(mask.astype(bool) for mask in archive["shadow_masks"])
+        distractor_masks = (
+            tuple(mask.astype(bool) for mask in archive["distractor_masks"])
+            if "distractor_masks" in archive.files
+            else ()
+        )
+        poses = tuple(StickPose.from_genes(genes) for genes in archive["poses"])
+
+    def _tupled(values):
+        return tuple(float(v) for v in values)
+
+    style_raw = dict(meta["style"])
+    style = JumpStyle(
+        stand=_tupled(style_raw["stand"]),
+        crouch=_tupled(style_raw["crouch"]),
+        takeoff=_tupled(style_raw["takeoff"]),
+        flight=_tupled(style_raw["flight"]),
+        landing=_tupled(style_raw["landing"]),
+        settle=_tupled(style_raw["settle"]),
+        crouch_fraction=float(style_raw["crouch_fraction"]),
+    )
+    params = JumpParameters(**meta["params"])
+    appearance_raw = dict(meta["appearance"])
+    for key in ("shirt", "trousers", "skin", "shoes"):
+        appearance_raw[key] = tuple(appearance_raw[key])
+    noise_raw = dict(meta["noise"])
+    noise_raw["blob_radius_range"] = tuple(noise_raw["blob_radius_range"])
+    scene_raw = dict(meta["scene"])
+    for key in ("wall_color", "floor_color"):
+        scene_raw[key] = tuple(scene_raw[key])
+    config = SyntheticJumpConfig(
+        seed=int(meta["seed"]),
+        stature=float(meta["stature"]),
+        params=params,
+        scene=SceneConfig(**scene_raw),
+        appearance=BodyAppearance(**appearance_raw),
+        shadow=ShadowConfig(**meta["shadow"]),
+        noise=NoiseConfig(**noise_raw),
+        violated=tuple(Standard[name] for name in meta["violated"]),
+        bystander=bool(meta.get("bystander", False)),
+        camera_jitter=float(meta.get("camera_jitter", 0.0)),
+        motion_blur_samples=int(meta.get("motion_blur_samples", 1)),
+    )
+    dims = BodyDimensions(
+        lengths=_tupled(meta["lengths"]),
+        thicknesses=_tupled(meta["thicknesses"]),
+    )
+    motion = JumpMotion(
+        poses=poses,
+        phases=tuple(meta["phases"]),
+        times=tuple(float(t) for t in meta["times"]),
+        params=params,
+        style=style,
+        dims=dims,
+    )
+    return SyntheticJump(
+        video=VideoSequence(frames),
+        person_masks=person_masks,
+        shadow_masks=shadow_masks,
+        motion=motion,
+        dims=dims,
+        config=config,
+        distractor_masks=distractor_masks,
+    )

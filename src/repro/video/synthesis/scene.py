@@ -1,0 +1,108 @@
+"""Static scene (background) generation for synthetic jump videos.
+
+The paper films a jumper in a gym: a mostly uniform wall, a floor, and
+slow illumination drift.  The generated background is a wall with a
+soft vertical gradient and low-amplitude texture, a floor of a
+different colour below the ground line, and a few fixed darker panels
+— enough spatial structure that background estimation and HSV shadow
+analysis are non-trivial, while staying deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...imaging.filters import gaussian_blur
+from ...imaging.image import blank_rgb
+
+
+@dataclass(frozen=True, slots=True)
+class SceneConfig:
+    """Geometry and appearance of the static scene."""
+
+    height: int = 120
+    width: int = 160
+    ground_level: float = 12.0  # world y (pixels above the bottom edge)
+    wall_color: tuple[float, float, float] = (0.62, 0.66, 0.72)
+    floor_color: tuple[float, float, float] = (0.52, 0.44, 0.34)
+    gradient_strength: float = 0.10
+    texture_strength: float = 0.025
+    num_panels: int = 3
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.height < 16 or self.width < 16:
+            raise ConfigurationError(
+                f"scene must be at least 16x16, got {self.height}x{self.width}"
+            )
+        if not 0 < self.ground_level < self.height:
+            raise ConfigurationError(
+                f"ground_level must be inside the frame, got {self.ground_level}"
+            )
+        if self.texture_strength < 0 or self.gradient_strength < 0:
+            raise ConfigurationError("texture/gradient strengths must be >= 0")
+
+    @property
+    def ground_row(self) -> int:
+        """Image row of the ground line (world y = ground_level)."""
+        return int(round((self.height - 1) - self.ground_level))
+
+
+class Scene:
+    """A deterministic static background plus its geometry."""
+
+    def __init__(self, config: SceneConfig | None = None) -> None:
+        self.config = config or SceneConfig()
+        self._background = self._build_background()
+
+    @property
+    def background(self) -> np.ndarray:
+        """The clean background image ``(H, W, 3)`` in [0, 1]."""
+        return self._background.copy()
+
+    @property
+    def ground_row(self) -> int:
+        """Image row of the ground line."""
+        return self.config.ground_row
+
+    def _build_background(self) -> np.ndarray:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        image = blank_rgb(cfg.height, cfg.width, cfg.wall_color)
+
+        # Soft vertical gradient on the wall (brighter toward the top).
+        rows = np.arange(cfg.height, dtype=np.float64) / max(cfg.height - 1, 1)
+        gradient = cfg.gradient_strength * (0.5 - rows)
+        image += gradient[:, None, None]
+
+        # Fixed darker wall panels (e.g. mats or doors) for structure.
+        panel_rng = np.random.default_rng(cfg.seed + 1)
+        for _ in range(cfg.num_panels):
+            panel_width = int(panel_rng.integers(cfg.width // 10, cfg.width // 5))
+            col0 = int(panel_rng.integers(0, max(cfg.width - panel_width, 1)))
+            row1 = cfg.ground_row
+            row0 = int(panel_rng.integers(0, max(row1 - 8, 1)))
+            shade = float(panel_rng.uniform(-0.08, -0.03))
+            image[row0:row1, col0 : col0 + panel_width] += shade
+
+        # Floor below the ground line.
+        floor = np.asarray(cfg.floor_color, dtype=np.float64)
+        image[cfg.ground_row :, :, :] = floor
+        floor_rows = cfg.height - cfg.ground_row
+        if floor_rows > 1:
+            # Slight depth shading: nearer floor (lower rows) is darker.
+            depth = np.linspace(0.0, -0.06, floor_rows)
+            image[cfg.ground_row :, :, :] += depth[:, None, None]
+
+        # Low-amplitude smooth texture everywhere.
+        if cfg.texture_strength > 0:
+            noise = rng.normal(0.0, 1.0, size=(cfg.height, cfg.width, 1))
+            texture = gaussian_blur(noise, sigma=1.5)
+            scale = np.abs(texture).max()
+            if scale > 0:
+                image += cfg.texture_strength * texture / scale
+
+        return np.clip(image, 0.0, 1.0)

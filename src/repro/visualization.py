@@ -1,0 +1,167 @@
+"""Rendering of analysis results as images — no plotting library needed.
+
+Everything is rasterised through :mod:`repro.imaging.draw`:
+
+* :func:`draw_pose_overlay` — a stick model drawn over a frame or mask;
+* :func:`analysis_strip` — a Fig. 6/7-style horizontal strip of frames
+  with tracked (and optionally ground-truth) skeletons;
+* :func:`angle_chart` — a line chart of one or more angle tracks
+  (degrees over frames) as an RGB image;
+* :func:`segmentation_panel` — the Fig. 2 stage masks side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .errors import ImageError
+from .imaging.draw import draw_capsule, draw_line, paint_mask, stick_figure_mask
+from .imaging.image import blank_rgb, ensure_mask, ensure_rgb
+from .model.geometry import world_to_image
+from .model.pose import StickPose
+from .model.sticks import BodyDimensions
+
+
+def draw_pose_overlay(
+    image: np.ndarray,
+    pose: StickPose,
+    dims: BodyDimensions,
+    color: tuple[float, float, float] = (1.0, 0.25, 0.25),
+    thickness: float = 1.5,
+    joint_radius: float = 1.2,
+) -> np.ndarray:
+    """Draw a stick model over an RGB image (modified copy returned)."""
+    canvas = ensure_rgb(image).copy()
+    height = canvas.shape[0]
+    segments = pose.segments(dims)
+    seglist = [
+        (
+            tuple(world_to_image(segment[0], height)),
+            tuple(world_to_image(segment[1], height)),
+        )
+        for segment in segments
+    ]
+    sticks = stick_figure_mask(canvas.shape[:2], seglist, thickness=thickness)
+    paint_mask(canvas, sticks, color)
+    if joint_radius > 0:
+        joints = np.zeros(canvas.shape[:2], dtype=bool)
+        for start, end in seglist:
+            draw_capsule(joints, start, start, joint_radius)
+            draw_capsule(joints, end, end, joint_radius)
+        paint_mask(canvas, joints, (1.0, 0.85, 0.2))
+    return canvas
+
+
+def mask_to_rgb(mask: np.ndarray, level: float = 0.65) -> np.ndarray:
+    """A boolean mask as a gray RGB image."""
+    mask = ensure_mask(mask)
+    return np.stack([mask.astype(np.float64) * level] * 3, axis=-1)
+
+
+def analysis_strip(
+    backgrounds: Sequence[np.ndarray],
+    poses: Sequence[StickPose],
+    dims: BodyDimensions,
+    truth: Sequence[StickPose] | None = None,
+    frame_indices: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Horizontal strip of frames with skeleton overlays (Fig. 6/7 style).
+
+    ``backgrounds`` may be RGB frames or boolean silhouettes.  When
+    ``truth`` poses are given they are drawn in green under the tracked
+    (red) model.
+    """
+    if len(backgrounds) != len(poses):
+        raise ImageError(
+            f"{len(backgrounds)} backgrounds for {len(poses)} poses"
+        )
+    indices = list(frame_indices) if frame_indices is not None else list(range(len(poses)))
+    tiles = []
+    for index in indices:
+        base = backgrounds[index]
+        canvas = (
+            mask_to_rgb(base)
+            if np.asarray(base).ndim == 2
+            else ensure_rgb(base).copy() * 0.85
+        )
+        if truth is not None:
+            canvas = draw_pose_overlay(
+                canvas, truth[index], dims, color=(0.2, 0.9, 0.3),
+                thickness=1.0, joint_radius=0.0,
+            )
+        canvas = draw_pose_overlay(canvas, poses[index], dims)
+        tiles.append(canvas)
+    return np.concatenate(tiles, axis=1)
+
+
+def segmentation_panel(stages: dict[str, np.ndarray]) -> np.ndarray:
+    """The Fig. 2-style stage masks concatenated horizontally."""
+    if not stages:
+        raise ImageError("no stages to render")
+    return np.concatenate([mask_to_rgb(mask) for mask in stages.values()], axis=1)
+
+
+_CHART_COLORS = (
+    (0.85, 0.30, 0.25),
+    (0.25, 0.50, 0.85),
+    (0.25, 0.70, 0.35),
+    (0.80, 0.65, 0.20),
+    (0.60, 0.35, 0.75),
+    (0.25, 0.70, 0.70),
+    (0.55, 0.55, 0.55),
+    (0.85, 0.45, 0.65),
+)
+
+
+def angle_chart(
+    tracks: dict[str, np.ndarray],
+    height: int = 160,
+    width: int = 320,
+    y_range: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Line chart of angle tracks as an RGB image.
+
+    ``tracks`` maps a label to a 1-D array (degrees per frame).  A
+    legend swatch is drawn in the top-left corner, one row per track.
+    """
+    if not tracks:
+        raise ImageError("no tracks to chart")
+    arrays = {name: np.asarray(values, dtype=np.float64) for name, values in tracks.items()}
+    length = max(a.size for a in arrays.values())
+    if length < 2:
+        raise ImageError("tracks need at least two samples")
+
+    lo = min(float(a.min()) for a in arrays.values())
+    hi = max(float(a.max()) for a in arrays.values())
+    if y_range is not None:
+        lo, hi = y_range
+    span = (hi - lo) or 1.0
+    margin = 6
+
+    image = blank_rgb(height, width, (0.97, 0.97, 0.97))
+    # Horizontal gridlines every 45 degrees.
+    grid_mask = np.zeros((height, width), dtype=bool)
+    first_line = np.ceil(lo / 45.0) * 45.0
+    for level in np.arange(first_line, hi + 1e-9, 45.0):
+        row = (height - 1 - margin) - (level - lo) / span * (height - 2 * margin)
+        draw_line(grid_mask, (row, 0), (row, width - 1), thickness=1.0)
+    paint_mask(image, grid_mask, (0.85, 0.85, 0.85))
+
+    for track_index, (name, values) in enumerate(arrays.items()):
+        color = _CHART_COLORS[track_index % len(_CHART_COLORS)]
+        mask = np.zeros((height, width), dtype=bool)
+        xs = np.linspace(margin, width - 1 - margin, values.size)
+        rows = (height - 1 - margin) - (values - lo) / span * (height - 2 * margin)
+        for i in range(values.size - 1):
+            draw_line(mask, (rows[i], xs[i]), (rows[i + 1], xs[i + 1]), thickness=1.4)
+        # legend swatch
+        draw_line(
+            mask,
+            (4 + 6 * track_index, 4),
+            (4 + 6 * track_index, 14),
+            thickness=2.5,
+        )
+        paint_mask(image, mask, color)
+    return image

@@ -1,0 +1,30 @@
+"""Shared fixtures: synthetic jumps are expensive, so cache per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.video.synthesis import SyntheticJumpConfig, synthesize_jump
+
+
+@pytest.fixture(scope="session")
+def jump():
+    """A default clean synthetic jump (seed 0), shared by many tests."""
+    return synthesize_jump(SyntheticJumpConfig(seed=0))
+
+
+@pytest.fixture(scope="session")
+def short_jump():
+    """A 10-frame jump for tests that iterate over frames."""
+    from repro.video.synthesis import JumpParameters
+
+    return synthesize_jump(
+        SyntheticJumpConfig(seed=7, params=JumpParameters(num_frames=10))
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

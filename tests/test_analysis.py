@@ -1,0 +1,117 @@
+"""Tests for trajectory analysis, event detection and kinematics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.events import detect_events, foot_clearance
+from repro.analysis.kinematics import (
+    center_of_mass,
+    center_of_mass_track,
+    fit_flight_parabola,
+)
+from repro.analysis.trajectory import PoseTrajectory, unwrap_degrees
+from repro.errors import ScoringError
+from repro.model.pose import StickPose
+from repro.model.sticks import default_body
+
+BODY = default_body(72.0)
+
+
+class TestTrajectory:
+    def test_roundtrip(self, jump):
+        trajectory = PoseTrajectory.from_poses(jump.motion.poses)
+        back = trajectory.to_poses()
+        for a, b in zip(jump.motion.poses, back):
+            assert a.x0 == pytest.approx(b.x0)
+            assert np.allclose(a.angles_deg, b.angles_deg)
+
+    def test_unwrap_removes_jumps(self):
+        angles = np.array([[350.0], [355.0], [2.0], [8.0]])
+        unwrapped = unwrap_degrees(angles)
+        assert (np.abs(np.diff(unwrapped[:, 0])) < 180).all()
+        assert unwrapped[2, 0] == pytest.approx(362.0)
+
+    def test_smoothing_reduces_noise(self, rng):
+        t = np.linspace(0, 1, 30)
+        clean = 90 + 30 * np.sin(2 * np.pi * t)
+        noisy = clean + rng.normal(0, 5, 30)
+        poses = [
+            StickPose.standing(0, 0).with_angle(0, a) for a in noisy
+        ]
+        trajectory = PoseTrajectory.from_poses(poses)
+        smooth = trajectory.smoothed(5)
+        raw_err = np.abs(trajectory.angles[:, 0] - clean).mean()
+        smooth_err = np.abs(smooth.angles[:, 0] - clean).mean()
+        assert smooth_err < raw_err
+
+    def test_smoothing_validation(self, jump):
+        trajectory = PoseTrajectory.from_poses(jump.motion.poses)
+        with pytest.raises(ScoringError):
+            trajectory.smoothed(4)
+
+    def test_velocities_shape(self, jump):
+        trajectory = PoseTrajectory.from_poses(jump.motion.poses)
+        assert trajectory.angular_velocity().shape == (19, 8)
+        assert trajectory.center_velocity().shape == (19, 2)
+
+
+class TestEvents:
+    def test_detects_takeoff_near_truth(self, jump):
+        events = detect_events(jump.motion.poses, jump.dims)
+        assert abs(events.takeoff_frame - jump.motion.takeoff_frame) <= 1
+
+    def test_landing_after_takeoff(self, jump):
+        events = detect_events(jump.motion.poses, jump.dims)
+        assert events.takeoff_frame < events.landing_frame
+        assert events.takeoff_frame <= events.peak_frame <= events.landing_frame
+
+    def test_ground_height_estimate(self, jump):
+        events = detect_events(jump.motion.poses, jump.dims)
+        assert events.ground_height == pytest.approx(
+            jump.motion.params.ground_level, abs=2.5
+        )
+
+    def test_never_airborne_falls_back_to_midpoint(self):
+        poses = [StickPose.standing(k, 30.0) for k in range(8)]
+        events = detect_events(poses, BODY)
+        assert events.takeoff_frame == 4
+
+    def test_too_few_poses(self):
+        with pytest.raises(ScoringError):
+            detect_events([StickPose.standing(0, 0)] * 2, BODY)
+
+    def test_foot_clearance_monotone_with_height(self):
+        low = StickPose.standing(0.0, 30.0)
+        high = StickPose.standing(0.0, 45.0)
+        clearances = foot_clearance([low, high], BODY)
+        assert clearances[1] - clearances[0] == pytest.approx(15.0)
+
+
+class TestKinematics:
+    def test_com_inside_body(self):
+        pose = StickPose.standing(50.0, 60.0)
+        com = center_of_mass(pose, BODY)
+        assert abs(com[0] - 50.0) < 6.0
+        # CoM of a standing human sits a bit below the trunk centre
+        assert 30.0 < com[1] < 70.0
+
+    def test_com_track_shape(self, jump):
+        track = center_of_mass_track(jump.motion.poses, jump.dims)
+        assert track.shape == (jump.num_frames, 2)
+
+    def test_flight_parabola_fit(self, jump):
+        events = detect_events(jump.motion.poses, jump.dims)
+        fit = fit_flight_parabola(
+            jump.motion.poses, jump.dims,
+            events.takeoff_frame, events.landing_frame,
+        )
+        assert fit.apex_height > 2.0
+        assert fit.horizontal_velocity > 2.0
+        assert fit.gravity > 0.0
+        assert fit.residual_rms < 3.0
+
+    def test_parabola_window_validation(self, jump):
+        with pytest.raises(ScoringError):
+            fit_flight_parabola(jump.motion.poses, jump.dims, 10, 10)
+        with pytest.raises(ScoringError):
+            fit_flight_parabola(jump.motion.poses, jump.dims, 10, 11)

@@ -1,0 +1,97 @@
+"""Tests for the constant-velocity Kalman smoother."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.kalman import KalmanConfig, kalman_smooth
+from repro.analysis.trajectory import PoseTrajectory
+from repro.errors import ScoringError
+from repro.model.pose import StickPose
+
+
+def _noisy_trajectory(rng, n=30, noise=6.0):
+    t = np.linspace(0, 1, n)
+    clean = 120 + 60 * np.sin(2 * np.pi * t)  # smooth angle signal
+    poses = [
+        StickPose.standing(10 * ti, 40.0).with_angle(0, c + rng.normal(0, noise))
+        for ti, c in zip(t, clean)
+    ]
+    return PoseTrajectory.from_poses(poses), clean
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ScoringError):
+            KalmanConfig(process_sigma=0.0)
+        with pytest.raises(ScoringError):
+            KalmanConfig(measurement_sigma=-1.0)
+
+
+class TestSmoothing:
+    def test_reduces_noise(self, rng):
+        trajectory, clean = _noisy_trajectory(rng)
+        smoothed = kalman_smooth(trajectory)
+        raw_err = np.abs(trajectory.angles[:, 0] - clean).mean()
+        smooth_err = np.abs(smoothed.angles[:, 0] - clean).mean()
+        assert smooth_err < raw_err
+
+    def test_preserves_clean_signal(self):
+        n = 25
+        t = np.arange(n, dtype=float)
+        poses = [StickPose.standing(2.0 * ti, 40.0).with_angle(0, 100 + 2 * ti) for ti in t]
+        trajectory = PoseTrajectory.from_poses(poses)
+        smoothed = kalman_smooth(trajectory)
+        # a constant-velocity signal is in the model class: near-exact
+        assert np.abs(smoothed.angles[:, 0] - trajectory.angles[:, 0]).max() < 1.5
+        assert np.abs(smoothed.centers[:, 0] - trajectory.centers[:, 0]).max() < 1.0
+
+    def test_shapes_preserved(self, rng):
+        trajectory, _ = _noisy_trajectory(rng, n=12)
+        smoothed = kalman_smooth(trajectory)
+        assert smoothed.angles.shape == trajectory.angles.shape
+        assert smoothed.centers.shape == trajectory.centers.shape
+
+    def test_short_track_passthrough(self):
+        poses = [StickPose.standing(0, 0), StickPose.standing(1, 0)]
+        trajectory = PoseTrajectory.from_poses(poses)
+        smoothed = kalman_smooth(trajectory)
+        assert np.allclose(smoothed.angles, trajectory.angles)
+
+    def test_lag_bounded_on_step(self, rng):
+        # A velocity step (takeoff) must be followed within a few frames.
+        angles = np.concatenate([np.full(10, 100.0), 100 + 8 * np.arange(10)])
+        poses = [StickPose.standing(0, 0).with_angle(0, a) for a in angles]
+        smoothed = kalman_smooth(PoseTrajectory.from_poses(poses))
+        assert abs(smoothed.angles[-1, 0] - angles[-1]) < 6.0
+
+
+class TestEngineSelectionModes:
+    """Tournament selection option of the GA engine."""
+
+    def test_tournament_runs_and_optimises(self, rng):
+        from repro.ga.engine import GAConfig, GeneticAlgorithm
+        from repro.model.pose import GENES
+
+        target = np.full(GENES, 10.0)
+
+        def fitness(genes):
+            return ((np.atleast_2d(genes) - target) ** 2).sum(axis=1)
+
+        initial = rng.uniform(0, 30, (20, GENES))
+        config = GAConfig(
+            population_size=20,
+            max_generations=15,
+            selection="tournament",
+            tournament_size=3,
+        )
+        result = GeneticAlgorithm(config).run(initial, fitness, rng=rng)
+        assert result.best_fitness < fitness(initial).min()
+
+    def test_selection_validation(self):
+        from repro.errors import ConfigurationError
+        from repro.ga.engine import GAConfig
+
+        with pytest.raises(ConfigurationError):
+            GAConfig(selection="roulette")
+        with pytest.raises(ConfigurationError):
+            GAConfig(tournament_size=1)

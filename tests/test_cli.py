@@ -1,0 +1,53 @@
+"""Tests for the slj command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["synthesize", "--out", "x"],
+            ["analyze", "video.npz"],
+            ["analyze", "video.npz", "--json", "out.json", "--stature-cm", "120", "--age", "8"],
+            ["demo"],
+            ["serve", "--port", "9000"],
+            ["evaluate", "--seeds", "0", "1", "--flaws", "--fast"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_standard_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "--out", str(tmp_path), "--violate", "E9"])
+
+
+class TestSynthesize:
+    def test_writes_video_and_truth(self, tmp_path, capsys):
+        out = tmp_path / "jump"
+        code = main(["synthesize", "--out", str(out), "--seed", "3"])
+        assert code == 0
+        assert (out / "video.npz").exists()
+        assert (out / "ground_truth.npz").exists()
+        with np.load(out / "ground_truth.npz") as archive:
+            assert archive["poses"].shape == (20, 10)
+            assert archive["person_masks"].shape[0] == 20
+        assert "wrote 20-frame jump" in capsys.readouterr().out
+
+    def test_frames_flag_writes_pngs(self, tmp_path):
+        out = tmp_path / "jump"
+        main(["synthesize", "--out", str(out), "--frames"])
+        assert (out / "frame_000.png").exists()
+        assert (out / "frame_019.png").exists()
+
+    def test_violation_recorded(self, tmp_path, capsys):
+        out = tmp_path / "jump"
+        main(["synthesize", "--out", str(out), "--violate", "E1", "E5"])
+        assert "E1, E5" in capsys.readouterr().out

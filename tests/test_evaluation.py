@@ -1,0 +1,82 @@
+"""Tests for corpus-level evaluation (fast analyzer config)."""
+
+import pytest
+
+from repro.evaluation import (
+    DetectionEvaluation,
+    StandardStats,
+    evaluate_detection,
+    evaluate_tracking,
+)
+from repro.ga.engine import GAConfig
+from repro.ga.temporal import TrackerConfig
+from repro.model.fitness import FitnessConfig
+from repro.pipeline import AnalyzerConfig
+from repro.scoring.standards import Standard
+from repro.video.synthesis import SyntheticJumpConfig, synthesize_jump
+
+
+def _fast_config() -> AnalyzerConfig:
+    return AnalyzerConfig(
+        tracker=TrackerConfig(
+            ga=GAConfig(population_size=24, max_generations=8, patience=4),
+            fitness=FitnessConfig(max_points=400),
+            containment_margin=1,
+            min_inside_fraction=0.95,
+            containment_samples=7,
+        )
+    )
+
+
+class TestStandardStats:
+    def test_recall(self):
+        stats = StandardStats(Standard.E1, true_positive=3, false_negative=1)
+        assert stats.recall == pytest.approx(0.75)
+
+    def test_false_alarm_rate(self):
+        stats = StandardStats(Standard.E1, false_positive=1, true_negative=3)
+        assert stats.false_alarm_rate == pytest.approx(0.25)
+
+    def test_degenerate(self):
+        stats = StandardStats(Standard.E2)
+        assert stats.recall == 1.0
+        assert stats.false_alarm_rate == 0.0
+
+
+class TestDetectionEvaluation:
+    def test_aggregates(self):
+        per = (
+            StandardStats(Standard.E1, true_positive=2, false_negative=0,
+                          false_positive=0, true_negative=2),
+            StandardStats(Standard.E2, true_positive=0, false_negative=2,
+                          false_positive=1, true_negative=1),
+        )
+        evaluation = DetectionEvaluation(per_standard=per, num_jumps=4)
+        assert evaluation.overall_recall == pytest.approx(0.5)
+        assert evaluation.overall_false_alarm_rate == pytest.approx(1 / 4)
+
+
+class TestEndToEndCorpus:
+    def test_small_corpus(self):
+        jumps = [
+            synthesize_jump(SyntheticJumpConfig(seed=0)),
+            synthesize_jump(SyntheticJumpConfig(seed=1, violated=(Standard.E1,))),
+        ]
+        evaluation = evaluate_detection(jumps, config=_fast_config())
+        assert evaluation.num_jumps == 2
+        # all counts must add up to the corpus size per standard
+        for stats in evaluation.per_standard:
+            total = (
+                stats.true_positive
+                + stats.false_negative
+                + stats.false_positive
+                + stats.true_negative
+            )
+            assert total == 2
+
+    def test_tracking_corpus(self):
+        jumps = [synthesize_jump(SyntheticJumpConfig(seed=3))]
+        evaluation = evaluate_tracking(jumps, config=_fast_config())
+        assert evaluation.num_jumps == 1
+        assert 0 < evaluation.mean_joint_error < 15.0
+        assert len(evaluation.per_stick_angle_error) == 8

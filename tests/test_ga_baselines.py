@@ -1,0 +1,70 @@
+"""Tests for the non-GA search baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ga.baselines import HillClimbConfig, hill_climb, nelder_mead, random_search
+from repro.model.pose import GENES
+
+
+def _quadratic(target):
+    def fitness(genes):
+        genes = np.atleast_2d(genes)
+        return ((genes - target) ** 2).sum(axis=1)
+
+    return fitness
+
+
+TARGET = np.full(GENES, 20.0)
+
+
+class TestHillClimb:
+    def test_improves(self, rng):
+        start = TARGET + rng.normal(0, 5, GENES)
+        result = hill_climb(start, _quadratic(TARGET), rng=rng)
+        assert result.best_fitness < _quadratic(TARGET)(start[None, :])[0]
+
+    def test_budget_respected(self, rng):
+        config = HillClimbConfig(iterations=50)
+        result = hill_climb(TARGET.copy(), _quadratic(TARGET), config, rng)
+        assert result.total_evaluations == 51
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HillClimbConfig(iterations=0)
+        with pytest.raises(ConfigurationError):
+            hill_climb(np.zeros(5), _quadratic(TARGET))
+
+
+class TestRandomSearch:
+    def test_keeps_best(self, rng):
+        def sampler(n):
+            return rng.uniform(0, 40, (n, GENES))
+
+        result = random_search(sampler, _quadratic(TARGET), budget=500)
+        assert result.total_evaluations == 500
+        curve = result.fitness_curve()
+        assert (np.diff(curve) <= 1e-12).all()
+
+    def test_budget_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_search(lambda n: np.zeros((n, GENES)), _quadratic(TARGET), budget=0)
+
+
+class TestNelderMead:
+    def test_refines_near_start(self):
+        start = TARGET + 3.0
+        result = nelder_mead(start, _quadratic(TARGET), max_evaluations=800)
+        assert result.best_fitness < 1.0
+
+    def test_angles_wrapped(self):
+        start = np.full(GENES, 359.0)
+        target = np.full(GENES, 361.0)  # optimum just over the wrap
+        result = nelder_mead(start, _quadratic(target), max_evaluations=400)
+        assert (result.best_genes[2:] >= 0).all()
+        assert (result.best_genes[2:] < 360).all()
+
+    def test_evaluations_recorded(self):
+        result = nelder_mead(TARGET.copy(), _quadratic(TARGET), max_evaluations=100)
+        assert 0 < result.total_evaluations <= 110

@@ -1,0 +1,39 @@
+"""Tests for search-result bookkeeping."""
+
+import numpy as np
+
+from repro.ga.convergence import GenerationStats, SearchResult
+
+
+def _result_with_curve(curve):
+    result = SearchResult(best_genes=np.zeros(10), best_fitness=min(curve))
+    for generation, value in enumerate(curve):
+        result.history.append(
+            GenerationStats(generation, value, value + 0.1, (generation + 1) * 10)
+        )
+    return result
+
+
+class TestSearchResult:
+    def test_generation_of_best_first_occurrence(self):
+        result = _result_with_curve([0.5, 0.3, 0.2, 0.2, 0.2])
+        assert result.generation_of_best == 2
+
+    def test_generation_of_best_at_init(self):
+        result = _result_with_curve([0.2, 0.2, 0.2])
+        assert result.generation_of_best == 0
+
+    def test_generations_to_reach(self):
+        result = _result_with_curve([0.9, 0.5, 0.25, 0.1])
+        assert result.generations_to_reach(0.5) == 1
+        assert result.generations_to_reach(0.2) == 3
+        assert result.generations_to_reach(0.05) is None
+
+    def test_fitness_curve(self):
+        result = _result_with_curve([0.9, 0.5])
+        assert np.allclose(result.fitness_curve(), [0.9, 0.5])
+
+    def test_empty_history(self):
+        result = SearchResult(best_genes=np.zeros(10), best_fitness=1.0)
+        assert result.generations == 0
+        assert result.generation_of_best == -1

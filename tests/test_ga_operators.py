@@ -1,0 +1,99 @@
+"""Tests for the grouped crossover and mutation operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.chromosome import GENE_GROUPS
+from repro.model.pose import GENES
+from repro.ga.operators import OperatorConfig, grouped_crossover, mutate
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = OperatorConfig()
+        assert config.crossover_rate == 0.2
+        assert config.mutation_rate == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OperatorConfig(crossover_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            OperatorConfig(mutation_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            OperatorConfig(center_sigma=-1.0)
+
+
+class TestCrossover:
+    def test_rate_zero_copies_parents(self, rng):
+        a = np.arange(GENES, dtype=float)
+        b = np.arange(GENES, dtype=float) + 100
+        child_a, child_b = grouped_crossover(a, b, 0.0, rng)
+        assert np.array_equal(child_a, a)
+        assert np.array_equal(child_b, b)
+
+    def test_rate_one_swaps_everything(self, rng):
+        a = np.arange(GENES, dtype=float)
+        b = np.arange(GENES, dtype=float) + 100
+        child_a, child_b = grouped_crossover(a, b, 1.0, rng)
+        assert np.array_equal(child_a, b)
+        assert np.array_equal(child_b, a)
+
+    def test_swaps_whole_groups(self, rng):
+        a = np.zeros(GENES)
+        b = np.ones(GENES)
+        for _ in range(50):
+            child_a, _ = grouped_crossover(a, b, 0.5, rng)
+            for group in GENE_GROUPS:
+                values = {child_a[g] for g in group}
+                assert len(values) == 1  # group swapped atomically
+
+    def test_parents_unchanged(self, rng):
+        a = np.zeros(GENES)
+        b = np.ones(GENES)
+        grouped_crossover(a, b, 1.0, rng)
+        assert not a.any() and b.all()
+
+    def test_gene_conservation(self, rng):
+        a = np.arange(GENES, dtype=float)
+        b = np.arange(GENES, dtype=float) + 50
+        child_a, child_b = grouped_crossover(a, b, 0.5, rng)
+        assert np.allclose(np.sort(np.concatenate([child_a, child_b])),
+                           np.sort(np.concatenate([a, b])))
+
+
+class TestMutation:
+    def test_rate_zero_identity(self, rng):
+        genes = np.arange(GENES, dtype=float)
+        out = mutate(genes, OperatorConfig(mutation_rate=0.0), rng)
+        assert np.array_equal(out, genes)
+
+    def test_rate_one_perturbs(self, rng):
+        genes = np.full(GENES, 100.0)
+        config = OperatorConfig(mutation_rate=1.0, center_sigma=2.0, angle_sigma=5.0)
+        out = mutate(genes, config, rng)
+        assert not np.array_equal(out, genes)
+
+    def test_angles_wrapped(self, rng):
+        genes = np.full(GENES, 359.5)
+        config = OperatorConfig(mutation_rate=1.0, angle_sigma=30.0)
+        for _ in range(20):
+            out = mutate(genes, config, rng)
+            assert (out[2:] >= 0).all() and (out[2:] < 360).all()
+
+    def test_input_unchanged(self, rng):
+        genes = np.full(GENES, 10.0)
+        mutate(genes, OperatorConfig(mutation_rate=1.0), rng)
+        assert (genes == 10.0).all()
+
+    def test_mutation_frequency(self, rng):
+        genes = np.zeros(GENES)
+        config = OperatorConfig(mutation_rate=0.2, angle_sigma=10.0, center_sigma=1.0)
+        changed = 0
+        trials = 300
+        for _ in range(trials):
+            out = mutate(genes, config, rng)
+            if not np.array_equal(out, genes):
+                changed += 1
+        # P(at least one of 5 groups mutates) = 1 - 0.8^5 ~ 0.67
+        assert 0.5 < changed / trials < 0.85

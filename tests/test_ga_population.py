@@ -1,0 +1,114 @@
+"""Tests for temporal and random population seeding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrackingError
+from repro.ga.population import (
+    random_population,
+    silhouette_centroid,
+    temporal_population,
+)
+from repro.model.containment import ContainmentChecker
+from repro.model.geometry import angle_difference
+from repro.model.pose import GENES, StickPose
+from repro.model.sticks import AngleWindows, default_body
+from repro.video.synthesis.render import person_mask_for_pose
+
+BODY = default_body(60.0)
+
+
+def _setup():
+    pose = StickPose.standing(60.0, 50.0)
+    mask = person_mask_for_pose(pose, BODY, (120, 160))
+    return pose, mask
+
+
+class TestCentroid:
+    def test_centroid_near_body_center(self):
+        pose, mask = _setup()
+        cx, cy = silhouette_centroid(mask)
+        assert abs(cx - pose.x0) < 4.0
+        assert abs(cy - pose.y0) < 10.0
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(TrackingError):
+            silhouette_centroid(np.zeros((5, 5), dtype=bool))
+
+
+class TestTemporalPopulation:
+    def test_shape_and_window_bounds(self, rng):
+        pose, mask = _setup()
+        windows = AngleWindows()
+        population = temporal_population(
+            pose, mask, windows, 40, rng=rng, include_previous=False
+        )
+        assert population.shape == (40, GENES)
+        cx, cy = silhouette_centroid(mask)
+        assert (np.abs(population[:, 0] - cx) <= windows.center_delta + 1e-9).all()
+        assert (np.abs(population[:, 1] - cy) <= windows.center_delta + 1e-9).all()
+        for stick in range(8):
+            deltas = angle_difference(
+                population[:, 2 + stick], pose.angles_deg[stick]
+            )
+            assert (np.abs(deltas) <= windows.deltas_deg[stick] + 1e-9).all()
+
+    def test_includes_previous_pose(self, rng):
+        pose, mask = _setup()
+        population = temporal_population(
+            pose, mask, AngleWindows(), 30, rng=rng, include_previous=True
+        )
+        assert np.allclose(population[0], pose.to_genes())
+
+    def test_extra_seeds_prepended(self, rng):
+        pose, mask = _setup()
+        other = pose.translated(1.0, 0.0)
+        population = temporal_population(
+            pose, mask, AngleWindows(), 30, rng=rng,
+            include_previous=True, extra_seeds=[other],
+        )
+        assert np.allclose(population[1], other.to_genes())
+
+    def test_containment_filtering(self, rng):
+        pose, mask = _setup()
+        checker = ContainmentChecker(mask, BODY, margin=2)
+        population = temporal_population(
+            pose, mask, AngleWindows(), 25, checker=checker, rng=rng
+        )
+        validity = checker.check(population)
+        # the bulk of the population must be feasible (best-effort fill
+        # may append a few infeasible ones when sampling is hard)
+        assert validity.mean() > 0.8
+
+    def test_reseed_fraction_spreads_angles(self, rng):
+        pose, mask = _setup()
+        population = temporal_population(
+            pose, mask, AngleWindows(), 60, rng=rng,
+            include_previous=False, reseed_fraction=1.0,
+        )
+        # with full reseeding, some angle must leave every window
+        deltas = np.abs(angle_difference(population[:, 2:], np.asarray(pose.angles_deg)))
+        assert deltas.max() > 90.0
+
+    def test_reseed_validation(self, rng):
+        pose, mask = _setup()
+        with pytest.raises(TrackingError):
+            temporal_population(
+                pose, mask, AngleWindows(), 10, rng=rng, reseed_fraction=1.5
+            )
+
+
+class TestRandomPopulation:
+    def test_shape_and_spread(self, rng):
+        _, mask = _setup()
+        population = random_population(mask, 100, rng=rng)
+        assert population.shape == (100, GENES)
+        # angles cover a wide range
+        assert population[:, 2:].std() > 60.0
+
+    def test_centers_near_centroid(self, rng):
+        _, mask = _setup()
+        population = random_population(mask, 50, rng=rng, center_delta=5.0)
+        cx, cy = silhouette_centroid(mask)
+        assert (np.abs(population[:, 0] - cx) <= 5.0).all()
+        assert (np.abs(population[:, 1] - cy) <= 5.0).all()

@@ -1,0 +1,131 @@
+"""Tests for the temporal pose tracker (reduced budgets for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrackingError
+from repro.ga.engine import GAConfig
+from repro.ga.temporal import (
+    TemporalPoseTracker,
+    TrackerConfig,
+    extrapolate_pose,
+)
+from repro.model.annotation import simulate_human_annotation
+from repro.model.fitness import FitnessConfig
+from repro.model.pose import StickPose, mean_joint_error
+
+
+def _fast_config(**overrides):
+    defaults = dict(
+        ga=GAConfig(population_size=30, max_generations=10, patience=5),
+        fitness=FitnessConfig(max_points=500),
+        containment_margin=1,
+        min_inside_fraction=0.95,
+        containment_samples=7,
+    )
+    defaults.update(overrides)
+    return TrackerConfig(**defaults)
+
+
+class TestExtrapolation:
+    def test_constant_velocity(self):
+        a = StickPose.standing(10.0, 20.0)
+        b = StickPose.standing(14.0, 20.0).with_angle(0, 10.0)
+        predicted = extrapolate_pose(a, b, damping=1.0)
+        assert predicted.x0 == pytest.approx(18.0)
+        assert predicted.angle(0) == pytest.approx(20.0)
+
+    def test_damping(self):
+        a = StickPose.standing(0.0, 0.0)
+        b = StickPose.standing(10.0, 0.0)
+        predicted = extrapolate_pose(a, b, damping=0.5)
+        assert predicted.x0 == pytest.approx(15.0)
+
+    def test_angle_step_clamped(self):
+        a = StickPose.standing(0.0, 0.0)
+        b = StickPose.standing(0.0, 0.0).with_angle(0, 170.0)
+        predicted = extrapolate_pose(a, b, damping=1.0, max_angle_step=30.0)
+        assert predicted.angle(0) == pytest.approx(200.0)
+
+    def test_wraps(self):
+        a = StickPose.standing(0.0, 0.0).with_angle(0, 350.0)
+        b = StickPose.standing(0.0, 0.0).with_angle(0, 355.0)
+        predicted = extrapolate_pose(a, b, damping=1.0)
+        assert 0.0 <= predicted.angle(0) < 360.0
+
+
+class TestTracking:
+    @pytest.fixture(scope="class")
+    def tracked(self, jump):
+        silhouettes = list(jump.person_masks)  # perfect silhouettes
+        annotation = simulate_human_annotation(
+            jump.motion.poses[0],
+            jump.dims,
+            mask=silhouettes[0],
+            rng=np.random.default_rng(0),
+        )
+        tracker = TemporalPoseTracker(annotation.dims, _fast_config())
+        result = tracker.track(
+            silhouettes, annotation.pose, rng=np.random.default_rng(1)
+        )
+        return jump, result
+
+    def test_tracks_every_frame(self, tracked):
+        jump, result = tracked
+        assert len(result.poses) == jump.num_frames
+        assert len(result.records) == jump.num_frames - 1
+
+    def test_joint_error_bounded(self, tracked):
+        jump, result = tracked
+        errors = [
+            mean_joint_error(result.poses[k], jump.motion.poses[k], jump.dims)
+            for k in range(1, jump.num_frames)
+        ]
+        assert float(np.mean(errors)) < 8.0
+
+    def test_fitness_reported_raw(self, tracked):
+        _, result = tracked
+        for record in result.records:
+            assert 0.0 < record.fitness < 1.0
+
+    def test_mean_generation_of_best_small(self, tracked):
+        # The paper's headline: with temporal seeding the best model
+        # appears within a few generations.
+        _, result = tracked
+        assert result.mean_generation_of_best < 8.0
+
+    def test_empty_silhouette_rejected(self, jump):
+        annotation = simulate_human_annotation(
+            jump.motion.poses[0], jump.dims, rng=np.random.default_rng(0)
+        )
+        tracker = TemporalPoseTracker(annotation.dims, _fast_config())
+        empty = np.zeros_like(jump.person_masks[0])
+        with pytest.raises(TrackingError):
+            tracker.estimate_frame(empty, annotation.pose, np.random.default_rng(0))
+
+    def test_no_silhouettes_rejected(self, jump):
+        tracker = TemporalPoseTracker(jump.dims, _fast_config())
+        with pytest.raises(TrackingError):
+            tracker.track([], StickPose.standing(0, 0))
+
+
+class TestConfigurationVariants:
+    def test_paper_faithful_mode_runs(self, jump):
+        """No extrapolation, reseeding, rescue, polish or prior."""
+        silhouettes = list(jump.person_masks[:6])
+        annotation = simulate_human_annotation(
+            jump.motion.poses[0], jump.dims, mask=silhouettes[0],
+            rng=np.random.default_rng(0),
+        )
+        config = _fast_config(
+            extrapolate=False,
+            reseed_fraction=0.0,
+            temporal_weight=0.0,
+            limb_rescue=False,
+            polish=False,
+        )
+        tracker = TemporalPoseTracker(annotation.dims, config)
+        result = tracker.track(
+            silhouettes, annotation.pose, rng=np.random.default_rng(2)
+        )
+        assert len(result.poses) == 6

@@ -1,0 +1,77 @@
+"""Tests for RGB↔HSV conversion and hue distance (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.color import hsv_to_rgb, hue_distance, rgb_to_hsv
+
+
+def _pixel(r, g, b):
+    return np.array([[[r, g, b]]], dtype=np.float64)
+
+
+class TestRgbToHsv:
+    @pytest.mark.parametrize(
+        "rgb, expected_hsv",
+        [
+            ((1.0, 0.0, 0.0), (0.0, 1.0, 1.0)),  # red
+            ((0.0, 1.0, 0.0), (120.0, 1.0, 1.0)),  # green
+            ((0.0, 0.0, 1.0), (240.0, 1.0, 1.0)),  # blue
+            ((1.0, 1.0, 0.0), (60.0, 1.0, 1.0)),  # yellow
+            ((0.0, 1.0, 1.0), (180.0, 1.0, 1.0)),  # cyan
+            ((1.0, 0.0, 1.0), (300.0, 1.0, 1.0)),  # magenta
+            ((0.5, 0.5, 0.5), (0.0, 0.0, 0.5)),  # gray
+            ((0.0, 0.0, 0.0), (0.0, 0.0, 0.0)),  # black
+        ],
+    )
+    def test_primary_colors(self, rgb, expected_hsv):
+        hsv = rgb_to_hsv(_pixel(*rgb))[0, 0]
+        assert np.allclose(hsv, expected_hsv, atol=1e-9)
+
+    def test_hue_in_range(self, rng):
+        image = rng.random((16, 16, 3))
+        hsv = rgb_to_hsv(image)
+        assert hsv[..., 0].min() >= 0.0
+        assert hsv[..., 0].max() < 360.0
+        assert hsv[..., 1].min() >= 0.0 and hsv[..., 1].max() <= 1.0
+        assert hsv[..., 2].min() >= 0.0 and hsv[..., 2].max() <= 1.0
+
+    def test_value_is_max_channel(self, rng):
+        image = rng.random((8, 8, 3))
+        hsv = rgb_to_hsv(image)
+        assert np.allclose(hsv[..., 2], image.max(axis=-1))
+
+
+class TestRoundTrip:
+    def test_random_images_roundtrip(self, rng):
+        image = rng.random((20, 20, 3))
+        back = hsv_to_rgb(rgb_to_hsv(image))
+        assert np.allclose(back, image, atol=1e-9)
+
+    def test_uint8_input(self):
+        image = np.array([[[200, 50, 25]]], dtype=np.uint8)
+        hsv = rgb_to_hsv(image)
+        assert hsv[0, 0, 2] == pytest.approx(200 / 255)
+
+
+class TestHueDistance:
+    def test_zero_for_equal(self):
+        assert hue_distance(123.0, 123.0) == 0.0
+
+    def test_wraps_shortest_way(self):
+        # 350 and 10 are 20 degrees apart, not 340.
+        assert hue_distance(np.array(350.0), np.array(10.0)) == pytest.approx(20.0)
+
+    def test_max_is_180(self):
+        assert hue_distance(np.array(0.0), np.array(180.0)) == pytest.approx(180.0)
+
+    def test_symmetry(self, rng):
+        a = rng.uniform(0, 360, 50)
+        b = rng.uniform(0, 360, 50)
+        assert np.allclose(hue_distance(a, b), hue_distance(b, a))
+
+    def test_range(self, rng):
+        a = rng.uniform(-720, 720, 100)
+        b = rng.uniform(-720, 720, 100)
+        d = hue_distance(a, b)
+        assert (d >= 0).all() and (d <= 180).all()

@@ -1,0 +1,118 @@
+"""Tests for connected-component labelling and spot removal."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.components import (
+    component_stats,
+    dominant_components,
+    label_components,
+    largest_component,
+    remove_small_components,
+)
+
+
+def _mask_from_string(art: str) -> np.ndarray:
+    rows = [line.strip() for line in art.strip().splitlines()]
+    return np.array([[ch == "#" for ch in row] for row in rows])
+
+
+class TestLabelComponents:
+    def test_empty(self):
+        labels, count = label_components(np.zeros((4, 4), dtype=bool))
+        assert count == 0 and not labels.any()
+
+    def test_single_blob(self):
+        mask = _mask_from_string(
+            """
+            .##.
+            .##.
+            ....
+            """
+        )
+        labels, count = label_components(mask)
+        assert count == 1
+        assert (labels[mask] == 1).all()
+
+    def test_two_blobs_4_connectivity(self):
+        mask = _mask_from_string(
+            """
+            #..
+            .#.
+            ..#
+            """
+        )
+        _, count4 = label_components(mask, connectivity=4)
+        _, count8 = label_components(mask, connectivity=8)
+        assert count4 == 3
+        assert count8 == 1
+
+    def test_u_shape_merges(self):
+        # A U shape requires the union-find merge pass.
+        mask = _mask_from_string(
+            """
+            #.#
+            #.#
+            ###
+            """
+        )
+        labels, count = label_components(mask, connectivity=4)
+        assert count == 1
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_labels_compact(self):
+        rng = np.random.default_rng(2)
+        mask = rng.random((20, 20)) > 0.7
+        labels, count = label_components(mask)
+        present = set(np.unique(labels)) - {0}
+        assert present == set(range(1, count + 1))
+
+
+class TestComponentStats:
+    def test_area_and_centroid(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[2:4, 2:4] = True
+        labels, count = label_components(mask)
+        stats = component_stats(labels, count)
+        assert len(stats) == 1
+        assert stats[0].area == 4
+        assert stats[0].centroid == (2.5, 2.5)
+        assert stats[0].bbox.height == 2
+
+
+class TestRemoveSmall:
+    def test_small_spot_removed(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[1:5, 1:5] = True  # area 16
+        mask[8, 8] = True  # area 1
+        out = remove_small_components(mask, min_area=5)
+        assert out[2, 2] and not out[8, 8]
+
+    def test_min_area_one_keeps_all(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = True
+        assert remove_small_components(mask, min_area=1).any()
+
+
+class TestLargestAndDominant:
+    def test_largest(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[0:2, 0:2] = True  # 4 px
+        mask[5:9, 5:9] = True  # 16 px
+        out = largest_component(mask)
+        assert out[6, 6] and not out[0, 0]
+
+    def test_dominant_keeps_near_equal_parts(self):
+        mask = np.zeros((10, 12), dtype=bool)
+        mask[1:5, 1:5] = True  # 16 px
+        mask[6:9, 6:11] = True  # 15 px
+        mask[0, 11] = True  # 1 px debris
+        out = dominant_components(mask, keep_fraction=0.3)
+        assert out[2, 2] and out[7, 7] and not out[0, 11]
+
+    def test_dominant_empty(self):
+        assert not dominant_components(np.zeros((3, 3), dtype=bool)).any()
+
+    def test_dominant_validates_fraction(self):
+        with pytest.raises(ValueError):
+            dominant_components(np.zeros((3, 3), dtype=bool), keep_fraction=0.0)

@@ -1,0 +1,107 @@
+"""Tests for rasterisation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.draw import (
+    draw_capsule,
+    draw_disk,
+    draw_line,
+    draw_polygon,
+    paint_mask,
+    segment_distance_field,
+    stick_figure_mask,
+)
+from repro.imaging.image import blank_mask, blank_rgb
+
+
+class TestSegmentDistanceField:
+    def test_point_distance(self):
+        field = segment_distance_field((5, 5), (2, 2), (2, 2))
+        assert field[2, 2] == 0.0
+        assert field[2, 4] == pytest.approx(2.0)
+
+    def test_segment_midline_zero(self):
+        field = segment_distance_field((5, 9), (2, 1), (2, 7))
+        assert np.allclose(field[2, 1:8], 0.0)
+        assert field[4, 4] == pytest.approx(2.0)
+
+
+class TestDrawCapsule:
+    def test_disk_area(self):
+        mask = blank_mask(21, 21)
+        draw_disk(mask, (10, 10), 5.0)
+        # Pixel-centre disk of radius 5: close to pi * 25
+        assert 70 <= mask.sum() <= 90
+
+    def test_capsule_contains_endpoints(self):
+        mask = blank_mask(20, 20)
+        draw_capsule(mask, (5, 5), (15, 15), 1.5)
+        assert mask[5, 5] and mask[15, 15]
+
+    def test_offscreen_clipping(self):
+        mask = blank_mask(10, 10)
+        draw_capsule(mask, (-20, -20), (-10, -10), 2.0)
+        assert not mask.any()
+
+    def test_partial_clip(self):
+        mask = blank_mask(10, 10)
+        draw_capsule(mask, (-5, 5), (5, 5), 1.0)
+        assert mask[0, 5] and mask[5, 5]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ImageError):
+            draw_capsule(blank_mask(5, 5), (1, 1), (2, 2), -1.0)
+
+    def test_in_place_and_returns(self):
+        mask = blank_mask(8, 8)
+        out = draw_line(mask, (1, 1), (6, 6), thickness=1.0)
+        assert out is mask and mask.any()
+
+
+class TestDrawPolygon:
+    def test_square(self):
+        mask = blank_mask(10, 10)
+        draw_polygon(mask, np.array([[2, 2], [2, 7], [7, 7], [7, 2]]))
+        assert mask[4, 4]
+        assert not mask[0, 0]
+        assert 20 <= mask.sum() <= 36
+
+    def test_triangle(self):
+        mask = blank_mask(12, 12)
+        draw_polygon(mask, np.array([[1, 1], [1, 10], [10, 1]]))
+        assert mask[2, 2]
+        assert not mask[9, 9]
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ImageError):
+            draw_polygon(blank_mask(5, 5), np.array([[0, 0], [1, 1]]))
+
+
+class TestPaintMask:
+    def test_full_opacity(self):
+        image = blank_rgb(4, 4, (0.0, 0.0, 0.0))
+        mask = blank_mask(4, 4)
+        mask[1, 1] = True
+        paint_mask(image, mask, (1.0, 0.5, 0.25))
+        assert np.allclose(image[1, 1], (1.0, 0.5, 0.25))
+        assert np.allclose(image[0, 0], 0.0)
+
+    def test_half_opacity(self):
+        image = blank_rgb(2, 2, (1.0, 1.0, 1.0))
+        mask = np.ones((2, 2), dtype=bool)
+        paint_mask(image, mask, (0.0, 0.0, 0.0), opacity=0.5)
+        assert np.allclose(image, 0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ImageError):
+            paint_mask(blank_rgb(3, 3), blank_mask(4, 4), (1, 0, 0))
+
+
+class TestStickFigure:
+    def test_multiple_segments(self):
+        mask = stick_figure_mask(
+            (20, 20), [((2, 2), (2, 18)), ((2, 10), (18, 10))], thickness=1.0
+        )
+        assert mask[2, 5] and mask[10, 10]

@@ -1,0 +1,71 @@
+"""Tests for smoothing filters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.filters import (
+    box_blur,
+    gaussian_blur,
+    gaussian_kernel,
+    median_filter,
+)
+
+
+class TestKernels:
+    def test_gaussian_normalised(self):
+        kernel = gaussian_kernel(1.5)
+        assert kernel.sum() == pytest.approx(1.0)
+        assert kernel.argmax() == kernel.size // 2
+
+    def test_gaussian_symmetric(self):
+        kernel = gaussian_kernel(2.0)
+        assert np.allclose(kernel, kernel[::-1])
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ImageError):
+            gaussian_kernel(0.0)
+
+
+class TestBlurs:
+    def test_constant_image_unchanged(self):
+        image = np.full((8, 8), 0.4)
+        assert np.allclose(box_blur(image, 3), 0.4)
+        assert np.allclose(gaussian_blur(image, 1.0), 0.4)
+
+    def test_preserves_mean_roughly(self, rng):
+        image = rng.random((32, 32))
+        blurred = gaussian_blur(image, 1.0)
+        assert blurred.mean() == pytest.approx(image.mean(), abs=0.01)
+
+    def test_reduces_variance(self, rng):
+        image = rng.random((32, 32))
+        assert gaussian_blur(image, 2.0).std() < image.std()
+
+    def test_works_on_color(self, rng):
+        image = rng.random((10, 10, 3))
+        out = box_blur(image, 3)
+        assert out.shape == image.shape
+
+    def test_even_size_rejected(self):
+        with pytest.raises(ImageError):
+            box_blur(np.zeros((4, 4)), 2)
+
+
+class TestMedian:
+    def test_removes_salt_noise(self):
+        image = np.zeros((9, 9))
+        image[4, 4] = 1.0
+        out = median_filter(image, 3)
+        assert out[4, 4] == 0.0
+
+    def test_preserves_step_edge(self):
+        image = np.zeros((8, 8))
+        image[:, 4:] = 1.0
+        out = median_filter(image, 3)
+        assert np.allclose(out[:, :3], 0.0)
+        assert np.allclose(out[:, 5:], 1.0)
+
+    def test_rejects_color(self):
+        with pytest.raises(ImageError):
+            median_filter(np.zeros((4, 4, 3)), 3)

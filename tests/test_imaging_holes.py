@@ -1,0 +1,50 @@
+"""Tests for hole detection and filling."""
+
+import numpy as np
+
+from repro.imaging.holes import fill_holes, hole_mask
+
+
+class TestHoleMask:
+    def test_enclosed_region_found(self):
+        mask = np.ones((7, 7), dtype=bool)
+        mask[2:5, 2:5] = False
+        holes = hole_mask(mask)
+        assert holes[3, 3]
+        assert holes.sum() == 9
+
+    def test_open_bay_is_not_a_hole(self):
+        mask = np.ones((5, 5), dtype=bool)
+        mask[0:3, 2] = False  # channel open to the top border
+        assert not hole_mask(mask).any()
+
+    def test_no_foreground(self):
+        assert not hole_mask(np.zeros((4, 4), dtype=bool)).any()
+
+    def test_diagonal_gap_leaks(self):
+        # 4-connected background flood fill escapes through a diagonal
+        # gap only if there is an edge-adjacent path; a solid diagonal
+        # wall does not seal a hole.
+        mask = np.zeros((5, 5), dtype=bool)
+        for i in range(5):
+            mask[i, i] = True
+        assert not hole_mask(mask).any()
+
+
+class TestFillHoles:
+    def test_fills_large_hole(self):
+        mask = np.ones((9, 9), dtype=bool)
+        mask[3:6, 3:6] = False
+        assert fill_holes(mask).all()
+
+    def test_preserves_foreground(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random((12, 12)) > 0.5
+        filled = fill_holes(mask)
+        assert (filled & mask).sum() == mask.sum()
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        mask = rng.random((15, 15)) > 0.6
+        once = fill_holes(mask)
+        assert (fill_holes(once) == once).all()

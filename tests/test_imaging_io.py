@@ -1,0 +1,83 @@
+"""Tests for PGM/PPM/PNG/NPZ image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.io import (
+    load_masks_npz,
+    read_pgm,
+    read_ppm,
+    save_masks_npz,
+    write_mask_pgm,
+    write_pgm,
+    write_png,
+    write_ppm,
+)
+
+
+class TestPpmRoundTrip:
+    def test_rgb_roundtrip(self, tmp_path, rng):
+        image = rng.random((6, 8, 3))
+        path = tmp_path / "img.ppm"
+        write_ppm(path, image)
+        back = read_ppm(path)
+        assert back.shape == image.shape
+        assert np.abs(back - image).max() <= 1 / 255 + 1e-9
+
+    def test_reject_reading_pgm_as_ppm(self, tmp_path):
+        path = tmp_path / "img.pgm"
+        write_pgm(path, np.zeros((4, 4)))
+        with pytest.raises(ImageError):
+            read_ppm(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.ppm"
+        path.write_bytes(b"not an image")
+        with pytest.raises(ImageError):
+            read_ppm(path)
+
+
+class TestPgmRoundTrip:
+    def test_gray_roundtrip(self, tmp_path, rng):
+        image = rng.random((5, 7))
+        path = tmp_path / "img.pgm"
+        write_pgm(path, image)
+        back = read_pgm(path)
+        assert np.abs(back - image).max() <= 1 / 255 + 1e-9
+
+    def test_mask_write(self, tmp_path):
+        mask = np.eye(4, dtype=bool)
+        path = tmp_path / "mask.pgm"
+        write_mask_pgm(path, mask)
+        back = read_pgm(path)
+        assert ((back > 0.5) == mask).all()
+
+
+class TestPng:
+    def test_png_signature_and_size(self, tmp_path, rng):
+        path = tmp_path / "img.png"
+        write_png(path, rng.random((8, 10, 3)))
+        data = path.read_bytes()
+        assert data[:8] == b"\x89PNG\r\n\x1a\n"
+        assert b"IHDR" in data and b"IEND" in data
+
+    def test_grayscale_png(self, tmp_path):
+        path = tmp_path / "gray.png"
+        write_png(path, np.linspace(0, 1, 20).reshape(4, 5))
+        assert path.stat().st_size > 50
+
+    def test_bad_shape(self, tmp_path):
+        with pytest.raises(ImageError):
+            write_png(tmp_path / "x.png", np.zeros((2, 2, 4)))
+
+
+class TestMaskArchive:
+    def test_roundtrip_order(self, tmp_path, rng):
+        masks = [rng.random((6, 6)) > 0.5 for _ in range(5)]
+        path = tmp_path / "masks.npz"
+        save_masks_npz(path, masks)
+        loaded = load_masks_npz(path)
+        assert len(loaded) == 5
+        for original, back in zip(masks, loaded):
+            assert (original == back).all()

@@ -1,0 +1,93 @@
+"""Tests for segmentation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.metrics import (
+    confusion,
+    f1_score,
+    iou,
+    mean_absolute_error,
+    rmse,
+    shadow_detection_rates,
+)
+
+
+def _masks():
+    truth = np.zeros((4, 4), dtype=bool)
+    truth[1:3, 1:3] = True  # 4 px
+    pred = np.zeros((4, 4), dtype=bool)
+    pred[1:3, 1:4] = True  # 6 px, 4 overlap
+    return pred, truth
+
+
+class TestConfusion:
+    def test_counts(self):
+        pred, truth = _masks()
+        c = confusion(pred, truth)
+        assert c.true_positive == 4
+        assert c.false_positive == 2
+        assert c.false_negative == 0
+        assert c.true_negative == 10
+
+    def test_derived_metrics(self):
+        pred, truth = _masks()
+        c = confusion(pred, truth)
+        assert c.precision == pytest.approx(4 / 6)
+        assert c.recall == 1.0
+        assert c.iou == pytest.approx(4 / 6)
+        assert c.f1 == pytest.approx(2 * (4 / 6) / (1 + 4 / 6))
+        assert c.accuracy == pytest.approx(14 / 16)
+
+    def test_perfect_match(self):
+        mask = np.eye(4, dtype=bool)
+        c = confusion(mask, mask)
+        assert c.iou == 1.0 and c.f1 == 1.0
+
+    def test_empty_masks(self):
+        empty = np.zeros((3, 3), dtype=bool)
+        c = confusion(empty, empty)
+        assert c.iou == 1.0
+        assert c.precision == 1.0
+        assert c.recall == 1.0
+
+    def test_disjoint(self):
+        a = np.zeros((3, 3), dtype=bool); a[0, 0] = True
+        b = np.zeros((3, 3), dtype=bool); b[2, 2] = True
+        assert iou(a, b) == 0.0
+        assert f1_score(a, b) == 0.0
+
+
+class TestShadowRates:
+    def test_rates(self):
+        shadow_true = np.zeros((4, 4), dtype=bool)
+        shadow_true[3, :] = True  # 4 shadow px
+        person_true = np.zeros((4, 4), dtype=bool)
+        person_true[0:2, :] = True  # 8 person px
+        predicted = np.zeros((4, 4), dtype=bool)
+        predicted[3, 0:2] = True  # detects half the shadow
+        predicted[0, 0] = True  # eats one person pixel
+        detection, discrimination = shadow_detection_rates(
+            predicted, shadow_true, person_true
+        )
+        assert detection == pytest.approx(0.5)
+        assert discrimination == pytest.approx(7 / 8)
+
+    def test_empty_truths(self):
+        empty = np.zeros((2, 2), dtype=bool)
+        detection, discrimination = shadow_detection_rates(empty, empty, empty)
+        assert detection == 1.0 and discrimination == 1.0
+
+
+class TestImageErrors:
+    def test_rmse_and_mae(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.5)
+        assert mean_absolute_error(a, b) == pytest.approx(0.5)
+        assert rmse(a, b) == pytest.approx(0.5)
+
+    def test_rmse_dominated_by_outliers(self):
+        a = np.zeros(16).reshape(4, 4)
+        b = a.copy()
+        b[0, 0] = 1.0
+        assert rmse(a, b) > mean_absolute_error(a, b)

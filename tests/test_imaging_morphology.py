@@ -1,0 +1,115 @@
+"""Tests for binary morphology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.morphology import (
+    boundary,
+    box_element,
+    closing,
+    cross_element,
+    dilate,
+    disk_element,
+    erode,
+    opening,
+)
+
+
+class TestElements:
+    def test_box(self):
+        assert box_element(3).sum() == 9
+
+    def test_cross(self):
+        element = cross_element(3)
+        assert element.sum() == 5
+        assert element[1, 1]
+
+    def test_disk(self):
+        disk = disk_element(2)
+        assert disk.shape == (5, 5)
+        assert disk[2, 2] and disk[0, 2]
+        assert not disk[0, 0]
+
+    def test_even_size_rejected(self):
+        with pytest.raises(ImageError):
+            box_element(4)
+        with pytest.raises(ImageError):
+            cross_element(2)
+        with pytest.raises(ImageError):
+            disk_element(-1)
+
+
+class TestDilateErode:
+    def test_dilate_grows_point(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        out = dilate(mask)
+        assert out.sum() == 9
+
+    def test_erode_shrinks_block(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[1:4, 1:4] = True
+        out = erode(mask)
+        assert out.sum() == 1 and out[2, 2]
+
+    def test_erode_at_border(self):
+        mask = np.ones((4, 4), dtype=bool)
+        out = erode(mask)
+        # outside counts as background, so the border erodes away
+        assert out.sum() == 4
+        assert out[1:3, 1:3].all()
+
+    def test_iterations(self):
+        mask = np.zeros((9, 9), dtype=bool)
+        mask[4, 4] = True
+        assert dilate(mask, iterations=2).sum() == 25
+
+    def test_duality_on_interior(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random((12, 12)) > 0.5
+        mask[0, :] = mask[-1, :] = mask[:, 0] = mask[:, -1] = False
+        # dilation of mask == complement of erosion of complement
+        # (holds away from the border given the padding convention)
+        left = dilate(mask)[1:-1, 1:-1]
+        right = ~erode(~mask)[1:-1, 1:-1]
+        assert (left == right).all()
+
+
+class TestOpenClose:
+    def test_opening_removes_speck(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[1:5, 1:5] = True
+        mask[6, 6] = True  # speck
+        out = opening(mask)
+        assert not out[6, 6]
+        assert out[2, 2]
+
+    def test_closing_fills_gap(self):
+        mask = np.ones((5, 5), dtype=bool)
+        mask[2, 2] = False
+        assert closing(mask)[2, 2]
+
+    def test_opening_is_anti_extensive(self):
+        rng = np.random.default_rng(5)
+        mask = rng.random((15, 15)) > 0.4
+        assert not (opening(mask) & ~mask).any()
+
+    def test_closing_is_extensive(self):
+        rng = np.random.default_rng(6)
+        mask = rng.random((15, 15)) > 0.4
+        assert not (mask & ~closing(mask)).any()
+
+
+class TestBoundary:
+    def test_block_boundary(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[1:5, 1:5] = True
+        edge = boundary(mask)
+        assert edge[1, 1] and edge[1, 4]
+        assert not edge[2, 2]
+
+    def test_boundary_subset_of_mask(self):
+        rng = np.random.default_rng(7)
+        mask = rng.random((10, 10)) > 0.5
+        assert not (boundary(mask) & ~mask).any()

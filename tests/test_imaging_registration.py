@@ -1,0 +1,129 @@
+"""Tests for translation estimation and video stabilisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.registration import (
+    estimate_translation,
+    shift_image,
+    stabilize_frames,
+)
+
+
+def _textured(rng, shape=(48, 64)):
+    from repro.imaging.filters import gaussian_blur
+
+    return gaussian_blur(rng.random(shape), 1.0)
+
+
+class TestShiftImage:
+    def test_positive_shift(self):
+        image = np.arange(12.0).reshape(3, 4)
+        out = shift_image(image, 1, 1)
+        assert out[1, 1] == image[0, 0]
+        assert out.shape == image.shape
+
+    def test_negative_shift(self):
+        image = np.arange(12.0).reshape(3, 4)
+        out = shift_image(image, -1, -2)
+        assert out[0, 0] == image[1, 2]
+
+    def test_zero_shift_copy(self):
+        image = np.ones((3, 3))
+        out = shift_image(image, 0, 0)
+        assert out is not image and np.array_equal(out, image)
+
+    def test_color_and_bool(self):
+        rgb = np.random.default_rng(0).random((4, 4, 3))
+        assert shift_image(rgb, 1, 0).shape == rgb.shape
+        mask = np.eye(4, dtype=bool)
+        assert shift_image(mask, 0, 1).dtype == bool
+
+    def test_inverse_roundtrip_interior(self):
+        image = np.arange(100.0).reshape(10, 10)
+        back = shift_image(shift_image(image, 2, -1), -2, 1)
+        assert np.array_equal(back[3:-3, 3:-3], image[3:-3, 3:-3])
+
+
+class TestEstimateTranslation:
+    @pytest.mark.parametrize("method", ["search", "phase"])
+    def test_recovers_known_shift(self, rng, method):
+        ref = _textured(rng)
+        moved = shift_image(ref, 3, -2)
+        drow, dcol = estimate_translation(ref, moved, max_shift=5, method=method)
+        assert (drow, dcol) == (-3, 2)
+        realigned = shift_image(moved, drow, dcol)
+        assert np.allclose(realigned[6:-6, 6:-6], ref[6:-6, 6:-6])
+
+    def test_zero_shift(self, rng):
+        ref = _textured(rng)
+        assert estimate_translation(ref, ref.copy()) == (0, 0)
+
+    def test_rgb_input(self, rng):
+        ref = rng.random((32, 40, 3))
+        moved = shift_image(ref, 0, 2)
+        assert estimate_translation(ref, moved, max_shift=4) == (0, -2)
+
+    def test_robust_to_local_change(self, rng):
+        # A small moving object must not derail the global estimate.
+        ref = _textured(rng)
+        moved = shift_image(ref, 2, 1)
+        moved[10:16, 10:16] = 1.0  # the "person" moved independently
+        assert estimate_translation(ref, moved, max_shift=4) == (-2, -1)
+
+    def test_validation(self, rng):
+        ref = _textured(rng)
+        with pytest.raises(ImageError):
+            estimate_translation(ref, ref[:10])
+        with pytest.raises(ImageError):
+            estimate_translation(ref, ref, method="optical-flow")
+        with pytest.raises(ImageError):
+            estimate_translation(ref, ref, max_shift=40)  # too large
+
+
+class TestStabilizeFrames:
+    def test_aligns_shaken_stack(self, rng):
+        base = _textured(rng, (40, 50))
+        base_rgb = np.stack([base] * 3, axis=-1)
+        shifts = [(0, 0), (2, -1), (-1, 2), (3, 3)]
+        frames = np.stack([shift_image(base_rgb, *s) for s in shifts])
+        aligned, offsets = stabilize_frames(frames, max_shift=5)
+        assert offsets[0] == (0, 0)
+        for k in range(1, 4):
+            assert offsets[k] == (-shifts[k][0], -shifts[k][1])
+            assert np.allclose(
+                aligned[k][8:-8, 8:-8], frames[0][8:-8, 8:-8], atol=1e-9
+            )
+
+    def test_validation(self):
+        with pytest.raises(ImageError):
+            stabilize_frames(np.zeros((4, 4, 3)))
+        with pytest.raises(ImageError):
+            stabilize_frames(np.zeros((2, 20, 20, 3)), reference_index=5)
+
+
+class TestJitteredJumpPipeline:
+    def test_stabilization_restores_segmentation(self):
+        from repro.imaging.metrics import iou
+        from repro.segmentation import (
+            SegmentationConfig,
+            SegmentationPipeline,
+        )
+        from repro.video.synthesis import SyntheticJumpConfig, synthesize_jump
+
+        jump = synthesize_jump(SyntheticJumpConfig(seed=1, camera_jitter=2.0))
+        shaky = SegmentationPipeline().segment_video(jump.video)
+        stable = SegmentationPipeline(
+            SegmentationConfig(stabilize=True)
+        ).segment_video(jump.video)
+        score = lambda segs: float(
+            np.mean(
+                [
+                    iou(seg.person, jump.person_masks[k])
+                    for k, seg in enumerate(segs)
+                ]
+            )
+        )
+        assert score(stable) > score(shaky) + 0.03
+        assert score(stable) > 0.93

@@ -1,0 +1,74 @@
+"""Tests for image resizing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.resize import (
+    resize_bilinear,
+    resize_mask,
+    resize_nearest,
+    resize_video_frames,
+)
+
+
+class TestNearest:
+    def test_identity(self, rng):
+        image = rng.random((8, 10))
+        assert np.array_equal(resize_nearest(image, 8, 10), image)
+
+    def test_upscale_2x_repeats(self):
+        image = np.arange(4.0).reshape(2, 2)
+        out = resize_nearest(image, 4, 4)
+        assert out.shape == (4, 4)
+        assert out[0, 0] == image[0, 0] and out[3, 3] == image[1, 1]
+
+    def test_mask_stays_boolean(self):
+        mask = np.eye(6, dtype=bool)
+        out = resize_mask(mask, 12, 12)
+        assert out.dtype == bool
+        assert out.shape == (12, 12)
+
+    def test_bad_target(self):
+        with pytest.raises(ImageError):
+            resize_nearest(np.zeros((4, 4)), 0, 5)
+
+
+class TestBilinear:
+    def test_identity(self, rng):
+        image = rng.random((9, 7))
+        assert np.allclose(resize_bilinear(image, 9, 7), image)
+
+    def test_constant_preserved(self):
+        image = np.full((5, 5, 3), 0.42)
+        out = resize_bilinear(image, 13, 9)
+        assert np.allclose(out, 0.42)
+
+    def test_gradient_interpolated(self):
+        image = np.linspace(0, 1, 10)[None, :].repeat(4, axis=0)
+        out = resize_bilinear(image, 4, 19)
+        assert (np.diff(out[0]) >= -1e-9).all()  # still monotone
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_downscale_averages(self):
+        image = np.zeros((4, 4))
+        image[:2] = 1.0
+        out = resize_bilinear(image, 2, 2)
+        assert out[0].mean() > out[1].mean()
+
+    def test_range_preserved(self, rng):
+        image = rng.random((16, 16, 3))
+        out = resize_bilinear(image, 7, 23)
+        assert out.min() >= image.min() - 1e-9
+        assert out.max() <= image.max() + 1e-9
+
+
+class TestVideoResize:
+    def test_stack(self, rng):
+        frames = rng.random((3, 8, 8, 3))
+        out = resize_video_frames(frames, 4, 12)
+        assert out.shape == (3, 4, 12, 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ImageError):
+            resize_video_frames(np.zeros((8, 8, 3)), 4, 4)

@@ -1,0 +1,69 @@
+"""Tests for distance transforms."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.transform import (
+    chamfer_distance,
+    euclidean_distance_exact,
+    signed_distance,
+)
+
+
+class TestChamfer:
+    def test_zero_on_sources(self):
+        mask = np.zeros((7, 7), dtype=bool)
+        mask[3, 3] = True
+        dist = chamfer_distance(mask)
+        assert dist[3, 3] == 0.0
+
+    def test_axial_distances_exact(self):
+        mask = np.zeros((9, 9), dtype=bool)
+        mask[4, 4] = True
+        dist = chamfer_distance(mask)
+        assert dist[4, 8] == pytest.approx(4.0)
+        assert dist[0, 4] == pytest.approx(4.0)
+
+    def test_diagonal_approximation(self):
+        mask = np.zeros((9, 9), dtype=bool)
+        mask[4, 4] = True
+        dist = chamfer_distance(mask)
+        # 3-4 chamfer: diagonal step costs 4/3 vs true sqrt(2)
+        assert dist[0, 0] == pytest.approx(4 * 4 / 3)
+
+    def test_close_to_euclidean(self, rng):
+        mask = rng.random((20, 20)) > 0.9
+        if not mask.any():
+            mask[5, 5] = True
+        cham = chamfer_distance(mask)
+        exact = euclidean_distance_exact(mask)
+        error = np.abs(cham - exact)
+        # 3-4 chamfer error bound is ~6% of the distance
+        assert (error <= 0.09 * exact + 1e-9).all()
+
+    def test_background_distance(self):
+        mask = np.ones((5, 5), dtype=bool)
+        mask[2, 2] = False
+        dist = chamfer_distance(mask, to_foreground=False)
+        assert dist[2, 2] == 0.0
+        assert dist[2, 3] == pytest.approx(1.0)
+
+    def test_empty_sources_sentinel(self):
+        dist = chamfer_distance(np.zeros((4, 4), dtype=bool))
+        assert (dist > 1e9).all()
+
+
+class TestSignedDistance:
+    def test_sign_convention(self):
+        mask = np.zeros((9, 9), dtype=bool)
+        mask[3:6, 3:6] = True
+        sd = signed_distance(mask)
+        assert sd[4, 4] < 0
+        assert sd[0, 0] > 0
+
+    def test_magnitude_at_boundary(self):
+        mask = np.zeros((7, 7), dtype=bool)
+        mask[2:5, 2:5] = True
+        sd = signed_distance(mask)
+        # boundary pixels are 1 away from the outside
+        assert sd[2, 3] == pytest.approx(-1.0)

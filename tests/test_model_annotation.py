@@ -1,0 +1,78 @@
+"""Tests for first-frame annotation (simulated human + automatic)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.annotation import (
+    AnnotationJitter,
+    auto_annotate,
+    simulate_human_annotation,
+    standing_prior_angles,
+)
+from repro.model.pose import StickPose, pose_angle_errors
+from repro.model.sticks import default_body
+from repro.video.synthesis.render import person_mask_for_pose
+
+BODY = default_body(60.0)
+SHAPE = (120, 160)
+
+
+class TestSimulatedHuman:
+    def test_jitter_statistics(self, rng):
+        true_pose = StickPose.standing(60.0, 50.0)
+        jitter = AnnotationJitter(center_sigma=1.0, angle_sigma=3.0)
+        errors = []
+        for _ in range(30):
+            ann = simulate_human_annotation(true_pose, BODY, jitter=jitter, rng=rng)
+            errors.append(pose_angle_errors(ann.pose, true_pose).mean())
+        mean_error = float(np.mean(errors))
+        assert 0.5 < mean_error < 8.0
+
+    def test_zero_jitter_exact(self):
+        true_pose = StickPose.standing(60.0, 50.0)
+        ann = simulate_human_annotation(
+            true_pose, BODY, jitter=AnnotationJitter(0.0, 0.0)
+        )
+        assert ann.pose == true_pose
+
+    def test_thickness_calibration_with_mask(self, rng):
+        true_pose = StickPose.standing(60.0, 50.0)
+        mask = person_mask_for_pose(true_pose, BODY, SHAPE)
+        ann = simulate_human_annotation(true_pose, BODY, mask=mask, rng=rng)
+        assert ann.dims.thicknesses != BODY.thicknesses  # re-estimated
+        assert ann.dims.lengths == BODY.lengths
+
+    def test_jitter_validation(self):
+        with pytest.raises(ModelError):
+            AnnotationJitter(center_sigma=-1.0)
+
+
+class TestAutoAnnotate:
+    def test_recovers_standing_pose_roughly(self):
+        true_pose = StickPose.standing(60.0, 50.0)
+        mask = person_mask_for_pose(true_pose, BODY, SHAPE)
+        ann = auto_annotate(mask)
+        # Centre within a few pixels, trunk near vertical.
+        assert abs(ann.pose.x0 - true_pose.x0) < 5.0
+        assert abs(ann.pose.y0 - true_pose.y0) < 8.0
+        trunk = ann.pose.angle("trunk")
+        assert trunk < 15.0 or trunk > 345.0
+
+    def test_scales_to_silhouette(self):
+        big_body = default_body(90.0)
+        pose = StickPose.standing(70.0, 60.0)
+        mask = person_mask_for_pose(pose, big_body, (160, 200))
+        ann = auto_annotate(mask)
+        assert ann.dims.stature == pytest.approx(big_body.stature, rel=0.15)
+
+    def test_tiny_mask_rejected(self):
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[10, 10] = True
+        with pytest.raises(ModelError):
+            auto_annotate(mask)
+
+
+class TestStandingPrior:
+    def test_prior_matches_standing_pose(self):
+        assert standing_prior_angles() == StickPose.standing(0, 0).angles_deg

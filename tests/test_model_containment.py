@@ -1,0 +1,92 @@
+"""Tests for the silhouette-containment feasibility check."""
+
+import numpy as np
+import pytest
+
+from repro.model.containment import ContainmentChecker
+from repro.model.pose import StickPose
+from repro.model.sticks import default_body
+from repro.video.synthesis.render import person_mask_for_pose
+
+BODY = default_body(60.0)
+SHAPE = (120, 160)
+
+
+def _setup():
+    pose = StickPose.standing(60.0, 50.0)
+    mask = person_mask_for_pose(pose, BODY, SHAPE)
+    return pose, mask
+
+
+class TestCheck:
+    def test_true_pose_feasible(self):
+        pose, mask = _setup()
+        checker = ContainmentChecker(mask, BODY)
+        assert checker.check_pose(pose)
+
+    def test_far_pose_infeasible(self):
+        pose, mask = _setup()
+        checker = ContainmentChecker(mask, BODY)
+        assert not checker.check_pose(pose.translated(40.0, 0.0))
+
+    def test_arm_sticking_out_infeasible(self):
+        pose, mask = _setup()
+        checker = ContainmentChecker(mask, BODY, margin=1)
+        # Arm horizontal forward while the silhouette has it hanging.
+        assert not checker.check_pose(pose.with_angle("upper_arm", 90.0))
+
+    def test_out_of_frame_infeasible(self):
+        pose, mask = _setup()
+        checker = ContainmentChecker(mask, BODY)
+        assert not checker.check(pose.translated(200.0, 0.0).to_genes())
+
+    def test_batch(self):
+        pose, mask = _setup()
+        checker = ContainmentChecker(mask, BODY)
+        genes = np.stack([pose.to_genes(), pose.translated(50, 0).to_genes()])
+        result = checker.check(genes)
+        assert result.tolist() == [True, False]
+
+    def test_margin_loosens(self):
+        pose, mask = _setup()
+        nudged = pose.translated(2.0, 0.0)
+        strict = ContainmentChecker(mask, BODY, margin=0, min_inside_fraction=1.0)
+        loose = ContainmentChecker(mask, BODY, margin=3, min_inside_fraction=1.0)
+        assert loose.check_pose(nudged) or not strict.check_pose(nudged)
+        assert loose.check_pose(pose)
+
+    def test_parameter_validation(self):
+        _, mask = _setup()
+        with pytest.raises(ValueError):
+            ContainmentChecker(mask, BODY, margin=-1)
+        with pytest.raises(ValueError):
+            ContainmentChecker(mask, BODY, samples_per_stick=0)
+        with pytest.raises(ValueError):
+            ContainmentChecker(mask, BODY, min_inside_fraction=1.5)
+
+
+class TestInsideFraction:
+    def test_true_pose_full(self):
+        pose, mask = _setup()
+        checker = ContainmentChecker(mask, BODY)
+        assert checker.inside_fraction(pose.to_genes()) == pytest.approx(1.0)
+
+    def test_far_pose_zero(self):
+        pose, mask = _setup()
+        checker = ContainmentChecker(mask, BODY)
+        assert checker.inside_fraction(pose.translated(80, 0).to_genes()) == 0.0
+
+    def test_monotone_with_offset(self):
+        pose, mask = _setup()
+        checker = ContainmentChecker(mask, BODY)
+        fractions = [
+            checker.inside_fraction(pose.translated(dx, 0.0).to_genes())
+            for dx in (0.0, 8.0, 20.0, 60.0)
+        ]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_batch_shape(self):
+        pose, mask = _setup()
+        checker = ContainmentChecker(mask, BODY)
+        out = checker.inside_fraction(np.stack([pose.to_genes()] * 3))
+        assert out.shape == (3,)

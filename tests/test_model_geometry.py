@@ -1,0 +1,122 @@
+"""Tests for geometry kernels (angles, distances, coordinate frames)."""
+
+import numpy as np
+import pytest
+
+from repro.model.geometry import (
+    angle_difference,
+    direction,
+    image_to_world,
+    mask_points_world,
+    points_to_segments_distance,
+    sample_segment_points,
+    world_to_image,
+    wrap_angle,
+)
+
+
+class TestDirection:
+    def test_cardinal_directions(self):
+        assert np.allclose(direction(0.0), (0.0, 1.0))  # up
+        assert np.allclose(direction(90.0), (1.0, 0.0))  # +x (jump direction)
+        assert np.allclose(direction(180.0), (0.0, -1.0), atol=1e-12)  # down
+        assert np.allclose(direction(270.0), (-1.0, 0.0), atol=1e-12)  # -x
+
+    def test_batch(self):
+        out = direction(np.array([0.0, 90.0]))
+        assert out.shape == (2, 2)
+
+    def test_unit_norm(self, rng):
+        angles = rng.uniform(0, 360, 100)
+        norms = np.linalg.norm(direction(angles), axis=-1)
+        assert np.allclose(norms, 1.0)
+
+
+class TestAngles:
+    def test_wrap(self):
+        assert wrap_angle(365.0) == pytest.approx(5.0)
+        assert wrap_angle(-10.0) == pytest.approx(350.0)
+        assert wrap_angle(720.0) == pytest.approx(0.0)
+
+    def test_difference_shortest_arc(self):
+        assert angle_difference(10.0, 350.0) == pytest.approx(20.0)
+        assert angle_difference(350.0, 10.0) == pytest.approx(-20.0)
+        assert angle_difference(90.0, 90.0) == 0.0
+
+    def test_difference_range(self, rng):
+        a = rng.uniform(-720, 720, 200)
+        b = rng.uniform(-720, 720, 200)
+        diff = angle_difference(a, b)
+        assert (diff > -180).all() and (diff <= 180).all()
+
+    def test_half_turn_positive(self):
+        assert angle_difference(180.0, 0.0) == pytest.approx(180.0)
+        assert angle_difference(0.0, 180.0) == pytest.approx(180.0)
+
+
+class TestPointSegmentDistance:
+    def test_point_on_segment(self):
+        points = np.array([[0.5, 0.0]])
+        segments = np.array([[[0.0, 0.0], [1.0, 0.0]]])
+        assert points_to_segments_distance(points, segments)[0, 0] == 0.0
+
+    def test_perpendicular(self):
+        points = np.array([[0.5, 2.0]])
+        segments = np.array([[[0.0, 0.0], [1.0, 0.0]]])
+        assert points_to_segments_distance(points, segments)[0, 0] == pytest.approx(2.0)
+
+    def test_beyond_endpoint(self):
+        points = np.array([[3.0, 4.0]])
+        segments = np.array([[[0.0, 0.0], [0.0, 0.0]]])  # degenerate
+        assert points_to_segments_distance(points, segments)[0, 0] == pytest.approx(5.0)
+
+    def test_clamps_to_endpoints(self):
+        points = np.array([[-1.0, 1.0]])
+        segments = np.array([[[0.0, 0.0], [5.0, 0.0]]])
+        assert points_to_segments_distance(points, segments)[0, 0] == pytest.approx(
+            np.sqrt(2.0)
+        )
+
+    def test_shapes(self, rng):
+        points = rng.random((7, 2))
+        segments = rng.random((3, 2, 2))
+        out = points_to_segments_distance(points, segments)
+        assert out.shape == (7, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            points_to_segments_distance(np.zeros((3, 3)), np.zeros((1, 2, 2)))
+        with pytest.raises(ValueError):
+            points_to_segments_distance(np.zeros((3, 2)), np.zeros((1, 2, 3)))
+
+
+class TestSampling:
+    def test_endpoint_inclusion(self):
+        segments = np.array([[[0.0, 0.0], [4.0, 0.0]]])
+        pts = sample_segment_points(segments, 5)
+        assert pts.shape == (5, 2)
+        assert np.allclose(pts[0], (0, 0)) and np.allclose(pts[-1], (4, 0))
+
+    def test_single_sample_is_midpoint(self):
+        segments = np.array([[[0.0, 0.0], [4.0, 2.0]]])
+        pts = sample_segment_points(segments, 1)
+        assert np.allclose(pts[0], (2.0, 1.0))
+
+
+class TestCoordinateFrames:
+    def test_world_image_roundtrip(self, rng):
+        pts = rng.random((10, 2)) * 50
+        back = image_to_world(world_to_image(pts, 120), 120)
+        assert np.allclose(back, pts)
+
+    def test_origin_convention(self):
+        # world (0, 0) is the bottom-left pixel -> image row H-1, col 0
+        rc = world_to_image(np.array([0.0, 0.0]), 120)
+        assert np.allclose(rc, (119.0, 0.0))
+
+    def test_mask_points_world(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[4, 0] = True  # bottom-left
+        mask[0, 4] = True  # top-right
+        pts = mask_points_world(mask)
+        assert {tuple(p) for p in pts} == {(0.0, 0.0), (4.0, 4.0)}

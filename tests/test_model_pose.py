@@ -1,0 +1,148 @@
+"""Tests for StickPose and forward kinematics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.pose import (
+    GENES,
+    StickPose,
+    describe_pose,
+    forward_kinematics,
+    mean_joint_error,
+    pose_angle_errors,
+)
+from repro.model.sticks import (
+    FOOT,
+    HEAD,
+    NECK,
+    SHANK,
+    THIGH,
+    TRUNK,
+    UPPER_ARM,
+    default_body,
+)
+
+BODY = default_body(60.0)
+
+
+class TestStickPose:
+    def test_standing_pose_angles(self):
+        pose = StickPose.standing(30.0, 40.0)
+        assert pose.angle("trunk") == 0.0
+        assert pose.angle("upper_arm") == 180.0
+        assert pose.angle("foot") == 90.0
+
+    def test_gene_roundtrip(self):
+        pose = StickPose.standing(10.0, 20.0)
+        back = StickPose.from_genes(pose.to_genes())
+        assert back == pose
+
+    def test_from_genes_wraps_angles(self):
+        genes = np.zeros(GENES)
+        genes[2] = 370.0
+        pose = StickPose.from_genes(genes)
+        assert pose.angles_deg[0] == pytest.approx(10.0)
+
+    def test_wrong_gene_count(self):
+        with pytest.raises(ModelError):
+            StickPose.from_genes(np.zeros(9))
+
+    def test_with_angle(self):
+        pose = StickPose.standing(0.0, 0.0).with_angle(THIGH, 150.0)
+        assert pose.angle(THIGH) == 150.0
+
+    def test_translated(self):
+        pose = StickPose.standing(1.0, 2.0).translated(3.0, 4.0)
+        assert (pose.x0, pose.y0) == (4.0, 6.0)
+
+    def test_blended_midpoint(self):
+        a = StickPose.standing(0.0, 0.0)
+        b = StickPose.standing(10.0, 0.0).with_angle(TRUNK, 40.0)
+        mid = a.blended(b, 0.5)
+        assert mid.x0 == pytest.approx(5.0)
+        assert mid.angle(TRUNK) == pytest.approx(20.0)
+
+    def test_blended_shortest_arc(self):
+        a = StickPose.standing(0.0, 0.0).with_angle(TRUNK, 350.0)
+        b = StickPose.standing(0.0, 0.0).with_angle(TRUNK, 10.0)
+        mid = a.blended(b, 0.5)
+        assert mid.angle(TRUNK) == pytest.approx(0.0)
+
+    def test_describe(self):
+        text = describe_pose(StickPose.standing(1.0, 2.0))
+        assert "trunk=" in text and "foot=" in text
+
+
+class TestForwardKinematics:
+    def test_standing_geometry(self):
+        pose = StickPose.standing(0.0, 0.0)
+        segs = pose.segments(BODY)
+        # trunk vertical: upper end above lower end
+        assert segs[TRUNK, 1, 1] > segs[TRUNK, 0, 1]
+        assert segs[TRUNK, 1, 0] == pytest.approx(0.0)
+        # head top is the highest point
+        assert segs[HEAD, 1, 1] == max(segs[:, :, 1].max(), segs[HEAD, 1, 1])
+        # foot points forward (+x)
+        assert segs[FOOT, 1, 0] > segs[FOOT, 0, 0]
+
+    def test_chain_connectivity(self):
+        pose = StickPose.standing(5.0, 7.0).with_angle(THIGH, 120.0)
+        segs = pose.segments(BODY)
+        assert np.allclose(segs[SHANK, 0], segs[THIGH, 1])
+        assert np.allclose(segs[FOOT, 0], segs[SHANK, 1])
+        assert np.allclose(segs[NECK, 0], segs[TRUNK, 1])
+        assert np.allclose(segs[UPPER_ARM, 0], segs[TRUNK, 1])
+        assert np.allclose(segs[HEAD, 0], segs[NECK, 1])
+
+    def test_segment_lengths(self):
+        pose = StickPose.standing(0.0, 0.0)
+        segs = pose.segments(BODY)
+        for stick in range(8):
+            length = np.linalg.norm(segs[stick, 1] - segs[stick, 0])
+            assert length == pytest.approx(BODY.lengths[stick])
+
+    def test_stature_when_standing(self):
+        pose = StickPose.standing(0.0, 0.0)
+        segs = pose.segments(BODY)
+        top = segs[HEAD, 1, 1]
+        bottom = segs[SHANK, 1, 1]  # ankle
+        assert top - bottom == pytest.approx(BODY.stature, rel=0.01)
+
+    def test_batch_consistency(self, rng):
+        genes = rng.uniform(0, 360, (5, GENES))
+        genes[:, 0] = rng.uniform(-10, 10, 5)
+        genes[:, 1] = rng.uniform(-10, 10, 5)
+        batch = forward_kinematics(genes, BODY)
+        for i in range(5):
+            single = forward_kinematics(genes[i : i + 1], BODY)[0]
+            assert np.allclose(batch[i], single)
+
+    def test_translation_equivariance(self, rng):
+        genes = rng.uniform(0, 360, (1, GENES))
+        genes[0, :2] = (0.0, 0.0)
+        base = forward_kinematics(genes, BODY)[0]
+        genes[0, :2] = (7.0, -3.0)
+        moved = forward_kinematics(genes, BODY)[0]
+        assert np.allclose(moved, base + np.array([7.0, -3.0]))
+
+    def test_input_validation(self):
+        with pytest.raises(ModelError):
+            forward_kinematics(np.zeros((2, 9)), BODY)
+
+
+class TestErrors:
+    def test_pose_angle_errors_shortest_arc(self):
+        a = StickPose.standing(0, 0).with_angle(TRUNK, 358.0)
+        b = StickPose.standing(0, 0).with_angle(TRUNK, 2.0)
+        errs = pose_angle_errors(a, b)
+        assert errs[TRUNK] == pytest.approx(4.0)
+
+    def test_mean_joint_error_zero_for_identical(self):
+        pose = StickPose.standing(3.0, 4.0)
+        assert mean_joint_error(pose, pose, BODY) == 0.0
+
+    def test_mean_joint_error_translation(self):
+        a = StickPose.standing(0.0, 0.0)
+        b = a.translated(3.0, 4.0)
+        assert mean_joint_error(a, b, BODY) == pytest.approx(5.0)

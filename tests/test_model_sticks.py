@@ -1,0 +1,114 @@
+"""Tests for stick topology and body dimensions (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.sticks import (
+    EVALUATION_ORDER,
+    FOOT,
+    HEAD,
+    NECK,
+    NUM_STICKS,
+    PARENT,
+    SHANK,
+    STICK_NAMES,
+    THIGH,
+    TRUNK,
+    UPPER_ARM,
+    AngleWindows,
+    BodyDimensions,
+    default_body,
+    stick_index,
+)
+
+
+class TestTopology:
+    def test_eight_sticks(self):
+        assert NUM_STICKS == 8
+        assert len(STICK_NAMES) == 8
+
+    def test_paper_attachments(self):
+        # Fig. 4: neck and arm at the trunk's upper end, thigh at the
+        # lower end, the rest chains distally.
+        assert PARENT[NECK] == (TRUNK, "upper")
+        assert PARENT[UPPER_ARM] == (TRUNK, "upper")
+        assert PARENT[THIGH] == (TRUNK, "lower")
+        assert PARENT[HEAD] == (NECK, "distal")
+        assert PARENT[SHANK] == (THIGH, "distal")
+        assert PARENT[FOOT] == (SHANK, "distal")
+
+    def test_evaluation_order_parents_first(self):
+        seen = set()
+        for stick in EVALUATION_ORDER:
+            if stick in PARENT:
+                assert PARENT[stick][0] in seen
+            seen.add(stick)
+
+    def test_stick_index(self):
+        assert stick_index("trunk") == TRUNK
+        assert stick_index("foot") == FOOT
+        with pytest.raises(ModelError):
+            stick_index("tail")
+
+
+class TestBodyDimensions:
+    def test_default_body_stature(self):
+        body = default_body(stature=72.0)
+        assert body.stature == pytest.approx(72.0)
+
+    def test_scaled(self):
+        body = default_body(60.0)
+        double = body.scaled(2.0)
+        assert double.stature == pytest.approx(120.0)
+        assert double.thicknesses[TRUNK] == pytest.approx(
+            2.0 * body.thicknesses[TRUNK]
+        )
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            default_body(60.0).scaled(0.0)
+
+    def test_with_thicknesses(self):
+        body = default_body(60.0)
+        new = body.with_thicknesses(np.full(8, 3.0))
+        assert new.thicknesses == tuple([3.0] * 8)
+        assert new.lengths == body.lengths
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BodyDimensions(lengths=(1.0,) * 7, thicknesses=(1.0,) * 8)
+        with pytest.raises(ModelError):
+            BodyDimensions(lengths=(0.0,) + (1.0,) * 7, thicknesses=(1.0,) * 8)
+        with pytest.raises(ModelError):
+            default_body(-5.0)
+
+    def test_named_accessors(self):
+        body = default_body(60.0)
+        assert body.length_of("thigh") == body.lengths[THIGH]
+        assert body.thickness_of("head") == body.thicknesses[HEAD]
+
+    def test_limbs_thinner_than_trunk(self):
+        body = default_body(60.0)
+        assert body.thicknesses[SHANK] < body.thicknesses[TRUNK]
+        assert body.thicknesses[FOOT] < body.thicknesses[THIGH]
+
+
+class TestAngleWindows:
+    def test_defaults_valid(self):
+        windows = AngleWindows()
+        assert len(windows.deltas_deg) == NUM_STICKS
+        assert windows.center_delta > 0
+
+    def test_arm_window_widest(self):
+        # The arm swings fastest; its window must dominate the trunk's.
+        windows = AngleWindows()
+        assert windows.deltas_deg[UPPER_ARM] > windows.deltas_deg[TRUNK]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            AngleWindows(deltas_deg=(10.0,) * 7)
+        with pytest.raises(ModelError):
+            AngleWindows(deltas_deg=(0.0,) + (10.0,) * 7)
+        with pytest.raises(ModelError):
+            AngleWindows(center_delta=0.0)

@@ -1,0 +1,127 @@
+"""End-to-end integration tests: video in, report out."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SegmentationError
+from repro.ga.engine import GAConfig
+from repro.ga.temporal import TrackerConfig
+from repro.model.annotation import simulate_human_annotation
+from repro.model.fitness import FitnessConfig
+from repro.pipeline import AnalyzerConfig, JumpAnalyzer, analyze_video
+from repro.scoring.standards import Standard
+from repro.video.sequence import VideoSequence
+from repro.video.synthesis import synthesize_flawed_jump
+
+
+def _fast_analyzer(**overrides):
+    config = AnalyzerConfig(
+        tracker=TrackerConfig(
+            ga=GAConfig(population_size=30, max_generations=10, patience=5),
+            fitness=FitnessConfig(max_points=500),
+            containment_margin=1,
+            min_inside_fraction=0.95,
+            containment_samples=7,
+        ),
+        **overrides,
+    )
+    return JumpAnalyzer(config)
+
+
+@pytest.fixture(scope="module")
+def analysis(jump):
+    annotation = simulate_human_annotation(
+        jump.motion.poses[0],
+        jump.dims,
+        mask=jump.person_masks[0],
+        rng=np.random.default_rng(0),
+    )
+    return _fast_analyzer().analyze(
+        jump.video, annotation=annotation, rng=np.random.default_rng(1)
+    )
+
+
+# module-scoped `jump` alias so the fixture above can be module-scoped
+@pytest.fixture(scope="module")
+def jump():
+    from repro.video.synthesis import SyntheticJumpConfig, synthesize_jump
+
+    return synthesize_jump(SyntheticJumpConfig(seed=0))
+
+
+class TestFullPipeline:
+    def test_all_artifacts_present(self, analysis, jump):
+        assert len(analysis.segmentations) == jump.num_frames
+        assert len(analysis.poses) == jump.num_frames
+        assert analysis.background.shape == (120, 160, 3)
+        assert analysis.report.results
+        assert analysis.measurement.distance > 0
+
+    def test_clean_jump_passes_all_rules(self, analysis):
+        assert [r.rule.rule_id for r in analysis.report.failed] == []
+
+    def test_events_sane(self, analysis, jump):
+        assert abs(analysis.events.takeoff_frame - jump.motion.takeoff_frame) <= 2
+        assert analysis.events.landing_frame > analysis.events.takeoff_frame
+
+    def test_distance_close_to_truth(self, analysis, jump):
+        params = jump.motion.params
+        expected = (
+            params.jump_distance
+            + params.settle_advance
+            - jump.dims.lengths[7]
+        )
+        assert analysis.measurement.distance == pytest.approx(expected, abs=10.0)
+
+    def test_silhouettes_property(self, analysis, jump):
+        assert len(analysis.silhouettes) == jump.num_frames
+
+    def test_auto_annotation_path(self, jump):
+        result = _fast_analyzer().analyze(
+            jump.video, annotation=None, rng=np.random.default_rng(2)
+        )
+        assert len(result.poses) == jump.num_frames
+
+    def test_convenience_wrapper(self, jump):
+        result = analyze_video(
+            jump.video.clip(0, 6),
+            config=_fast_analyzer().config,
+            rng=np.random.default_rng(3),
+        )
+        assert len(result.poses) == 6
+
+    def test_kalman_smoothing_mode(self, jump):
+        result = _fast_analyzer(smoothing_mode="kalman").analyze(
+            jump.video.clip(0, 8), rng=np.random.default_rng(4)
+        )
+        assert len(result.poses) == 8
+
+    def test_invalid_smoothing_mode(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            AnalyzerConfig(smoothing_mode="butterworth")
+
+
+class TestFlawDetectionEndToEnd:
+    def test_detects_missing_backswing(self):
+        flawed = synthesize_flawed_jump(Standard.E3, seed=13)
+        annotation = simulate_human_annotation(
+            flawed.motion.poses[0],
+            flawed.dims,
+            mask=flawed.person_masks[0],
+            rng=np.random.default_rng(13),
+        )
+        result = JumpAnalyzer().analyze(
+            flawed.video, annotation=annotation, rng=np.random.default_rng(13)
+        )
+        assert Standard.E3 in result.report.violated_standards
+
+
+class TestErrorPaths:
+    def test_empty_first_frame_rejected(self, jump):
+        # a video of pure background: nothing to segment in frame 0
+        background = jump.background
+        video = VideoSequence([background.copy() for _ in range(6)])
+        with pytest.raises(SegmentationError):
+            _fast_analyzer().analyze(video)

@@ -1,0 +1,91 @@
+"""Property-based tests on domain-level invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.events import foot_clearance
+from repro.model.pose import StickPose
+from repro.model.sticks import FOOT, default_body
+from repro.scoring.phases import StageWindows
+from repro.serialization import (
+    annotation_from_dict,
+    annotation_to_dict,
+    pose_from_dict,
+    pose_to_dict,
+)
+from repro.model.annotation import FirstFrameAnnotation
+from repro.video.synthesis.motion import JumpParameters, generate_jump_motion
+
+BODY = default_body(72.0)
+
+coords = st.floats(-200.0, 400.0, allow_nan=False)
+angles = st.floats(0.0, 359.99, allow_nan=False)
+
+
+class TestSerializationProperties:
+    @given(coords, coords, st.lists(angles, min_size=8, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_pose_roundtrip(self, x0, y0, angle_list):
+        pose = StickPose(x0=x0, y0=y0, angles_deg=tuple(angle_list))
+        back = pose_from_dict(pose_to_dict(pose))
+        assert back.x0 == pose.x0 and back.y0 == pose.y0
+        assert np.allclose(back.angles_deg, pose.angles_deg)
+
+    @given(st.floats(20.0, 150.0, allow_nan=False, width=32))
+    @settings(max_examples=30, deadline=None)
+    def test_annotation_roundtrip(self, stature):
+        annotation = FirstFrameAnnotation(
+            pose=StickPose.standing(10.0, 20.0), dims=default_body(stature)
+        )
+        back = annotation_from_dict(annotation_to_dict(annotation))
+        assert np.allclose(back.dims.lengths, annotation.dims.lengths)
+
+
+class TestMotionProperties:
+    @given(
+        st.integers(8, 40),
+        st.floats(0.35, 0.6, allow_nan=False),
+        st.floats(30.0, 80.0, allow_nan=False),
+        st.floats(4.0, 16.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_motion_invariants(self, num_frames, takeoff, distance, height):
+        params = JumpParameters(
+            num_frames=num_frames,
+            takeoff_fraction=takeoff,
+            landing_fraction=min(takeoff + 0.4, 0.95),
+            jump_distance=distance,
+            flight_height=height,
+        )
+        motion = generate_jump_motion(BODY, params)
+
+        # 1. frame count
+        assert len(motion) == num_frames
+        # 2. phases partition the sequence in order
+        order = {"initiation": 0, "flight": 1, "landing": 2}
+        codes = [order[p] for p in motion.phases]
+        assert codes == sorted(codes)
+        assert codes[0] == 0 and codes[-1] == 2
+        # 3. monotone forward motion
+        xs = motion.center_track()[:, 0]
+        assert (np.diff(xs) >= -1e-6).all()
+        # 4. grounded feet during ground phases
+        clearance = foot_clearance(motion.poses, BODY)
+        expected = params.ground_level + BODY.thicknesses[FOOT] / 2.0
+        for index, phase in enumerate(motion.phases):
+            if phase != "flight":
+                assert abs(clearance[index] - expected) < 1.0
+        # 5. all angles wrapped
+        for pose in motion.poses:
+            assert all(0.0 <= a < 360.0 for a in pose.angles_deg)
+
+
+class TestWindowProperties:
+    @given(st.integers(4, 100), st.integers(0, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_windows_always_valid(self, num_frames, takeoff):
+        windows = StageWindows.for_sequence(num_frames, takeoff_frame=takeoff)
+        i0, i1 = windows.initiation
+        a0, a1 = windows.air_landing
+        assert 0 <= i0 < i1 <= a0 < a1 == num_frames

@@ -1,0 +1,48 @@
+"""Tests for pixel-to-metric calibration and distance grading."""
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.model.pose import StickPose
+from repro.model.sticks import default_body
+from repro.scoring.calibration import AGE_NORMS_CM, PixelCalibration, grade_distance
+from repro.scoring.distance import measure_jump
+
+
+class TestPixelCalibration:
+    def test_scale_factor(self):
+        calibration = PixelCalibration.from_stature(72.0, 120.0)
+        assert calibration.centimeters_per_pixel == pytest.approx(120.0 / 72.0)
+        assert calibration.to_centimeters(36.0) == pytest.approx(60.0)
+
+    def test_jump_distance_cm(self):
+        body = default_body(72.0)
+        poses = [StickPose.standing(30.0, 50.0), StickPose.standing(102.0, 50.0)]
+        measurement = measure_jump(poses, body)
+        calibration = PixelCalibration.from_stature(body.stature, 120.0)
+        expected = measurement.distance * 120.0 / body.stature
+        assert calibration.jump_distance_cm(measurement) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ScoringError):
+            PixelCalibration(0.0, 120.0)
+        with pytest.raises(ScoringError):
+            PixelCalibration(72.0, -1.0)
+
+
+class TestGrading:
+    def test_bands(self):
+        low, mid, high = AGE_NORMS_CM[8]
+        assert grade_distance(low - 1.0, 8) == "needs work"
+        assert grade_distance((low + mid) / 2, 8) == "average"
+        assert grade_distance((mid + high) / 2, 8) == "good"
+        assert grade_distance(high + 1.0, 8) == "excellent"
+
+    def test_norms_monotone_in_age(self):
+        ages = sorted(AGE_NORMS_CM)
+        for a, b in zip(ages, ages[1:]):
+            assert AGE_NORMS_CM[a][1] < AGE_NORMS_CM[b][1]
+
+    def test_unknown_age(self):
+        with pytest.raises(ScoringError):
+            grade_distance(100.0, 25)

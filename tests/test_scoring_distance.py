@@ -1,0 +1,57 @@
+"""Tests for jump-distance measurement."""
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.model.pose import StickPose
+from repro.model.sticks import default_body
+from repro.scoring.distance import best_landing_frame, measure_jump
+
+BODY = default_body(72.0)
+
+
+class TestMeasureJump:
+    def test_pure_translation(self):
+        # Takeoff line is the start *toes*, landing point the *heel*:
+        # translating the body by D measures D minus the foot length.
+        from repro.model.sticks import FOOT
+
+        start = StickPose.standing(30.0, 50.0)
+        end = StickPose.standing(90.0, 50.0)
+        measurement = measure_jump([start, end], BODY)
+        expected = 60.0 - BODY.lengths[FOOT]
+        assert measurement.distance == pytest.approx(expected)
+        assert measurement.relative_to_stature == pytest.approx(
+            expected / BODY.stature
+        )
+
+    def test_synthetic_jump_distance(self, jump):
+        from repro.model.sticks import FOOT
+
+        measurement = measure_jump(jump.motion.poses, jump.dims)
+        params = jump.motion.params
+        expected = (
+            params.jump_distance + params.settle_advance
+            - jump.dims.lengths[FOOT]
+        )
+        assert measurement.distance == pytest.approx(expected, abs=8.0)
+
+    def test_landing_frame_argument(self):
+        poses = [StickPose.standing(10.0 * k, 50.0) for k in range(5)]
+        measurement = measure_jump(poses, BODY, landing_frame=2)
+        assert measurement.landing_frame == 2
+        assert measurement.distance < measure_jump(poses, BODY).distance
+
+    def test_validation(self):
+        pose = StickPose.standing(0, 0)
+        with pytest.raises(ScoringError):
+            measure_jump([pose], BODY)
+        with pytest.raises(ScoringError):
+            measure_jump([pose, pose], BODY, landing_frame=5)
+
+
+class TestBestLandingFrame:
+    def test_detects_return_to_ground(self, jump):
+        frame = best_landing_frame(jump.motion.poses)
+        # landing happens in the air/landing half of the clip
+        assert jump.motion.takeoff_frame < frame <= jump.num_frames - 1

@@ -1,0 +1,90 @@
+"""Tests for stage windows, the scorer and report rendering."""
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.model.pose import StickPose
+from repro.scoring.phases import StageWindows
+from repro.scoring.report import JumpScorer
+from repro.scoring.standards import ADVICE, Standard, all_standards
+
+
+class TestStageWindows:
+    def test_paper_default(self):
+        windows = StageWindows.paper_default()
+        assert windows.initiation == (0, 10)
+        assert windows.air_landing == (10, 20)
+
+    def test_for_sequence_midpoint(self):
+        windows = StageWindows.for_sequence(16)
+        assert windows.initiation == (0, 8)
+        assert windows.air_landing == (8, 16)
+
+    def test_for_sequence_with_takeoff(self):
+        windows = StageWindows.for_sequence(20, takeoff_frame=12)
+        assert windows.initiation == (0, 12)
+        assert windows.air_landing == (12, 20)
+
+    def test_takeoff_clamped(self):
+        windows = StageWindows.for_sequence(10, takeoff_frame=0)
+        assert windows.initiation == (0, 1)
+
+    def test_window_lookup(self):
+        windows = StageWindows.paper_default()
+        assert windows.window("initiation") == (0, 10)
+        assert windows.window("air_landing") == (10, 20)
+        with pytest.raises(ScoringError):
+            windows.window("flight")
+
+    def test_invalid_windows(self):
+        with pytest.raises(ScoringError):
+            StageWindows(initiation=(5, 3), air_landing=(10, 20))
+        with pytest.raises(ScoringError):
+            StageWindows.for_sequence(2)
+
+
+class TestScorerAndReport:
+    def _report(self, jump):
+        return JumpScorer().score(
+            jump.motion.poses, takeoff_frame=jump.motion.takeoff_frame
+        )
+
+    def test_clean_jump_scores_full(self, jump):
+        report = self._report(jump)
+        assert report.score == 1.0
+        assert report.failed == ()
+        assert report.advice() == []
+
+    def test_report_renders(self, jump):
+        text = self._report(jump).render_text()
+        assert "R1" in text and "R7" in text
+        assert "7/7" in text
+
+    def test_flawed_report_has_advice(self):
+        from repro.video.synthesis import synthesize_flawed_jump
+
+        flawed = synthesize_flawed_jump(Standard.E2, seed=9)
+        report = JumpScorer().score(
+            flawed.motion.poses, takeoff_frame=flawed.motion.takeoff_frame
+        )
+        assert report.violated_standards == (Standard.E2,)
+        assert report.advice() == [ADVICE[Standard.E2]]
+        assert "FAIL" in report.render_text()
+        assert "advice:" in report.render_text()
+
+    def test_explicit_windows_override(self, jump):
+        scorer = JumpScorer(StageWindows.paper_default())
+        report = scorer.score(jump.motion.poses)
+        assert report.windows == StageWindows.paper_default()
+
+
+class TestStandards:
+    def test_seven_standards_with_stages(self):
+        standards = all_standards()
+        assert len(standards) == 7
+        assert [s.stage for s in standards[:4]] == ["initiation"] * 4
+        assert [s.stage for s in standards[4:]] == ["air_landing"] * 3
+
+    def test_advice_for_every_standard(self):
+        assert set(ADVICE) == set(Standard)
+        assert all(len(text) > 20 for text in ADVICE.values())

@@ -1,0 +1,74 @@
+"""Tests for the progress (before/after) comparison."""
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.scoring.progress import (
+    FIXED,
+    REGRESSED,
+    STILL_FAILING,
+    STILL_PASSING,
+    compare_reports,
+)
+from repro.scoring.report import JumpScorer
+from repro.scoring.standards import Standard
+from repro.video.synthesis import SyntheticJumpConfig, synthesize_jump
+
+
+def _report(violated=()):
+    jump = synthesize_jump(SyntheticJumpConfig(seed=6, violated=tuple(violated)))
+    return JumpScorer().score(
+        jump.motion.poses, takeoff_frame=jump.motion.takeoff_frame
+    )
+
+
+class TestCompareReports:
+    def test_flaw_fixed(self):
+        before = _report([Standard.E1])
+        after = _report([])
+        progress = compare_reports(before, after)
+        transitions = {r.rule_id: r.transition for r in progress.rules}
+        assert transitions["R1"] == FIXED
+        assert all(
+            t == STILL_PASSING for rid, t in transitions.items() if rid != "R1"
+        )
+        assert progress.score_after > progress.score_before
+        assert len(progress.improved) == 1
+        assert not progress.regressed
+
+    def test_regression(self):
+        before = _report([])
+        after = _report([Standard.E6])
+        progress = compare_reports(before, after)
+        transitions = {r.rule_id: r.transition for r in progress.rules}
+        assert transitions["R6"] == REGRESSED
+        assert len(progress.regressed) == 1
+
+    def test_still_failing(self):
+        before = _report([Standard.E3])
+        after = _report([Standard.E3])
+        progress = compare_reports(before, after)
+        transitions = {r.rule_id: r.transition for r in progress.rules}
+        assert transitions["R3"] == STILL_FAILING
+        assert len(progress.outstanding) == 1
+
+    def test_margin_change_sign(self):
+        before = _report([Standard.E1])
+        after = _report([])
+        progress = compare_reports(before, after)
+        r1 = next(r for r in progress.rules if r.rule_id == "R1")
+        assert r1.margin_change > 0
+
+    def test_render(self):
+        progress = compare_reports(_report([Standard.E2]), _report([]))
+        text = progress.render_text()
+        assert "progress report" in text
+        assert "FIXED" in text.upper() or "fixed" in text
+
+    def test_mismatched_reports(self):
+        report = _report([])
+        from dataclasses import replace
+
+        truncated = replace(report, results=report.results[:3])
+        with pytest.raises(ScoringError):
+            compare_reports(report, truncated)

@@ -1,0 +1,120 @@
+"""Tests for the Table 2 rules."""
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.model.pose import StickPose
+from repro.model.sticks import FOREARM, NECK, SHANK, THIGH, TRUNK, UPPER_ARM
+from repro.scoring.phases import StageWindows
+from repro.scoring.rules import RULES, evaluate_rules, rule_for_standard
+from repro.scoring.standards import Standard
+
+
+def _sequence(initiation_pose, air_pose, n=20):
+    """10 frames of one pose then 10 of another."""
+    return [initiation_pose] * (n // 2) + [air_pose] * (n - n // 2)
+
+
+def _neutral():
+    return StickPose.standing(0.0, 0.0)
+
+
+class TestRuleTable:
+    def test_seven_rules(self):
+        assert len(RULES) == 7
+        assert [rule.rule_id for rule in RULES] == [f"R{i}" for i in range(1, 8)]
+
+    def test_rule_for_standard(self):
+        assert rule_for_standard(Standard.E3).rule_id == "R3"
+        assert rule_for_standard(Standard.E7).rule_id == "R7"
+
+    def test_thresholds_match_paper(self):
+        thresholds = {rule.rule_id: rule.threshold for rule in RULES}
+        assert thresholds == {
+            "R1": 60.0, "R2": 30.0, "R3": 270.0, "R4": 45.0,
+            "R5": 60.0, "R6": 45.0, "R7": 160.0,
+        }
+
+
+class TestIndividualRules:
+    def test_r1_knee_flexion(self):
+        crouch = _neutral().with_angle(THIGH, 140.0).with_angle(SHANK, 228.0)
+        results = evaluate_rules(_sequence(crouch, _neutral()))
+        r1 = results[0]
+        assert r1.passed and r1.value == pytest.approx(88.0)
+
+    def test_r1_fails_straight_legs(self):
+        straight = _neutral().with_angle(THIGH, 180.0).with_angle(SHANK, 180.0)
+        results = evaluate_rules(_sequence(straight, _neutral()))
+        assert not results[0].passed
+
+    def test_r2_neck(self):
+        bent = _neutral().with_angle(NECK, 40.0)
+        assert evaluate_rules(_sequence(bent, _neutral()))[1].passed
+
+    def test_r2_wraparound_safe(self):
+        # neck at 359 degrees is one degree *backward*, not 359 forward
+        wobble = _neutral().with_angle(NECK, 359.0)
+        result = evaluate_rules(_sequence(wobble, _neutral()))[1]
+        assert not result.passed
+        assert result.value == pytest.approx(-1.0)
+
+    def test_r3_arms_back(self):
+        swung = _neutral().with_angle(UPPER_ARM, 295.0)
+        assert evaluate_rules(_sequence(swung, _neutral()))[2].passed
+        not_swung = _neutral().with_angle(UPPER_ARM, 230.0)
+        assert not evaluate_rules(_sequence(not_swung, _neutral()))[2].passed
+
+    def test_r4_elbow(self):
+        bent = _neutral().with_angle(UPPER_ARM, 295.0).with_angle(FOREARM, 230.0)
+        assert evaluate_rules(_sequence(bent, _neutral()))[3].passed
+
+    def test_r5_air_knees(self):
+        tucked = _neutral().with_angle(THIGH, 115.0).with_angle(SHANK, 205.0)
+        results = evaluate_rules(_sequence(_neutral(), tucked))
+        assert results[4].passed
+
+    def test_r6_trunk(self):
+        leaning = _neutral().with_angle(TRUNK, 55.0)
+        assert evaluate_rules(_sequence(_neutral(), leaning))[5].passed
+        upright = _neutral().with_angle(TRUNK, 20.0)
+        assert not evaluate_rules(_sequence(_neutral(), upright))[5].passed
+
+    def test_r7_arms_forward_uses_min(self):
+        # arm forward in only one frame of the window still passes
+        forward = _neutral().with_angle(UPPER_ARM, 100.0)
+        back = _neutral().with_angle(UPPER_ARM, 200.0)
+        poses = [_neutral()] * 10 + [back] * 9 + [forward]
+        results = evaluate_rules(poses)
+        assert results[6].passed
+        assert results[6].decisive_frame == 19
+
+
+class TestWindows:
+    def test_initiation_rule_ignores_air_frames(self):
+        # crouch happens in the air window only -> R1 must fail
+        crouch = _neutral().with_angle(THIGH, 140.0).with_angle(SHANK, 228.0)
+        poses = _sequence(_neutral(), crouch)
+        assert not evaluate_rules(poses)[0].passed
+
+    def test_custom_windows(self):
+        crouch = _neutral().with_angle(THIGH, 140.0).with_angle(SHANK, 228.0)
+        poses = [_neutral()] * 4 + [crouch] + [_neutral()] * 15
+        windows = StageWindows(initiation=(0, 6), air_landing=(6, 20))
+        assert evaluate_rules(poses, windows)[0].passed
+
+    def test_too_few_poses_rejected(self):
+        with pytest.raises(ScoringError):
+            evaluate_rules([_neutral()] * 5, StageWindows.paper_default())
+
+    def test_decisive_frame_in_window(self):
+        crouch = _neutral().with_angle(THIGH, 140.0).with_angle(SHANK, 228.0)
+        poses = _sequence(crouch, _neutral())
+        result = evaluate_rules(poses)[0]
+        assert 0 <= result.decisive_frame < 10
+
+    def test_margin_sign(self):
+        crouch = _neutral().with_angle(THIGH, 140.0).with_angle(SHANK, 228.0)
+        results = evaluate_rules(_sequence(crouch, _neutral()))
+        assert results[0].margin == pytest.approx(28.0)
+        assert results[1].margin < 0  # neck never bent -> negative margin

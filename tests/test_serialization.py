@@ -1,0 +1,96 @@
+"""Tests for JSON serialisation of poses, annotations and reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.model.annotation import FirstFrameAnnotation
+from repro.model.pose import StickPose
+from repro.model.sticks import default_body
+from repro.scoring.report import JumpScorer
+from repro.serialization import (
+    annotation_from_dict,
+    annotation_to_dict,
+    load_annotation,
+    pose_from_dict,
+    pose_to_dict,
+    report_from_dict,
+    report_to_dict,
+    save_annotation,
+)
+
+
+class TestPoseRoundTrip:
+    def test_roundtrip(self):
+        pose = StickPose.standing(12.5, 34.0).with_angle("thigh", 123.4)
+        back = pose_from_dict(pose_to_dict(pose))
+        assert back == pose
+
+    def test_json_compatible(self):
+        payload = json.dumps(pose_to_dict(StickPose.standing(1, 2)))
+        assert pose_from_dict(json.loads(payload)) == StickPose.standing(1, 2)
+
+    def test_malformed(self):
+        with pytest.raises(ReproError):
+            pose_from_dict({"x0": 1.0})
+
+
+class TestAnnotationRoundTrip:
+    def _annotation(self):
+        return FirstFrameAnnotation(
+            pose=StickPose.standing(30.0, 50.0), dims=default_body(72.0)
+        )
+
+    def test_roundtrip(self):
+        annotation = self._annotation()
+        back = annotation_from_dict(annotation_to_dict(annotation))
+        assert back.pose == annotation.pose
+        assert back.dims.lengths == annotation.dims.lengths
+        assert back.dims.thicknesses == annotation.dims.thicknesses
+
+    def test_file_roundtrip(self, tmp_path):
+        annotation = self._annotation()
+        path = tmp_path / "annotation.json"
+        save_annotation(path, annotation)
+        back = load_annotation(path)
+        assert back.pose == annotation.pose
+
+    def test_malformed(self):
+        with pytest.raises(ReproError):
+            annotation_from_dict({"pose": {"x0": 0}})
+
+
+class TestReportRoundTrip:
+    def test_roundtrip(self, jump):
+        report = JumpScorer().score(
+            jump.motion.poses, takeoff_frame=jump.motion.takeoff_frame
+        )
+        data = report_to_dict(report)
+        assert data["score"] == report.score
+        assert len(data["rules"]) == 7
+        back = report_from_dict(json.loads(json.dumps(data)))
+        assert back.score == report.score
+        assert [r.rule.rule_id for r in back.results] == [
+            r.rule.rule_id for r in report.results
+        ]
+        assert [r.passed for r in back.results] == [
+            r.passed for r in report.results
+        ]
+
+    def test_advice_serialised(self):
+        from repro.video.synthesis import synthesize_flawed_jump
+        from repro.scoring.standards import Standard
+
+        flawed = synthesize_flawed_jump(Standard.E6, seed=5)
+        report = JumpScorer().score(
+            flawed.motion.poses, takeoff_frame=flawed.motion.takeoff_frame
+        )
+        data = report_to_dict(report)
+        assert data["violated_standards"] == ["E6"]
+        assert len(data["advice"]) == 1
+
+    def test_malformed(self):
+        with pytest.raises(ReproError):
+            report_from_dict({"rules": [{"rule": "R9"}]})

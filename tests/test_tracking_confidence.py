@@ -1,0 +1,51 @@
+"""Tests for tracking confidence diagnostics."""
+
+import numpy as np
+
+from repro.ga.convergence import SearchResult
+from repro.ga.temporal import FrameTrackingRecord, TrackingResult
+from repro.model.pose import StickPose
+
+
+def _result_with_fitness(values):
+    poses = [StickPose.standing(0, 0)] * (len(values) + 1)
+    records = []
+    for index, value in enumerate(values):
+        search = SearchResult(best_genes=np.zeros(10), best_fitness=value)
+        records.append(
+            FrameTrackingRecord(
+                frame_index=index + 1,
+                pose=poses[index + 1],
+                fitness=value,
+                search=search,
+            )
+        )
+    return TrackingResult(poses=tuple(poses), records=tuple(records))
+
+
+class TestConfidence:
+    def test_uniform_fitness_high_confidence(self):
+        result = _result_with_fitness([0.3] * 10)
+        confidence = result.confidence_track()
+        assert (confidence > 0.5).all()
+        assert result.flagged_frames() == []
+
+    def test_outlier_flagged(self):
+        values = [0.30, 0.31, 0.29, 0.30, 0.95, 0.30, 0.31, 0.30]
+        result = _result_with_fitness(values)
+        confidence = result.confidence_track()
+        worst = int(confidence.argmin())
+        assert values[worst] == 0.95
+        flagged = result.flagged_frames(confidence_threshold=0.25)
+        assert flagged == [5]  # frame_index is 1-based over records
+
+    def test_confidence_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        result = _result_with_fitness(list(rng.uniform(0.2, 0.6, 15)))
+        confidence = result.confidence_track()
+        assert (confidence >= 0).all() and (confidence <= 1).all()
+
+    def test_empty_records(self):
+        result = TrackingResult(poses=(StickPose.standing(0, 0),), records=())
+        assert result.confidence_track().size == 0
+        assert result.flagged_frames() == []

@@ -1,0 +1,74 @@
+"""Tests for shared value types."""
+
+import numpy as np
+import pytest
+
+from repro.types import BoundingBox, Point, Segment, mask_bounding_box
+
+
+class TestPoint:
+    def test_iteration_and_array(self):
+        p = Point(1.0, 2.0)
+        assert tuple(p) == (1.0, 2.0)
+        assert np.allclose(p.as_array(), [1.0, 2.0])
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+
+class TestSegment:
+    def test_length_and_midpoint(self):
+        seg = Segment(Point(0, 0), Point(6, 8))
+        assert seg.length == 10.0
+        assert seg.midpoint == Point(3, 4)
+
+    def test_as_array(self):
+        seg = Segment(Point(1, 2), Point(3, 4))
+        assert seg.as_array().shape == (2, 2)
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        box = BoundingBox(2, 3, 5, 9)
+        assert box.height == 4
+        assert box.width == 7
+        assert box.area == 28
+        assert box.center == (3.5, 6.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(5, 0, 2, 3)
+
+    def test_contains(self):
+        box = BoundingBox(0, 0, 4, 4)
+        assert box.contains(4, 4)
+        assert not box.contains(5, 0)
+
+    def test_expanded_with_clip(self):
+        box = BoundingBox(1, 1, 3, 3).expanded(2, shape=(5, 5))
+        assert box == BoundingBox(0, 0, 4, 4)
+
+    def test_intersection(self):
+        a = BoundingBox(0, 0, 4, 4)
+        b = BoundingBox(2, 2, 6, 6)
+        assert a.intersection(b) == BoundingBox(2, 2, 4, 4)
+        assert a.intersection(BoundingBox(10, 10, 12, 12)) is None
+
+    def test_slices(self):
+        box = BoundingBox(1, 2, 3, 4)
+        mask = np.zeros((6, 6))
+        mask[box.slices()] = 1
+        assert mask.sum() == box.area
+
+
+class TestMaskBoundingBox:
+    def test_finds_extent(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[2, 3] = mask[5, 6] = True
+        assert mask_bounding_box(mask) == BoundingBox(2, 3, 5, 6)
+
+    def test_empty_is_none(self):
+        assert mask_bounding_box(np.zeros((4, 4), dtype=bool)) is None

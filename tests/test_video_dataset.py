@@ -1,0 +1,108 @@
+"""Tests for the labelled synthetic-jump dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scoring.standards import Standard
+from repro.video.synthesis.dataset import (
+    SyntheticJumpConfig,
+    synthesize_dataset,
+    synthesize_flawed_jump,
+    synthesize_jump,
+)
+from repro.video.synthesis.motion import JumpParameters
+from repro.video.synthesis.scene import SceneConfig
+
+
+class TestSyntheticJump:
+    def test_shapes_consistent(self, jump):
+        assert jump.num_frames == 20
+        assert len(jump.person_masks) == 20
+        assert len(jump.shadow_masks) == 20
+        assert len(jump.motion.poses) == 20
+        assert jump.video.height == jump.person_masks[0].shape[0]
+
+    def test_person_and_shadow_disjoint(self, jump):
+        for k in range(jump.num_frames):
+            assert not (jump.person_masks[k] & jump.shadow_masks[k]).any()
+
+    def test_foreground_mask_is_union(self, jump):
+        fg = jump.foreground_mask(3)
+        assert (fg == (jump.person_masks[3] | jump.shadow_masks[3])).all()
+
+    def test_background_property_clean(self, jump):
+        bg = jump.background
+        assert bg.shape == (120, 160, 3)
+
+    def test_person_inside_frame_every_frame(self, jump):
+        for k in range(jump.num_frames):
+            mask = jump.person_masks[k]
+            assert mask.any()
+            rows, cols = np.nonzero(mask)
+            assert rows.min() > 0 and rows.max() < 119
+            assert cols.min() > 0 and cols.max() < 159
+
+    def test_deterministic_by_seed(self):
+        a = synthesize_jump(SyntheticJumpConfig(seed=11))
+        b = synthesize_jump(SyntheticJumpConfig(seed=11))
+        assert np.array_equal(a.video.frames, b.video.frames)
+
+    def test_ground_level_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticJumpConfig(
+                params=JumpParameters(ground_level=10.0),
+                scene=SceneConfig(ground_level=12.0),
+            )
+
+
+class TestMotionBlurAndJitter:
+    def test_blur_changes_frames_not_truth(self):
+        sharp = synthesize_jump(SyntheticJumpConfig(seed=4))
+        blurred = synthesize_jump(
+            SyntheticJumpConfig(seed=4, motion_blur_samples=3)
+        )
+        assert not np.allclose(sharp.video.frames, blurred.video.frames)
+        for a, b in zip(sharp.person_masks, blurred.person_masks):
+            assert (a == b).all()
+
+    def test_jitter_moves_truth_with_frames(self):
+        steady = synthesize_jump(SyntheticJumpConfig(seed=4))
+        shaky = synthesize_jump(SyntheticJumpConfig(seed=4, camera_jitter=2.0))
+        moved = sum(
+            not (a == b).all()
+            for a, b in zip(steady.person_masks, shaky.person_masks)
+        )
+        assert moved > 10  # most frames are shifted
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticJumpConfig(motion_blur_samples=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticJumpConfig(camera_jitter=-1.0)
+
+
+class TestFlawedJumps:
+    def test_flawed_jump_records_violation(self):
+        jump = synthesize_flawed_jump(Standard.E5, seed=3)
+        assert jump.violated == (Standard.E5,)
+
+    def test_flawed_motion_differs(self):
+        clean = synthesize_jump(SyntheticJumpConfig(seed=3))
+        flawed = synthesize_flawed_jump(Standard.E1, seed=3)
+        clean_angles = [p.angles_deg for p in clean.motion.poses]
+        flawed_angles = [p.angles_deg for p in flawed.motion.poses]
+        assert clean_angles != flawed_angles
+
+
+class TestDataset:
+    def test_dataset_composition(self):
+        jumps = synthesize_dataset(seeds=[1], include_flawed=True)
+        assert len(jumps) == 1 + 7
+        assert jumps[0].violated == ()
+        violated = [j.violated[0] for j in jumps[1:]]
+        assert violated == list(Standard)
+
+    def test_dataset_without_flaws(self):
+        jumps = synthesize_dataset(seeds=[1, 2], include_flawed=False)
+        assert len(jumps) == 2

@@ -1,0 +1,44 @@
+"""Tests for flaw injection: each flaw must break exactly its rule."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.sticks import default_body
+from repro.scoring.report import JumpScorer
+from repro.scoring.standards import Standard
+from repro.video.synthesis.flaws import all_standards, apply_flaws, violate
+from repro.video.synthesis.motion import generate_jump_motion, good_style
+
+BODY = default_body(72.0)
+
+
+def _rule_failures(style):
+    motion = generate_jump_motion(BODY, style=style)
+    report = JumpScorer().score(motion.poses, takeoff_frame=motion.takeoff_frame)
+    return [result.rule.rule_id for result in report.failed]
+
+
+class TestCleanStyle:
+    def test_good_style_passes_all_rules(self):
+        assert _rule_failures(good_style()) == []
+
+
+class TestSingleFlaws:
+    @pytest.mark.parametrize("standard", list(Standard))
+    def test_flaw_breaks_exactly_its_rule(self, standard):
+        style = violate(good_style(), standard)
+        expected = f"R{standard.name[1]}"
+        assert _rule_failures(style) == [expected]
+
+
+class TestCombinedFlaws:
+    def test_two_flaws_break_two_rules(self):
+        style = apply_flaws(good_style(), [Standard.E1, Standard.E6])
+        assert _rule_failures(style) == ["R1", "R6"]
+
+    def test_all_standards_listed(self):
+        assert len(all_standards()) == 7
+
+    def test_unknown_flaw_rejected(self):
+        with pytest.raises((ConfigurationError, KeyError)):
+            violate(good_style(), "E9")  # type: ignore[arg-type]

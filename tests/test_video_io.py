@@ -1,0 +1,49 @@
+"""Tests for PPM frame-directory video I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.io import load_ppm_dir, save_ppm_dir
+from repro.video.sequence import VideoSequence
+
+
+def _video(n=4):
+    rng = np.random.default_rng(0)
+    return VideoSequence([rng.random((8, 10, 3)) for _ in range(n)])
+
+
+class TestPpmDir:
+    def test_roundtrip(self, tmp_path):
+        video = _video()
+        paths = save_ppm_dir(video, tmp_path / "frames")
+        assert len(paths) == 4
+        back = load_ppm_dir(tmp_path / "frames")
+        assert back.shape == video.shape
+        assert np.abs(back.frames - video.frames).max() <= 1 / 255 + 1e-9
+
+    def test_ordering_by_number(self, tmp_path):
+        from repro.imaging.io import write_ppm
+
+        directory = tmp_path / "frames"
+        directory.mkdir()
+        # deliberately write out of lexicographic order: 2 < 10
+        write_ppm(directory / "shot_10.ppm", np.full((4, 4, 3), 0.8))
+        write_ppm(directory / "shot_2.ppm", np.full((4, 4, 3), 0.2))
+        video = load_ppm_dir(directory)
+        assert video[0].mean() < video[1].mean()
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(VideoError):
+            load_ppm_dir(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(VideoError):
+            load_ppm_dir(tmp_path / "empty")
+
+    def test_non_frame_files_ignored(self, tmp_path):
+        directory = tmp_path / "frames"
+        save_ppm_dir(_video(2), directory)
+        (directory / "notes.txt").write_text("hello")
+        assert len(load_ppm_dir(directory)) == 2

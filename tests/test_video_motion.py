@@ -1,0 +1,138 @@
+"""Tests for the standing-long-jump motion generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.sticks import FOOT, SHANK, THIGH, TRUNK, UPPER_ARM, default_body
+from repro.video.synthesis.motion import (
+    PHASE_FLIGHT,
+    PHASE_INITIATION,
+    PHASE_LANDING,
+    JumpMotion,
+    JumpParameters,
+    JumpStyle,
+    generate_jump_motion,
+    good_style,
+)
+
+BODY = default_body(72.0)
+
+
+@pytest.fixture(scope="module")
+def motion() -> JumpMotion:
+    return generate_jump_motion(BODY)
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JumpParameters(num_frames=2)
+        with pytest.raises(ConfigurationError):
+            JumpParameters(takeoff_fraction=0.9, landing_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            JumpParameters(jump_distance=-1.0)
+
+    def test_takeoff_frame(self):
+        params = JumpParameters(num_frames=20, takeoff_fraction=0.5)
+        assert params.takeoff_frame == 10
+
+
+class TestStyle:
+    def test_keyframe_replacement(self):
+        style = good_style().adjusted("crouch", THIGH, 171.0)
+        assert style.crouch[THIGH] == 171.0
+        with pytest.raises(ConfigurationError):
+            good_style().with_keyframe("warmup", (0.0,) * 8)
+
+    def test_angle_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            JumpStyle(stand=(0.0,) * 7)
+
+
+class TestMotion:
+    def test_frame_count_and_phases(self, motion):
+        assert len(motion) == 20
+        assert motion.phases[0] == PHASE_INITIATION
+        assert PHASE_FLIGHT in motion.phases
+        assert motion.phases[-1] == PHASE_LANDING
+        # phases are contiguous: initiation, then flight, then landing
+        joined = "".join(p[0] for p in motion.phases)
+        assert "fi" not in joined and "lf" not in joined and "li" not in joined
+
+    def test_takeoff_frame_matches_phase(self, motion):
+        takeoff = motion.takeoff_frame
+        assert motion.phases[takeoff - 1] == PHASE_INITIATION
+        assert motion.phases[takeoff] == PHASE_FLIGHT
+
+    def test_horizontal_progress(self, motion):
+        xs = motion.center_track()[:, 0]
+        assert xs[-1] - xs[0] == pytest.approx(
+            motion.params.jump_distance + motion.params.settle_advance, abs=1.5
+        )
+        assert (np.diff(xs) >= -1e-6).all()  # never moves backwards
+
+    def test_feet_on_ground_during_ground_phases(self, motion):
+        from repro.analysis.events import foot_clearance
+
+        clearance = foot_clearance(motion.poses, BODY)
+        ground = motion.params.ground_level
+        for index, phase in enumerate(motion.phases):
+            if phase != PHASE_FLIGHT:
+                assert clearance[index] == pytest.approx(
+                    ground + BODY.thicknesses[FOOT] / 2.0, abs=0.8
+                )
+
+    def test_airborne_during_flight(self, motion):
+        from repro.analysis.events import foot_clearance
+
+        clearance = foot_clearance(motion.poses, BODY)
+        flight = [i for i, p in enumerate(motion.phases) if p == PHASE_FLIGHT]
+        interior = flight[1:-1]
+        ground = motion.params.ground_level
+        assert all(clearance[i] > ground + 1.0 for i in interior)
+
+    def test_crouch_happens(self, motion):
+        # knee flexion peaks in the initiation phase
+        flexion = motion.angle_track(SHANK) - motion.angle_track(THIGH)
+        init_frames = motion.takeoff_frame
+        assert flexion[:init_frames].max() > 60.0
+
+    def test_arm_swings_behind_then_forward(self, motion):
+        arm = motion.angle_track(UPPER_ARM)
+        assert arm[: motion.takeoff_frame].max() > 270.0
+        assert arm[motion.takeoff_frame :].min() < 160.0
+
+    def test_arm_never_passes_over_head(self, motion):
+        # the swing must go down past the legs, never up over the head:
+        # per-frame angular steps stay moderate and pass through ~180
+        arm = motion.angle_track(UPPER_ARM)
+        descending = arm[(arm > 150) & (arm < 230)]
+        assert descending.size > 0
+
+    def test_trunk_leans_forward_in_flight(self, motion):
+        trunk = motion.angle_track(TRUNK)
+        flight = [i for i, p in enumerate(motion.phases) if p == PHASE_FLIGHT]
+        assert max(trunk[i] for i in flight) > 45.0
+
+    def test_deterministic(self):
+        a = generate_jump_motion(BODY)
+        b = generate_jump_motion(BODY)
+        assert all(pa == pb for pa, pb in zip(a.poses, b.poses))
+
+    def test_custom_frame_count(self):
+        motion = generate_jump_motion(BODY, JumpParameters(num_frames=30))
+        assert len(motion) == 30
+
+    def test_sway_only_in_initiation(self):
+        still = generate_jump_motion(
+            BODY, JumpParameters(sway_amplitude=0.0)
+        )
+        swayed = generate_jump_motion(
+            BODY, JumpParameters(sway_amplitude=4.0)
+        )
+        takeoff = still.params.takeoff_frame
+        arm_still = still.angle_track(UPPER_ARM)
+        arm_swayed = swayed.angle_track(UPPER_ARM)
+        assert not np.allclose(arm_still[:takeoff], arm_swayed[:takeoff])
+        assert np.allclose(arm_still[takeoff:], arm_swayed[takeoff:])

@@ -1,0 +1,61 @@
+"""Tests for the sensor/illumination noise model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.synthesis.noise import NoiseConfig, apply_noise
+
+
+class TestConfig:
+    def test_none_config(self):
+        config = NoiseConfig.none()
+        assert config.pixel_sigma == 0.0
+        assert config.blob_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NoiseConfig(pixel_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            NoiseConfig(blob_count=-1)
+        with pytest.raises(ConfigurationError):
+            NoiseConfig(blob_radius_range=(3, 1))
+
+
+class TestApplyNoise:
+    def test_no_noise_is_identity(self, rng):
+        frame = rng.random((10, 10, 3))
+        out = apply_noise(frame, NoiseConfig.none(), rng)
+        assert np.array_equal(out, frame)
+
+    def test_output_in_range(self, rng):
+        frame = rng.random((20, 20, 3))
+        out = apply_noise(frame, NoiseConfig(), rng)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_pixel_noise_magnitude(self, rng):
+        frame = np.full((50, 50, 3), 0.5)
+        config = NoiseConfig(pixel_sigma=0.02, flicker_sigma=0.0, blob_count=0)
+        out = apply_noise(frame, config, rng)
+        residual = out - frame
+        assert 0.01 < residual.std() < 0.03
+
+    def test_blobs_create_outliers(self, rng):
+        frame = np.full((40, 40, 3), 0.5)
+        config = NoiseConfig(pixel_sigma=0.0, flicker_sigma=0.0, blob_count=5,
+                             blob_strength=0.2)
+        out = apply_noise(frame, config, rng)
+        changed = np.abs(out - frame).max(axis=-1) > 0.05
+        assert 2 <= changed.sum() <= 5 * 49
+
+    def test_input_unchanged(self, rng):
+        frame = rng.random((10, 10, 3))
+        original = frame.copy()
+        apply_noise(frame, NoiseConfig(), rng)
+        assert np.array_equal(frame, original)
+
+    def test_deterministic_given_rng(self):
+        frame = np.full((10, 10, 3), 0.4)
+        a = apply_noise(frame, NoiseConfig(), np.random.default_rng(9))
+        b = apply_noise(frame, NoiseConfig(), np.random.default_rng(9))
+        assert np.array_equal(a, b)

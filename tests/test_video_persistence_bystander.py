@@ -1,0 +1,117 @@
+"""Tests for jump persistence and the bystander distractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.imaging.metrics import iou
+from repro.scoring.standards import Standard
+from repro.segmentation.pipeline import SegmentationPipeline
+from repro.video.synthesis import (
+    ExtraActor,
+    SyntheticJumpConfig,
+    load_jump,
+    save_jump,
+    synthesize_jump,
+)
+
+
+@pytest.fixture(scope="module")
+def bystander_jump():
+    return synthesize_jump(SyntheticJumpConfig(seed=2, bystander=True))
+
+
+class TestPersistence:
+    def test_roundtrip_everything(self, tmp_path):
+        jump = synthesize_jump(
+            SyntheticJumpConfig(seed=9, violated=(Standard.E4,))
+        )
+        path = tmp_path / "jump.npz"
+        save_jump(path, jump)
+        back = load_jump(path)
+        assert np.allclose(back.video.frames, jump.video.frames)
+        assert all(
+            (a == b).all() for a, b in zip(back.person_masks, jump.person_masks)
+        )
+        assert all(
+            (a == b).all() for a, b in zip(back.shadow_masks, jump.shadow_masks)
+        )
+        assert back.config.violated == (Standard.E4,)
+        assert back.config.seed == 9
+        assert back.motion.phases == jump.motion.phases
+        assert all(a == b for a, b in zip(back.motion.poses, jump.motion.poses))
+        assert back.dims.lengths == jump.dims.lengths
+
+    def test_roundtrip_with_bystander_masks(self, tmp_path, bystander_jump):
+        path = tmp_path / "bystander.npz"
+        save_jump(path, bystander_jump)
+        back = load_jump(path)
+        assert back.config.bystander
+        assert len(back.distractor_masks) == bystander_jump.num_frames
+        assert all(
+            (a == b).all()
+            for a, b in zip(back.distractor_masks, bystander_jump.distractor_masks)
+        )
+
+    def test_roundtrip_with_degradations(self, tmp_path):
+        jump = synthesize_jump(
+            SyntheticJumpConfig(
+                seed=3, camera_jitter=1.5, motion_blur_samples=2
+            )
+        )
+        path = tmp_path / "degraded.npz"
+        save_jump(path, jump)
+        back = load_jump(path)
+        assert back.config.camera_jitter == 1.5
+        assert back.config.motion_blur_samples == 2
+        assert np.allclose(back.video.frames, jump.video.frames)
+
+    def test_reject_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(VideoError):
+            load_jump(path)
+
+
+class TestBystander:
+    def test_distractor_masks_populated(self, bystander_jump):
+        assert len(bystander_jump.distractor_masks) == bystander_jump.num_frames
+        assert all(mask.any() for mask in bystander_jump.distractor_masks)
+
+    def test_distractor_disjoint_from_jumper(self, bystander_jump):
+        for k in range(bystander_jump.num_frames):
+            assert not (
+                bystander_jump.person_masks[k]
+                & bystander_jump.distractor_masks[k]
+            ).any()
+
+    def test_no_bystander_by_default(self, jump):
+        assert jump.distractor_masks == ()
+
+    def test_pipeline_rejects_bystander(self, bystander_jump):
+        pipeline = SegmentationPipeline()
+        segmentations = pipeline.segment_video(bystander_jump.video)
+        leaks = sum(
+            int((seg.person & bystander_jump.distractor_masks[k]).sum())
+            for k, seg in enumerate(segmentations)
+        )
+        assert leaks < 50, "the swaying bystander must not enter the silhouette"
+        scores = [
+            iou(seg.person, bystander_jump.person_masks[k])
+            for k, seg in enumerate(segmentations)
+        ]
+        assert float(np.mean(scores)) > 0.9
+
+    def test_extra_actor_length_validated(self, jump):
+        from repro.video.synthesis import render_poses
+        from repro.video.synthesis.scene import Scene
+
+        actor = ExtraActor(
+            poses=jump.motion.poses[:3], dims=jump.dims,
+            appearance=jump.config.appearance,
+        )
+        with pytest.raises(ValueError):
+            render_poses(
+                jump.motion.poses, jump.dims, Scene(jump.config.scene),
+                extras=[actor],
+            )

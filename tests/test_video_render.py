@@ -1,0 +1,87 @@
+"""Tests for rendering poses into frames with exact ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.model.pose import StickPose
+from repro.model.sticks import default_body
+from repro.video.synthesis.body import BodyAppearance
+from repro.video.synthesis.noise import NoiseConfig
+from repro.video.synthesis.render import (
+    person_mask_for_pose,
+    render_frame,
+    render_poses,
+)
+from repro.video.synthesis.scene import Scene, SceneConfig
+from repro.video.synthesis.shadow import ShadowConfig
+
+BODY = default_body(60.0)
+SCENE = Scene(SceneConfig())
+
+
+class TestPersonMask:
+    def test_mask_connected_and_sized(self):
+        pose = StickPose.standing(60.0, 50.0)
+        mask = person_mask_for_pose(pose, BODY, (120, 160))
+        from repro.imaging.components import label_components
+
+        _, count = label_components(mask)
+        assert count == 1
+        # Roughly body-sized: stature 60, mean width ~7
+        assert 250 <= mask.sum() <= 1000
+
+    def test_mask_moves_with_pose(self):
+        a = person_mask_for_pose(StickPose.standing(40, 50), BODY, (120, 160))
+        b = person_mask_for_pose(StickPose.standing(80, 50), BODY, (120, 160))
+        assert not (a & b).any()
+
+
+class TestRenderFrame:
+    def test_returns_frame_and_truth(self):
+        pose = StickPose.standing(60.0, 50.0)
+        frame, person, shadow = render_frame(
+            pose, BODY, SCENE, BodyAppearance(), ShadowConfig()
+        )
+        assert frame.shape == (120, 160, 3)
+        assert person.any() and shadow.any()
+        assert not (person & shadow).any()
+
+    def test_person_pixels_differ_from_background(self):
+        pose = StickPose.standing(60.0, 50.0)
+        frame, person, _ = render_frame(
+            pose, BODY, SCENE, BodyAppearance(), ShadowConfig()
+        )
+        diff = np.abs(frame - SCENE.background).max(axis=-1)
+        assert diff[person].min() > 0.05
+
+    def test_texture_varies_within_torso(self):
+        pose = StickPose.standing(60.0, 50.0)
+        appearance = BodyAppearance(texture_amplitude=0.15)
+        frame, person, _ = render_frame(pose, BODY, SCENE, appearance, ShadowConfig())
+        torso_rows = slice(55, 70)
+        torso = frame[torso_rows, :, 0][person[torso_rows, :]]
+        assert torso.std() > 0.01
+
+    def test_no_texture_when_amplitude_zero(self):
+        pose = StickPose.standing(60.0, 50.0)
+        appearance = BodyAppearance(texture_amplitude=0.0)
+        frame, person, _ = render_frame(pose, BODY, SCENE, appearance, ShadowConfig())
+        reds = np.unique(frame[person][:, 0].round(6))
+        assert reds.size <= 6  # one flat colour per body part
+
+
+class TestRenderPoses:
+    def test_sequence_output(self):
+        poses = [StickPose.standing(40.0 + 5 * i, 50.0) for i in range(4)]
+        rendered = render_poses(
+            poses, BODY, SCENE, noise_config=NoiseConfig.none()
+        )
+        assert len(rendered.video) == 4
+        assert len(rendered.person_masks) == 4
+        assert len(rendered.shadow_masks) == 4
+
+    def test_noise_reproducible_under_seed(self):
+        poses = [StickPose.standing(50.0, 50.0)]
+        a = render_poses(poses, BODY, SCENE, rng=np.random.default_rng(3))
+        b = render_poses(poses, BODY, SCENE, rng=np.random.default_rng(3))
+        assert np.array_equal(a.video.frames, b.video.frames)

@@ -1,0 +1,52 @@
+"""Tests for static scene generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.synthesis.scene import Scene, SceneConfig
+
+
+class TestSceneConfig:
+    def test_ground_row(self):
+        config = SceneConfig(height=120, ground_level=12.0)
+        assert config.ground_row == 107
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SceneConfig(height=8, width=8)
+        with pytest.raises(ConfigurationError):
+            SceneConfig(ground_level=0.0)
+        with pytest.raises(ConfigurationError):
+            SceneConfig(ground_level=500.0)
+        with pytest.raises(ConfigurationError):
+            SceneConfig(texture_strength=-0.1)
+
+
+class TestScene:
+    def test_deterministic_under_seed(self):
+        a = Scene(SceneConfig(seed=5)).background
+        b = Scene(SceneConfig(seed=5)).background
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = Scene(SceneConfig(seed=5)).background
+        b = Scene(SceneConfig(seed=6)).background
+        assert not np.array_equal(a, b)
+
+    def test_values_in_range(self):
+        bg = Scene().background
+        assert bg.min() >= 0.0 and bg.max() <= 1.0
+
+    def test_floor_differs_from_wall(self):
+        scene = Scene()
+        bg = scene.background
+        wall = bg[: scene.ground_row - 5].mean(axis=(0, 1))
+        floor = bg[scene.ground_row + 2 :].mean(axis=(0, 1))
+        assert np.abs(wall - floor).max() > 0.05
+
+    def test_background_is_copy(self):
+        scene = Scene()
+        bg = scene.background
+        bg[:] = 0.0
+        assert scene.background.max() > 0.0

@@ -1,0 +1,89 @@
+"""Tests for cast-shadow synthesis (geometry and photometry)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.imaging.color import rgb_to_hsv
+from repro.video.synthesis.shadow import (
+    ShadowConfig,
+    apply_shadow,
+    project_shadow_mask,
+)
+
+
+def _person(shape=(40, 60)):
+    mask = np.zeros(shape, dtype=bool)
+    mask[10:30, 20:26] = True  # standing block, feet at row 29
+    return mask
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShadowConfig(value_gain=0.0)
+        with pytest.raises(ConfigurationError):
+            ShadowConfig(value_gain=1.0)
+        with pytest.raises(ConfigurationError):
+            ShadowConfig(saturation_shift=0.9)
+        with pytest.raises(ConfigurationError):
+            ShadowConfig(flatten=-0.5)
+
+
+class TestProjection:
+    def test_shadow_on_floor_only(self):
+        config = ShadowConfig(softness=0)
+        shadow = project_shadow_mask(_person(), ground_row=30, config=config)
+        rows = np.nonzero(shadow)[0]
+        assert rows.min() >= 30
+
+    def test_shadow_extends_forward(self):
+        config = ShadowConfig(softness=0, shear=0.5)
+        shadow = project_shadow_mask(_person(), ground_row=30, config=config)
+        cols = np.nonzero(shadow)[1]
+        assert cols.max() > 26  # beyond the person's right edge
+
+    def test_disabled(self):
+        config = ShadowConfig(enabled=False)
+        assert not project_shadow_mask(_person(), 30, config).any()
+
+    def test_excludes_person(self):
+        config = ShadowConfig(softness=2)
+        person = _person()
+        shadow = project_shadow_mask(person, 28, config)  # feet below ground
+        assert not (shadow & person).any()
+
+    def test_empty_person(self):
+        config = ShadowConfig()
+        empty = np.zeros((20, 20), dtype=bool)
+        assert not project_shadow_mask(empty, 10, config).any()
+
+
+class TestPhotometry:
+    def test_hsv_shadow_model(self, rng):
+        image = np.clip(rng.random((20, 20, 3)) * 0.5 + 0.3, 0, 1)
+        shadow = np.zeros((20, 20), dtype=bool)
+        shadow[10:15, 5:15] = True
+        config = ShadowConfig(value_gain=0.6, saturation_shift=0.05)
+        shaded = apply_shadow(image, shadow, config)
+
+        before = rgb_to_hsv(image)
+        after = rgb_to_hsv(shaded)
+        # Value scaled by the gain, hue preserved: Eq. 1's assumptions.
+        assert np.allclose(
+            after[..., 2][shadow], before[..., 2][shadow] * 0.6, atol=1e-6
+        )
+        from repro.imaging.color import hue_distance
+
+        assert hue_distance(
+            after[..., 0][shadow], before[..., 0][shadow]
+        ).max() < 1.0
+        # Untouched outside.
+        assert np.allclose(shaded[~shadow], image[~shadow])
+
+    def test_input_unchanged(self, rng):
+        image = rng.random((10, 10, 3))
+        original = image.copy()
+        shadow = np.ones((10, 10), dtype=bool)
+        apply_shadow(image, shadow, ShadowConfig())
+        assert np.array_equal(image, original)

@@ -1,0 +1,102 @@
+"""Tests for analysis visualisation rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.model.pose import StickPose
+from repro.model.sticks import default_body
+from repro.visualization import (
+    analysis_strip,
+    angle_chart,
+    draw_pose_overlay,
+    mask_to_rgb,
+    segmentation_panel,
+)
+
+BODY = default_body(60.0)
+
+
+class TestPoseOverlay:
+    def test_draws_on_copy(self):
+        frame = np.full((120, 160, 3), 0.5)
+        pose = StickPose.standing(60.0, 50.0)
+        out = draw_pose_overlay(frame, pose, BODY)
+        assert out is not frame
+        assert np.allclose(frame, 0.5)  # input untouched
+        changed = np.abs(out - frame).max(axis=-1) > 0.05
+        assert 50 < changed.sum() < 2000
+
+    def test_overlay_near_pose_location(self):
+        frame = np.zeros((120, 160, 3))
+        pose = StickPose.standing(40.0, 50.0)
+        out = draw_pose_overlay(frame, pose, BODY, joint_radius=0.0)
+        rows, cols = np.nonzero(out.max(axis=-1) > 0.1)
+        assert 25 <= cols.mean() <= 55
+
+
+class TestStripAndPanel:
+    def test_strip_dimensions(self, jump):
+        strip = analysis_strip(
+            list(jump.person_masks),
+            list(jump.motion.poses),
+            jump.dims,
+            frame_indices=[0, 5, 10],
+        )
+        assert strip.shape == (120, 160 * 3, 3)
+
+    def test_strip_with_truth(self, jump):
+        strip = analysis_strip(
+            [jump.video[k] for k in range(jump.num_frames)],
+            list(jump.motion.poses),
+            jump.dims,
+            truth=list(jump.motion.poses),
+            frame_indices=[4],
+        )
+        assert strip.shape == (120, 160, 3)
+
+    def test_strip_length_mismatch(self, jump):
+        with pytest.raises(ImageError):
+            analysis_strip([jump.person_masks[0]], list(jump.motion.poses), jump.dims)
+
+    def test_mask_to_rgb(self):
+        mask = np.eye(4, dtype=bool)
+        rgb = mask_to_rgb(mask)
+        assert rgb.shape == (4, 4, 3)
+        assert rgb[0, 0, 0] > 0 and rgb[0, 1, 0] == 0
+
+    def test_segmentation_panel(self, jump):
+        from repro.segmentation import SegmentationPipeline
+
+        pipeline = SegmentationPipeline()
+        pipeline.fit(jump.video)
+        seg = pipeline.segment(jump.video[8])
+        panel = segmentation_panel(seg.stages())
+        assert panel.shape == (120, 160 * 5, 3)
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(ImageError):
+            segmentation_panel({})
+
+
+class TestAngleChart:
+    def test_renders_tracks(self):
+        tracks = {
+            "trunk": np.linspace(0, 60, 20),
+            "arm": 180 + 90 * np.sin(np.linspace(0, 3, 20)),
+        }
+        chart = angle_chart(tracks)
+        assert chart.shape == (160, 320, 3)
+        # the chart is not blank
+        assert chart.std() > 0.01
+
+    def test_custom_size_and_range(self):
+        chart = angle_chart({"a": np.arange(10.0)}, height=80, width=100,
+                            y_range=(0.0, 20.0))
+        assert chart.shape == (80, 100, 3)
+
+    def test_validation(self):
+        with pytest.raises(ImageError):
+            angle_chart({})
+        with pytest.raises(ImageError):
+            angle_chart({"a": np.array([1.0])})
