@@ -16,6 +16,8 @@ the synthetic-video substrate and ground truth needed to evaluate it:
 * :mod:`repro.imaging` — the from-scratch image-processing substrate;
 * :mod:`repro.analysis` — trajectory smoothing, event detection and
   flight kinematics;
+* :mod:`repro.runtime` — the composable stage runtime (Stage /
+  PipelineRunner / Instrumentation) every layer is composed from;
 * :mod:`repro.pipeline` — the end-to-end :class:`JumpAnalyzer`.
 
 Quickstart::
@@ -66,6 +68,19 @@ from .evaluation import (
     evaluate_tracking,
 )
 from .pipeline import AnalyzerConfig, JumpAnalysis, JumpAnalyzer, analyze_video
+from .runtime import (
+    FunctionStage,
+    Instrumentation,
+    LoggingSink,
+    MemorySink,
+    MetricsRegistry,
+    NullSink,
+    PipelineRunner,
+    RunTrace,
+    Stage,
+    StageContext,
+    StageTiming,
+)
 from .scoring import (
     RULES,
     JumpMeasurement,
@@ -118,6 +133,17 @@ __all__ = [
     "JumpAnalysis",
     "JumpAnalyzer",
     "analyze_video",
+    "FunctionStage",
+    "Instrumentation",
+    "LoggingSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "PipelineRunner",
+    "RunTrace",
+    "Stage",
+    "StageContext",
+    "StageTiming",
     "DetectionEvaluation",
     "TrackingEvaluation",
     "evaluate_detection",

@@ -24,6 +24,24 @@ from .video.sequence import VideoSequence
 from .video.synthesis.dataset import SyntheticJumpConfig, synthesize_jump
 
 
+def _fast_config():
+    """A reduced-GA-budget AnalyzerConfig (quicker, noisier)."""
+    from .ga.engine import GAConfig
+    from .ga.temporal import TrackerConfig
+    from .model.fitness import FitnessConfig
+    from .pipeline import AnalyzerConfig
+
+    return AnalyzerConfig(
+        tracker=TrackerConfig(
+            ga=GAConfig(population_size=30, max_generations=10, patience=5),
+            fitness=FitnessConfig(max_points=600),
+            containment_margin=1,
+            min_inside_fraction=0.95,
+            containment_samples=7,
+        )
+    )
+
+
 def _parse_standards(raw: list[str]) -> tuple[Standard, ...]:
     out = []
     for name in raw:
@@ -64,7 +82,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     video = VideoSequence.load(args.video)
-    analyzer = JumpAnalyzer()
+    analyzer = JumpAnalyzer(_fast_config() if args.fast else None)
 
     annotation = None
     truth_path = Path(args.video).parent / "ground_truth.npz"
@@ -93,6 +111,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"takeoff frame {analysis.events.takeoff_frame}, "
         f"landing frame {analysis.events.landing_frame}"
     )
+
+    if args.profile:
+        print()
+        print("stage timings:")
+        print(analysis.trace.render_table())
 
     if args.stature_cm is not None:
         from .scoring.calibration import PixelCalibration, grade_distance
@@ -141,6 +164,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print()
     print(f"injected flaws: {sorted(injected) or 'none'}")
     print(f"detected flaws: {sorted(detected) or 'none'}")
+    if args.profile:
+        print()
+        print("stage timings:")
+        print(analysis.trace.render_table())
     return 0
 
 
@@ -148,22 +175,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .evaluation import evaluate_detection, evaluate_tracking
     from .video.synthesis.dataset import synthesize_flawed_jump
 
-    config = None
-    if args.fast:
-        from .ga.engine import GAConfig
-        from .ga.temporal import TrackerConfig
-        from .model.fitness import FitnessConfig
-        from .pipeline import AnalyzerConfig
-
-        config = AnalyzerConfig(
-            tracker=TrackerConfig(
-                ga=GAConfig(population_size=30, max_generations=10, patience=5),
-                fitness=FitnessConfig(max_points=600),
-                containment_margin=1,
-                min_inside_fraction=0.95,
-                containment_samples=7,
-            )
-        )
+    config = _fast_config() if args.fast else None
 
     jumps = [synthesize_jump(SyntheticJumpConfig(seed=s)) for s in args.seeds]
     if args.flaws:
@@ -244,12 +256,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_ana.add_argument(
         "--age", type=int, default=None, help="age for distance grading (6-12)"
     )
+    p_ana.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage timing table and pipeline counters",
+    )
+    p_ana.add_argument(
+        "--fast", action="store_true", help="reduced GA budget (quicker, noisier)"
+    )
     p_ana.set_defaults(func=_cmd_analyze)
 
     p_demo = sub.add_parser("demo", help="synthesize and analyze in one go")
     p_demo.add_argument("--seed", type=int, default=0)
     p_demo.add_argument(
         "--violate", nargs="*", metavar="E#", help="standards to violate (E1..E7)"
+    )
+    p_demo.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage timing table and pipeline counters",
     )
     p_demo.set_defaults(func=_cmd_demo)
 

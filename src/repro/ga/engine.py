@@ -21,6 +21,7 @@ from .convergence import GenerationStats, SearchResult
 from .operators import OperatorConfig, grouped_crossover, mutate
 from ..errors import ConfigurationError
 from ..model.pose import GENES
+from ..runtime import Instrumentation
 
 FitnessFn = Callable[[np.ndarray], np.ndarray]
 ValidityFn = Callable[[np.ndarray], np.ndarray]
@@ -88,10 +89,21 @@ class GAConfig:
 
 
 class GeneticAlgorithm:
-    """Run the paper's elitist GA over a chromosome population."""
+    """Run the paper's elitist GA over a chromosome population.
 
-    def __init__(self, config: GAConfig | None = None) -> None:
+    When an :class:`~repro.runtime.Instrumentation` is given, every run
+    accumulates the ``ga.runs``, ``ga.generations``, ``ga.evaluations``
+    and ``ga.rejected_offspring`` counters and emits one ``ga/run``
+    event with the convergence summary.
+    """
+
+    def __init__(
+        self,
+        config: GAConfig | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         self.config = config or GAConfig()
+        self.instrumentation = instrumentation or Instrumentation()
 
     def run(
         self,
@@ -187,6 +199,20 @@ class GeneticAlgorithm:
 
         result.total_evaluations = evaluations
         result.rejected_offspring = rejected
+
+        instrumentation = self.instrumentation
+        instrumentation.count("ga.runs", 1)
+        instrumentation.count("ga.generations", len(result.history) - 1)
+        instrumentation.count("ga.evaluations", evaluations)
+        instrumentation.count("ga.rejected_offspring", rejected)
+        instrumentation.event(
+            "ga/run",
+            generations=len(result.history) - 1,
+            generation_of_best=result.generation_of_best,
+            best_fitness=result.best_fitness,
+            evaluations=evaluations,
+            rejected_offspring=rejected,
+        )
         return result
 
     # ------------------------------------------------------------------

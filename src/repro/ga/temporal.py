@@ -22,6 +22,7 @@ from ..model.containment import ContainmentChecker
 from ..model.fitness import FitnessConfig, SilhouetteFitness
 from ..model.pose import StickPose
 from ..model.sticks import AngleWindows, BodyDimensions
+from ..runtime import Instrumentation
 
 
 @dataclass(frozen=True, slots=True)
@@ -168,15 +169,24 @@ class TrackingResult:
 
 
 class TemporalPoseTracker:
-    """Track the jumper's pose through a silhouette sequence."""
+    """Track the jumper's pose through a silhouette sequence.
+
+    With an :class:`~repro.runtime.Instrumentation` attached, the
+    tracker times every frame under the ``tracking/frame`` span,
+    forwards the GA's counters (generations, fitness evaluations,
+    rejected offspring), accumulates ``fitness.silhouette_points`` and
+    emits one ``tracking/frame`` convergence event per tracked frame.
+    """
 
     def __init__(
         self,
         dims: BodyDimensions,
         config: TrackerConfig | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self.dims = dims
         self.config = config or TrackerConfig()
+        self.instrumentation = instrumentation or Instrumentation()
 
     def estimate_frame(
         self,
@@ -208,6 +218,9 @@ class TemporalPoseTracker:
             extra_seeds.append(window_center)
 
         fitness = SilhouetteFitness(mask, self.dims, cfg.fitness)
+        self.instrumentation.count(
+            "fitness.silhouette_points", fitness.num_points
+        )
         checker = ContainmentChecker(
             mask,
             self.dims,
@@ -228,7 +241,6 @@ class TemporalPoseTracker:
                 [prev_pose] + extra_seeds if cfg.include_previous else extra_seeds
             ),
         )
-        fitness_fn = fitness.evaluate
         if cfg.temporal_weight > 0:
             center_angles = np.asarray(window_center.angles_deg)
             weight = cfg.temporal_weight
@@ -240,9 +252,11 @@ class TemporalPoseTracker:
                     np.mod(batch[:, 2:] - center_angles + 180.0, 360.0) - 180.0
                 ).mean(axis=1) / 180.0
                 return raw + weight * deviation
+        else:
+            fitness_fn = fitness.evaluate
 
         validity = checker.check if cfg.hard_containment else None
-        result = GeneticAlgorithm(cfg.ga).run(
+        result = GeneticAlgorithm(cfg.ga, instrumentation=self.instrumentation).run(
             population, fitness_fn, validity_fn=validity, rng=rng
         )
         if cfg.limb_rescue:
@@ -338,26 +352,36 @@ class TemporalPoseTracker:
             raise TrackingError("no silhouettes to track")
         rng = rng if rng is not None else np.random.default_rng(0)
 
+        instrumentation = self.instrumentation
         poses: list[StickPose] = [initial_pose]
         records: list[FrameTrackingRecord] = []
         prev = initial_pose
         prev_prev: StickPose | None = None
         for index in range(1, len(silhouettes)):
-            pose, search = self.estimate_frame(
-                silhouettes[index], prev, rng, prev_prev_pose=prev_prev
+            with instrumentation.span("tracking/frame"):
+                pose, search = self.estimate_frame(
+                    silhouettes[index], prev, rng, prev_prev_pose=prev_prev
+                )
+            record = FrameTrackingRecord(
+                frame_index=index,
+                pose=pose,
+                fitness=(
+                    search.raw_fitness
+                    if search.raw_fitness is not None
+                    else search.best_fitness
+                ),
+                search=search,
             )
             poses.append(pose)
-            records.append(
-                FrameTrackingRecord(
-                    frame_index=index,
-                    pose=pose,
-                    fitness=(
-                        search.raw_fitness
-                        if search.raw_fitness is not None
-                        else search.best_fitness
-                    ),
-                    search=search,
-                )
+            records.append(record)
+            instrumentation.count("tracking.frames", 1)
+            instrumentation.event(
+                "tracking/frame",
+                frame=index,
+                fitness=record.fitness,
+                generations=search.generations,
+                generation_of_best=search.generation_of_best,
+                evaluations=search.total_evaluations,
             )
             prev_prev = prev
             prev = pose

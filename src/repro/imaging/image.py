@@ -72,8 +72,9 @@ def ensure_mask(mask: np.ndarray, name: str = "mask") -> np.ndarray:
         raise ImageError(f"{name} must be 2-D, got shape {arr.shape}")
     if arr.dtype == bool:
         return arr
-    unique = np.unique(arr)
-    if not np.all(np.isin(unique, (0, 1))):
+    # Hot path (every fitness construction): a vectorised 0/1 check is
+    # far cheaper than np.unique, which sorts the whole array.
+    if not ((arr == 0) | (arr == 1)).all():
         raise ImageError(
             f"{name} must contain only 0/1 values to be used as a mask"
         )

@@ -1,8 +1,12 @@
 """End-to-end jump analysis: video → silhouettes → poses → report.
 
-:class:`JumpAnalyzer` chains the three parts of the paper's system
+:class:`JumpAnalyzer` composes the three parts of the paper's system
 (Section 1): human detection (Section 2), pose estimation (Section 3)
-and scoring (Section 4), plus the trajectory analysis extensions.
+and scoring (Section 4), plus the trajectory analysis extensions — as
+stages of a :class:`~repro.runtime.PipelineRunner`.  Every run returns
+a :class:`JumpAnalysis` carrying a :class:`~repro.runtime.RunTrace`
+with per-stage wall-clock timings and the counters the layers
+accumulated (GA generations, fitness evaluations, silhouette points).
 
 The first-frame stick model must come from somewhere, exactly as in
 the paper ("a trained person is asked to draw the stick figure for the
@@ -14,6 +18,7 @@ analyzer fall back to the automatic moment-based initialiser.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -23,6 +28,13 @@ from .errors import SegmentationError
 from .ga.temporal import TemporalPoseTracker, TrackerConfig, TrackingResult
 from .model.annotation import FirstFrameAnnotation, auto_annotate
 from .model.pose import StickPose
+from .runtime import (
+    FunctionStage,
+    Instrumentation,
+    PipelineRunner,
+    RunTrace,
+    StageContext,
+)
 from .scoring.distance import JumpMeasurement, measure_jump
 from .scoring.report import JumpReport, JumpScorer
 from .segmentation.pipeline import (
@@ -76,6 +88,7 @@ class JumpAnalysis:
     events: JumpEvents
     report: JumpReport
     measurement: JumpMeasurement
+    trace: RunTrace  # per-stage timings and counters of this run
 
     @property
     def silhouettes(self) -> list[np.ndarray]:
@@ -84,27 +97,58 @@ class JumpAnalysis:
 
 
 class JumpAnalyzer:
-    """The complete standing-long-jump analysis system."""
+    """The complete standing-long-jump analysis system.
+
+    The work is composed as runtime stages — ``segmentation``,
+    ``annotation``, ``tracking``, ``smoothing``, ``events``,
+    ``scoring`` and ``measurement`` — so every run is observable: pass
+    an :class:`~repro.runtime.Instrumentation` (with a logging or
+    in-memory sink) to :meth:`analyze`, or just read the returned
+    :attr:`JumpAnalysis.trace`.
+    """
+
+    #: Top-level stage names, in execution order.
+    STAGES = (
+        "segmentation",
+        "annotation",
+        "tracking",
+        "smoothing",
+        "events",
+        "scoring",
+        "measurement",
+    )
 
     def __init__(self, config: AnalyzerConfig | None = None) -> None:
         self.config = config or AnalyzerConfig()
+        self._runner = PipelineRunner(
+            [
+                FunctionStage("segmentation", self._stage_segmentation),
+                FunctionStage("annotation", self._stage_annotation),
+                FunctionStage("tracking", self._stage_tracking),
+                FunctionStage("smoothing", self._stage_smoothing),
+                FunctionStage("events", self._stage_events),
+                FunctionStage("scoring", self._stage_scoring),
+                FunctionStage("measurement", self._stage_measurement),
+            ],
+            name="jump-analysis",
+        )
 
-    def analyze(
-        self,
-        video: VideoSequence,
-        annotation: FirstFrameAnnotation | None = None,
-        rng: np.random.Generator | None = None,
-    ) -> JumpAnalysis:
-        """Run segmentation, tracking, event detection and scoring.
+    @property
+    def runner(self) -> PipelineRunner:
+        """The underlying stage composition (for introspection)."""
+        return self._runner
 
-        ``annotation`` provides the first-frame stick model (pose +
-        body dimensions).  When omitted, the automatic moment-based
-        initialiser runs on the first silhouette — convenient, but a
-        human-drawn model is what the paper assumes and tracks better.
-        """
-        rng = rng if rng is not None else np.random.default_rng(0)
-
-        segmenter = SegmentationPipeline(self.config.segmentation)
+    # ------------------------------------------------------------------
+    # Stages.  The main value flow is video → silhouettes → poses; the
+    # side products (segmentations, tracking records, report, …) land
+    # on the context's artifact blackboard.
+    # ------------------------------------------------------------------
+    def _stage_segmentation(
+        self, video: VideoSequence, ctx: StageContext
+    ) -> list[np.ndarray]:
+        segmenter = SegmentationPipeline(
+            self.config.segmentation, instrumentation=ctx.instrumentation
+        )
         segmentations = segmenter.segment_video(video)
         silhouettes = [seg.person for seg in segmentations]
         if not silhouettes[0].any():
@@ -112,42 +156,118 @@ class JumpAnalyzer:
                 "no human object found in the first frame; cannot anchor "
                 "the stick model"
             )
+        ctx.artifacts["segmentations"] = tuple(segmentations)
+        ctx.artifacts["background"] = segmenter.background
+        return silhouettes
 
-        if annotation is None:
-            annotation = auto_annotate(silhouettes[0])
+    def _stage_annotation(
+        self, silhouettes: list[np.ndarray], ctx: StageContext
+    ) -> list[np.ndarray]:
+        if ctx.artifacts.get("annotation") is None:
+            ctx.artifacts["annotation"] = auto_annotate(silhouettes[0])
+            ctx.instrumentation.count("annotation.automatic", 1)
+        return silhouettes
 
-        tracker = TemporalPoseTracker(annotation.dims, self.config.tracker)
-        tracking = tracker.track(silhouettes, annotation.pose, rng=rng)
+    def _stage_tracking(
+        self, silhouettes: list[np.ndarray], ctx: StageContext
+    ) -> tuple[StickPose, ...]:
+        annotation: FirstFrameAnnotation = ctx.require("annotation")
+        tracker = TemporalPoseTracker(
+            annotation.dims,
+            self.config.tracker,
+            instrumentation=ctx.instrumentation,
+        )
+        tracking = tracker.track(
+            silhouettes, annotation.pose, rng=ctx.require("rng")
+        )
+        ctx.artifacts["tracking"] = tracking
+        return tracking.poses
 
-        poses: tuple[StickPose, ...]
-        if self.config.smoothing_mode != "none" and self.config.smoothing_window > 1:
-            trajectory = PoseTrajectory.from_poses(tracking.poses)
-            if self.config.smoothing_mode == "median":
-                trajectory = trajectory.median_filtered(self.config.smoothing_window)
-            elif self.config.smoothing_mode == "kalman":
+    def _stage_smoothing(
+        self, poses: tuple[StickPose, ...], ctx: StageContext
+    ) -> tuple[StickPose, ...]:
+        cfg = self.config
+        if cfg.smoothing_mode != "none" and cfg.smoothing_window > 1:
+            trajectory = PoseTrajectory.from_poses(poses)
+            if cfg.smoothing_mode == "median":
+                trajectory = trajectory.median_filtered(cfg.smoothing_window)
+            elif cfg.smoothing_mode == "kalman":
                 from .analysis.kalman import kalman_smooth
 
                 trajectory = kalman_smooth(trajectory)
             else:
-                trajectory = trajectory.smoothed(self.config.smoothing_window)
+                trajectory = trajectory.smoothed(cfg.smoothing_window)
             poses = tuple(trajectory.to_poses())
-        else:
-            poses = tracking.poses
+        ctx.artifacts["poses"] = poses
+        return poses
 
-        events = detect_events(poses, annotation.dims)
-        report = JumpScorer().score(poses, takeoff_frame=events.takeoff_frame)
-        measurement = measure_jump(
+    def _stage_events(
+        self, poses: tuple[StickPose, ...], ctx: StageContext
+    ) -> tuple[StickPose, ...]:
+        annotation: FirstFrameAnnotation = ctx.require("annotation")
+        ctx.artifacts["events"] = detect_events(poses, annotation.dims)
+        return poses
+
+    def _stage_scoring(
+        self, poses: tuple[StickPose, ...], ctx: StageContext
+    ) -> tuple[StickPose, ...]:
+        events: JumpEvents = ctx.require("events")
+        scorer = JumpScorer(instrumentation=ctx.instrumentation)
+        ctx.artifacts["report"] = scorer.score(
+            poses, takeoff_frame=events.takeoff_frame
+        )
+        return poses
+
+    def _stage_measurement(
+        self, poses: tuple[StickPose, ...], ctx: StageContext
+    ) -> tuple[StickPose, ...]:
+        annotation: FirstFrameAnnotation = ctx.require("annotation")
+        ctx.artifacts["measurement"] = measure_jump(
             poses, annotation.dims, landing_frame=len(poses) - 1
         )
+        return poses
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        video: VideoSequence,
+        annotation: FirstFrameAnnotation | None = None,
+        rng: np.random.Generator | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> JumpAnalysis:
+        """Run segmentation, tracking, event detection and scoring.
+
+        ``annotation`` provides the first-frame stick model (pose +
+        body dimensions).  When omitted, the automatic moment-based
+        initialiser runs on the first silhouette — convenient, but a
+        human-drawn model is what the paper assumes and tracks better.
+
+        ``instrumentation`` chooses the observability sink for this
+        run; by default a fresh silent collector is used, so the
+        returned :attr:`JumpAnalysis.trace` is always populated.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+
+        context = StageContext(
+            instrumentation=instrumentation or Instrumentation()
+        )
+        context.artifacts["annotation"] = annotation
+        context.artifacts["rng"] = rng
+        outcome = self._runner.run(video, context=context)
+
+        artifacts: dict[str, Any] = outcome.context.artifacts
         return JumpAnalysis(
-            segmentations=tuple(segmentations),
-            background=segmenter.background,
-            annotation=annotation,
-            tracking=tracking,
-            poses=poses,
-            events=events,
-            report=report,
-            measurement=measurement,
+            segmentations=artifacts["segmentations"],
+            background=artifacts["background"],
+            annotation=artifacts["annotation"],
+            tracking=artifacts["tracking"],
+            poses=artifacts["poses"],
+            events=artifacts["events"],
+            report=artifacts["report"],
+            measurement=artifacts["measurement"],
+            trace=outcome.trace,
         )
 
 
@@ -156,6 +276,9 @@ def analyze_video(
     annotation: FirstFrameAnnotation | None = None,
     config: AnalyzerConfig | None = None,
     rng: np.random.Generator | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> JumpAnalysis:
     """One-call convenience wrapper around :class:`JumpAnalyzer`."""
-    return JumpAnalyzer(config).analyze(video, annotation=annotation, rng=rng)
+    return JumpAnalyzer(config).analyze(
+        video, annotation=annotation, rng=rng, instrumentation=instrumentation
+    )

@@ -1,0 +1,47 @@
+"""Composable stage runtime with built-in observability.
+
+The architectural seam of the library: independent, introspectable
+stages (:class:`Stage`) composed by a thin :class:`PipelineRunner`,
+with an :class:`Instrumentation` layer recording per-stage wall-clock
+timings, counters and structured span events into a pluggable sink —
+silent (:class:`NullSink`), logging (:class:`LoggingSink`) or
+in-memory (:class:`MemorySink`).  One run yields a :class:`RunTrace`;
+many runs aggregate into a thread-safe :class:`MetricsRegistry` (the
+service's ``/metrics``).
+
+The segmentation pipeline, the GA pose tracker, the scorer and the
+end-to-end :class:`~repro.pipeline.JumpAnalyzer` are all composed from
+this package; perf work (caching, batching, frame-parallelism) hooks
+in here rather than into any one algorithm.
+"""
+
+from .instrumentation import (
+    Instrumentation,
+    LoggingSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    SpanEvent,
+)
+from .metrics import MetricsRegistry
+from .runner import PipelineRunner, RunOutcome
+from .stage import FunctionStage, Stage, StageContext, stage
+from .trace import RunTrace, StageTiming
+
+__all__ = [
+    "FunctionStage",
+    "Instrumentation",
+    "LoggingSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "PipelineRunner",
+    "RunOutcome",
+    "RunTrace",
+    "Sink",
+    "SpanEvent",
+    "Stage",
+    "StageContext",
+    "StageTiming",
+    "stage",
+]

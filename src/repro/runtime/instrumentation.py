@@ -1,0 +1,206 @@
+"""Spans, counters and structured events with pluggable sinks.
+
+One :class:`Instrumentation` instance accompanies one pipeline run.  It
+does two jobs:
+
+* **accumulate** — wall-clock time per named span and totals per named
+  counter, cheap enough to stay enabled on the hot path (a span costs
+  two ``perf_counter`` calls and a dict update);
+* **forward** — every observation as a structured :class:`SpanEvent`
+  to a :class:`Sink`: :class:`NullSink` (silent, the default),
+  :class:`LoggingSink` (module-level logger, the openpifpaf-style
+  ``LOG`` + ``time`` idiom), or :class:`MemorySink` (captures
+  everything for tests).
+
+Span names are slash-scoped (``segmentation/subtract``,
+``tracking/frame``); counter names are dot-scoped
+(``ga.evaluations``, ``fitness.silhouette_points``).  Repeated spans
+and counters accumulate, so per-frame work shows up as one row with a
+call count rather than hundreds of rows.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+from .trace import RunTrace, StageTiming
+
+LOG = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """One structured observation forwarded to a sink.
+
+    ``kind`` is ``"span"`` (``value`` = seconds), ``"counter"``
+    (``value`` = increment) or ``"event"`` (``value`` is ``None``).
+    """
+
+    kind: str
+    name: str
+    value: float | None = None
+    fields: tuple[tuple[str, Any], ...] = ()
+
+    def field_dict(self) -> dict[str, Any]:
+        """The event's attached fields as a dictionary."""
+        return dict(self.fields)
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Anything that can receive :class:`SpanEvent` observations."""
+
+    def emit(self, event: SpanEvent) -> None:
+        """Consume one observation."""
+        ...
+
+
+class NullSink:
+    """Silent sink: observations are accumulated but never reported."""
+
+    __slots__ = ()
+
+    def emit(self, event: SpanEvent) -> None:
+        pass
+
+
+class LoggingSink:
+    """Forward observations to a standard-library logger."""
+
+    __slots__ = ("_logger", "_level")
+
+    def __init__(
+        self,
+        logger: logging.Logger | None = None,
+        level: int = logging.DEBUG,
+    ) -> None:
+        self._logger = logger or LOG
+        self._level = level
+
+    def emit(self, event: SpanEvent) -> None:
+        if not self._logger.isEnabledFor(self._level):
+            return
+        if event.kind == "span":
+            self._logger.log(
+                self._level, "span %s: %.6fs %s", event.name, event.value,
+                event.field_dict(),
+            )
+        elif event.kind == "counter":
+            self._logger.log(
+                self._level, "counter %s += %g", event.name, event.value
+            )
+        else:
+            self._logger.log(
+                self._level, "event %s %s", event.name, event.field_dict()
+            )
+
+
+class MemorySink:
+    """Capture every observation in memory (for tests and notebooks)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[SpanEvent] = []
+
+    def emit(self, event: SpanEvent) -> None:
+        self.events.append(event)
+
+    def named(self, name: str) -> list[SpanEvent]:
+        """All captured observations with the given name."""
+        return [event for event in self.events if event.name == name]
+
+    def spans(self) -> list[SpanEvent]:
+        """All captured span observations."""
+        return [event for event in self.events if event.kind == "span"]
+
+    def counters(self) -> list[SpanEvent]:
+        """All captured counter observations."""
+        return [event for event in self.events if event.kind == "counter"]
+
+    def clear(self) -> None:
+        """Drop everything captured so far."""
+        self.events.clear()
+
+
+class Instrumentation:
+    """Per-run collector of span timings, counters and events.
+
+    Create one per pipeline run; share it across the layers of that run
+    (runner → segmentation → tracker → GA) so their observations land
+    in one place.  :meth:`trace` snapshots the accumulated state as an
+    immutable :class:`~repro.runtime.trace.RunTrace`.
+    """
+
+    __slots__ = ("sink", "_seconds", "_calls", "_counters")
+
+    def __init__(self, sink: Sink | None = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+        self._counters: dict[str, float] = {}
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[None]:
+        """Time a block of work under ``name`` (accumulates on repeat)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            seconds = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+            self._calls[name] = self._calls.get(name, 0) + 1
+            self.sink.emit(
+                SpanEvent("span", name, seconds, tuple(fields.items()))
+            )
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the named counter."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+        self.sink.emit(SpanEvent("counter", name, value))
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a structured point-in-time event to the sink."""
+        self.sink.emit(SpanEvent("event", name, None, tuple(fields.items())))
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def timings(self) -> tuple[StageTiming, ...]:
+        """Every span accumulated so far, in first-recorded order."""
+        return tuple(
+            StageTiming(name, seconds, self._calls[name])
+            for name, seconds in self._seconds.items()
+        )
+
+    def counters(self) -> dict[str, float]:
+        """A copy of the accumulated counters."""
+        return dict(self._counters)
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        """Current value of one counter."""
+        return self._counters.get(name, default)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds of one span (0.0 if it never ran)."""
+        return self._seconds.get(name, 0.0)
+
+    def trace(
+        self,
+        stages: tuple[StageTiming, ...] = (),
+        total_seconds: float | None = None,
+    ) -> RunTrace:
+        """Freeze the accumulated state into a :class:`RunTrace`."""
+        timings = self.timings()
+        if total_seconds is None:
+            total_seconds = sum(timing.seconds for timing in stages)
+        return RunTrace(
+            stages=stages,
+            timings=timings,
+            counters=self.counters(),
+            total_seconds=total_seconds,
+        )

@@ -1,0 +1,103 @@
+"""Compose stages into an observable pipeline.
+
+:class:`PipelineRunner` is deliberately thin: it validates the stage
+list once, then on every :meth:`~PipelineRunner.run` threads a value
+through the stages in order, timing each one, and returns a
+:class:`RunOutcome` carrying the final value, the populated
+:class:`~repro.runtime.stage.StageContext`, and an immutable
+:class:`~repro.runtime.trace.RunTrace`.  Every future caching,
+batching or parallelism PR hooks in here, between stages, without the
+stages noticing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .instrumentation import Instrumentation
+from .stage import Stage, StageContext
+from .trace import RunTrace, StageTiming
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class RunOutcome:
+    """What one :meth:`PipelineRunner.run` produced."""
+
+    value: Any
+    trace: RunTrace
+    context: StageContext
+
+
+class PipelineRunner:
+    """Run a fixed sequence of stages over an input value."""
+
+    __slots__ = ("name", "_stages")
+
+    def __init__(self, stages: Sequence[Stage], name: str = "pipeline") -> None:
+        stages = tuple(stages)
+        if not stages:
+            raise ConfigurationError("a pipeline needs at least one stage")
+        for stage in stages:
+            if not isinstance(getattr(stage, "name", None), str) or not callable(
+                getattr(stage, "run", None)
+            ):
+                raise ConfigurationError(
+                    f"{stage!r} does not implement the Stage protocol "
+                    "(needs a 'name' string and a 'run' callable)"
+                )
+        names = [stage.name for stage in stages]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ConfigurationError(
+                f"stage names must be unique, duplicated: {sorted(duplicates)}"
+            )
+        self.name = name
+        self._stages = stages
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        """The composed stages, in execution order."""
+        return self._stages
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """Names of the composed stages, in execution order."""
+        return tuple(stage.name for stage in self._stages)
+
+    def run(
+        self,
+        value: Any,
+        instrumentation: Instrumentation | None = None,
+        context: StageContext | None = None,
+    ) -> RunOutcome:
+        """Thread ``value`` through every stage and trace the run.
+
+        A fresh (silent) :class:`Instrumentation` is created when none
+        is given; pass your own to choose a sink or to share one
+        collector across layers.  ``context`` may be pre-seeded with
+        artifacts the first stage needs.
+        """
+        if context is None:
+            context = StageContext(
+                instrumentation=instrumentation or Instrumentation()
+            )
+        elif instrumentation is not None:
+            context.instrumentation = instrumentation
+        inst = context.instrumentation
+
+        stage_timings: list[StageTiming] = []
+        run_start = time.perf_counter()
+        for stage in self._stages:
+            start = time.perf_counter()
+            with inst.span(stage.name):
+                value = stage.run(value, context)
+            stage_timings.append(
+                StageTiming(stage.name, time.perf_counter() - start)
+            )
+        total = time.perf_counter() - run_start
+
+        trace = inst.trace(stages=tuple(stage_timings), total_seconds=total)
+        return RunOutcome(value=value, trace=trace, context=context)

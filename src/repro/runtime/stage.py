@@ -1,0 +1,85 @@
+"""The :class:`Stage` protocol and adapters.
+
+A stage is the unit the :class:`~repro.runtime.runner.PipelineRunner`
+composes: a named transform ``value -> value`` that may read and write
+shared artifacts on the :class:`StageContext` and emit observations
+through the run's :class:`~repro.runtime.instrumentation.Instrumentation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from .instrumentation import Instrumentation
+from ..errors import ConfigurationError
+
+
+@dataclass(slots=True)
+class StageContext:
+    """Mutable blackboard shared by the stages of one run.
+
+    ``artifacts`` carries intermediate products that are not part of
+    the main value flow (e.g. the estimated background next to the
+    silhouette stream); ``instrumentation`` is the run's collector.
+    """
+
+    instrumentation: Instrumentation = field(default_factory=Instrumentation)
+    artifacts: dict[str, Any] = field(default_factory=dict)
+
+    def require(self, key: str) -> Any:
+        """Fetch an artifact an upstream stage must have produced."""
+        try:
+            return self.artifacts[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"stage requires artifact {key!r} which no upstream stage "
+                f"produced (have: {sorted(self.artifacts)})"
+            ) from None
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """A named pipeline step: ``run(value, context) -> value``."""
+
+    name: str
+
+    def run(self, value: Any, context: StageContext) -> Any:
+        """Transform ``value``, optionally using/extending the context."""
+        ...
+
+
+class FunctionStage:
+    """Adapt a plain callable ``(value, context) -> value`` to a Stage."""
+
+    __slots__ = ("name", "_fn")
+
+    def __init__(
+        self, name: str, fn: Callable[[Any, StageContext], Any]
+    ) -> None:
+        if not name:
+            raise ConfigurationError("a stage needs a non-empty name")
+        self.name = name
+        self._fn = fn
+
+    def run(self, value: Any, context: StageContext) -> Any:
+        return self._fn(value, context)
+
+    def __repr__(self) -> str:
+        return f"FunctionStage({self.name!r})"
+
+
+def stage(
+    name: str,
+) -> Callable[[Callable[[Any, StageContext], Any]], FunctionStage]:
+    """Decorator form of :class:`FunctionStage`::
+
+        @stage("scoring")
+        def score(poses, ctx):
+            ...
+    """
+
+    def wrap(fn: Callable[[Any, StageContext], Any]) -> FunctionStage:
+        return FunctionStage(name, fn)
+
+    return wrap

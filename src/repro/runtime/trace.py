@@ -1,0 +1,117 @@
+"""Run traces: what one pipeline execution spent where.
+
+A :class:`RunTrace` is the immutable record a :class:`~repro.runtime.runner.PipelineRunner`
+returns next to its result: the ordered top-level stage timings, every
+span recorded by the :class:`~repro.runtime.instrumentation.Instrumentation`
+(including nested sub-stages such as ``segmentation/subtract``), and the
+counters accumulated along the way (GA generations, fitness evaluations,
+silhouette points, …).  The trace is what the CLI's ``--profile`` table
+renders and what the service's ``/metrics`` endpoint aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class StageTiming:
+    """Accumulated wall-clock time of one (possibly repeated) stage."""
+
+    name: str
+    seconds: float
+    calls: int = 1
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average seconds per call."""
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class RunTrace:
+    """Everything one pipeline run recorded about itself.
+
+    ``stages`` holds the runner's top-level stages in execution order;
+    ``timings`` holds every span (top-level stages plus sub-stages like
+    ``tracking/frame``) in first-recorded order; ``counters`` maps
+    counter names to accumulated values.
+    """
+
+    stages: tuple[StageTiming, ...]
+    timings: tuple[StageTiming, ...] = ()
+    counters: dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """Top-level stage names in execution order."""
+        return tuple(timing.name for timing in self.stages)
+
+    def timing(self, name: str) -> StageTiming | None:
+        """Look a span up by name (top-level stages first)."""
+        for timing in self.stages:
+            if timing.name == name:
+                return timing
+        for timing in self.timings:
+            if timing.name == name:
+                return timing
+        return None
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds of one span, 0.0 when it never ran."""
+        timing = self.timing(name)
+        return timing.seconds if timing is not None else 0.0
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        """Accumulated value of one counter."""
+        return self.counters.get(name, default)
+
+    def render_table(self) -> str:
+        """Human-readable per-stage timing table (``--profile``)."""
+        rows = self.timings if self.timings else self.stages
+        name_width = max([len("stage")] + [len(t.name) for t in rows])
+        lines = [
+            f"{'stage':<{name_width}}  {'calls':>6}  {'total':>10}  {'mean':>10}",
+            "-" * (name_width + 32),
+        ]
+        for timing in rows:
+            lines.append(
+                f"{timing.name:<{name_width}}  {timing.calls:>6d}  "
+                f"{timing.seconds:>9.4f}s  {timing.mean_seconds:>9.4f}s"
+            )
+        lines.append("-" * (name_width + 32))
+        lines.append(
+            f"{'total':<{name_width}}  {'':>6}  {self.total_seconds:>9.4f}s"
+        )
+        if self.counters:
+            lines.append("")
+            counter_width = max(len(name) for name in self.counters)
+            for name, value in self.counters.items():
+                rendered = f"{value:g}"
+                lines.append(f"{name:<{counter_width}}  {rendered:>12}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (used by the service payloads)."""
+        return {
+            "total_seconds": self.total_seconds,
+            "stages": [
+                {
+                    "name": timing.name,
+                    "seconds": timing.seconds,
+                    "calls": timing.calls,
+                }
+                for timing in self.stages
+            ],
+            "timings": [
+                {
+                    "name": timing.name,
+                    "seconds": timing.seconds,
+                    "calls": timing.calls,
+                }
+                for timing in self.timings
+            ],
+            "counters": dict(self.counters),
+        }

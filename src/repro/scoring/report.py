@@ -14,6 +14,7 @@ from .phases import StageWindows
 from .rules import RuleResult, evaluate_rules
 from .standards import ADVICE, Standard
 from ..model.pose import StickPose
+from ..runtime import Instrumentation
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,10 +72,20 @@ class JumpReport:
 
 
 class JumpScorer:
-    """Score pose sequences against the rules of Table 2."""
+    """Score pose sequences against the rules of Table 2.
 
-    def __init__(self, windows: StageWindows | None = None) -> None:
+    An attached :class:`~repro.runtime.Instrumentation` times rule
+    evaluation under the ``scoring/rules`` span and accumulates the
+    ``scoring.rules_evaluated`` / ``scoring.rules_failed`` counters.
+    """
+
+    def __init__(
+        self,
+        windows: StageWindows | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         self._windows = windows
+        self.instrumentation = instrumentation or Instrumentation()
 
     def score(
         self,
@@ -89,6 +100,9 @@ class JumpScorer:
         windows = self._windows or StageWindows.for_sequence(
             len(poses), takeoff_frame=takeoff_frame
         )
-        return JumpReport(
-            results=tuple(evaluate_rules(poses, windows)), windows=windows
-        )
+        with self.instrumentation.span("scoring/rules"):
+            results = tuple(evaluate_rules(poses, windows))
+        report = JumpReport(results=results, windows=windows)
+        self.instrumentation.count("scoring.rules_evaluated", len(results))
+        self.instrumentation.count("scoring.rules_failed", len(report.failed))
+        return report

@@ -56,6 +56,24 @@ class CleanupStages:
     after_hole_fill: np.ndarray
 
 
+def step_noise_removal(mask: np.ndarray, config: CleanupConfig) -> np.ndarray:
+    """Step 3a: the 8-neighbour noise rule."""
+    return remove_noise_pixels(mask, min_neighbors=config.min_neighbors)
+
+
+def step_spot_removal(mask: np.ndarray, config: CleanupConfig) -> np.ndarray:
+    """Step 3b: delete small connected spots."""
+    return remove_small_components(mask, min_area=config.min_spot_area)
+
+
+def step_hole_fill(mask: np.ndarray, config: CleanupConfig) -> np.ndarray:
+    """Step 4: the 4-neighbour fill (plus optional topological fill)."""
+    filled = fill_single_pixel_holes(mask, iterations=config.hole_fill_iterations)
+    if config.fill_all_holes:
+        filled = fill_holes(filled)
+    return filled
+
+
 def clean_foreground(
     mask: np.ndarray,
     config: CleanupConfig | None = None,
@@ -63,13 +81,9 @@ def clean_foreground(
     """Apply Steps 3–4 to a raw foreground mask, keeping every stage."""
     config = config or CleanupConfig()
 
-    after_noise = remove_noise_pixels(mask, min_neighbors=config.min_neighbors)
-    after_spots = remove_small_components(after_noise, min_area=config.min_spot_area)
-    after_holes = fill_single_pixel_holes(
-        after_spots, iterations=config.hole_fill_iterations
-    )
-    if config.fill_all_holes:
-        after_holes = fill_holes(after_holes)
+    after_noise = step_noise_removal(mask, config)
+    after_spots = step_spot_removal(after_noise, config)
+    after_holes = step_hole_fill(after_spots, config)
     return CleanupStages(
         after_noise_removal=after_noise,
         after_spot_removal=after_spots,

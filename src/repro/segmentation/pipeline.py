@@ -5,11 +5,19 @@ for the whole sequence; ``segment`` then applies Steps 2–5 to a frame
 and returns every intermediate mask, which is what the Fig. 2 / Fig. 3
 benches plot.  A final (optional, on by default) largest-component
 selection yields the single jumper silhouette the pose estimator needs.
+
+The per-frame steps are modelled as named **sub-stages** (see
+:meth:`SegmentationPipeline.sub_stage_names`) so the runtime's
+instrumentation can time and count each paper step independently:
+``segmentation/subtract``, ``segmentation/noise_removal``,
+``segmentation/spot_removal``, ``segmentation/hole_fill``,
+``segmentation/shadow`` and ``segmentation/components``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
@@ -19,11 +27,17 @@ from .background import (
     ChangeDetectionConfig,
     MedianBackgroundEstimator,
 )
-from .cleanup import CleanupConfig, CleanupStages, clean_foreground
+from .cleanup import (
+    CleanupConfig,
+    step_hole_fill,
+    step_noise_removal,
+    step_spot_removal,
+)
 from .shadow import ShadowMaskConfig, remove_shadows
 from .subtraction import SubtractionConfig, subtract_background
 from ..errors import SegmentationError
 from ..imaging.components import dominant_components
+from ..runtime import Instrumentation
 from ..video.sequence import VideoSequence
 
 
@@ -75,10 +89,20 @@ class FrameSegmentation:
 
 
 class SegmentationPipeline:
-    """Steps 1–5 of the paper, orchestrated over a video sequence."""
+    """Steps 1–5 of the paper, orchestrated over a video sequence.
 
-    def __init__(self, config: SegmentationConfig | None = None) -> None:
+    Pass an :class:`~repro.runtime.Instrumentation` to time every
+    sub-stage and count silhouette pixels; without one a silent
+    collector is used.
+    """
+
+    def __init__(
+        self,
+        config: SegmentationConfig | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         self.config = config or SegmentationConfig()
+        self.instrumentation = instrumentation or Instrumentation()
         self._background_result: BackgroundResult | None = None
 
     # ------------------------------------------------------------------
@@ -86,14 +110,17 @@ class SegmentationPipeline:
     # ------------------------------------------------------------------
     def fit(self, video: VideoSequence) -> BackgroundResult:
         """Estimate the background (Step 1) and remember it."""
-        if self.config.use_median_background:
-            estimator: MedianBackgroundEstimator | ChangeDetectionBackgroundEstimator
-            estimator = MedianBackgroundEstimator()
-        else:
-            estimator = ChangeDetectionBackgroundEstimator(
-                self.config.change_detection
-            )
-        self._background_result = estimator.estimate(video)
+        with self.instrumentation.span("segmentation/fit_background"):
+            if self.config.use_median_background:
+                estimator: (
+                    MedianBackgroundEstimator | ChangeDetectionBackgroundEstimator
+                )
+                estimator = MedianBackgroundEstimator()
+            else:
+                estimator = ChangeDetectionBackgroundEstimator(
+                    self.config.change_detection
+                )
+            self._background_result = estimator.estimate(video)
         return self._background_result
 
     @property
@@ -104,35 +131,88 @@ class SegmentationPipeline:
         return self._background_result.background
 
     # ------------------------------------------------------------------
-    # Steps 2–5
+    # Steps 2–5, as named sub-stages over a per-frame state dict
     # ------------------------------------------------------------------
-    def segment(self, frame: np.ndarray) -> FrameSegmentation:
-        """Apply Steps 2–5 to one frame."""
-        background = self.background
+    def _sub_stages(
+        self,
+    ) -> tuple[tuple[str, Callable[[dict[str, Any]], None]], ...]:
+        return (
+            ("subtract", self._step_subtract),
+            ("noise_removal", self._step_noise_removal),
+            ("spot_removal", self._step_spot_removal),
+            ("hole_fill", self._step_hole_fill),
+            ("shadow", self._step_shadow),
+            ("components", self._step_components),
+        )
 
-        raw = subtract_background(frame, background, self.config.subtraction)
-        stages: CleanupStages = clean_foreground(raw, self.config.cleanup)
+    def sub_stage_names(self) -> tuple[str, ...]:
+        """Names of the per-frame sub-stages, in execution order."""
+        return tuple(name for name, _ in self._sub_stages())
 
+    def _step_subtract(self, state: dict[str, Any]) -> None:
+        state["raw_foreground"] = subtract_background(
+            state["frame"], state["background"], self.config.subtraction
+        )
+        state["mask"] = state["raw_foreground"]
+
+    def _step_noise_removal(self, state: dict[str, Any]) -> None:
+        state["after_noise_removal"] = step_noise_removal(
+            state["mask"], self.config.cleanup
+        )
+        state["mask"] = state["after_noise_removal"]
+
+    def _step_spot_removal(self, state: dict[str, Any]) -> None:
+        state["after_spot_removal"] = step_spot_removal(
+            state["mask"], self.config.cleanup
+        )
+        state["mask"] = state["after_spot_removal"]
+
+    def _step_hole_fill(self, state: dict[str, Any]) -> None:
+        state["after_hole_fill"] = step_hole_fill(
+            state["mask"], self.config.cleanup
+        )
+        state["mask"] = state["after_hole_fill"]
+
+    def _step_shadow(self, state: dict[str, Any]) -> None:
         if self.config.remove_shadows:
             person, detected = remove_shadows(
-                frame, background, stages.after_hole_fill, self.config.shadow
+                state["frame"],
+                state["background"],
+                state["after_hole_fill"],
+                self.config.shadow,
             )
         else:
-            person = stages.after_hole_fill
+            person = state["after_hole_fill"]
             detected = np.zeros_like(person)
+        state["detected_shadow"] = detected
+        state["mask"] = person
 
+    def _step_components(self, state: dict[str, Any]) -> None:
         if self.config.keep_largest_component:
-            person = dominant_components(
-                person, keep_fraction=self.config.component_keep_fraction
+            state["mask"] = dominant_components(
+                state["mask"], keep_fraction=self.config.component_keep_fraction
             )
+        state["person"] = state["mask"]
 
+    def segment(self, frame: np.ndarray) -> FrameSegmentation:
+        """Apply Steps 2–5 to one frame."""
+        instrumentation = self.instrumentation
+        state: dict[str, Any] = {"frame": frame, "background": self.background}
+        for name, step in self._sub_stages():
+            with instrumentation.span(f"segmentation/{name}"):
+                step(state)
+
+        instrumentation.count("segmentation.frames", 1)
+        instrumentation.count(
+            "segmentation.person_pixels", float(state["person"].sum())
+        )
         return FrameSegmentation(
-            raw_foreground=raw,
-            after_noise_removal=stages.after_noise_removal,
-            after_spot_removal=stages.after_spot_removal,
-            after_hole_fill=stages.after_hole_fill,
-            detected_shadow=detected,
-            person=person,
+            raw_foreground=state["raw_foreground"],
+            after_noise_removal=state["after_noise_removal"],
+            after_spot_removal=state["after_spot_removal"],
+            after_hole_fill=state["after_hole_fill"],
+            detected_shadow=state["detected_shadow"],
+            person=state["person"],
         )
 
     def segment_video(self, video: VideoSequence) -> list[FrameSegmentation]:
@@ -146,9 +226,10 @@ class SegmentationPipeline:
         if self.config.stabilize:
             from ..imaging.registration import stabilize_frames
 
-            aligned, offsets = stabilize_frames(
-                video.frames, max_shift=self.config.stabilize_max_shift
-            )
+            with self.instrumentation.span("segmentation/stabilize"):
+                aligned, offsets = stabilize_frames(
+                    video.frames, max_shift=self.config.stabilize_max_shift
+                )
             video = VideoSequence(aligned)
 
         self.fit(video)

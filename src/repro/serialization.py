@@ -159,4 +159,5 @@ def analysis_to_dict(analysis) -> dict[str, Any]:
             "landing_frame": analysis.measurement.landing_frame,
         },
         "annotation": annotation_to_dict(analysis.annotation),
+        "trace": analysis.trace.to_dict(),
     }

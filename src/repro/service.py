@@ -14,6 +14,14 @@ service over the library:
 * ``GET /health`` — liveness probe.
 * ``GET /standards`` — the Table 1 standards and Table 2 rules, so a
   client can render explanations.
+* ``GET /metrics`` — cumulative per-stage wall-clock timings, pipeline
+  counters and request counts across every request served so far
+  (backed by :class:`repro.runtime.MetricsRegistry`).
+
+Malformed requests (invalid JSON, non-object bodies, missing or
+undecodable video payloads) are answered with HTTP 400 and a
+structured JSON error ``{"error": {"code": ..., "message": ...}}``;
+analysable-but-failing videos map to 422; unexpected faults to 500.
 
 Start a server with :func:`serve` (blocking) or
 :class:`ServiceHandle` (background thread, used by the tests and the
@@ -34,6 +42,7 @@ import numpy as np
 
 from .errors import ReproError
 from .pipeline import AnalyzerConfig, JumpAnalyzer
+from .runtime import Instrumentation, MetricsRegistry
 from .scoring.rules import RULES
 from .scoring.standards import ADVICE, Standard
 from .serialization import analysis_to_dict, annotation_from_dict
@@ -81,6 +90,14 @@ def _standards_payload() -> dict[str, Any]:
     }
 
 
+class _BadRequest(Exception):
+    """A client error that maps to HTTP 400 with a structured payload."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Request handler bound to one analyzer instance via the server."""
 
@@ -94,43 +111,105 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        """Structured JSON error: ``{"error": {"code", "message"}}``."""
+        self._send_json(status, {"error": {"code": code, "message": message}})
+
+    def _finish(self, status: int) -> None:
+        self.server.metrics.count_request(  # type: ignore[attr-defined]
+            self.path, status
+        )
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep test output clean
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/health":
             self._send_json(200, {"status": "ok"})
+            self._finish(200)
         elif self.path == "/standards":
             self._send_json(200, _standards_payload())
+            self._finish(200)
+        elif self.path == "/metrics":
+            snapshot = self.server.metrics.snapshot()  # type: ignore[attr-defined]
+            self._send_json(200, snapshot)
+            self._finish(200)
         else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
+            self._finish(404)
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path != "/analyze":
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
-            return
+    def _parse_analyze_request(self) -> dict[str, Any]:
+        """Decode and validate the /analyze body; :class:`_BadRequest` on error."""
         try:
-            length = int(self.headers.get("Content-Length", "0"))
+            length = int(self.headers.get("Content-Length", "0") or 0)
+        except ValueError:
+            raise _BadRequest("bad_content_length", "invalid Content-Length header")
+        try:
             request = json.loads(self.rfile.read(length) or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _BadRequest(
+                "malformed_json", f"request body is not valid JSON: {exc}"
+            )
+        if not isinstance(request, dict):
+            raise _BadRequest(
+                "malformed_json",
+                f"request body must be a JSON object, got {type(request).__name__}",
+            )
+        if "video_npz_b64" not in request:
+            raise _BadRequest(
+                "missing_field", "request is missing the 'video_npz_b64' field"
+            )
+        try:
             video = decode_video(request["video_npz_b64"])
+        except (ReproError, TypeError) as exc:
+            raise _BadRequest("bad_video_payload", str(exc))
+        try:
             annotation = (
                 annotation_from_dict(request["annotation"])
                 if request.get("annotation")
                 else None
             )
+        except (ReproError, TypeError) as exc:
+            raise _BadRequest("bad_annotation_payload", str(exc))
+        try:
             seed = int(request.get("seed", 0))
-        except (KeyError, ValueError, json.JSONDecodeError, ReproError) as exc:
-            self._send_json(400, {"error": str(exc)})
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest("bad_seed", f"seed must be an integer: {exc}")
+        return {"video": video, "annotation": annotation, "seed": seed}
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/analyze":
+            self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
+            self._finish(404)
+            return
+        try:
+            request = self._parse_analyze_request()
+        except _BadRequest as exc:
+            self._send_error_json(400, exc.code, str(exc))
+            self._finish(400)
             return
 
+        instrumentation = Instrumentation()
         try:
             analysis = self.server.analyzer.analyze(  # type: ignore[attr-defined]
-                video, annotation=annotation, rng=np.random.default_rng(seed)
+                request["video"],
+                annotation=request["annotation"],
+                rng=np.random.default_rng(request["seed"]),
+                instrumentation=instrumentation,
             )
         except ReproError as exc:
-            self._send_json(422, {"error": str(exc)})
+            self._send_error_json(422, "analysis_failed", str(exc))
+            self._finish(422)
             return
+        except Exception as exc:  # never leave the client hanging
+            self._send_error_json(500, "internal_error", str(exc))
+            self._finish(500)
+            return
+        self.server.metrics.observe_trace(  # type: ignore[attr-defined]
+            analysis.trace
+        )
         self._send_json(200, analysis_to_dict(analysis))
+        self._finish(200)
 
 
 class ServiceHandle:
@@ -144,9 +223,15 @@ class ServiceHandle:
     ) -> None:
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.analyzer = JumpAnalyzer(config)  # type: ignore[attr-defined]
+        self._server.metrics = MetricsRegistry()  # type: ignore[attr-defined]
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
         )
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The server's cumulative metrics registry."""
+        return self._server.metrics  # type: ignore[attr-defined]
 
     @property
     def address(self) -> str:

@@ -13,12 +13,18 @@ class TestParser:
             ["synthesize", "--out", "x"],
             ["analyze", "video.npz"],
             ["analyze", "video.npz", "--json", "out.json", "--stature-cm", "120", "--age", "8"],
+            ["analyze", "video.npz", "--profile", "--fast"],
             ["demo"],
+            ["demo", "--profile"],
             ["serve", "--port", "9000"],
             ["evaluate", "--seeds", "0", "1", "--flaws", "--fast"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_profile_flag_defaults_off(self):
+        args = build_parser().parse_args(["analyze", "video.npz"])
+        assert args.profile is False and args.fast is False
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -51,3 +57,23 @@ class TestSynthesize:
         out = tmp_path / "jump"
         main(["synthesize", "--out", str(out), "--violate", "E1", "E5"])
         assert "E1, E5" in capsys.readouterr().out
+
+
+class TestAnalyzeProfile:
+    def test_profile_prints_stage_timing_table(self, tmp_path, capsys):
+        out = tmp_path / "jump"
+        main(["synthesize", "--out", str(out), "--seed", "0"])
+        capsys.readouterr()
+
+        code = main(
+            ["analyze", str(out / "video.npz"), "--fast", "--profile"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "stage timings:" in printed
+        # the per-stage table names every top-level pipeline stage
+        for stage in ("segmentation", "tracking", "scoring"):
+            assert stage in printed
+        # sub-stages and counters ride along
+        assert "segmentation/subtract" in printed
+        assert "ga.evaluations" in printed

@@ -70,6 +70,18 @@ class TestEnsureMask:
         with pytest.raises(ImageError, match="0/1"):
             ensure_mask(np.array([[0, 2]]))
 
+    def test_float_zero_one_accepted(self):
+        out = ensure_mask(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert out.dtype == bool and out[0, 1] and not out[0, 0]
+
+    def test_nan_rejected(self):
+        with pytest.raises(ImageError, match="0/1"):
+            ensure_mask(np.array([[0.0, np.nan]]))
+
+    def test_fractional_values_rejected(self):
+        with pytest.raises(ImageError, match="0/1"):
+            ensure_mask(np.array([[0.5, 1.0]]))
+
     def test_non_2d_rejected(self):
         with pytest.raises(ImageError):
             ensure_mask(np.zeros((2, 2, 2), dtype=bool))

@@ -117,13 +117,14 @@ class TestJitteredJumpPipeline:
         stable = SegmentationPipeline(
             SegmentationConfig(stabilize=True)
         ).segment_video(jump.video)
-        score = lambda segs: float(
-            np.mean(
-                [
-                    iou(seg.person, jump.person_masks[k])
-                    for k, seg in enumerate(segs)
-                ]
+        def score(segs):
+            return float(
+                np.mean(
+                    [
+                        iou(seg.person, jump.person_masks[k])
+                        for k, seg in enumerate(segs)
+                    ]
+                )
             )
-        )
         assert score(stable) > score(shaky) + 0.03
         assert score(stable) > 0.93

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ScoringError
-from repro.model.pose import StickPose
 from repro.scoring.phases import StageWindows
 from repro.scoring.report import JumpScorer
 from repro.scoring.standards import ADVICE, Standard, all_standards

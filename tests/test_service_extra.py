@@ -5,7 +5,6 @@ import threading
 import urllib.error
 import urllib.request
 
-import numpy as np
 import pytest
 
 from repro.ga.engine import GAConfig

@@ -1,0 +1,158 @@
+"""Service observability and error-handling tests: /metrics + HTTP 400s."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.ga.engine import GAConfig
+from repro.ga.temporal import TrackerConfig
+from repro.model.fitness import FitnessConfig
+from repro.pipeline import AnalyzerConfig
+from repro.service import ServiceHandle, request_analysis
+
+
+@pytest.fixture(scope="module")
+def tiny_jump():
+    from repro.video.synthesis import (
+        JumpParameters,
+        SyntheticJumpConfig,
+        synthesize_jump,
+    )
+
+    return synthesize_jump(
+        SyntheticJumpConfig(seed=5, params=JumpParameters(num_frames=8))
+    )
+
+
+@pytest.fixture(scope="module")
+def service():
+    config = AnalyzerConfig(
+        tracker=TrackerConfig(
+            ga=GAConfig(population_size=20, max_generations=6, patience=3),
+            fitness=FitnessConfig(max_points=300),
+            containment_margin=1,
+            min_inside_fraction=0.95,
+            containment_samples=7,
+        )
+    )
+    handle = ServiceHandle(config=config).start()
+    yield handle
+    handle.stop()
+
+
+def _get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _post(service, body: bytes) -> urllib.error.HTTPError:
+    request = urllib.request.Request(
+        f"{service.address}/analyze",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    return excinfo.value
+
+
+def _error_payload(http_error: urllib.error.HTTPError) -> dict:
+    return json.loads(http_error.read())["error"]
+
+
+class TestBadRequests:
+    def test_malformed_json_is_400_with_structured_error(self, service):
+        error = _post(service, b"{this is not json")
+        assert error.code == 400
+        payload = _error_payload(error)
+        assert payload["code"] == "malformed_json"
+        assert "JSON" in payload["message"]
+
+    def test_non_object_json_is_400_not_500(self, service):
+        # regression: a JSON array body used to raise TypeError inside
+        # the handler (an unhandled 500 / dropped connection)
+        error = _post(service, b"[1, 2, 3]")
+        assert error.code == 400
+        assert _error_payload(error)["code"] == "malformed_json"
+
+    def test_undecodable_base64_is_400_with_structured_error(self, service):
+        # regression: the npz/base64 decode failure must surface as a
+        # structured 400, never a 500
+        error = _post(service, json.dumps({"video_npz_b64": "###"}).encode())
+        assert error.code == 400
+        payload = _error_payload(error)
+        assert payload["code"] == "bad_video_payload"
+        assert payload["message"]
+
+    def test_valid_base64_invalid_npz_is_400(self, service):
+        import base64
+
+        bogus = base64.b64encode(b"not an npz archive").decode()
+        error = _post(service, json.dumps({"video_npz_b64": bogus}).encode())
+        assert error.code == 400
+        assert _error_payload(error)["code"] == "bad_video_payload"
+
+    def test_missing_video_field_is_400(self, service):
+        error = _post(service, b"{}")
+        assert error.code == 400
+        assert _error_payload(error)["code"] == "missing_field"
+
+    def test_non_integer_seed_is_400(self, service, tiny_jump):
+        from repro.service import encode_video
+
+        body = json.dumps(
+            {"video_npz_b64": encode_video(tiny_jump.video), "seed": "many"}
+        ).encode()
+        error = _post(service, body)
+        assert error.code == 400
+        assert _error_payload(error)["code"] == "bad_seed"
+
+    def test_404_error_is_structured_too(self, service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{service.address}/nowhere", timeout=10)
+        assert excinfo.value.code == 404
+        assert _error_payload(excinfo.value)["code"] == "not_found"
+
+
+class TestMetricsEndpoint:
+    def test_metrics_shape_before_any_analysis(self):
+        with ServiceHandle() as handle:
+            snapshot = _get_json(f"{handle.address}/metrics")
+            assert set(snapshot) == {"requests", "stages", "counters"}
+            # the /metrics request itself is only counted after serving,
+            # so a fresh server reports no stage work yet
+            assert snapshot["stages"] == {}
+
+    def test_analysis_populates_cumulative_stage_timings(
+        self, service, tiny_jump
+    ):
+        result = request_analysis(service.address, tiny_jump.video, seed=3)
+        assert result["trace"]["total_seconds"] > 0.0
+
+        snapshot = _get_json(f"{service.address}/metrics")
+        stages = snapshot["stages"]
+        for name in ("segmentation", "tracking", "scoring"):
+            assert stages[name]["calls"] >= 1
+            assert stages[name]["total_seconds"] > 0.0
+        assert stages["tracking/frame"]["calls"] >= 7
+        assert snapshot["counters"]["ga.evaluations"] > 0
+
+    def test_request_counters_accumulate(self, service):
+        before = _get_json(f"{service.address}/metrics")["requests"]
+        _get_json(f"{service.address}/health")
+        _post(service, b"{not json")  # counted as a 400
+        after = _get_json(f"{service.address}/metrics")["requests"]
+        assert after["total"] >= before.get("total", 0) + 2
+        assert after["endpoint:/health"] >= 1
+        assert after["status:400"] >= 1
+
+    def test_errors_do_not_pollute_stage_metrics(self, tiny_jump):
+        # a failed request must count as a request but record no stages
+        with ServiceHandle() as handle:
+            _post(handle, b"{not json")
+            snapshot = _get_json(f"{handle.address}/metrics")
+            assert snapshot["stages"] == {}
+            assert snapshot["requests"]["status:400"] == 1

@@ -1,7 +1,6 @@
 """Tests for rendering poses into frames with exact ground truth."""
 
 import numpy as np
-import pytest
 
 from repro.model.pose import StickPose
 from repro.model.sticks import default_body
