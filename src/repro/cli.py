@@ -7,6 +7,13 @@ Subcommands:
 * ``slj analyze`` — run the full pipeline on a saved video and print
   the scoring report.
 * ``slj demo`` — synthesize + analyze end to end in one go.
+
+``analyze``, ``demo`` and ``evaluate`` share the configuration flags
+``--config PATH`` (JSON/TOML file, or an analysis JSON reproducing
+itself), ``--preset NAME`` (``paper`` / ``fast`` / ``accurate``) and
+repeatable ``--set key=value`` dotted overrides — see
+``docs/configuration.md``.  ``--fast`` is shorthand for
+``--preset fast``.
 """
 
 from __future__ import annotations
@@ -17,29 +24,64 @@ from pathlib import Path
 
 import numpy as np
 
+from .config import preset_names, resolve_config
+from .errors import ConfigurationError
 from .model.annotation import simulate_human_annotation
-from .pipeline import JumpAnalyzer
+from .pipeline import AnalyzerConfig, JumpAnalyzer
 from .scoring.standards import Standard
 from .video.sequence import VideoSequence
 from .video.synthesis.dataset import SyntheticJumpConfig, synthesize_jump
 
 
-def _fast_config():
-    """A reduced-GA-budget AnalyzerConfig (quicker, noisier)."""
-    from .ga.engine import GAConfig
-    from .ga.temporal import TrackerConfig
-    from .model.fitness import FitnessConfig
-    from .pipeline import AnalyzerConfig
-
-    return AnalyzerConfig(
-        tracker=TrackerConfig(
-            ga=GAConfig(population_size=30, max_generations=10, patience=5),
-            fitness=FitnessConfig(max_points=600),
-            containment_margin=1,
-            min_inside_fraction=0.95,
-            containment_samples=7,
-        )
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared configuration flags (analyze / demo / evaluate)."""
+    group = parser.add_argument_group("configuration")
+    group.add_argument(
+        "--config",
+        default=None,
+        metavar="PATH",
+        help="config file (JSON or TOML); an analysis JSON written by "
+        "--json works too (its embedded config is used)",
     )
+    group.add_argument(
+        "--preset",
+        default=None,
+        metavar="NAME",
+        help=f"named preset: {', '.join(preset_names())}",
+    )
+    group.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted config override, repeatable "
+        "(e.g. --set tracker.ga.max_generations=5)",
+    )
+    group.add_argument(
+        "--fast",
+        action="store_true",
+        help="shorthand for --preset fast (quicker, noisier)",
+    )
+
+
+def _resolve_cli_config(args: argparse.Namespace) -> AnalyzerConfig:
+    """Resolve preset/file/overrides flags into an AnalyzerConfig."""
+    preset = getattr(args, "preset", None)
+    if getattr(args, "fast", False):
+        if preset is not None and preset != "fast":
+            raise SystemExit(
+                f"--fast conflicts with --preset {preset!r}; pick one"
+            )
+        preset = "fast"
+    try:
+        return resolve_config(
+            preset=preset,
+            config_file=getattr(args, "config", None),
+            overrides=getattr(args, "overrides", ()),
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad configuration: {exc}") from None
 
 
 def _parse_standards(raw: list[str]) -> tuple[Standard, ...]:
@@ -49,7 +91,9 @@ def _parse_standards(raw: list[str]) -> tuple[Standard, ...]:
             out.append(Standard[name.upper()])
         except KeyError:
             valid = ", ".join(s.name for s in Standard)
-            raise SystemExit(f"unknown standard {name!r}; choose from {valid}")
+            raise SystemExit(
+                f"unknown standard {name!r}; choose from {valid}"
+            ) from None
     return tuple(out)
 
 
@@ -81,8 +125,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    analyzer = JumpAnalyzer(_resolve_cli_config(args))
     video = VideoSequence.load(args.video)
-    analyzer = JumpAnalyzer(_fast_config() if args.fast else None)
 
     annotation = None
     truth_path = Path(args.video).parent / "ground_truth.npz"
@@ -130,18 +174,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(line)
 
     if args.json is not None:
-        import json as json_module
+        from .serialization import write_analysis_json
 
-        from .serialization import analysis_to_dict
-
-        Path(args.json).write_text(
-            json_module.dumps(analysis_to_dict(analysis), indent=2)
+        write_analysis_json(args.json, analysis)
+        print(
+            f"wrote analysis JSON to {args.json} "
+            f"(config {analysis.config_hash})"
         )
-        print(f"wrote analysis JSON to {args.json}")
     return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    analyzer_config = _resolve_cli_config(args)
     config = SyntheticJumpConfig(
         seed=args.seed, violated=_parse_standards(args.violate or [])
     )
@@ -152,7 +196,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         mask=jump.person_masks[0],
         rng=np.random.default_rng(args.seed),
     )
-    analysis = JumpAnalyzer().analyze(
+    analysis = JumpAnalyzer(analyzer_config).analyze(
         jump.video, annotation=annotation, rng=np.random.default_rng(args.seed)
     )
     violated = ", ".join(s.name for s in config.violated) or "none"
@@ -168,6 +212,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print()
         print("stage timings:")
         print(analysis.trace.render_table())
+    if args.json is not None:
+        from .serialization import write_analysis_json
+
+        write_analysis_json(args.json, analysis)
+        print(
+            f"wrote analysis JSON to {args.json} "
+            f"(config {analysis.config_hash})"
+        )
     return 0
 
 
@@ -175,7 +227,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .evaluation import evaluate_detection, evaluate_tracking
     from .video.synthesis.dataset import synthesize_flawed_jump
 
-    config = _fast_config() if args.fast else None
+    config = _resolve_cli_config(args)
 
     jumps = [synthesize_jump(SyntheticJumpConfig(seed=s)) for s in args.seeds]
     if args.flaws:
@@ -261,9 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-stage timing table and pipeline counters",
     )
-    p_ana.add_argument(
-        "--fast", action="store_true", help="reduced GA budget (quicker, noisier)"
-    )
+    _add_config_arguments(p_ana)
     p_ana.set_defaults(func=_cmd_analyze)
 
     p_demo = sub.add_parser("demo", help="synthesize and analyze in one go")
@@ -272,10 +322,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--violate", nargs="*", metavar="E#", help="standards to violate (E1..E7)"
     )
     p_demo.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the analysis as JSON"
+    )
+    p_demo.add_argument(
         "--profile",
         action="store_true",
         help="print the per-stage timing table and pipeline counters",
     )
+    _add_config_arguments(p_demo)
     p_demo.set_defaults(func=_cmd_demo)
 
     p_serve = sub.add_parser("serve", help="run the analysis web service")
@@ -292,9 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument(
         "--flaws", action="store_true", help="also include one jump per flaw"
     )
-    p_eval.add_argument(
-        "--fast", action="store_true", help="reduced GA budget (quicker, noisier)"
-    )
+    _add_config_arguments(p_eval)
     p_eval.set_defaults(func=_cmd_evaluate)
     return parser
 

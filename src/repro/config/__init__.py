@@ -1,0 +1,37 @@
+"""Unified typed configuration layer.
+
+The paper's system is parameter-dense — GA rates, tracker windows,
+shadow thresholds, scoring windows — and every knob lives in a frozen
+dataclass somewhere in the tree.  This package gives all of them one
+wire format and one resolution chain:
+
+* :func:`config_to_dict` / :func:`config_from_dict` — recursive typed
+  dataclass ↔ dict conversion with unknown-key errors and coercion;
+* :func:`resolve_config` — presets (``paper`` / ``fast`` /
+  ``accurate``) ← JSON/TOML file ← dotted ``key=value`` overrides;
+* :func:`config_hash` — stable content hash embedded into every
+  serialized report for provenance.
+
+See ``docs/configuration.md`` for the schema and override grammar.
+"""
+
+from .hashing import config_hash
+from .loader import load_config_data, resolve_config
+from .overrides import apply_overrides, deep_merge, parse_override
+from .presets import PRESETS, get_preset, preset_dict, preset_names
+from .schema import config_from_dict, config_to_dict
+
+__all__ = [
+    "PRESETS",
+    "apply_overrides",
+    "config_from_dict",
+    "config_hash",
+    "config_to_dict",
+    "deep_merge",
+    "get_preset",
+    "load_config_data",
+    "parse_override",
+    "preset_dict",
+    "preset_names",
+    "resolve_config",
+]

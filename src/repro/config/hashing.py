@@ -1,0 +1,33 @@
+"""Stable content hashing of resolved configurations.
+
+Every serialized report embeds the hash of the exact configuration
+that produced it, so two runs can be compared ("same parameters?") at
+a glance and a report is reproducible from its own output.  The hash
+is computed over the *canonical* JSON form — sorted keys, compact
+separators — so it is invariant to key order and to how the config was
+assembled (presets, files, ``--set`` overrides).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from .schema import config_to_dict
+
+#: Hex digits kept from the sha256 digest — enough to never collide in
+#: practice while staying readable in logs and filenames.
+HASH_LENGTH = 16
+
+
+def config_hash(config: Any) -> str:
+    """Stable hash of a config dataclass or its dict form."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        config = config_to_dict(config)
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return digest[:HASH_LENGTH]

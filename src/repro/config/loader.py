@@ -1,0 +1,98 @@
+"""Config file loading (JSON and TOML) and full resolution.
+
+:func:`resolve_config` is the one entry point every layer shares —
+CLI flags, service request blocks and library callers all funnel
+through the same precedence chain::
+
+    preset (or library defaults)
+      ← config file (JSON / TOML, may be partial)
+        ← dotted-key overrides ("tracker.ga.max_generations=5")
+
+A config file may also be a *full analysis JSON* written by
+``slj analyze --json`` / :func:`repro.serialization.write_analysis_json`
+— the embedded ``"config"`` block is extracted automatically, so any
+report reproduces itself: ``slj analyze --config report.json video.npz``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable
+
+from .overrides import apply_overrides, deep_merge
+from .presets import get_preset
+from .schema import config_from_dict, config_to_dict
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from ..pipeline import AnalyzerConfig
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - Python 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+
+def load_config_data(path: str | Path) -> dict[str, Any]:
+    """Read a JSON or TOML config file into a plain dict.
+
+    The format is chosen by suffix (``.toml`` → TOML, anything else →
+    JSON).  A full analysis JSON is recognised by its embedded
+    ``"config"`` block, which is returned instead of the whole payload.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"config file not found: {path}")
+    if path.suffix.lower() == ".toml":
+        if tomllib is None:
+            raise ConfigurationError(
+                "TOML config files need Python >= 3.11 (tomllib); "
+                "use JSON on this interpreter"
+            )
+        try:
+            data = tomllib.loads(path.read_text())
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(f"invalid TOML in {path}: {exc}") from exc
+    else:
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid JSON in {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"config file {path} must hold an object, got {type(data).__name__}"
+        )
+    if "config" in data and isinstance(data["config"], dict) and (
+        "config_hash" in data or "report" in data
+    ):
+        return data["config"]  # an analysis JSON reproducing itself
+    return data
+
+
+def resolve_config(
+    preset: str | None = None,
+    config_file: str | Path | None = None,
+    overrides: Iterable[str] = (),
+    base: "AnalyzerConfig | None" = None,
+) -> "AnalyzerConfig":
+    """Resolve preset + file + overrides into an :class:`AnalyzerConfig`.
+
+    ``base`` (when given) replaces the library defaults as the starting
+    point; ``preset`` replaces ``base``; the config file deep-merges
+    over that; dotted overrides apply last.  Every layer is validated
+    against the typed schema, so a typo anywhere raises a
+    :class:`~repro.errors.ConfigurationError` naming the bad key.
+    """
+    from ..pipeline import AnalyzerConfig
+
+    if preset is not None:
+        resolved = config_to_dict(get_preset(preset))
+    elif base is not None:
+        resolved = config_to_dict(base)
+    else:
+        resolved = config_to_dict(AnalyzerConfig())
+    if config_file is not None:
+        resolved = deep_merge(resolved, load_config_data(config_file))
+    resolved = apply_overrides(resolved, overrides)
+    return config_from_dict(AnalyzerConfig, resolved)

@@ -1,0 +1,76 @@
+"""Dotted-key overrides: ``tracker.ga.max_generations=5``.
+
+The override grammar is deliberately tiny — ``dotted.key=value`` — and
+is shared by the CLI's repeatable ``--set`` flag and the service's
+per-request config block.  Values are parsed as JSON when possible
+(numbers, booleans, ``null``, quoted strings, lists) and fall back to
+the raw string otherwise, so ``tracker.strategy=hill_climb`` works
+without quoting; final type checking happens against the dataclass
+schema in :mod:`repro.config.schema`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from ..errors import ConfigurationError
+
+
+def parse_override(spec: str) -> tuple[tuple[str, ...], Any]:
+    """Split one ``dotted.key=value`` spec into key path and value."""
+    key, sep, raw = spec.partition("=")
+    key = key.strip()
+    if not sep or not key:
+        raise ConfigurationError(
+            f"override {spec!r} is not of the form 'dotted.key=value'"
+        )
+    parts = tuple(part.strip() for part in key.split("."))
+    if any(not part for part in parts):
+        raise ConfigurationError(f"override {spec!r} has an empty key segment")
+    raw = raw.strip()
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw  # bare strings: strategy names, modes, …
+    return parts, value
+
+
+def set_dotted(data: dict[str, Any], parts: tuple[str, ...], value: Any) -> None:
+    """Set ``data[a][b][...] = value``, creating nested dicts as needed."""
+    node = data
+    for part in parts[:-1]:
+        child = node.get(part)
+        if child is None:
+            child = node[part] = {}
+        elif not isinstance(child, dict):
+            raise ConfigurationError(
+                f"override key {'.'.join(parts)!r}: {part!r} is not a "
+                "config section"
+            )
+        node = child
+    node[parts[-1]] = value
+
+
+def apply_overrides(data: dict[str, Any], specs: Iterable[str]) -> dict[str, Any]:
+    """Apply ``key=value`` specs to a config dict, in order."""
+    for spec in specs:
+        parts, value = parse_override(spec)
+        set_dotted(data, parts, value)
+    return data
+
+
+def deep_merge(base: dict[str, Any], overlay: dict[str, Any]) -> dict[str, Any]:
+    """Recursively merge ``overlay`` into a copy of ``base``.
+
+    Dicts merge key-wise; every other value in the overlay replaces the
+    base value outright (lists are treated as atoms — a partial config
+    file can shrink ``segmentation.steps``, not splice it).
+    """
+    merged = dict(base)
+    for key, value in overlay.items():
+        if isinstance(value, dict) and isinstance(merged.get(key), dict):
+            merged[key] = deep_merge(merged[key], value)
+        else:
+            merged[key] = value
+    return merged

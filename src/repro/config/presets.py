@@ -1,0 +1,84 @@
+"""Named configuration presets.
+
+Three ready-made operating points for the full analyzer:
+
+* ``paper`` — the library defaults, which follow the paper's reported
+  parameters (GA crossover 0.2 / mutation 0.01, elitist selection,
+  shadow thresholds of Eq. 1) plus the tracking extensions that are on
+  by default;
+* ``fast`` — reduced GA budget and silhouette subsampling for smoke
+  tests and interactive use (quicker, noisier) — this is what the
+  CLI's ``--fast`` flag resolves to;
+* ``accurate`` — enlarged GA budget and denser silhouette sampling for
+  offline, quality-first runs.
+
+Presets are *factories* (a fresh config per call) registered in
+:data:`PRESETS`, so downstream code can add deployment-specific ones.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..registry import Registry
+
+if TYPE_CHECKING:  # avoid a circular import at runtime
+    from ..pipeline import AnalyzerConfig
+
+#: Registry of named preset factories: ``name -> () -> AnalyzerConfig``.
+PRESETS: Registry[Callable[[], "AnalyzerConfig"]] = Registry("config preset")
+
+
+@PRESETS.register("paper")
+def _paper() -> "AnalyzerConfig":
+    from ..pipeline import AnalyzerConfig
+
+    return AnalyzerConfig()
+
+
+@PRESETS.register("fast")
+def _fast() -> "AnalyzerConfig":
+    from ..ga.engine import GAConfig
+    from ..ga.temporal import TrackerConfig
+    from ..model.fitness import FitnessConfig
+    from ..pipeline import AnalyzerConfig
+
+    return AnalyzerConfig(
+        tracker=TrackerConfig(
+            ga=GAConfig(population_size=30, max_generations=10, patience=5),
+            fitness=FitnessConfig(max_points=600),
+        )
+    )
+
+
+@PRESETS.register("accurate")
+def _accurate() -> "AnalyzerConfig":
+    from ..ga.engine import GAConfig
+    from ..ga.temporal import TrackerConfig
+    from ..model.fitness import FitnessConfig
+    from ..pipeline import AnalyzerConfig
+
+    return AnalyzerConfig(
+        tracker=TrackerConfig(
+            ga=GAConfig(population_size=90, max_generations=60, patience=20),
+            fitness=FitnessConfig(max_points=3000),
+        ),
+        smoothing_window=5,
+    )
+
+
+def preset_names() -> tuple[str, ...]:
+    """Names of every registered preset."""
+    return PRESETS.names()
+
+
+def get_preset(name: str) -> "AnalyzerConfig":
+    """Build a fresh :class:`AnalyzerConfig` for a named preset."""
+    return PRESETS.get(name)()
+
+
+def preset_dict(name: str) -> dict[str, Any]:
+    """The resolved dict form of a named preset."""
+    from .schema import config_to_dict
+
+    return config_to_dict(get_preset(name))

@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .convergence import SearchResult
-from .engine import GAConfig, GeneticAlgorithm
+from .engine import GAConfig
 from .population import temporal_population
-from ..errors import TrackingError
+from .strategies import SEARCH_STRATEGIES, SearchRequest
+from ..errors import ConfigurationError, TrackingError
 from ..imaging.image import ensure_mask
 from ..model.containment import ContainmentChecker
 from ..model.fitness import FitnessConfig, SilhouetteFitness
@@ -48,9 +49,13 @@ class TrackerConfig:
     )
     windows: AngleWindows = field(default_factory=AngleWindows)
     fitness: FitnessConfig = field(default_factory=FitnessConfig)
-    containment_margin: int = 2
-    containment_samples: int = 5
-    min_inside_fraction: float = 0.9
+    # Per-frame search strategy, resolved by name from
+    # :data:`~repro.ga.strategies.SEARCH_STRATEGIES` ("ga",
+    # "hill_climb", "random_search", "nelder_mead").
+    strategy: str = "ga"
+    containment_margin: int = 1
+    containment_samples: int = 7
+    min_inside_fraction: float = 0.95
     include_previous: bool = True
     hard_containment: bool = True  # reject offspring outside the silhouette
     extrapolate: bool = True
@@ -80,6 +85,14 @@ class TrackerConfig:
     polish: bool = True
     polish_angle_steps: tuple[float, ...] = (12.0, 6.0, 3.0)
     polish_center_steps: tuple[float, ...] = (2.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.strategy not in SEARCH_STRATEGIES:
+            known = ", ".join(SEARCH_STRATEGIES.names())
+            raise ConfigurationError(
+                f"unknown search strategy {self.strategy!r}; "
+                f"choose from: {known}"
+            )
 
 
 def extrapolate_pose(
@@ -256,8 +269,31 @@ class TemporalPoseTracker:
             fitness_fn = fitness.evaluate
 
         validity = checker.check if cfg.hard_containment else None
-        result = GeneticAlgorithm(cfg.ga, instrumentation=self.instrumentation).run(
-            population, fitness_fn, validity_fn=validity, rng=rng
+
+        def sampler(n: int) -> np.ndarray:
+            return temporal_population(
+                window_center,
+                mask,
+                cfg.windows,
+                n,
+                checker=checker,
+                rng=rng,
+                include_previous=False,
+                reseed_fraction=cfg.reseed_fraction,
+            )
+
+        strategy = SEARCH_STRATEGIES.get(cfg.strategy)
+        result = strategy(
+            SearchRequest(
+                population=population,
+                start=window_center.to_genes(),
+                fitness_fn=fitness_fn,
+                validity_fn=validity,
+                sampler=sampler,
+                config=cfg,
+                rng=rng,
+                instrumentation=self.instrumentation,
+            )
         )
         if cfg.limb_rescue:
             result.best_genes = self._rescue_limbs(

@@ -24,6 +24,8 @@ import numpy as np
 
 from .analysis.events import JumpEvents, detect_events
 from .analysis.trajectory import PoseTrajectory
+from .config.hashing import config_hash
+from .config.schema import config_from_dict, config_to_dict
 from .errors import SegmentationError
 from .ga.temporal import TemporalPoseTracker, TrackerConfig, TrackingResult
 from .model.annotation import FirstFrameAnnotation, auto_annotate
@@ -50,13 +52,7 @@ class AnalyzerConfig:
     """Configuration of the full pipeline."""
 
     segmentation: SegmentationConfig = field(default_factory=SegmentationConfig)
-    tracker: TrackerConfig = field(
-        default_factory=lambda: TrackerConfig(
-            containment_margin=1,
-            min_inside_fraction=0.95,
-            containment_samples=7,
-        )
-    )
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
     # Trajectory filtering before scoring.  "median" (default) removes
     # single-frame tracking spikes without shaving multi-frame extremes
     # — important because every rule aggregates with max/min over a
@@ -75,6 +71,20 @@ class AnalyzerConfig:
                 f"{self.smoothing_mode!r}"
             )
 
+    def to_dict(self) -> dict[str, Any]:
+        """Recursive JSON-ready dict form (see :mod:`repro.config`)."""
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AnalyzerConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are errors."""
+        return config_from_dict(cls, data)
+
+    @property
+    def hash(self) -> str:
+        """Stable content hash of the resolved configuration."""
+        return config_hash(self)
+
 
 @dataclass(frozen=True, slots=True)
 class JumpAnalysis:
@@ -89,6 +99,10 @@ class JumpAnalysis:
     report: JumpReport
     measurement: JumpMeasurement
     trace: RunTrace  # per-stage timings and counters of this run
+    # Provenance: the fully-resolved config that produced this analysis
+    # and its stable hash — a report is reproducible from its own output.
+    config: dict[str, Any] = field(default_factory=dict)
+    config_hash: str = ""
 
     @property
     def silhouettes(self) -> list[np.ndarray]:
@@ -250,11 +264,15 @@ class JumpAnalyzer:
         """
         rng = rng if rng is not None else np.random.default_rng(0)
 
+        config_dict = self.config.to_dict()
+        resolved_hash = config_hash(config_dict)
         context = StageContext(
             instrumentation=instrumentation or Instrumentation()
         )
         context.artifacts["annotation"] = annotation
         context.artifacts["rng"] = rng
+        context.metadata["config"] = config_dict
+        context.metadata["config_hash"] = resolved_hash
         outcome = self._runner.run(video, context=context)
 
         artifacts: dict[str, Any] = outcome.context.artifacts
@@ -268,6 +286,8 @@ class JumpAnalyzer:
             report=artifacts["report"],
             measurement=artifacts["measurement"],
             trace=outcome.trace,
+            config=config_dict,
+            config_hash=resolved_hash,
         )
 
 

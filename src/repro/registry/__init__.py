@@ -1,0 +1,13 @@
+"""String-keyed component registries (see :mod:`repro.registry.core`).
+
+Domain registries live next to their components:
+
+* :data:`repro.ga.strategies.SEARCH_STRATEGIES` — pose-search
+  strategies selectable via ``tracker.strategy``;
+* :data:`repro.segmentation.pipeline.SEGMENTATION_STEPS` — per-frame
+  segmentation sub-steps selectable via ``segmentation.steps``.
+"""
+
+from .core import Registry
+
+__all__ = ["Registry"]

@@ -1,0 +1,88 @@
+"""A minimal string-keyed component registry.
+
+Components (search strategies, segmentation steps, …) register
+themselves under a stable name; configuration then selects them *by
+name* (``tracker.strategy="hill_climb"``) instead of by import path,
+so call sites never change when an implementation is swapped.  Lookup
+failures list every known name — a registry is only useful when its
+error messages teach the valid vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+from ..errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A named mapping from string keys to components.
+
+    ``kind`` names what the registry holds ("search strategy",
+    "segmentation step") and prefixes every error message.  Duplicate
+    registrations are rejected outright — silently replacing a
+    component under an existing name is how two modules end up fighting
+    over the same key.
+    """
+
+    __slots__ = ("kind", "_components")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._components: dict[str, T] = {}
+
+    def register(self, name: str) -> Callable[[T], T]:
+        """Decorator: register the decorated object under ``name``.
+
+        ::
+
+            @SEARCH_STRATEGIES.register("hill_climb")
+            def _hill_climb(request): ...
+        """
+
+        def wrap(component: T) -> T:
+            self.add(name, component)
+            return component
+
+        return wrap
+
+    def add(self, name: str, component: T) -> None:
+        """Register ``component`` under ``name`` (duplicates rejected)."""
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                f"{self.kind} names must be non-empty strings, got {name!r}"
+            )
+        if name in self._components:
+            raise ConfigurationError(
+                f"duplicate {self.kind} name {name!r}; "
+                f"already registered: {', '.join(self.names())}"
+            )
+        self._components[name] = component
+
+    def get(self, name: str) -> T:
+        """Look a component up; unknown names list the valid ones."""
+        try:
+            return self._components[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none registered>"
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; choose from: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._components)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._components
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={list(self._components)})"

@@ -193,6 +193,7 @@ class Instrumentation:
         self,
         stages: tuple[StageTiming, ...] = (),
         total_seconds: float | None = None,
+        metadata: dict[str, Any] | None = None,
     ) -> RunTrace:
         """Freeze the accumulated state into a :class:`RunTrace`."""
         timings = self.timings()
@@ -203,4 +204,5 @@ class Instrumentation:
             timings=timings,
             counters=self.counters(),
             total_seconds=total_seconds,
+            metadata=dict(metadata) if metadata else {},
         )

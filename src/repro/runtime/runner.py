@@ -99,5 +99,9 @@ class PipelineRunner:
             )
         total = time.perf_counter() - run_start
 
-        trace = inst.trace(stages=tuple(stage_timings), total_seconds=total)
+        trace = inst.trace(
+            stages=tuple(stage_timings),
+            total_seconds=total,
+            metadata=context.metadata,
+        )
         return RunOutcome(value=value, trace=trace, context=context)

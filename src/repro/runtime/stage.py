@@ -21,11 +21,15 @@ class StageContext:
 
     ``artifacts`` carries intermediate products that are not part of
     the main value flow (e.g. the estimated background next to the
-    silhouette stream); ``instrumentation`` is the run's collector.
+    silhouette stream); ``instrumentation`` is the run's collector;
+    ``metadata`` holds run-level provenance (config dict + hash) that
+    the runner copies onto the resulting
+    :class:`~repro.runtime.trace.RunTrace`.
     """
 
     instrumentation: Instrumentation = field(default_factory=Instrumentation)
     artifacts: dict[str, Any] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
     def require(self, key: str) -> Any:
         """Fetch an artifact an upstream stage must have produced."""

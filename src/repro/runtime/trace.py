@@ -43,6 +43,10 @@ class RunTrace:
     timings: tuple[StageTiming, ...] = ()
     counters: dict[str, float] = field(default_factory=dict)
     total_seconds: float = 0.0
+    # Run-level provenance (e.g. the resolved config dict and its hash,
+    # seeded by JumpAnalyzer via the StageContext) — serialized with
+    # the trace so every report records what produced it.
+    metadata: dict[str, Any] = field(default_factory=dict)
 
     @property
     def stage_names(self) -> tuple[str, ...]:
@@ -114,4 +118,5 @@ class RunTrace:
                 for timing in self.timings
             ],
             "counters": dict(self.counters),
+            "metadata": dict(self.metadata),
         }

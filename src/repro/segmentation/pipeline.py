@@ -37,8 +37,25 @@ from .shadow import ShadowMaskConfig, remove_shadows
 from .subtraction import SubtractionConfig, subtract_background
 from ..errors import SegmentationError
 from ..imaging.components import dominant_components
+from ..registry import Registry
 from ..runtime import Instrumentation
 from ..video.sequence import VideoSequence
+
+#: Per-frame segmentation sub-steps, selectable by name via
+#: ``segmentation.steps``.  Each step is ``fn(state, config)`` over the
+#: per-frame state dict (``frame``, ``background``, ``mask``, plus the
+#: intermediate masks it writes).
+SEGMENTATION_STEPS: Registry = Registry("segmentation step")
+
+#: The paper's Steps 2–5, in order — the default ``steps`` value.
+DEFAULT_STEPS = (
+    "subtract",
+    "noise_removal",
+    "spot_removal",
+    "hole_fill",
+    "shadow",
+    "components",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +81,23 @@ class SegmentationConfig:
     # so strictly keeping one component would drop half the body.
     component_keep_fraction: float = 0.3
     remove_shadows: bool = True
+    # Per-frame sub-steps, by registry name and in execution order.
+    # Dropping a name skips that paper step; registered extensions can
+    # be spliced in without touching the pipeline class.
+    steps: tuple[str, ...] = DEFAULT_STEPS
+
+    def __post_init__(self) -> None:
+        unknown = [name for name in self.steps if name not in SEGMENTATION_STEPS]
+        if unknown:
+            known = ", ".join(SEGMENTATION_STEPS.names())
+            raise SegmentationError(
+                f"unknown segmentation step(s) {unknown}; choose from: {known}"
+            )
+        if "subtract" not in self.steps:
+            raise SegmentationError(
+                "the 'subtract' step is mandatory (every later step "
+                "consumes its foreground mask)"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,8 +122,65 @@ class FrameSegmentation:
         }
 
 
+# ----------------------------------------------------------------------
+# The per-frame sub-steps (Steps 2–5), registered by name.  Each reads
+# and writes the per-frame state dict; ``state["mask"]`` is the running
+# foreground mask every step consumes and updates.
+# ----------------------------------------------------------------------
+@SEGMENTATION_STEPS.register("subtract")
+def _step_subtract(state: dict[str, Any], config: SegmentationConfig) -> None:
+    state["raw_foreground"] = subtract_background(
+        state["frame"], state["background"], config.subtraction
+    )
+    state["mask"] = state["raw_foreground"]
+
+
+@SEGMENTATION_STEPS.register("noise_removal")
+def _step_noise_removal(state: dict[str, Any], config: SegmentationConfig) -> None:
+    state["after_noise_removal"] = step_noise_removal(state["mask"], config.cleanup)
+    state["mask"] = state["after_noise_removal"]
+
+
+@SEGMENTATION_STEPS.register("spot_removal")
+def _step_spot_removal(state: dict[str, Any], config: SegmentationConfig) -> None:
+    state["after_spot_removal"] = step_spot_removal(state["mask"], config.cleanup)
+    state["mask"] = state["after_spot_removal"]
+
+
+@SEGMENTATION_STEPS.register("hole_fill")
+def _step_hole_fill(state: dict[str, Any], config: SegmentationConfig) -> None:
+    state["after_hole_fill"] = step_hole_fill(state["mask"], config.cleanup)
+    state["mask"] = state["after_hole_fill"]
+
+
+@SEGMENTATION_STEPS.register("shadow")
+def _step_shadow(state: dict[str, Any], config: SegmentationConfig) -> None:
+    if config.remove_shadows:
+        person, detected = remove_shadows(
+            state["frame"], state["background"], state["mask"], config.shadow
+        )
+    else:
+        person = state["mask"]
+        detected = np.zeros_like(person)
+    state["detected_shadow"] = detected
+    state["mask"] = person
+
+
+@SEGMENTATION_STEPS.register("components")
+def _step_components(state: dict[str, Any], config: SegmentationConfig) -> None:
+    if config.keep_largest_component:
+        state["mask"] = dominant_components(
+            state["mask"], keep_fraction=config.component_keep_fraction
+        )
+
+
 class SegmentationPipeline:
     """Steps 1–5 of the paper, orchestrated over a video sequence.
+
+    The per-frame sub-steps are resolved by name from
+    :data:`SEGMENTATION_STEPS` according to ``config.steps``, so a
+    config can skip or reorder paper steps (and extensions can register
+    new ones) without touching this class.
 
     Pass an :class:`~repro.runtime.Instrumentation` to time every
     sub-stage and count silhouette pixels; without one a silent
@@ -135,83 +226,42 @@ class SegmentationPipeline:
     # ------------------------------------------------------------------
     def _sub_stages(
         self,
-    ) -> tuple[tuple[str, Callable[[dict[str, Any]], None]], ...]:
-        return (
-            ("subtract", self._step_subtract),
-            ("noise_removal", self._step_noise_removal),
-            ("spot_removal", self._step_spot_removal),
-            ("hole_fill", self._step_hole_fill),
-            ("shadow", self._step_shadow),
-            ("components", self._step_components),
+    ) -> tuple[tuple[str, Callable[[dict[str, Any], SegmentationConfig], None]], ...]:
+        return tuple(
+            (name, SEGMENTATION_STEPS.get(name)) for name in self.config.steps
         )
 
     def sub_stage_names(self) -> tuple[str, ...]:
         """Names of the per-frame sub-stages, in execution order."""
-        return tuple(name for name, _ in self._sub_stages())
-
-    def _step_subtract(self, state: dict[str, Any]) -> None:
-        state["raw_foreground"] = subtract_background(
-            state["frame"], state["background"], self.config.subtraction
-        )
-        state["mask"] = state["raw_foreground"]
-
-    def _step_noise_removal(self, state: dict[str, Any]) -> None:
-        state["after_noise_removal"] = step_noise_removal(
-            state["mask"], self.config.cleanup
-        )
-        state["mask"] = state["after_noise_removal"]
-
-    def _step_spot_removal(self, state: dict[str, Any]) -> None:
-        state["after_spot_removal"] = step_spot_removal(
-            state["mask"], self.config.cleanup
-        )
-        state["mask"] = state["after_spot_removal"]
-
-    def _step_hole_fill(self, state: dict[str, Any]) -> None:
-        state["after_hole_fill"] = step_hole_fill(
-            state["mask"], self.config.cleanup
-        )
-        state["mask"] = state["after_hole_fill"]
-
-    def _step_shadow(self, state: dict[str, Any]) -> None:
-        if self.config.remove_shadows:
-            person, detected = remove_shadows(
-                state["frame"],
-                state["background"],
-                state["after_hole_fill"],
-                self.config.shadow,
-            )
-        else:
-            person = state["after_hole_fill"]
-            detected = np.zeros_like(person)
-        state["detected_shadow"] = detected
-        state["mask"] = person
-
-    def _step_components(self, state: dict[str, Any]) -> None:
-        if self.config.keep_largest_component:
-            state["mask"] = dominant_components(
-                state["mask"], keep_fraction=self.config.component_keep_fraction
-            )
-        state["person"] = state["mask"]
+        return tuple(self.config.steps)
 
     def segment(self, frame: np.ndarray) -> FrameSegmentation:
-        """Apply Steps 2–5 to one frame."""
+        """Apply the configured per-frame steps (default: Steps 2–5)."""
         instrumentation = self.instrumentation
         state: dict[str, Any] = {"frame": frame, "background": self.background}
         for name, step in self._sub_stages():
             with instrumentation.span(f"segmentation/{name}"):
-                step(state)
+                step(state, self.config)
+        state["person"] = state["mask"]
 
         instrumentation.count("segmentation.frames", 1)
         instrumentation.count(
             "segmentation.person_pixels", float(state["person"].sum())
         )
+        # Steps skipped by config fall back to the nearest upstream
+        # mask, so the FrameSegmentation record stays total.
+        raw = state["raw_foreground"]
+        after_noise = state.get("after_noise_removal", raw)
+        after_spot = state.get("after_spot_removal", after_noise)
+        after_hole = state.get("after_hole_fill", after_spot)
         return FrameSegmentation(
-            raw_foreground=state["raw_foreground"],
-            after_noise_removal=state["after_noise_removal"],
-            after_spot_removal=state["after_spot_removal"],
-            after_hole_fill=state["after_hole_fill"],
-            detected_shadow=state["detected_shadow"],
+            raw_foreground=raw,
+            after_noise_removal=after_noise,
+            after_spot_removal=after_spot,
+            after_hole_fill=after_hole,
+            detected_shadow=state.get(
+                "detected_shadow", np.zeros_like(state["person"])
+            ),
             person=state["person"],
         )
 

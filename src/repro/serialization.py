@@ -140,9 +140,13 @@ def analysis_to_dict(analysis) -> dict[str, Any]:
 
     Masks and frames are intentionally excluded (they are bulky and
     reproducible); the payload carries everything a client needs to
-    render feedback.
+    render feedback, plus the fully-resolved configuration and its
+    stable hash, so any report is reproducible from its own output
+    (``slj analyze --config report.json``).
     """
     return {
+        "config": dict(analysis.config),
+        "config_hash": analysis.config_hash,
         "report": report_to_dict(analysis.report),
         "poses": [pose_to_dict(pose) for pose in analysis.poses],
         "events": {
@@ -161,3 +165,8 @@ def analysis_to_dict(analysis) -> dict[str, Any]:
         "annotation": annotation_to_dict(analysis.annotation),
         "trace": analysis.trace.to_dict(),
     }
+
+
+def write_analysis_json(path: str | Path, analysis) -> None:
+    """Write one analysis as indented JSON (CLI ``--json``)."""
+    Path(path).write_text(json.dumps(analysis_to_dict(analysis), indent=2))

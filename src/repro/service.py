@@ -14,9 +14,17 @@ service over the library:
 * ``GET /health`` — liveness probe.
 * ``GET /standards`` — the Table 1 standards and Table 2 rules, so a
   client can render explanations.
+* ``GET /config`` — the server's fully-resolved default configuration,
+  its stable hash, and the known preset names.
 * ``GET /metrics`` — cumulative per-stage wall-clock timings, pipeline
   counters and request counts across every request served so far
   (backed by :class:`repro.runtime.MetricsRegistry`).
+
+An ``/analyze`` request may carry a ``"config"`` block (a partial
+config dict, deep-merged over the server defaults) and/or a
+``"preset"`` name; unknown or ill-typed keys are answered with a
+structured 400 naming the offending dotted key.  The response embeds
+the fully-resolved config and its hash.
 
 Malformed requests (invalid JSON, non-object bodies, missing or
 undecodable video payloads) are answered with HTTP 400 and a
@@ -40,7 +48,14 @@ from typing import Any
 
 import numpy as np
 
-from .errors import ReproError
+from .config import (
+    config_hash,
+    config_to_dict,
+    deep_merge,
+    get_preset,
+    preset_names,
+)
+from .errors import ConfigurationError, ReproError
 from .pipeline import AnalyzerConfig, JumpAnalyzer
 from .runtime import Instrumentation, MetricsRegistry
 from .scoring.rules import RULES
@@ -130,6 +145,18 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/standards":
             self._send_json(200, _standards_payload())
             self._finish(200)
+        elif self.path == "/config":
+            config = self.server.analyzer.config  # type: ignore[attr-defined]
+            resolved = config_to_dict(config)
+            self._send_json(
+                200,
+                {
+                    "config": resolved,
+                    "config_hash": config_hash(resolved),
+                    "presets": list(preset_names()),
+                },
+            )
+            self._finish(200)
         elif self.path == "/metrics":
             snapshot = self.server.metrics.snapshot()  # type: ignore[attr-defined]
             self._send_json(200, snapshot)
@@ -175,7 +202,46 @@ class _Handler(BaseHTTPRequestHandler):
             seed = int(request.get("seed", 0))
         except (TypeError, ValueError) as exc:
             raise _BadRequest("bad_seed", f"seed must be an integer: {exc}")
-        return {"video": video, "annotation": annotation, "seed": seed}
+        config = self._parse_config_block(request)
+        return {
+            "video": video,
+            "annotation": annotation,
+            "seed": seed,
+            "config": config,
+        }
+
+    def _parse_config_block(
+        self, request: dict[str, Any]
+    ) -> AnalyzerConfig | None:
+        """Resolve the optional ``preset`` / ``config`` request fields.
+
+        Returns ``None`` when the request doesn't customise the
+        configuration (the server's shared analyzer is used).
+        """
+        preset = request.get("preset")
+        overlay = request.get("config")
+        if preset is None and overlay is None:
+            return None
+        if preset is not None and not isinstance(preset, str):
+            raise _BadRequest(
+                "bad_config", f"'preset' must be a string, got {preset!r}"
+            )
+        if overlay is not None and not isinstance(overlay, dict):
+            raise _BadRequest(
+                "bad_config",
+                f"'config' must be an object, got {type(overlay).__name__}",
+            )
+        try:
+            if preset is not None:
+                base = get_preset(preset)
+            else:
+                base = self.server.analyzer.config  # type: ignore[attr-defined]
+            resolved = config_to_dict(base)
+            if overlay:
+                resolved = deep_merge(resolved, overlay)
+            return AnalyzerConfig.from_dict(resolved)
+        except ConfigurationError as exc:
+            raise _BadRequest("bad_config", str(exc))
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         if self.path != "/analyze":
@@ -190,8 +256,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
 
         instrumentation = Instrumentation()
+        if request["config"] is not None:
+            analyzer = JumpAnalyzer(request["config"])
+        else:
+            analyzer = self.server.analyzer  # type: ignore[attr-defined]
         try:
-            analysis = self.server.analyzer.analyze(  # type: ignore[attr-defined]
+            analysis = analyzer.analyze(
                 request["video"],
                 annotation=request["annotation"],
                 rng=np.random.default_rng(request["seed"]),
@@ -274,17 +344,26 @@ def request_analysis(
     annotation_dict: dict[str, Any] | None = None,
     seed: int = 0,
     timeout: float = 300.0,
+    config: dict[str, Any] | None = None,
+    preset: str | None = None,
 ) -> dict[str, Any]:
-    """Client helper: POST a video to a running service."""
+    """Client helper: POST a video to a running service.
+
+    ``config`` (a partial config dict) and/or ``preset`` customise the
+    analyzer for this request; they merge over the server defaults.
+    """
     import urllib.request
 
-    payload = json.dumps(
-        {
-            "video_npz_b64": encode_video(video),
-            "annotation": annotation_dict,
-            "seed": seed,
-        }
-    ).encode("utf-8")
+    body: dict[str, Any] = {
+        "video_npz_b64": encode_video(video),
+        "annotation": annotation_dict,
+        "seed": seed,
+    }
+    if config is not None:
+        body["config"] = config
+    if preset is not None:
+        body["preset"] = preset
+    payload = json.dumps(body).encode("utf-8")
     request = urllib.request.Request(
         f"{base_url}/analyze",
         data=payload,

@@ -1,9 +1,11 @@
 """Tests for the slj command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_standards, build_parser, main
 
 
 class TestParser:
@@ -34,6 +36,63 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["synthesize", "--out", str(tmp_path), "--violate", "E9"])
 
+    def test_unknown_standard_message_without_chained_traceback(self):
+        with pytest.raises(SystemExit) as excinfo:
+            _parse_standards(["E9"])
+        message = str(excinfo.value)
+        assert "unknown standard 'E9'" in message
+        assert "E1" in message  # lists the valid choices
+        # raised `from None`: the KeyError must not chain into the exit
+        assert excinfo.value.__cause__ is None
+        assert excinfo.value.__suppress_context__
+
+    def test_config_flags_accepted(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "analyze",
+                "video.npz",
+                "--preset",
+                "fast",
+                "--set",
+                "tracker.ga.max_generations=5",
+                "--set",
+                "smoothing_mode=none",
+            ]
+        )
+        assert args.preset == "fast"
+        assert args.overrides == [
+            "tracker.ga.max_generations=5",
+            "smoothing_mode=none",
+        ]
+        for argv in (
+            ["demo", "--fast", "--json", "out.json"],
+            ["evaluate", "--preset", "accurate"],
+            ["analyze", "video.npz", "--config", "cfg.toml"],
+        ):
+            assert callable(parser.parse_args(argv).func)
+
+    def test_fast_conflicts_with_other_preset(self, tmp_path):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(
+                ["analyze", str(tmp_path / "v.npz"), "--fast", "--preset", "paper"]
+            )
+
+    def test_bad_override_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="bad configuration"):
+            main(
+                [
+                    "analyze",
+                    str(tmp_path / "v.npz"),
+                    "--set",
+                    "tracker.no_such_knob=1",
+                ]
+            )
+
+    def test_unknown_preset_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="bad configuration"):
+            main(["analyze", str(tmp_path / "v.npz"), "--preset", "warp"])
+
 
 class TestSynthesize:
     def test_writes_video_and_truth(self, tmp_path, capsys):
@@ -57,6 +116,64 @@ class TestSynthesize:
         out = tmp_path / "jump"
         main(["synthesize", "--out", str(out), "--violate", "E1", "E5"])
         assert "E1, E5" in capsys.readouterr().out
+
+
+class TestConfigProvenance:
+    """The acceptance flow: a report reproduces itself from its JSON."""
+
+    def test_analyze_embeds_config_and_reproduces(self, tmp_path, capsys):
+        out = tmp_path / "jump"
+        main(["synthesize", "--out", str(out), "--seed", "0"])
+
+        first = tmp_path / "out.json"
+        code = main(
+            [
+                "analyze",
+                str(out / "video.npz"),
+                "--preset",
+                "fast",
+                "--set",
+                "tracker.ga.max_generations=5",
+                "--json",
+                str(first),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(first.read_text())
+        assert payload["config"]["tracker"]["ga"]["max_generations"] == 5
+        assert payload["config"]["tracker"]["ga"]["population_size"] == 30
+        assert payload["config_hash"]
+        assert payload["trace"]["metadata"]["config_hash"] == payload["config_hash"]
+
+        # re-running with a config file reconstructed from that JSON
+        # reproduces the identical report
+        second = tmp_path / "out2.json"
+        code = main(
+            [
+                "analyze",
+                str(out / "video.npz"),
+                "--config",
+                str(first),
+                "--json",
+                str(second),
+            ]
+        )
+        assert code == 0
+        repeat = json.loads(second.read_text())
+        assert repeat["config"] == payload["config"]
+        assert repeat["config_hash"] == payload["config_hash"]
+        assert repeat["report"] == payload["report"]
+        assert repeat["poses"] == payload["poses"]
+        capsys.readouterr()
+
+    def test_demo_fast_json_carries_hash(self, tmp_path, capsys):
+        path = tmp_path / "demo.json"
+        code = main(["demo", "--fast", "--json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["config_hash"]
+        assert payload["config"]["tracker"]["ga"]["max_generations"] == 10
+        assert f"config {payload['config_hash']}" in capsys.readouterr().out
 
 
 class TestAnalyzeProfile:
