@@ -67,7 +67,13 @@ from .evaluation import (
     evaluate_detection,
     evaluate_tracking,
 )
-from .pipeline import AnalyzerConfig, JumpAnalysis, JumpAnalyzer, analyze_video
+from .pipeline import (
+    AnalyzerConfig,
+    JumpAnalysis,
+    JumpAnalyzer,
+    RobustnessConfig,
+    analyze_video,
+)
 from .runtime import (
     FunctionStage,
     Instrumentation,
@@ -132,6 +138,7 @@ __all__ = [
     "AnalyzerConfig",
     "JumpAnalysis",
     "JumpAnalyzer",
+    "RobustnessConfig",
     "analyze_video",
     "FunctionStage",
     "Instrumentation",

@@ -7,8 +7,10 @@ Subcommands:
 * ``slj analyze`` — run the full pipeline on a saved video and print
   the scoring report.
 * ``slj demo`` — synthesize + analyze end to end in one go.
+* ``slj chaos`` — fault-injection sweep (one analysis per fault) with
+  a survival report; ``--min-survival`` turns it into a CI gate.
 
-``analyze``, ``demo`` and ``evaluate`` share the configuration flags
+``analyze``, ``demo``, ``evaluate`` and ``chaos`` share the configuration flags
 ``--config PATH`` (JSON/TOML file, or an analysis JSON reproducing
 itself), ``--preset NAME`` (``paper`` / ``fast`` / ``accurate``) and
 repeatable ``--set key=value`` dotted overrides — see
@@ -25,7 +27,7 @@ from pathlib import Path
 import numpy as np
 
 from .config import preset_names, resolve_config
-from .errors import ConfigurationError
+from .errors import ConfigurationError, ReproError
 from .model.annotation import simulate_human_annotation
 from .pipeline import AnalyzerConfig, JumpAnalyzer
 from .scoring.standards import Standard
@@ -262,9 +264,59 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import serve
+    from .service import ServiceConfig, serve
 
-    serve(host=args.host, port=args.port)
+    serve(
+        host=args.host,
+        port=args.port,
+        service_config=ServiceConfig(
+            deadline_seconds=args.deadline,
+            max_concurrent=args.max_concurrent,
+        ),
+    )
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .faults import default_fault_grid, run_chaos
+    from .video.synthesis.dataset import synthesize_jump as _synthesize
+
+    config = _resolve_cli_config(args)
+    if args.video is not None:
+        video = VideoSequence.load(args.video)
+        annotation = None
+    else:
+        jump = _synthesize(SyntheticJumpConfig(seed=args.seed))
+        video = jump.video
+        annotation = simulate_human_annotation(
+            jump.motion.poses[0],
+            jump.dims,
+            mask=jump.person_masks[0],
+            rng=np.random.default_rng(args.seed),
+        )
+    plan = default_fault_grid(seed=args.seed, stage=args.stage)
+    print(f"chaos sweep: {plan.describe()}")
+    report = run_chaos(
+        video,
+        annotation=annotation,
+        config=config,
+        plan=plan,
+        rng_seed=args.seed,
+    )
+    print()
+    print(report.render_table())
+    if args.json is not None:
+        Path(args.json).write_text(_json.dumps(report.to_dict(), indent=2))
+        print(f"wrote chaos report JSON to {args.json}")
+    if report.survival_rate < args.min_survival:
+        print(
+            f"FAIL: survival {report.survival_rate:.0%} below the "
+            f"required {args.min_survival:.0%}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -335,7 +387,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser("serve", help="run the analysis web service")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=300.0,
+        help="per-request analysis deadline in seconds (504 beyond it)",
+    )
+    p_serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        help="simultaneous analyses before the service answers 503",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: one analysis per fault, survival report",
+    )
+    p_chaos.add_argument(
+        "--video",
+        default=None,
+        metavar="PATH",
+        help="video .npz to torture (default: a synthetic jump)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--stage",
+        default="tracking",
+        help="pipeline stage targeted by the injected stage fault",
+    )
+    p_chaos.add_argument(
+        "--min-survival",
+        type=float,
+        default=0.0,
+        help="exit non-zero when the survival rate falls below this "
+        "fraction (CI gate)",
+    )
+    p_chaos.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the report as JSON"
+    )
+    _add_config_arguments(p_chaos)
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_eval = sub.add_parser(
         "evaluate", help="corpus evaluation: detection + tracking accuracy"
@@ -352,10 +445,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Library failures (any :class:`~repro.errors.ReproError`) are
+    reported as a one-line ``error[Type]: message`` on stderr with exit
+    code 2 — no traceback for expected failure modes.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

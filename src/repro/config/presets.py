@@ -31,9 +31,16 @@ PRESETS: Registry[Callable[[], "AnalyzerConfig"]] = Registry("config preset")
 
 @PRESETS.register("paper")
 def _paper() -> "AnalyzerConfig":
-    from ..pipeline import AnalyzerConfig
+    from ..ga.temporal import RecoveryConfig, TrackerConfig
+    from ..pipeline import AnalyzerConfig, RobustnessConfig
 
-    return AnalyzerConfig()
+    # Strict fail-fast: no recovery ladder, no stage retries or
+    # fallbacks — a degraded frame raises exactly as the paper's
+    # pipeline would.  Everything else keeps the library defaults.
+    return AnalyzerConfig(
+        tracker=TrackerConfig(recovery=RecoveryConfig(enabled=False)),
+        robustness=RobustnessConfig(enabled=False),
+    )
 
 
 @PRESETS.register("fast")

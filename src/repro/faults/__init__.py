@@ -1,0 +1,48 @@
+"""Fault injection and chaos testing.
+
+The robustness counterpart of :mod:`repro.video.synthesis`: where the
+synthesiser produces *clean* jumps with ground truth, this package
+produces *damaged* inputs and *misbehaving* stages, so the recovery
+ladder (:class:`~repro.ga.temporal.RecoveryConfig`), the stage
+policies (:class:`~repro.pipeline.RobustnessConfig`) and the hardened
+service can be exercised deterministically.
+
+* :mod:`repro.faults.plan` — :class:`FaultSpec` / :class:`FaultPlan`,
+  the declarative "what to break";
+* :mod:`repro.faults.injectors` — the :data:`FAULTS` registry of
+  seeded frame corruptors plus stage wrappers;
+* :mod:`repro.faults.chaos` — :func:`run_chaos`, one analysis per
+  fault, summarised in a :class:`ChaosReport` (the CLI ``chaos``
+  subcommand and the CI smoke step).
+"""
+
+from .chaos import ChaosReport, FaultOutcome, default_fault_grid, run_chaos
+from .injectors import (
+    FAULTS,
+    apply_stage_faults,
+    fault_kinds,
+    inject_video_faults,
+)
+from .plan import (
+    FAULT_KINDS,
+    FRAME_FAULT_KINDS,
+    STAGE_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULTS",
+    "FAULT_KINDS",
+    "FRAME_FAULT_KINDS",
+    "STAGE_FAULT_KINDS",
+    "ChaosReport",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultSpec",
+    "apply_stage_faults",
+    "default_fault_grid",
+    "fault_kinds",
+    "inject_video_faults",
+    "run_chaos",
+]

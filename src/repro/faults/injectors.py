@@ -1,0 +1,173 @@
+"""Deterministic fault injectors.
+
+Frame faults are pure functions ``(frames, spec, rng) -> frames``
+registered in :data:`FAULTS` — they receive a *writable copy* of the
+``(T, H, W, 3)`` float stack and return the perturbed stack (possibly
+with fewer frames, for ``drop_frame``).  Every pixel they synthesise
+stays a valid ``[0, 1]`` RGB value, so the corruption reaches the
+pipeline's algorithms rather than dying in input validation.
+
+Stage faults wrap a :class:`~repro.pipeline.JumpAnalyzer`'s composed
+stages in place: ``stage_exception`` makes a named stage raise a
+:class:`~repro.errors.ReproError` for its first ``times`` invocations
+(so retries can observe recovery), ``stage_delay`` stalls it by
+``magnitude`` seconds (exercising service deadlines).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from .plan import FaultPlan, FaultSpec
+from ..errors import ConfigurationError, ReproError
+from ..registry import Registry
+from ..video.sequence import VideoSequence
+
+#: Registry of frame-fault injectors:
+#: ``kind -> (frames, spec, rng) -> frames``.
+FAULTS: Registry[
+    Callable[[np.ndarray, FaultSpec, np.random.Generator], np.ndarray]
+] = Registry("fault injector")
+
+
+def _background_estimate(frames: np.ndarray) -> np.ndarray:
+    """Per-pixel temporal median — the moving person mostly vanishes."""
+    return np.median(frames, axis=0)
+
+
+@FAULTS.register("drop_frame")
+def _drop_frame(
+    frames: np.ndarray, spec: FaultSpec, rng: np.random.Generator
+) -> np.ndarray:
+    index = spec.resolve_frame(frames.shape[0])
+    if frames.shape[0] < 2:
+        raise ConfigurationError("cannot drop the only frame of a video")
+    return np.delete(frames, index, axis=0)
+
+
+@FAULTS.register("blank_silhouette")
+def _blank_silhouette(
+    frames: np.ndarray, spec: FaultSpec, rng: np.random.Generator
+) -> np.ndarray:
+    # Replace the frame with the estimated background: subtraction then
+    # finds no foreground, so the tracker sees an empty silhouette.
+    index = spec.resolve_frame(frames.shape[0])
+    frames[index] = _background_estimate(frames)
+    return frames
+
+
+@FAULTS.register("noise_burst")
+def _noise_burst(
+    frames: np.ndarray, spec: FaultSpec, rng: np.random.Generator
+) -> np.ndarray:
+    index = spec.resolve_frame(frames.shape[0])
+    sigma = 0.25 * spec.magnitude
+    noisy = frames[index] + rng.normal(0.0, sigma, size=frames[index].shape)
+    frames[index] = np.clip(noisy, 0.0, 1.0)
+    return frames
+
+
+@FAULTS.register("occlude_band")
+def _occlude_band(
+    frames: np.ndarray, spec: FaultSpec, rng: np.random.Generator
+) -> np.ndarray:
+    # Paint a horizontal background-coloured band across the frame
+    # centre — an object passing in front of the jumper.
+    index = spec.resolve_frame(frames.shape[0])
+    height = frames.shape[1]
+    half = max(1, int(round(0.15 * spec.magnitude * height)))
+    centre = height // 2
+    lo, hi = max(0, centre - half), min(height, centre + half)
+    frames[index, lo:hi, :, :] = _background_estimate(frames)[lo:hi]
+    return frames
+
+
+@FAULTS.register("corrupt_dtype")
+def _corrupt_dtype(
+    frames: np.ndarray, spec: FaultSpec, rng: np.random.Generator
+) -> np.ndarray:
+    # Simulate a decode/dtype mishap: crush the frame to a handful of
+    # quantisation levels and sprinkle seeded salt speckle.  Values stay
+    # valid [0, 1] floats, but the content is garbage.
+    index = spec.resolve_frame(frames.shape[0])
+    levels = 3
+    crushed = np.round(frames[index] * (levels - 1)) / (levels - 1)
+    salt = rng.random(crushed.shape[:2]) < 0.05 * spec.magnitude
+    crushed[salt] = 1.0
+    frames[index] = crushed
+    return frames
+
+
+def inject_video_faults(video: VideoSequence, plan: FaultPlan) -> VideoSequence:
+    """Apply every frame fault in ``plan`` to a copy of ``video``."""
+    frames = np.array(video.frames, copy=True)
+    for spec in plan.frame_faults():
+        injector = FAULTS.get(spec.kind)
+        frames = injector(frames, spec, np.random.default_rng(spec.seed))
+    return VideoSequence(frames)
+
+
+class _FaultedStage:
+    """Wrap a stage so its first ``times`` runs raise, or every run stalls."""
+
+    __slots__ = ("name", "_inner", "_spec", "_remaining")
+
+    def __init__(self, inner, spec: FaultSpec) -> None:
+        self.name = inner.name
+        self._inner = inner
+        self._spec = spec
+        self._remaining = spec.times
+
+    def run(self, value, context):
+        if self._spec.kind == "stage_delay":
+            time.sleep(self._spec.magnitude)
+        elif self._spec.kind == "stage_exception" and self._remaining > 0:
+            self._remaining -= 1
+            raise ReproError(
+                f"injected fault in stage {self.name!r} "
+                f"({self._remaining} failure(s) remaining)"
+            )
+        return self._inner.run(value, context)
+
+    def __repr__(self) -> str:
+        return f"_FaultedStage({self.name!r}, {self._spec.kind})"
+
+
+def apply_stage_faults(analyzer, plan: FaultPlan):
+    """Rewire ``analyzer`` so the plan's stage faults fire during runs.
+
+    The analyzer's composed runner is rebuilt with the targeted stages
+    wrapped; retry/fallback policies and the pipeline name are
+    preserved.  Returns the same analyzer for chaining.
+    """
+    from ..runtime import PipelineRunner
+
+    specs = plan.stage_faults()
+    if not specs:
+        return analyzer
+    runner = analyzer.runner
+    by_stage: dict[str, list[FaultSpec]] = {}
+    for spec in specs:
+        if spec.stage not in runner.stage_names:
+            raise ConfigurationError(
+                f"fault targets unknown stage {spec.stage!r}; stages are: "
+                f"{list(runner.stage_names)}"
+            )
+        by_stage.setdefault(spec.stage, []).append(spec)
+    stages = []
+    for stage in runner.stages:
+        for spec in by_stage.get(stage.name, ()):
+            stage = _FaultedStage(stage, spec)
+        stages.append(stage)
+    analyzer._runner = PipelineRunner(
+        stages, name=runner.name, policies=runner.policies
+    )
+    return analyzer
+
+
+def fault_kinds() -> tuple[str, ...]:
+    """Names of every registered frame-fault injector."""
+    return FAULTS.names()

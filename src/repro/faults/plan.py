@@ -1,0 +1,134 @@
+"""Declarative fault plans.
+
+A :class:`FaultSpec` names one deterministic fault — either a *frame
+fault* that perturbs the input video before the pipeline sees it
+(dropped frame, blanked silhouette, sensor noise, occlusion, dtype
+corruption) or a *stage fault* that perturbs the pipeline itself (an
+injected exception or delay inside a named stage).  A
+:class:`FaultPlan` is an ordered bundle of specs; the chaos harness
+(:mod:`repro.faults.chaos`) runs one analysis per spec and reports
+which faults the configured pipeline survived.
+
+Everything is seeded and reproducible: the same plan against the same
+video and config yields the same outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+#: Fault kinds that rewrite video frames before analysis.
+FRAME_FAULT_KINDS = (
+    "drop_frame",
+    "blank_silhouette",
+    "noise_burst",
+    "occlude_band",
+    "corrupt_dtype",
+)
+
+#: Fault kinds that perturb a pipeline stage during analysis.
+STAGE_FAULT_KINDS = (
+    "stage_exception",
+    "stage_delay",
+)
+
+#: Every registered fault kind, frame faults first.
+FAULT_KINDS = FRAME_FAULT_KINDS + STAGE_FAULT_KINDS
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One deterministic fault to inject.
+
+    ``frame`` selects the target frame for frame faults (``-1`` means
+    "the middle frame", resolved against the actual video length);
+    ``stage`` selects the target stage for stage faults; ``magnitude``
+    scales the severity (noise sigma, band height, delay seconds);
+    ``times`` bounds how many stage invocations fail before the stage
+    recovers (``stage_exception`` only); ``seed`` drives the fault's
+    private RNG.
+    """
+
+    kind: str
+    frame: int = -1
+    stage: str = "tracking"
+    magnitude: float = 1.0
+    times: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known kinds: "
+                f"{list(FAULT_KINDS)}"
+            )
+        if self.frame < -1:
+            raise ConfigurationError(
+                "fault frame must be >= 0, or -1 for the middle frame"
+            )
+        if self.magnitude <= 0:
+            raise ConfigurationError("fault magnitude must be positive")
+        if self.times < 1:
+            raise ConfigurationError("fault times must be >= 1")
+
+    @property
+    def is_frame_fault(self) -> bool:
+        """True when this fault rewrites video frames."""
+        return self.kind in FRAME_FAULT_KINDS
+
+    @property
+    def is_stage_fault(self) -> bool:
+        """True when this fault perturbs a pipeline stage."""
+        return self.kind in STAGE_FAULT_KINDS
+
+    def resolve_frame(self, num_frames: int) -> int:
+        """The concrete target frame for a ``num_frames``-long video."""
+        if num_frames <= 0:
+            raise ConfigurationError("cannot target a frame of an empty video")
+        if self.frame == -1:
+            return num_frames // 2
+        if self.frame >= num_frames:
+            raise ConfigurationError(
+                f"fault targets frame {self.frame} but the video has only "
+                f"{num_frames} frames"
+            )
+        return self.frame
+
+    def label(self) -> str:
+        """Short human-readable identity, e.g. ``noise_burst@frame``."""
+        target = f"frame {self.frame}" if self.is_frame_fault else self.stage
+        return f"{self.kind}({target})"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An ordered bundle of faults to exercise."""
+
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def frame_faults(self) -> tuple[FaultSpec, ...]:
+        """Only the faults that rewrite video frames."""
+        return tuple(f for f in self.faults if f.is_frame_fault)
+
+    def stage_faults(self) -> tuple[FaultSpec, ...]:
+        """Only the faults that perturb pipeline stages."""
+        return tuple(f for f in self.faults if f.is_stage_fault)
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``3 faults: drop_frame(...), …``."""
+        if not self.faults:
+            return "empty fault plan"
+        labels = ", ".join(spec.label() for spec in self.faults)
+        noun = "fault" if len(self.faults) == 1 else "faults"
+        return f"{len(self.faults)} {noun}: {labels}"

@@ -11,7 +11,9 @@ from .single_frame import (
     estimate_single_frame,
 )
 from .temporal import (
+    FrameHealth,
     FrameTrackingRecord,
+    RecoveryConfig,
     TemporalPoseTracker,
     TrackerConfig,
     TrackingResult,
@@ -36,7 +38,9 @@ __all__ = [
     "SingleFrameConfig",
     "SingleFrameEstimate",
     "estimate_single_frame",
+    "FrameHealth",
     "FrameTrackingRecord",
+    "RecoveryConfig",
     "TemporalPoseTracker",
     "TrackerConfig",
     "TrackingResult",

@@ -17,13 +17,75 @@ from .convergence import SearchResult
 from .engine import GAConfig
 from .population import temporal_population
 from .strategies import SEARCH_STRATEGIES, SearchRequest
-from ..errors import ConfigurationError, TrackingError
+from ..errors import ConfigurationError, ImageError, ModelError, TrackingError
 from ..imaging.image import ensure_mask
 from ..model.containment import ContainmentChecker
 from ..model.fitness import FitnessConfig, SilhouetteFitness
 from ..model.pose import StickPose
 from ..model.sticks import AngleWindows, BodyDimensions
 from ..runtime import Instrumentation
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryConfig:
+    """Per-frame recovery ladder for degraded silhouettes (extension).
+
+    Real footage loses silhouettes: a dropped frame, a noise burst, an
+    occlusion.  With recovery enabled the tracker bridges such frames
+    instead of raising :class:`~repro.errors.TrackingError`:
+
+    1. a frame whose silhouette is missing/degenerate, whose search is
+       infeasible, or whose fitness *collapses* relative to the healthy
+       frames so far is replaced by a damped constant-velocity
+       extrapolation (or a carry-forward of the previous pose);
+    2. after ``reanchor_after`` consecutive losses, the next usable
+       silhouette re-anchors the track via the automatic moment-based
+       annotator instead of the (by now stale) previous pose;
+    3. frames that cannot be recovered carry the last pose forward and
+       are marked ``failed``.
+
+    Every frame's outcome is recorded as a :class:`FrameHealth` on the
+    :class:`TrackingResult`.  ``enabled=False`` restores the strict
+    fail-fast behaviour (the ``paper`` preset).
+    """
+
+    enabled: bool = True
+    # How many consecutive lost frames may be bridged by extrapolation
+    # before the track is declared ``failed`` (carry-forward only).
+    max_extrapolated: int = 3
+    # Consecutive losses after which the next usable silhouette is
+    # re-seeded from auto-annotation instead of the previous pose.
+    reanchor_after: int = 2
+    # A tracked frame whose Eq. 3 fitness exceeds
+    # ``max(collapse_min_fitness, collapse_factor * median(healthy))``
+    # is treated as lost (the silhouette was there but was garbage).
+    collapse_factor: float = 3.0
+    collapse_min_fitness: float = 0.9
+    # Silhouettes below this pixel count are treated as empty.
+    min_silhouette_pixels: int = 40
+    # Adaptive floor: once >= 3 frames were accepted, a silhouette
+    # smaller than this fraction of the median accepted area is treated
+    # as lost (catches residual blobs after a blanked/occluded frame
+    # that still clear the absolute pixel floor).  Clean jump
+    # silhouettes keep >~0.9 of the median area frame to frame, so 0.5
+    # has wide margin on both sides.
+    min_area_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_extrapolated < 0:
+            raise ConfigurationError("recovery.max_extrapolated must be >= 0")
+        if self.reanchor_after < 1:
+            raise ConfigurationError("recovery.reanchor_after must be >= 1")
+        if self.collapse_factor <= 1.0:
+            raise ConfigurationError("recovery.collapse_factor must be > 1")
+        if self.min_silhouette_pixels < 1:
+            raise ConfigurationError(
+                "recovery.min_silhouette_pixels must be >= 1"
+            )
+        if not 0.0 <= self.min_area_fraction < 1.0:
+            raise ConfigurationError(
+                "recovery.min_area_fraction must be in [0, 1)"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +147,9 @@ class TrackerConfig:
     polish: bool = True
     polish_angle_steps: tuple[float, ...] = (12.0, 6.0, 3.0)
     polish_center_steps: tuple[float, ...] = (2.0, 1.0)
+    # Per-frame fault recovery (extension): bridge lost/degenerate
+    # silhouettes instead of raising.  See :class:`RecoveryConfig`.
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
     def __post_init__(self) -> None:
         if self.strategy not in SEARCH_STRATEGIES:
@@ -118,6 +183,46 @@ def extrapolate_pose(
     )
 
 
+#: Valid :attr:`FrameHealth.status` values, from best to worst.
+FRAME_STATUSES = ("tracked", "reanchored", "extrapolated", "failed")
+
+
+@dataclass(frozen=True, slots=True)
+class FrameHealth:
+    """What happened to one frame of the track.
+
+    ``status`` is one of :data:`FRAME_STATUSES`: ``tracked`` (the
+    search ran and its result was accepted), ``reanchored`` (accepted,
+    but seeded from auto-annotation after a run of losses),
+    ``extrapolated`` (the silhouette was unusable; the pose is a
+    motion-model prediction) or ``failed`` (unrecoverable; the last
+    pose was carried forward).  ``reason`` says why recovery was
+    needed; ``recovery`` names the mechanism used (``extrapolate``,
+    ``carry_forward`` or ``auto_annotate``).
+    """
+
+    frame_index: int
+    status: str
+    reason: str = ""
+    recovery: str | None = None
+    fitness: float | None = None
+
+    @property
+    def healthy(self) -> bool:
+        """True when the frame's pose came from an accepted search."""
+        return self.status in ("tracked", "reanchored")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (service diagnostics)."""
+        return {
+            "frame": self.frame_index,
+            "status": self.status,
+            "reason": self.reason,
+            "recovery": self.recovery,
+            "fitness": self.fitness,
+        }
+
+
 @dataclass(frozen=True, slots=True)
 class FrameTrackingRecord:
     """Per-frame tracking outcome."""
@@ -133,7 +238,28 @@ class TrackingResult:
     """Pose track over a whole silhouette sequence."""
 
     poses: tuple[StickPose, ...]  # includes the annotated frame 0
-    records: tuple[FrameTrackingRecord, ...]  # frames 1..T-1
+    records: tuple[FrameTrackingRecord, ...]  # searched frames only
+    # One entry per frame (including frame 0) when tracked through
+    # :meth:`TemporalPoseTracker.track`; empty for hand-built results.
+    health: tuple[FrameHealth, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any frame needed recovery (or failed outright)."""
+        return any(not entry.healthy for entry in self.health)
+
+    def unhealthy_frames(self) -> list[int]:
+        """Frame indices whose pose did not come from an accepted search."""
+        return [
+            entry.frame_index for entry in self.health if not entry.healthy
+        ]
+
+    def health_summary(self) -> dict[str, int]:
+        """Frame count per health status (zero-count statuses included)."""
+        summary = {status: 0 for status in FRAME_STATUSES}
+        for entry in self.health:
+            summary[entry.status] = summary.get(entry.status, 0) + 1
+        return summary
 
     @property
     def mean_generation_of_best(self) -> float:
@@ -167,7 +293,13 @@ class TrackingResult:
         if fitness.size == 0:
             return fitness
         median = float(np.median(fitness))
-        mad = float(np.median(np.abs(fitness - median))) or 1e-6
+        mad = float(np.median(np.abs(fitness - median)))
+        if mad < 1e-8:
+            # Degenerate spread: (near-)identical fitness everywhere.
+            # A tiny MAD fallback would explode the z-scores and flag
+            # frames that differ only by float noise, so report a flat
+            # "no evidence either way" confidence instead.
+            return np.full(fitness.shape, 0.5)
         z = (fitness - median) / (1.4826 * mad)
         return 1.0 / (1.0 + np.exp(z - 1.0))
 
@@ -377,48 +509,214 @@ class TemporalPoseTracker:
             return pool[best_idx].copy()
         return incumbent.copy()
 
+    # ------------------------------------------------------------------
+    # Recovery ladder
+    # ------------------------------------------------------------------
+    def _reanchor_seed(self, mask: np.ndarray) -> StickPose | None:
+        """A fresh seed pose from auto-annotation, or None if impossible."""
+        from ..model.annotation import auto_annotate
+
+        try:
+            return auto_annotate(mask, dims=self.dims).pose
+        except (ModelError, ImageError):
+            return None
+
+    def _collapse_threshold(
+        self, accepted_fitness: list[float]
+    ) -> float | None:
+        """Fitness above which a tracked frame counts as lost."""
+        rec = self.config.recovery
+        if len(accepted_fitness) < 3:
+            return None  # not enough healthy history to judge against
+        median = float(np.median(accepted_fitness))
+        return max(rec.collapse_min_fitness, rec.collapse_factor * median)
+
+    def _recover(
+        self,
+        index: int,
+        prev: StickPose,
+        prev_prev: StickPose | None,
+        loss_run: int,
+        reason: str,
+    ) -> tuple[StickPose, None, FrameHealth]:
+        """Bridge one lost frame: extrapolate, carry forward, or fail."""
+        rec = self.config.recovery
+        if loss_run >= rec.max_extrapolated:
+            health = FrameHealth(index, "failed", reason, "carry_forward")
+            return prev, None, health
+        if prev_prev is not None:
+            pose = extrapolate_pose(
+                prev_prev,
+                prev,
+                damping=self.config.extrapolation_damping,
+                max_angle_step=self.config.max_extrapolation_step,
+            )
+            recovery = "extrapolate"
+        else:
+            pose, recovery = prev, "carry_forward"
+        return pose, None, FrameHealth(index, "extrapolated", reason, recovery)
+
+    def _track_frame(
+        self,
+        mask: np.ndarray,
+        index: int,
+        prev: StickPose,
+        prev_prev: StickPose | None,
+        rng: np.random.Generator,
+        loss_run: int,
+        accepted_fitness: list[float],
+        accepted_areas: list[int],
+    ) -> tuple[StickPose, FrameTrackingRecord | None, FrameHealth]:
+        """One frame of the recovery ladder (recovery enabled)."""
+        rec = self.config.recovery
+        try:
+            mask = ensure_mask(mask)
+        except ImageError as exc:
+            return self._recover(
+                index, prev, prev_prev, loss_run, f"unusable mask: {exc}"
+            )
+        pixels = int(mask.sum())
+        area_floor = rec.min_silhouette_pixels
+        if len(accepted_areas) >= 3:
+            adaptive = rec.min_area_fraction * float(
+                np.median(accepted_areas)
+            )
+            area_floor = max(area_floor, int(adaptive))
+        if pixels < area_floor:
+            return self._recover(
+                index,
+                prev,
+                prev_prev,
+                loss_run,
+                f"silhouette too small ({pixels} px, need {area_floor})",
+            )
+
+        status, recovery, reason = "tracked", None, ""
+        seed, seed_prev = prev, prev_prev
+        if loss_run >= rec.reanchor_after:
+            anchor = self._reanchor_seed(mask)
+            if anchor is not None:
+                seed, seed_prev = anchor, None
+                status, recovery = "reanchored", "auto_annotate"
+                reason = f"re-anchored after {loss_run} consecutive losses"
+                self.instrumentation.count("tracking.reanchors", 1)
+        try:
+            pose, search = self.estimate_frame(
+                mask, seed, rng, prev_prev_pose=seed_prev
+            )
+        except (TrackingError, ModelError) as exc:
+            return self._recover(index, prev, prev_prev, loss_run, str(exc))
+        fitness = (
+            search.raw_fitness
+            if search.raw_fitness is not None
+            else search.best_fitness
+        )
+        threshold = self._collapse_threshold(accepted_fitness)
+        if threshold is not None and fitness > threshold:
+            return self._recover(
+                index,
+                prev,
+                prev_prev,
+                loss_run,
+                f"fitness collapse ({fitness:.3f} > {threshold:.3f})",
+            )
+        record = FrameTrackingRecord(
+            frame_index=index, pose=pose, fitness=fitness, search=search
+        )
+        accepted_areas.append(pixels)
+        return pose, record, FrameHealth(index, status, reason, recovery, fitness)
+
     def track(
         self,
         silhouettes: list[np.ndarray],
         initial_pose: StickPose,
         rng: np.random.Generator | None = None,
     ) -> TrackingResult:
-        """Track frames 1..T-1, starting from the annotated frame-0 pose."""
+        """Track frames 1..T-1, starting from the annotated frame-0 pose.
+
+        With :attr:`TrackerConfig.recovery` enabled (the default), a
+        frame whose silhouette is empty, degenerate, infeasible or
+        whose fitness collapses is bridged by the recovery ladder
+        instead of raising; the per-frame outcome is recorded in
+        :attr:`TrackingResult.health`.  With recovery disabled, any
+        such frame raises :class:`~repro.errors.TrackingError` exactly
+        as the paper-faithful pipeline does.
+        """
         if not silhouettes:
             raise TrackingError("no silhouettes to track")
         rng = rng if rng is not None else np.random.default_rng(0)
 
+        recovery_enabled = self.config.recovery.enabled
         instrumentation = self.instrumentation
         poses: list[StickPose] = [initial_pose]
         records: list[FrameTrackingRecord] = []
+        health: list[FrameHealth] = [
+            FrameHealth(0, "tracked", "annotated first frame")
+        ]
         prev = initial_pose
         prev_prev: StickPose | None = None
+        loss_run = 0
+        accepted_fitness: list[float] = []
+        accepted_areas: list[int] = []
         for index in range(1, len(silhouettes)):
             with instrumentation.span("tracking/frame"):
-                pose, search = self.estimate_frame(
-                    silhouettes[index], prev, rng, prev_prev_pose=prev_prev
-                )
-            record = FrameTrackingRecord(
-                frame_index=index,
-                pose=pose,
-                fitness=(
-                    search.raw_fitness
-                    if search.raw_fitness is not None
-                    else search.best_fitness
-                ),
-                search=search,
-            )
+                if recovery_enabled:
+                    pose, record, frame_health = self._track_frame(
+                        silhouettes[index],
+                        index,
+                        prev,
+                        prev_prev,
+                        rng,
+                        loss_run,
+                        accepted_fitness,
+                        accepted_areas,
+                    )
+                else:
+                    pose, search = self.estimate_frame(
+                        silhouettes[index], prev, rng, prev_prev_pose=prev_prev
+                    )
+                    fitness = (
+                        search.raw_fitness
+                        if search.raw_fitness is not None
+                        else search.best_fitness
+                    )
+                    record = FrameTrackingRecord(
+                        frame_index=index,
+                        pose=pose,
+                        fitness=fitness,
+                        search=search,
+                    )
+                    frame_health = FrameHealth(
+                        index, "tracked", fitness=fitness
+                    )
             poses.append(pose)
-            records.append(record)
+            health.append(frame_health)
             instrumentation.count("tracking.frames", 1)
-            instrumentation.event(
-                "tracking/frame",
-                frame=index,
-                fitness=record.fitness,
-                generations=search.generations,
-                generation_of_best=search.generation_of_best,
-                evaluations=search.total_evaluations,
-            )
+            if record is not None:
+                records.append(record)
+                accepted_fitness.append(record.fitness)
+                loss_run = 0
+                search = record.search
+                instrumentation.event(
+                    "tracking/frame",
+                    frame=index,
+                    fitness=record.fitness,
+                    generations=search.generations,
+                    generation_of_best=search.generation_of_best,
+                    evaluations=search.total_evaluations,
+                )
+            else:
+                loss_run += 1
+                instrumentation.count("tracking.recovered_frames", 1)
+                instrumentation.event(
+                    "tracking/recovery",
+                    frame=index,
+                    status=frame_health.status,
+                    reason=frame_health.reason,
+                    recovery=frame_health.recovery,
+                )
             prev_prev = prev
             prev = pose
-        return TrackingResult(poses=tuple(poses), records=tuple(records))
+        return TrackingResult(
+            poses=tuple(poses), records=tuple(records), health=tuple(health)
+        )

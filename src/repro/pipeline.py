@@ -26,16 +26,19 @@ from .analysis.events import JumpEvents, detect_events
 from .analysis.trajectory import PoseTrajectory
 from .config.hashing import config_hash
 from .config.schema import config_from_dict, config_to_dict
-from .errors import SegmentationError
+from .errors import ConfigurationError, ReproError, SegmentationError, VideoError
 from .ga.temporal import TemporalPoseTracker, TrackerConfig, TrackingResult
 from .model.annotation import FirstFrameAnnotation, auto_annotate
 from .model.pose import StickPose
 from .runtime import (
+    FallbackPolicy,
     FunctionStage,
     Instrumentation,
     PipelineRunner,
+    RetryPolicy,
     RunTrace,
     StageContext,
+    StagePolicy,
 )
 from .scoring.distance import JumpMeasurement, measure_jump
 from .scoring.report import JumpReport, JumpScorer
@@ -48,11 +51,60 @@ from .video.sequence import VideoSequence
 
 
 @dataclass(frozen=True, slots=True)
+class RobustnessConfig:
+    """Degrade-don't-die behaviour of the end-to-end pipeline.
+
+    With ``enabled`` (the default), the analyzer attaches per-stage
+    :class:`~repro.runtime.RetryPolicy` / :class:`~repro.runtime.FallbackPolicy`
+    entries: stages named in ``retry_stages`` get ``stage_attempts``
+    total tries against the exception types in ``catch``; stages named
+    in ``fallback_stages`` substitute a best-effort value when they
+    still fail, marking the run degraded on its trace and in
+    :attr:`JumpAnalysis.diagnostics`.  Only the post-tracking stages
+    (``smoothing``, ``events``, ``scoring``, ``measurement``) have
+    meaningful substitutes; segmentation, annotation and tracking have
+    none (tracking degradation is handled inside the tracker by
+    :class:`~repro.ga.temporal.RecoveryConfig`).
+
+    ``enabled=False`` restores strict fail-fast behaviour — the
+    ``paper`` preset sets it, together with
+    ``tracker.recovery.enabled=False``.
+    """
+
+    enabled: bool = True
+    stage_attempts: int = 2
+    retry_stages: tuple[str, ...] = (
+        "segmentation",
+        "annotation",
+        "tracking",
+        "smoothing",
+        "events",
+        "scoring",
+        "measurement",
+    )
+    fallback_stages: tuple[str, ...] = (
+        "smoothing",
+        "events",
+        "scoring",
+        "measurement",
+    )
+    catch: tuple[str, ...] = ("ReproError",)
+
+    def __post_init__(self) -> None:
+        if self.stage_attempts < 1:
+            raise ConfigurationError("robustness.stage_attempts must be >= 1")
+        from .runtime import resolve_catch
+
+        resolve_catch(self.catch)  # validate the names eagerly
+
+
+@dataclass(frozen=True, slots=True)
 class AnalyzerConfig:
     """Configuration of the full pipeline."""
 
     segmentation: SegmentationConfig = field(default_factory=SegmentationConfig)
     tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    robustness: RobustnessConfig = field(default_factory=RobustnessConfig)
     # Trajectory filtering before scoring.  "median" (default) removes
     # single-frame tracking spikes without shaving multi-frame extremes
     # — important because every rule aggregates with max/min over a
@@ -103,6 +155,15 @@ class JumpAnalysis:
     # and its stable hash — a report is reproducible from its own output.
     config: dict[str, Any] = field(default_factory=dict)
     config_hash: str = ""
+    # Health of this analysis: per-frame tracking outcomes, unhealthy /
+    # low-confidence frames, stages that completed via fallback.  See
+    # :meth:`JumpAnalyzer.analyze`; serialized with the report.
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any frame or stage needed recovery or fallback."""
+        return bool(self.diagnostics.get("degraded"))
 
     @property
     def silhouettes(self) -> list[np.ndarray]:
@@ -145,7 +206,50 @@ class JumpAnalyzer:
                 FunctionStage("measurement", self._stage_measurement),
             ],
             name="jump-analysis",
+            policies=self._build_policies(),
         )
+
+    def _build_policies(self) -> dict[str, StagePolicy] | None:
+        """Per-stage retry/fallback policies from the robustness config."""
+        rb = self.config.robustness
+        if not rb.enabled:
+            return None
+        unknown = (set(rb.retry_stages) | set(rb.fallback_stages)) - set(
+            self.STAGES
+        )
+        if unknown:
+            raise ConfigurationError(
+                f"robustness names unknown stage(s) {sorted(unknown)}; "
+                f"stages are: {list(self.STAGES)}"
+            )
+        substitutes = {
+            "smoothing": self._fallback_smoothing,
+            "events": self._fallback_events,
+            "scoring": self._fallback_scoring,
+            "measurement": self._fallback_measurement,
+        }
+        missing = [s for s in rb.fallback_stages if s not in substitutes]
+        if missing:
+            raise ConfigurationError(
+                f"stage(s) {missing} have no fallback substitute; only "
+                f"{sorted(substitutes)} can degrade (earlier stages must "
+                "succeed to anchor the analysis)"
+            )
+        policies: dict[str, StagePolicy] = {}
+        for name in self.STAGES:
+            retry = None
+            if name in rb.retry_stages and rb.stage_attempts > 1:
+                retry = RetryPolicy(
+                    max_attempts=rb.stage_attempts, catch=rb.catch
+                )
+            fallback = None
+            if name in rb.fallback_stages:
+                fallback = FallbackPolicy(
+                    substitute=substitutes[name], catch=rb.catch
+                )
+            if retry is not None or fallback is not None:
+                policies[name] = StagePolicy(retry=retry, fallback=fallback)
+        return policies or None
 
     @property
     def runner(self) -> PipelineRunner:
@@ -160,6 +264,11 @@ class JumpAnalyzer:
     def _stage_segmentation(
         self, video: VideoSequence, ctx: StageContext
     ) -> list[np.ndarray]:
+        if len(video) == 0:
+            raise VideoError(
+                "cannot analyze a zero-frame video; the sequence needs at "
+                "least one frame to segment and anchor the stick model"
+            )
         segmenter = SegmentationPipeline(
             self.config.segmentation, instrumentation=ctx.instrumentation
         )
@@ -242,6 +351,69 @@ class JumpAnalyzer:
         return poses
 
     # ------------------------------------------------------------------
+    # Fallback substitutes (robustness): best-effort stand-ins for the
+    # post-tracking stages, so a failure there degrades the report
+    # instead of killing the analysis.  Each sets the context artifact
+    # the JumpAnalysis constructor requires.
+    # ------------------------------------------------------------------
+    def _fallback_smoothing(
+        self, poses: tuple[StickPose, ...], ctx: StageContext
+    ) -> tuple[StickPose, ...]:
+        poses = tuple(poses)  # score the raw track
+        ctx.artifacts["poses"] = poses
+        return poses
+
+    def _fallback_events(
+        self, poses: tuple[StickPose, ...], ctx: StageContext
+    ) -> tuple[StickPose, ...]:
+        poses = tuple(poses)
+        n = len(poses)
+        annotation = ctx.artifacts.get("annotation")
+        if annotation is not None:
+            from .analysis.events import foot_clearance
+
+            ground = float(foot_clearance(poses[:1], annotation.dims)[0])
+        else:
+            ground = float(poses[0].y0)
+        ctx.artifacts["events"] = JumpEvents(
+            takeoff_frame=max(1, n // 3),
+            landing_frame=max(1, n - 1),
+            peak_frame=max(1, n // 2),
+            ground_height=ground,
+        )
+        return poses
+
+    def _fallback_scoring(
+        self, poses: tuple[StickPose, ...], ctx: StageContext
+    ) -> tuple[StickPose, ...]:
+        from .scoring.phases import StageWindows
+
+        poses = tuple(poses)
+        events = ctx.artifacts.get("events")
+        takeoff = getattr(events, "takeoff_frame", None)
+        try:
+            windows = StageWindows.for_sequence(
+                len(poses), takeoff_frame=takeoff
+            )
+        except ReproError:  # too-short / inconsistent sequence
+            windows = StageWindows.paper_default()
+        ctx.artifacts["report"] = JumpReport(results=(), windows=windows)
+        return poses
+
+    def _fallback_measurement(
+        self, poses: tuple[StickPose, ...], ctx: StageContext
+    ) -> tuple[StickPose, ...]:
+        poses = tuple(poses)
+        ctx.artifacts["measurement"] = JumpMeasurement(
+            distance=0.0,
+            takeoff_line_x=0.0,
+            landing_heel_x=0.0,
+            landing_frame=max(0, len(poses) - 1),
+            relative_to_stature=0.0,
+        )
+        return poses
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def analyze(
@@ -276,11 +448,13 @@ class JumpAnalyzer:
         outcome = self._runner.run(video, context=context)
 
         artifacts: dict[str, Any] = outcome.context.artifacts
+        tracking: TrackingResult = artifacts["tracking"]
+        diagnostics = self._build_diagnostics(tracking, outcome.trace)
         return JumpAnalysis(
             segmentations=artifacts["segmentations"],
             background=artifacts["background"],
             annotation=artifacts["annotation"],
-            tracking=artifacts["tracking"],
+            tracking=tracking,
             poses=artifacts["poses"],
             events=artifacts["events"],
             report=artifacts["report"],
@@ -288,7 +462,22 @@ class JumpAnalyzer:
             trace=outcome.trace,
             config=config_dict,
             config_hash=resolved_hash,
+            diagnostics=diagnostics,
         )
+
+    @staticmethod
+    def _build_diagnostics(
+        tracking: TrackingResult, trace: RunTrace
+    ) -> dict[str, Any]:
+        """Health summary of one analysis (JSON-ready)."""
+        return {
+            "degraded": tracking.degraded or trace.degraded,
+            "unhealthy_frames": tracking.unhealthy_frames(),
+            "flagged_frames": tracking.flagged_frames(),
+            "health_summary": tracking.health_summary(),
+            "frame_health": [entry.to_dict() for entry in tracking.health],
+            "degraded_stages": list(trace.degraded_stages),
+        }
 
 
 def analyze_video(

@@ -24,11 +24,22 @@ from .instrumentation import (
     SpanEvent,
 )
 from .metrics import MetricsRegistry
+from .policies import (
+    CATCHABLE_ERRORS,
+    FallbackPolicy,
+    RetryPolicy,
+    StagePolicy,
+    falling_back,
+    resolve_catch,
+    retrying,
+)
 from .runner import PipelineRunner, RunOutcome
 from .stage import FunctionStage, Stage, StageContext, stage
 from .trace import RunTrace, StageTiming
 
 __all__ = [
+    "CATCHABLE_ERRORS",
+    "FallbackPolicy",
     "FunctionStage",
     "Instrumentation",
     "LoggingSink",
@@ -36,12 +47,17 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "PipelineRunner",
+    "RetryPolicy",
     "RunOutcome",
     "RunTrace",
     "Sink",
     "SpanEvent",
     "Stage",
     "StageContext",
+    "StagePolicy",
     "StageTiming",
+    "falling_back",
+    "resolve_catch",
+    "retrying",
     "stage",
 ]

@@ -1,0 +1,133 @@
+"""Per-stage retry and fallback policies: degrade, don't die.
+
+A :class:`~repro.runtime.runner.PipelineRunner` normally lets any
+exception from a stage propagate — correct for the paper-faithful
+pipeline, fatal for a production service where a single noisy frame
+would turn into a 500.  This module supplies the two policies a runner
+can attach per stage:
+
+* :class:`RetryPolicy` — run the stage again (up to ``max_attempts``
+  total tries) when it raises one of the named, *catchable* exception
+  types.  Useful against transient faults (and against the seeded
+  ``stage_exception`` injector of :mod:`repro.faults`).
+* :class:`FallbackPolicy` — when the stage still fails, substitute a
+  configured value (or call a substitute function on the stage's input)
+  instead of propagating, and mark the run *degraded* on its
+  :class:`~repro.runtime.trace.RunTrace`.
+
+Exception types are named by string (``"ReproError"``,
+``"TrackingError"``, …) so policies stay JSON-serialisable through the
+typed config layer; :func:`resolve_catch` maps names to classes and
+rejects unknown ones with the full valid vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from .. import errors as _errors
+from ..errors import ConfigurationError
+
+
+def _build_catchable() -> dict[str, type[BaseException]]:
+    table: dict[str, type[BaseException]] = {
+        "Exception": Exception,
+        "ValueError": ValueError,
+        "RuntimeError": RuntimeError,
+        "TimeoutError": TimeoutError,
+        "ArithmeticError": ArithmeticError,
+    }
+    for name in dir(_errors):
+        obj = getattr(_errors, name)
+        if isinstance(obj, type) and issubclass(obj, _errors.ReproError):
+            table[name] = obj
+    return table
+
+
+#: Exception types a policy may name in its ``catch`` tuple.
+CATCHABLE_ERRORS: Mapping[str, type[BaseException]] = _build_catchable()
+
+
+def resolve_catch(names: tuple[str, ...]) -> tuple[type[BaseException], ...]:
+    """Map exception-type names to classes; unknown names are errors."""
+    if not names:
+        raise ConfigurationError("a policy's catch tuple must not be empty")
+    unknown = [name for name in names if name not in CATCHABLE_ERRORS]
+    if unknown:
+        known = ", ".join(sorted(CATCHABLE_ERRORS))
+        raise ConfigurationError(
+            f"unknown catchable exception(s) {unknown}; choose from: {known}"
+        )
+    return tuple(CATCHABLE_ERRORS[name] for name in names)
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Re-run a failing stage up to ``max_attempts`` total attempts."""
+
+    max_attempts: int = 2
+    catch: tuple[str, ...] = ("ReproError",)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("retry max_attempts must be >= 1")
+        resolve_catch(self.catch)  # validate eagerly
+
+    def exceptions(self) -> tuple[type[BaseException], ...]:
+        """The exception classes this policy retries on."""
+        return resolve_catch(self.catch)
+
+
+@dataclass(frozen=True, slots=True)
+class FallbackPolicy:
+    """Substitute a value when a stage fails beyond its retries.
+
+    ``substitute`` is either a plain value or a callable
+    ``(value, context) -> value`` invoked with the failing stage's
+    input; callables may also patch context artifacts downstream
+    stages require.
+    """
+
+    substitute: Any = None
+    catch: tuple[str, ...] = ("ReproError",)
+
+    def __post_init__(self) -> None:
+        resolve_catch(self.catch)  # validate eagerly
+
+    def exceptions(self) -> tuple[type[BaseException], ...]:
+        """The exception classes this policy absorbs."""
+        return resolve_catch(self.catch)
+
+    def produce(self, value: Any, context: Any) -> Any:
+        """The substitute value for a failing stage."""
+        if callable(self.substitute):
+            return self.substitute(value, context)
+        return self.substitute
+
+
+@dataclass(frozen=True, slots=True)
+class StagePolicy:
+    """Retry and/or fallback behaviour of one named stage."""
+
+    retry: RetryPolicy | None = None
+    fallback: FallbackPolicy | None = None
+
+
+#: Convenience alias for the runner's policies argument.
+PolicyMap = Mapping[str, StagePolicy]
+
+
+def retrying(
+    max_attempts: int = 2, catch: tuple[str, ...] = ("ReproError",)
+) -> StagePolicy:
+    """Shorthand: a retry-only stage policy."""
+    return StagePolicy(retry=RetryPolicy(max_attempts, catch))
+
+
+def falling_back(
+    substitute: Any | Callable[[Any, Any], Any],
+    catch: tuple[str, ...] = ("ReproError",),
+) -> StagePolicy:
+    """Shorthand: a fallback-only stage policy."""
+    return StagePolicy(fallback=FallbackPolicy(substitute, catch))

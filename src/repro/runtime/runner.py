@@ -8,15 +8,23 @@ through the stages in order, timing each one, and returns a
 :class:`~repro.runtime.trace.RunTrace`.  Every future caching,
 batching or parallelism PR hooks in here, between stages, without the
 stages noticing.
+
+Stages may carry per-name :class:`~repro.runtime.policies.StagePolicy`
+entries — a retry budget and/or a fallback substitute.  A run whose
+stage completed through a fallback is marked *degraded* on its trace
+instead of raising; without a policy (the default) failures propagate
+exactly as before.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from .instrumentation import Instrumentation
+from .policies import StagePolicy
 from .stage import Stage, StageContext
 from .trace import RunTrace, StageTiming
 from ..errors import ConfigurationError
@@ -34,9 +42,14 @@ class RunOutcome:
 class PipelineRunner:
     """Run a fixed sequence of stages over an input value."""
 
-    __slots__ = ("name", "_stages")
+    __slots__ = ("name", "_stages", "_policies")
 
-    def __init__(self, stages: Sequence[Stage], name: str = "pipeline") -> None:
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        name: str = "pipeline",
+        policies: Mapping[str, StagePolicy] | None = None,
+    ) -> None:
         stages = tuple(stages)
         if not stages:
             raise ConfigurationError("a pipeline needs at least one stage")
@@ -54,8 +67,22 @@ class PipelineRunner:
             raise ConfigurationError(
                 f"stage names must be unique, duplicated: {sorted(duplicates)}"
             )
+        policies = dict(policies or {})
+        unknown = set(policies) - set(names)
+        if unknown:
+            raise ConfigurationError(
+                f"policies reference unknown stage(s) {sorted(unknown)}; "
+                f"stages are: {names}"
+            )
+        for key, policy in policies.items():
+            if not isinstance(policy, StagePolicy):
+                raise ConfigurationError(
+                    f"policy for stage {key!r} must be a StagePolicy, "
+                    f"got {type(policy).__name__}"
+                )
         self.name = name
         self._stages = stages
+        self._policies = policies
 
     @property
     def stages(self) -> tuple[Stage, ...]:
@@ -66,6 +93,62 @@ class PipelineRunner:
     def stage_names(self) -> tuple[str, ...]:
         """Names of the composed stages, in execution order."""
         return tuple(stage.name for stage in self._stages)
+
+    @property
+    def policies(self) -> dict[str, StagePolicy]:
+        """The per-stage policies (a copy; empty when none attached)."""
+        return dict(self._policies)
+
+    def _run_stage(
+        self,
+        stage: Stage,
+        value: Any,
+        context: StageContext,
+        inst: Instrumentation,
+    ) -> tuple[Any, dict[str, str] | None]:
+        """Run one stage under its policy.
+
+        Returns ``(new_value, degradation)`` where ``degradation`` is
+        ``None`` for a clean result and a small record when the value
+        came from a fallback substitute.
+        """
+        policy = self._policies.get(stage.name)
+        retry = policy.retry if policy is not None else None
+        fallback = policy.fallback if policy is not None else None
+        attempts = retry.max_attempts if retry is not None else 1
+        retry_catch = retry.exceptions() if retry is not None else ()
+
+        for attempt in range(1, attempts + 1):
+            try:
+                with inst.span(stage.name):
+                    return stage.run(value, context), None
+            except Exception as exc:
+                if attempt < attempts and isinstance(exc, retry_catch):
+                    inst.count("runtime.retries", 1)
+                    inst.event(
+                        "runtime/retry",
+                        stage=stage.name,
+                        attempt=attempt,
+                        error=type(exc).__name__,
+                    )
+                    continue
+                if fallback is not None and isinstance(
+                    exc, fallback.exceptions()
+                ):
+                    substituted = fallback.produce(value, context)
+                    inst.count("runtime.fallbacks", 1)
+                    inst.event(
+                        "runtime/fallback",
+                        stage=stage.name,
+                        error=type(exc).__name__,
+                    )
+                    return substituted, {
+                        "stage": stage.name,
+                        "error_type": type(exc).__name__,
+                        "error": str(exc),
+                    }
+                raise
+        raise AssertionError("unreachable: retry loop exits via return/raise")
 
     def run(
         self,
@@ -89,19 +172,29 @@ class PipelineRunner:
         inst = context.instrumentation
 
         stage_timings: list[StageTiming] = []
+        degradations: list[dict[str, str]] = []
         run_start = time.perf_counter()
         for stage in self._stages:
             start = time.perf_counter()
-            with inst.span(stage.name):
-                value = stage.run(value, context)
+            value, degradation = self._run_stage(stage, value, context, inst)
+            if degradation is not None:
+                degradations.append(degradation)
             stage_timings.append(
                 StageTiming(stage.name, time.perf_counter() - start)
             )
         total = time.perf_counter() - run_start
 
+        if degradations:
+            context.metadata["degraded_stages"] = degradations
         trace = inst.trace(
             stages=tuple(stage_timings),
             total_seconds=total,
             metadata=context.metadata,
         )
+        if degradations:
+            trace = dataclasses.replace(
+                trace,
+                degraded=True,
+                degraded_stages=tuple(d["stage"] for d in degradations),
+            )
         return RunOutcome(value=value, trace=trace, context=context)

@@ -47,6 +47,11 @@ class RunTrace:
     # seeded by JumpAnalyzer via the StageContext) — serialized with
     # the trace so every report records what produced it.
     metadata: dict[str, Any] = field(default_factory=dict)
+    # True when any stage completed through a fallback policy instead
+    # of its own result; ``degraded_stages`` names them (details — the
+    # swallowed error per stage — live in ``metadata["degraded_stages"]``).
+    degraded: bool = False
+    degraded_stages: tuple[str, ...] = ()
 
     @property
     def stage_names(self) -> tuple[str, ...]:
@@ -119,4 +124,6 @@ class RunTrace:
             ],
             "counters": dict(self.counters),
             "metadata": dict(self.metadata),
+            "degraded": self.degraded,
+            "degraded_stages": list(self.degraded_stages),
         }

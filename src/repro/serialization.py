@@ -164,6 +164,7 @@ def analysis_to_dict(analysis) -> dict[str, Any]:
         },
         "annotation": annotation_to_dict(analysis.annotation),
         "trace": analysis.trace.to_dict(),
+        "diagnostics": dict(analysis.diagnostics),
     }
 
 

@@ -11,7 +11,8 @@ service over the library:
   array>, "annotation": <optional annotation dict>, "seed": <int>}``;
   the response is the serialised analysis (report, advice, poses,
   events, measurement).
-* ``GET /health`` — liveness probe.
+* ``GET /health`` — liveness probe, with in-flight request count and
+  the last analysis error (if any).
 * ``GET /standards`` — the Table 1 standards and Table 2 rules, so a
   client can render explanations.
 * ``GET /config`` — the server's fully-resolved default configuration,
@@ -31,6 +32,17 @@ undecodable video payloads) are answered with HTTP 400 and a
 structured JSON error ``{"error": {"code": ..., "message": ...}}``;
 analysable-but-failing videos map to 422; unexpected faults to 500.
 
+The service is hardened against abuse and overload
+(:class:`ServiceConfig`): bodies over ``max_body_bytes`` are refused
+with 413 before the payload is read; more than ``max_concurrent``
+simultaneous analyses are refused with 503 + ``Retry-After``; an
+analysis that exceeds ``deadline_seconds`` is answered with 504 (its
+worker keeps its concurrency slot until it actually finishes, so
+zombies cannot oversubscribe the host).  Analyses that completed
+through the degradation machinery still return 200, with a top-level
+``"degraded": true`` and a ``"degradation"`` block naming the
+unhealthy frames and fallback stages.
+
 Start a server with :func:`serve` (blocking) or
 :class:`ServiceHandle` (background thread, used by the tests and the
 example).  Helpers :func:`encode_video` / :func:`request_analysis`
@@ -43,6 +55,7 @@ import base64
 import io
 import json
 import threading
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -62,6 +75,60 @@ from .scoring.rules import RULES
 from .scoring.standards import ADVICE, Standard
 from .serialization import analysis_to_dict, annotation_from_dict
 from .video.sequence import VideoSequence
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Abuse/overload limits of the analysis service."""
+
+    # Refuse request bodies larger than this (HTTP 413) before reading.
+    max_body_bytes: int = 64 * 1024 * 1024
+    # Answer 504 when one analysis takes longer than this.
+    deadline_seconds: float = 300.0
+    # Refuse analyses beyond this many in flight (HTTP 503).
+    max_concurrent: int = 4
+    # Advisory Retry-After header on 503 responses.
+    retry_after_seconds: int = 5
+
+    def __post_init__(self) -> None:
+        if self.max_body_bytes < 1:
+            raise ConfigurationError("service max_body_bytes must be >= 1")
+        if self.deadline_seconds <= 0:
+            raise ConfigurationError("service deadline_seconds must be > 0")
+        if self.max_concurrent < 1:
+            raise ConfigurationError("service max_concurrent must be >= 1")
+        if self.retry_after_seconds < 0:
+            raise ConfigurationError(
+                "service retry_after_seconds must be >= 0"
+            )
+
+
+class _ServiceState:
+    """Mutable, lock-guarded liveness info shared by all handlers."""
+
+    __slots__ = ("_lock", "in_flight", "last_error")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.in_flight = 0
+        self.last_error: dict[str, Any] | None = None
+
+    def enter(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+
+    def leave(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+
+    def record_error(self, code: str, message: str) -> None:
+        with self._lock:
+            self.last_error = {"code": code, "message": message}
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            last = dict(self.last_error) if self.last_error else None
+            return {"in_flight": self.in_flight, "last_error": last}
 
 
 def encode_video(video: VideoSequence) -> str:
@@ -106,11 +173,12 @@ def _standards_payload() -> dict[str, Any]:
 
 
 class _BadRequest(Exception):
-    """A client error that maps to HTTP 400 with a structured payload."""
+    """A client error that maps to an HTTP 4xx with a structured payload."""
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str, status: int = 400) -> None:
         super().__init__(message)
         self.code = code
+        self.status = status
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -118,17 +186,34 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "slj/1.0"
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, code: str, message: str) -> None:
+    def _send_error_json(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         """Structured JSON error: ``{"error": {"code", "message"}}``."""
-        self._send_json(status, {"error": {"code": code, "message": message}})
+        self._send_json(
+            status,
+            {"error": {"code": code, "message": message}},
+            headers=headers,
+        )
 
     def _finish(self, status: int) -> None:
         self.server.metrics.count_request(  # type: ignore[attr-defined]
@@ -140,7 +225,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/health":
-            self._send_json(200, {"status": "ok"})
+            state = self.server.state.snapshot()  # type: ignore[attr-defined]
+            service_config = self.server.service_config  # type: ignore[attr-defined]
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "in_flight": state["in_flight"],
+                    "max_concurrent": service_config.max_concurrent,
+                    "last_error": state["last_error"],
+                },
+            )
             self._finish(200)
         elif self.path == "/standards":
             self._send_json(200, _standards_payload())
@@ -165,12 +260,33 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
             self._finish(404)
 
+    def _drain_body(self, length: int, cap: int = 256 * 1024 * 1024) -> None:
+        """Read and discard up to ``min(length, cap)`` body bytes."""
+        remaining = min(length, cap)
+        while remaining > 0:
+            chunk = self.rfile.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+
     def _parse_analyze_request(self) -> dict[str, Any]:
         """Decode and validate the /analyze body; :class:`_BadRequest` on error."""
         try:
             length = int(self.headers.get("Content-Length", "0") or 0)
         except ValueError:
             raise _BadRequest("bad_content_length", "invalid Content-Length header")
+        limit = self.server.service_config.max_body_bytes  # type: ignore[attr-defined]
+        if length > limit:
+            # Refuse without buffering: the body is drained in fixed
+            # chunks and discarded (never held in memory), so the
+            # client can finish writing and read the 413 instead of
+            # hitting a broken pipe.
+            self._drain_body(length)
+            raise _BadRequest(
+                "body_too_large",
+                f"request body is {length} bytes; the limit is {limit}",
+                status=413,
+            )
         try:
             request = json.loads(self.rfile.read(length) or b"{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -251,8 +367,24 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             request = self._parse_analyze_request()
         except _BadRequest as exc:
-            self._send_error_json(400, exc.code, str(exc))
-            self._finish(400)
+            self._send_error_json(exc.status, exc.code, str(exc))
+            self._finish(exc.status)
+            return
+
+        service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
+        state: _ServiceState = self.server.state  # type: ignore[attr-defined]
+        gate: threading.BoundedSemaphore = self.server.gate  # type: ignore[attr-defined]
+        if not gate.acquire(blocking=False):
+            self._send_error_json(
+                503,
+                "overloaded",
+                f"{service_config.max_concurrent} analyses already in "
+                "flight; retry later",
+                headers={
+                    "Retry-After": str(service_config.retry_after_seconds)
+                },
+            )
+            self._finish(503)
             return
 
         instrumentation = Instrumentation()
@@ -260,25 +392,71 @@ class _Handler(BaseHTTPRequestHandler):
             analyzer = JumpAnalyzer(request["config"])
         else:
             analyzer = self.server.analyzer  # type: ignore[attr-defined]
-        try:
-            analysis = analyzer.analyze(
-                request["video"],
-                annotation=request["annotation"],
-                rng=np.random.default_rng(request["seed"]),
-                instrumentation=instrumentation,
+
+        # Run the analysis on a worker so the handler can enforce the
+        # deadline.  The worker owns the concurrency slot: on timeout
+        # the zombie analysis keeps it until it actually finishes, so
+        # the gate keeps bounding real load.
+        result: dict[str, Any] = {}
+        state.enter()
+
+        def work() -> None:
+            try:
+                result["analysis"] = analyzer.analyze(
+                    request["video"],
+                    annotation=request["annotation"],
+                    rng=np.random.default_rng(request["seed"]),
+                    instrumentation=instrumentation,
+                )
+            except BaseException as exc:  # delivered to the handler
+                result["error"] = exc
+            finally:
+                state.leave()
+                gate.release()
+
+        worker = threading.Thread(target=work, daemon=True)
+        worker.start()
+        worker.join(timeout=service_config.deadline_seconds)
+
+        if worker.is_alive():
+            message = (
+                "analysis exceeded the "
+                f"{service_config.deadline_seconds:g}s deadline"
             )
-        except ReproError as exc:
-            self._send_error_json(422, "analysis_failed", str(exc))
+            state.record_error("deadline_exceeded", message)
+            self._send_error_json(504, "deadline_exceeded", message)
+            self._finish(504)
+            return
+        error = result.get("error")
+        if isinstance(error, ReproError):
+            state.record_error("analysis_failed", str(error))
+            self._send_error_json(422, "analysis_failed", str(error))
             self._finish(422)
             return
-        except Exception as exc:  # never leave the client hanging
-            self._send_error_json(500, "internal_error", str(exc))
+        if error is not None:  # never leave the client hanging
+            state.record_error("internal_error", str(error))
+            self._send_error_json(500, "internal_error", str(error))
             self._finish(500)
             return
+
+        analysis = result["analysis"]
         self.server.metrics.observe_trace(  # type: ignore[attr-defined]
             analysis.trace
         )
-        self._send_json(200, analysis_to_dict(analysis))
+        payload = analysis_to_dict(analysis)
+        payload["degraded"] = analysis.degraded
+        if analysis.degraded:
+            diagnostics = analysis.diagnostics
+            payload["degradation"] = {
+                "unhealthy_frames": list(
+                    diagnostics.get("unhealthy_frames", [])
+                ),
+                "flagged_frames": list(diagnostics.get("flagged_frames", [])),
+                "degraded_stages": list(
+                    diagnostics.get("degraded_stages", [])
+                ),
+            }
+        self._send_json(200, payload)
         self._finish(200)
 
 
@@ -290,10 +468,17 @@ class ServiceHandle:
         host: str = "127.0.0.1",
         port: int = 0,
         config: AnalyzerConfig | None = None,
+        service_config: ServiceConfig | None = None,
     ) -> None:
+        service_config = service_config or ServiceConfig()
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.analyzer = JumpAnalyzer(config)  # type: ignore[attr-defined]
         self._server.metrics = MetricsRegistry()  # type: ignore[attr-defined]
+        self._server.service_config = service_config  # type: ignore[attr-defined]
+        self._server.state = _ServiceState()  # type: ignore[attr-defined]
+        self._server.gate = threading.BoundedSemaphore(  # type: ignore[attr-defined]
+            service_config.max_concurrent
+        )
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
         )
@@ -331,9 +516,12 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8765,
     config: AnalyzerConfig | None = None,
+    service_config: ServiceConfig | None = None,
 ) -> None:
     """Run the analysis service in the foreground (Ctrl-C to stop)."""
-    handle = ServiceHandle(host=host, port=port, config=config)
+    handle = ServiceHandle(
+        host=host, port=port, config=config, service_config=service_config
+    )
     print(f"standing-long-jump analysis service on {handle.address}")
     handle._server.serve_forever()
 

@@ -1,0 +1,66 @@
+"""Tests for top-level CLI error handling: one line, exit code 2."""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.errors import TrackingError, VideoError
+
+
+class TestAnalyzeErrors:
+    def test_bad_video_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "video.npz"
+        np.savez(bad, not_frames=np.zeros(3))
+        rc = cli.main(["analyze", str(bad), "--annotation", "auto", "--fast"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error[VideoError]:")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_message_names_the_problem(self, tmp_path, capsys):
+        bad = tmp_path / "video.npz"
+        np.savez(bad, not_frames=np.zeros(3))
+        rc = cli.main(["analyze", str(bad), "--annotation", "auto", "--fast"])
+        assert rc == 2
+        assert "'frames'" in capsys.readouterr().err
+
+
+class TestDemoErrors:
+    def test_analysis_failure_exits_2(self, monkeypatch, capsys):
+        class _ExplodingAnalyzer:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def analyze(self, *args, **kwargs):
+                raise TrackingError("lost the jumper")
+
+        monkeypatch.setattr(cli, "JumpAnalyzer", _ExplodingAnalyzer)
+        rc = cli.main(["demo", "--fast"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error[TrackingError]: lost the jumper")
+
+
+class TestErrorFormat:
+    @pytest.mark.parametrize("exc", [VideoError("v"), TrackingError("t")])
+    def test_subclass_name_is_reported(self, monkeypatch, capsys, exc):
+        monkeypatch.setattr(
+            cli,
+            "build_parser",
+            lambda: _StaticParser(lambda args: (_ for _ in ()).throw(exc)),
+        )
+        rc = cli.main([])
+        assert rc == 2
+        assert f"error[{type(exc).__name__}]: " in capsys.readouterr().err
+
+
+class _StaticParser:
+    """Parser stub whose parsed args always dispatch to ``func``."""
+
+    def __init__(self, func):
+        self._func = func
+
+    def parse_args(self, argv):
+        import argparse
+
+        return argparse.Namespace(func=self._func)

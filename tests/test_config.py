@@ -132,8 +132,25 @@ class TestPresets:
     def test_known_names(self):
         assert set(preset_names()) >= {"paper", "fast", "accurate"}
 
-    def test_paper_is_defaults(self):
-        assert get_preset("paper") == AnalyzerConfig()
+    def test_paper_is_strict(self):
+        paper = get_preset("paper")
+        assert paper.robustness.enabled is False
+        assert paper.tracker.recovery.enabled is False
+
+    def test_paper_matches_defaults_outside_robustness(self):
+        from dataclasses import replace
+
+        from repro.ga.temporal import RecoveryConfig
+        from repro.pipeline import RobustnessConfig
+
+        paper = get_preset("paper")
+        default = AnalyzerConfig()
+        relaxed = replace(
+            paper,
+            robustness=RobustnessConfig(),
+            tracker=replace(paper.tracker, recovery=RecoveryConfig()),
+        )
+        assert relaxed == default
 
     def test_fast_reduces_budget(self):
         fast = get_preset("fast")

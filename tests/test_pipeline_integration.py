@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import SegmentationError
+from repro.errors import SegmentationError, VideoError
 from repro.ga.engine import GAConfig
 from repro.ga.temporal import TrackerConfig
 from repro.model.annotation import simulate_human_annotation
@@ -119,6 +119,14 @@ class TestFlawDetectionEndToEnd:
 
 
 class TestErrorPaths:
+    def test_zero_frame_video_raises_video_error(self):
+        with pytest.raises(VideoError, match="zero-frame"):
+            _fast_analyzer().analyze([])
+
+    def test_zero_frame_array_rejected_at_construction(self):
+        with pytest.raises(VideoError, match="at least one frame"):
+            VideoSequence(np.zeros((0, 4, 4, 3)))
+
     def test_empty_first_frame_rejected(self, jump):
         # a video of pure background: nothing to segment in frame 0
         background = jump.background

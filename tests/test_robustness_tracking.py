@@ -1,0 +1,169 @@
+"""Tests for the tracker's per-frame recovery ladder and FrameHealth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrackingError
+from repro.ga.engine import GAConfig
+from repro.ga.temporal import (
+    FRAME_STATUSES,
+    FrameHealth,
+    RecoveryConfig,
+    TemporalPoseTracker,
+    TrackerConfig,
+    TrackingResult,
+)
+from repro.model.annotation import simulate_human_annotation
+from repro.model.fitness import FitnessConfig
+
+
+def _fast_config(**overrides):
+    defaults = dict(
+        ga=GAConfig(population_size=30, max_generations=10, patience=5),
+        fitness=FitnessConfig(max_points=500),
+    )
+    defaults.update(overrides)
+    return TrackerConfig(**defaults)
+
+
+def _annotation(jump):
+    return simulate_human_annotation(
+        jump.motion.poses[0],
+        jump.dims,
+        mask=jump.person_masks[0],
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestRecoveryConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_extrapolated": -1},
+            {"reanchor_after": 0},
+            {"collapse_factor": 1.0},
+            {"min_silhouette_pixels": 0},
+            {"min_area_fraction": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RecoveryConfig(**kwargs)
+
+    def test_defaults_enabled(self):
+        assert TrackerConfig().recovery.enabled
+
+
+class TestFrameHealth:
+    def test_healthy_statuses(self):
+        assert FrameHealth(0, "tracked").healthy
+        assert FrameHealth(1, "reanchored").healthy
+        assert not FrameHealth(2, "extrapolated").healthy
+        assert not FrameHealth(3, "failed").healthy
+
+    def test_to_dict(self):
+        entry = FrameHealth(4, "extrapolated", "empty", "extrapolate")
+        assert entry.to_dict() == {
+            "frame": 4,
+            "status": "extrapolated",
+            "reason": "empty",
+            "recovery": "extrapolate",
+            "fitness": None,
+        }
+
+    def test_summary_counts_every_status(self):
+        result = TrackingResult(
+            poses=(),
+            records=(),
+            health=(
+                FrameHealth(0, "tracked"),
+                FrameHealth(1, "extrapolated"),
+                FrameHealth(2, "failed"),
+            ),
+        )
+        summary = result.health_summary()
+        assert set(summary) == set(FRAME_STATUSES)
+        assert summary["tracked"] == 1
+        assert summary["reanchored"] == 0
+        assert result.degraded
+        assert result.unhealthy_frames() == [1, 2]
+
+
+class TestRecoveryLadder:
+    def test_empty_frame_bridged(self, short_jump):
+        silhouettes = list(short_jump.person_masks)
+        middle = len(silhouettes) // 2
+        silhouettes[middle] = np.zeros_like(silhouettes[middle])
+        annotation = _annotation(short_jump)
+        tracker = TemporalPoseTracker(annotation.dims, _fast_config())
+        result = tracker.track(
+            silhouettes, annotation.pose, rng=np.random.default_rng(1)
+        )
+        assert len(result.poses) == len(silhouettes)
+        assert len(result.health) == len(silhouettes)
+        assert result.degraded
+        assert result.unhealthy_frames() == [middle]
+        entry = result.health[middle]
+        assert entry.status == "extrapolated"
+        assert entry.recovery in ("extrapolate", "carry_forward")
+        assert "too small" in entry.reason
+
+    def test_strict_mode_still_raises(self, short_jump):
+        silhouettes = list(short_jump.person_masks)
+        silhouettes[4] = np.zeros_like(silhouettes[4])
+        annotation = _annotation(short_jump)
+        config = _fast_config(recovery=RecoveryConfig(enabled=False))
+        tracker = TemporalPoseTracker(annotation.dims, config)
+        with pytest.raises(TrackingError):
+            tracker.track(
+                silhouettes, annotation.pose, rng=np.random.default_rng(1)
+            )
+
+    def test_long_outage_fails_then_reanchors(self, short_jump):
+        silhouettes = list(short_jump.person_masks)
+        outage = [3, 4, 5, 6]  # longer than max_extrapolated=3
+        for index in outage:
+            silhouettes[index] = np.zeros_like(silhouettes[index])
+        annotation = _annotation(short_jump)
+        tracker = TemporalPoseTracker(annotation.dims, _fast_config())
+        result = tracker.track(
+            silhouettes, annotation.pose, rng=np.random.default_rng(1)
+        )
+        statuses = {index: result.health[index].status for index in outage}
+        assert statuses[6] == "failed"
+        assert all(
+            statuses[i] in ("extrapolated", "failed") for i in outage
+        )
+        # First usable frame after >= reanchor_after losses re-anchors.
+        assert result.health[7].status == "reanchored"
+        assert result.health[7].recovery == "auto_annotate"
+        assert result.health_summary()["failed"] >= 1
+
+    def test_clean_track_all_healthy(self, short_jump):
+        annotation = _annotation(short_jump)
+        tracker = TemporalPoseTracker(annotation.dims, _fast_config())
+        result = tracker.track(
+            list(short_jump.person_masks),
+            annotation.pose,
+            rng=np.random.default_rng(1),
+        )
+        assert not result.degraded
+        assert result.unhealthy_frames() == []
+        assert all(entry.healthy for entry in result.health)
+        assert result.health[0].reason == "annotated first frame"
+
+    def test_recovery_counters(self, short_jump):
+        from repro.runtime import Instrumentation
+
+        silhouettes = list(short_jump.person_masks)
+        silhouettes[5] = np.zeros_like(silhouettes[5])
+        annotation = _annotation(short_jump)
+        instrumentation = Instrumentation()
+        tracker = TemporalPoseTracker(
+            annotation.dims, _fast_config(), instrumentation=instrumentation
+        )
+        tracker.track(
+            silhouettes, annotation.pose, rng=np.random.default_rng(1)
+        )
+        assert instrumentation.counter("tracking.recovered_frames") == 1
+        assert instrumentation.counter("tracking.frames") == len(silhouettes) - 1

@@ -1,0 +1,183 @@
+"""Tests for per-stage retry/fallback policies on the pipeline runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError, TrackingError
+from repro.runtime import (
+    CATCHABLE_ERRORS,
+    FallbackPolicy,
+    FunctionStage,
+    Instrumentation,
+    MemorySink,
+    PipelineRunner,
+    RetryPolicy,
+    StagePolicy,
+    falling_back,
+    resolve_catch,
+    retrying,
+)
+
+
+class _FlakyStage:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, name="flaky", failures=1, exc=TrackingError("boom")):
+        self.name = name
+        self.calls = 0
+        self._failures = failures
+        self._exc = exc
+
+    def run(self, value, context):
+        self.calls += 1
+        if self.calls <= self._failures:
+            raise self._exc
+        return value + 1
+
+
+class TestResolveCatch:
+    def test_known_names(self):
+        exceptions = resolve_catch(("ReproError", "ValueError"))
+        assert ReproError in exceptions and ValueError in exceptions
+
+    def test_repro_hierarchy_in_vocabulary(self):
+        assert "TrackingError" in CATCHABLE_ERRORS
+        assert "SegmentationError" in CATCHABLE_ERRORS
+
+    def test_unknown_name_lists_vocabulary(self):
+        with pytest.raises(ConfigurationError, match="ReproError"):
+            resolve_catch(("NoSuchError",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_catch(())
+
+
+class TestPolicyValidation:
+    def test_retry_needs_positive_attempts(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+
+    def test_retry_bad_catch_eagerly_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=2, catch=("Bogus",))
+
+    def test_fallback_bad_catch_eagerly_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FallbackPolicy(substitute=None, catch=("Bogus",))
+
+    def test_shorthands(self):
+        assert retrying(3).retry.max_attempts == 3
+        assert falling_back(42).fallback.produce(None, None) == 42
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown stage"):
+            PipelineRunner(
+                [FunctionStage("a", lambda v, c: v)],
+                policies={"b": retrying(2)},
+            )
+
+    def test_non_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="StagePolicy"):
+            PipelineRunner(
+                [FunctionStage("a", lambda v, c: v)],
+                policies={"a": "not a policy"},
+            )
+
+
+class TestRetry:
+    def test_retry_recovers(self):
+        stage = _FlakyStage(failures=1)
+        runner = PipelineRunner([stage], policies={"flaky": retrying(2)})
+        outcome = runner.run(0)
+        assert outcome.value == 1
+        assert stage.calls == 2
+        assert outcome.trace.degraded is False
+        assert outcome.trace.counter("runtime.retries") == 1
+
+    def test_retry_exhausted_raises(self):
+        stage = _FlakyStage(failures=5)
+        runner = PipelineRunner([stage], policies={"flaky": retrying(3)})
+        with pytest.raises(TrackingError):
+            runner.run(0)
+        assert stage.calls == 3
+
+    def test_retry_ignores_uncaught_types(self):
+        stage = _FlakyStage(failures=1, exc=KeyError("nope"))
+        runner = PipelineRunner(
+            [stage], policies={"flaky": retrying(3, catch=("ReproError",))}
+        )
+        with pytest.raises(KeyError):
+            runner.run(0)
+        assert stage.calls == 1
+
+    def test_retry_event_recorded(self):
+        sink = MemorySink()
+        stage = _FlakyStage(failures=1)
+        runner = PipelineRunner([stage], policies={"flaky": retrying(2)})
+        runner.run(0, instrumentation=Instrumentation(sink=sink))
+        events = [e for e in sink.events if e.name == "runtime/retry"]
+        assert len(events) == 1
+        assert events[0].field_dict()["stage"] == "flaky"
+        assert events[0].field_dict()["error"] == "TrackingError"
+
+
+class TestFallback:
+    def test_fallback_substitutes_and_degrades(self):
+        stage = _FlakyStage(failures=99)
+        runner = PipelineRunner(
+            [stage], policies={"flaky": falling_back(-7)}
+        )
+        outcome = runner.run(0)
+        assert outcome.value == -7
+        assert outcome.trace.degraded is True
+        assert outcome.trace.degraded_stages == ("flaky",)
+        assert outcome.trace.counter("runtime.fallbacks") == 1
+
+    def test_fallback_callable_sees_value_and_context(self):
+        stage = _FlakyStage(failures=99)
+        policy = StagePolicy(
+            fallback=FallbackPolicy(substitute=lambda value, ctx: value * 10)
+        )
+        runner = PipelineRunner([stage], policies={"flaky": policy})
+        assert runner.run(3).value == 30
+
+    def test_retry_then_fallback(self):
+        stage = _FlakyStage(failures=99)
+        policy = StagePolicy(
+            retry=RetryPolicy(max_attempts=2),
+            fallback=FallbackPolicy(substitute=0),
+        )
+        runner = PipelineRunner([stage], policies={"flaky": policy})
+        outcome = runner.run(5)
+        assert stage.calls == 2
+        assert outcome.value == 0
+        assert outcome.trace.degraded
+
+    def test_fallback_ignores_uncaught_types(self):
+        stage = _FlakyStage(failures=99, exc=KeyError("nope"))
+        runner = PipelineRunner(
+            [stage], policies={"flaky": falling_back(0)}
+        )
+        with pytest.raises(KeyError):
+            runner.run(0)
+
+    def test_degradation_details_in_metadata(self):
+        stage = _FlakyStage(failures=99)
+        runner = PipelineRunner([stage], policies={"flaky": falling_back(0)})
+        outcome = runner.run(0)
+        (record,) = outcome.context.metadata["degraded_stages"]
+        assert record["stage"] == "flaky"
+        assert record["error_type"] == "TrackingError"
+
+    def test_trace_to_dict_carries_degradation(self):
+        stage = _FlakyStage(failures=99)
+        runner = PipelineRunner([stage], policies={"flaky": falling_back(0)})
+        data = runner.run(0).trace.to_dict()
+        assert data["degraded"] is True
+        assert data["degraded_stages"] == ["flaky"]
+
+    def test_without_policies_failures_propagate(self):
+        stage = _FlakyStage(failures=1)
+        runner = PipelineRunner([stage])
+        with pytest.raises(TrackingError):
+            runner.run(0)

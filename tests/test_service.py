@@ -65,7 +65,11 @@ class TestCodec:
 class TestEndpoints:
     def test_health(self, service):
         status, payload = _get(f"{service.address}/health")
-        assert status == 200 and payload == {"status": "ok"}
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["in_flight"] == 0
+        assert payload["max_concurrent"] >= 1
+        assert payload["last_error"] is None
 
     def test_standards(self, service):
         status, payload = _get(f"{service.address}/standards")

@@ -24,11 +24,18 @@ def _result_with_fitness(values):
 
 
 class TestConfidence:
-    def test_uniform_fitness_high_confidence(self):
+    def test_uniform_fitness_neutral_confidence(self):
+        # Degenerate spread (MAD ~ 0): every frame gets the neutral 0.5
+        # instead of a divide-by-zero artefact, and nothing is flagged.
         result = _result_with_fitness([0.3] * 10)
         confidence = result.confidence_track()
-        assert (confidence > 0.5).all()
+        assert (confidence == 0.5).all()
         assert result.flagged_frames() == []
+
+    def test_near_degenerate_spread_is_neutral(self):
+        values = [0.3 + 1e-12 * i for i in range(8)]
+        confidence = _result_with_fitness(values).confidence_track()
+        assert (confidence == 0.5).all()
 
     def test_outlier_flagged(self):
         values = [0.30, 0.31, 0.29, 0.30, 0.95, 0.30, 0.31, 0.30]
@@ -49,3 +56,34 @@ class TestConfidence:
         result = TrackingResult(poses=(StickPose.standing(0, 0),), records=())
         assert result.confidence_track().size == 0
         assert result.flagged_frames() == []
+
+
+class TestFlaggingThresholds:
+    VALUES = [0.30, 0.31, 0.29, 0.30, 0.95, 0.30, 0.31, 0.30]
+
+    def test_zero_threshold_flags_nothing(self):
+        result = _result_with_fitness(self.VALUES)
+        assert result.flagged_frames(confidence_threshold=0.0) == []
+
+    def test_threshold_above_one_flags_everything(self):
+        result = _result_with_fitness(self.VALUES)
+        flagged = result.flagged_frames(confidence_threshold=1.01)
+        assert flagged == list(range(1, len(self.VALUES) + 1))
+
+    def test_threshold_is_monotonic(self):
+        # A larger threshold can only flag a superset of frames.
+        result = _result_with_fitness(self.VALUES)
+        previous: set[int] = set()
+        for threshold in (0.1, 0.25, 0.5, 0.9):
+            flagged = set(result.flagged_frames(confidence_threshold=threshold))
+            assert previous <= flagged
+            previous = flagged
+
+    def test_flag_indices_follow_record_frames(self):
+        # flagged_frames reports TrackingResult frame indices, which
+        # are offset by one from positions in the fitness track.
+        result = _result_with_fitness(self.VALUES)
+        confidence = result.confidence_track()
+        flagged = result.flagged_frames(confidence_threshold=0.25)
+        for frame in flagged:
+            assert confidence[frame - 1] < 0.25
