@@ -162,6 +162,9 @@ def run_chaos(
     :func:`repro.pipeline.analyze_video`; ``plan`` defaults to
     :func:`default_fault_grid`.  Analyses that raise are recorded as
     non-survivals, never propagated — chaos reports, it does not crash.
+    Errors while *setting up* a fault (an invalid plan, e.g. a frame
+    index out of range) propagate instead: a harness misconfiguration
+    is not a pipeline non-survival.
     """
     from ..pipeline import JumpAnalyzer
 
@@ -171,10 +174,13 @@ def run_chaos(
     outcomes: list[FaultOutcome] = []
     for spec in plan:
         single = FaultPlan((spec,))
+        # Fault setup runs outside the survival try-block: a bad plan
+        # (frame out of range, unknown stage) is a harness error and
+        # must raise, not score against the pipeline's survival rate.
+        faulted_video = inject_video_faults(video, single)
+        analyzer = apply_stage_faults(JumpAnalyzer(config), single)
         start = time.perf_counter()
         try:
-            faulted_video = inject_video_faults(video, single)
-            analyzer = apply_stage_faults(JumpAnalyzer(config), single)
             analysis = analyzer.analyze(
                 faulted_video,
                 annotation=annotation,

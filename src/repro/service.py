@@ -175,10 +175,17 @@ def _standards_payload() -> dict[str, Any]:
 class _BadRequest(Exception):
     """A client error that maps to an HTTP 4xx with a structured payload."""
 
-    def __init__(self, code: str, message: str, status: int = 400) -> None:
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        status: int = 400,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.status = status
+        self.headers = headers
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -282,10 +289,14 @@ class _Handler(BaseHTTPRequestHandler):
             # client can finish writing and read the 413 instead of
             # hitting a broken pipe.
             self._drain_body(length)
+            # Draining is capped, so part of the body may still sit on
+            # the socket: close the connection so request framing stays
+            # correct even if keep-alive is ever enabled.
             raise _BadRequest(
                 "body_too_large",
                 f"request body is {length} bytes; the limit is {limit}",
                 status=413,
+                headers={"Connection": "close"},
             )
         try:
             request = json.loads(self.rfile.read(length) or b"{}")
@@ -319,11 +330,23 @@ class _Handler(BaseHTTPRequestHandler):
         except (TypeError, ValueError) as exc:
             raise _BadRequest("bad_seed", f"seed must be an integer: {exc}")
         config = self._parse_config_block(request)
+        # Build the analyzer here, before any concurrency slot is
+        # taken: JumpAnalyzer performs validation beyond
+        # AnalyzerConfig.from_dict (e.g. robustness stage names), and a
+        # failure must be a structured 400, never a leaked gate slot.
+        try:
+            analyzer = (
+                JumpAnalyzer(config)
+                if config is not None
+                else self.server.analyzer  # type: ignore[attr-defined]
+            )
+        except ConfigurationError as exc:
+            raise _BadRequest("bad_config", str(exc))
         return {
             "video": video,
             "annotation": annotation,
             "seed": seed,
-            "config": config,
+            "analyzer": analyzer,
         }
 
     def _parse_config_block(
@@ -367,7 +390,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             request = self._parse_analyze_request()
         except _BadRequest as exc:
-            self._send_error_json(exc.status, exc.code, str(exc))
+            self._send_error_json(
+                exc.status, exc.code, str(exc), headers=exc.headers
+            )
             self._finish(exc.status)
             return
 
@@ -388,10 +413,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
 
         instrumentation = Instrumentation()
-        if request["config"] is not None:
-            analyzer = JumpAnalyzer(request["config"])
-        else:
-            analyzer = self.server.analyzer  # type: ignore[attr-defined]
+        analyzer = request["analyzer"]
 
         # Run the analysis on a worker so the handler can enforce the
         # deadline.  The worker owns the concurrency slot: on timeout

@@ -219,6 +219,16 @@ class TestRunChaos:
             ),
         )
 
+    def test_bad_plan_raises_instead_of_scoring_survival(self, short_jump):
+        """A harness misconfiguration (fault frame out of range) must
+        propagate, not be recorded as a pipeline non-survival that
+        silently drags down the chaos gate's survival rate."""
+        plan = FaultPlan((FaultSpec(kind="blank_silhouette", frame=10_000),))
+        with pytest.raises(ConfigurationError, match="frame 10000"):
+            run_chaos(
+                short_jump.video, config=_fast_analyzer_config(), plan=plan
+            )
+
     def test_failures_are_recorded_not_raised(self, short_jump):
         annotation = simulate_human_annotation(
             short_jump.motion.poses[0],

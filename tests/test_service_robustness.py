@@ -82,11 +82,13 @@ class TestBodyLimit:
             service_config=ServiceConfig(max_body_bytes=512)
         ).start()
         try:
-            status, payload, _ = _post_raw(
+            status, payload, headers = _post_raw(
                 f"{handle.address}/analyze", _analyze_body(short_jump.video)
             )
             assert status == 413
             assert payload["error"]["code"] == "body_too_large"
+            # Draining is capped, so the connection must not be reused.
+            assert headers["Connection"] == "close"
         finally:
             handle.stop()
 
@@ -102,6 +104,37 @@ class TestBodyLimit:
 
 
 class TestConcurrencyGate:
+    def test_analyzer_construction_error_is_400_not_a_leaked_slot(
+        self, short_jump
+    ):
+        """A config that survives parsing but fails JumpAnalyzer
+        construction (robustness stage names are validated there) must
+        answer a structured 400 without consuming a concurrency slot —
+        repeat offenders must not wedge the gate into permanent 503s.
+        """
+        handle = ServiceHandle(
+            service_config=ServiceConfig(max_concurrent=1)
+        ).start()
+        try:
+            body = json.dumps(
+                {
+                    "video_npz_b64": encode_video(short_jump.video),
+                    "config": {"robustness": {"retry_stages": ["bogus"]}},
+                }
+            ).encode("utf-8")
+            for _ in range(3):  # would exhaust a leaked single-slot gate
+                status, payload, _ = _post_raw(
+                    f"{handle.address}/analyze", body
+                )
+                assert status == 400
+                assert payload["error"]["code"] == "bad_config"
+                assert "bogus" in payload["error"]["message"]
+            # The slot was never taken: the gate still admits a request.
+            assert handle._server.gate.acquire(blocking=False)
+            handle._server.gate.release()
+        finally:
+            handle.stop()
+
     def test_busy_service_is_503_with_retry_after(self, short_jump):
         handle = ServiceHandle(
             service_config=ServiceConfig(
