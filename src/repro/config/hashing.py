@@ -21,11 +21,27 @@ from .schema import config_to_dict
 #: practice while staying readable in logs and filenames.
 HASH_LENGTH = 16
 
+#: Top-level keys that describe *how* the pipeline executes, not *what*
+#: it computes.  The `parallel` block (see repro.perf) cannot change a
+#: numeric result — tests/test_perf_parity.py proves byte-identical
+#: analyses across backends — so two runs differing only in it must
+#: compare as "same parameters".
+EXECUTION_ONLY_KEYS = ("parallel",)
+
 
 def config_hash(config: Any) -> str:
-    """Stable hash of a config dataclass or its dict form."""
+    """Stable hash of a config dataclass or its dict form.
+
+    Execution-only blocks (:data:`EXECUTION_ONLY_KEYS`) are excluded:
+    the hash identifies the *science* of a run, and a serial rerun of a
+    threaded analysis must reproduce its report hash-for-hash.
+    """
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
         config = config_to_dict(config)
+    if isinstance(config, dict) and any(k in config for k in EXECUTION_ONLY_KEYS):
+        config = {
+            k: v for k, v in config.items() if k not in EXECUTION_ONLY_KEYS
+        }
     canonical = json.dumps(
         config, sort_keys=True, separators=(",", ":"), allow_nan=False
     )

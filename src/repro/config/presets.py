@@ -48,13 +48,18 @@ def _fast() -> "AnalyzerConfig":
     from ..ga.engine import GAConfig
     from ..ga.temporal import TrackerConfig
     from ..model.fitness import FitnessConfig
+    from ..perf.executors import ParallelConfig
     from ..pipeline import AnalyzerConfig
 
     return AnalyzerConfig(
         tracker=TrackerConfig(
             ga=GAConfig(population_size=30, max_generations=10, patience=5),
             fitness=FitnessConfig(max_points=600),
-        )
+        ),
+        # Threaded frame fan-out: numerically identical to serial (the
+        # backend is excluded from the config hash), just quicker on
+        # multi-core hosts.  `paper` deliberately stays serial/float64.
+        parallel=ParallelConfig(backend="threads", workers=4),
     )
 
 

@@ -26,6 +26,13 @@ from ..runtime import Instrumentation
 FitnessFn = Callable[[np.ndarray], np.ndarray]
 ValidityFn = Callable[[np.ndarray], np.ndarray]
 
+#: Draw ranking parents via a precomputed cdf + ``searchsorted`` instead
+#: of ``rng.choice(p=...)``, which rebuilds the cdf on every call.  The
+#: inline draw consumes the identical RNG stream and returns the
+#: identical index (asserted in tests/test_perf_parity.py).  Flipped off
+#: only by ``repro.perf.compat.legacy_hot_paths``.
+_INLINE_SELECTION = True
+
 
 @dataclass(frozen=True, slots=True)
 class GAConfig:
@@ -42,6 +49,14 @@ class GAConfig:
     patience: int | None = 15  # stop after this many stale generations
     target_fitness: float | None = None
     offspring_attempts: int = 10  # retries to produce a valid child
+    # Carry known fitness values across generations (elites survive
+    # unchanged; exhausted-retry fallbacks are parent copies) and score
+    # only fresh offspring.  Requires the fitness of a chromosome to be
+    # independent of the rest of the batch — true of every fitness in
+    # this repo (Eq. 3 is a per-chromosome sum over silhouette points).
+    # The search trajectory is identical either way; only the number of
+    # `fitness_fn` rows changes.
+    incremental: bool = True
     operators: OperatorConfig = field(default_factory=OperatorConfig)
     # "ranking" (default): linear rank-proportional parent choice —
     # "the fittest ... have a higher probability to be picked".
@@ -156,6 +171,10 @@ class GeneticAlgorithm:
 
         stale = 0
         ranks_weights = self._ranking_weights(cfg.population_size)
+        # Normalised cdf, built once per run — `rng.choice` recomputes
+        # exactly this on every draw.
+        ranks_cdf = ranks_weights.cumsum()
+        ranks_cdf /= ranks_cdf[-1]
 
         for generation in range(1, cfg.max_generations + 1):
             if cfg.target_fitness is not None and result.best_fitness <= cfg.target_fitness:
@@ -168,21 +187,42 @@ class GeneticAlgorithm:
             fitness = fitness[order]
 
             next_population = [population[i].copy() for i in range(cfg.elite_count)]
+            # Fitness already known for row i, or None for fresh offspring.
+            carried: list[float | None] = [
+                float(fitness[i]) for i in range(cfg.elite_count)
+            ]
 
             while len(next_population) < cfg.population_size:
-                pa, pb = self._pick_parents(rng, ranks_weights)
+                pa, pb = self._pick_parents(rng, ranks_weights, ranks_cdf)
                 child = self._make_child(
                     population[pa], population[pb], validity_fn, rng
                 )
                 if child is None:
                     rejected += 1
                     # Fall back to the better parent, kept as-is.
-                    child = population[min(pa, pb)].copy()
+                    keep = min(pa, pb)
+                    child = population[keep].copy()
+                    carried.append(float(fitness[keep]))
+                else:
+                    carried.append(None)
                 next_population.append(child)
 
             population = np.vstack(next_population)
-            fitness = np.asarray(fitness_fn(population), dtype=np.float64)
-            evaluations += population.shape[0]
+            if cfg.incremental:
+                fresh = [i for i, known in enumerate(carried) if known is None]
+                scored = np.empty(cfg.population_size, dtype=np.float64)
+                for i, known in enumerate(carried):
+                    if known is not None:
+                        scored[i] = known
+                if fresh:
+                    scored[fresh] = np.asarray(
+                        fitness_fn(population[fresh]), dtype=np.float64
+                    ).reshape(-1)
+                fitness = scored
+                evaluations += len(fresh)
+            else:
+                fitness = np.asarray(fitness_fn(population), dtype=np.float64)
+                evaluations += population.shape[0]
 
             gen_best = float(fitness.min())
             if gen_best < result.best_fitness - 1e-12:
@@ -226,7 +266,10 @@ class GeneticAlgorithm:
         return weights / weights.sum()
 
     def _pick_parents(
-        self, rng: np.random.Generator, weights: np.ndarray
+        self,
+        rng: np.random.Generator,
+        weights: np.ndarray,
+        cdf: np.ndarray,
     ) -> tuple[int, int]:
         if self.config.selection == "tournament":
             # Population is sorted by fitness, so the tournament winner
@@ -234,6 +277,13 @@ class GeneticAlgorithm:
             size = self.config.tournament_size
             pa = int(rng.integers(0, weights.size, size).min())
             pb = int(rng.integers(0, weights.size, size).min())
+            return pa, pb
+        if _INLINE_SELECTION:
+            # `Generator.choice(n, p=w)` normalises w into a cdf and
+            # searches it with one uniform draw; doing the same against
+            # the prebuilt cdf consumes the identical stream.
+            pa = int(cdf.searchsorted(rng.random(), side="right"))
+            pb = int(cdf.searchsorted(rng.random(), side="right"))
             return pa, pb
         pa = int(rng.choice(weights.size, p=weights))
         pb = int(rng.choice(weights.size, p=weights))

@@ -67,6 +67,11 @@ def ensure_mask(mask: np.ndarray, name: str = "mask") -> np.ndarray:
     Accepts boolean arrays or integer/float arrays containing only the
     values 0 and 1.
     """
+    # Idempotence fast path: validated masks flow through segmentation,
+    # fitness construction and thickness estimation on every frame, and
+    # re-validating an already-boolean array is pure overhead.
+    if type(mask) is np.ndarray and mask.dtype == np.bool_ and mask.ndim == 2:
+        return mask
     arr = np.asarray(mask)
     if arr.ndim != 2:
         raise ImageError(f"{name} must be 2-D, got shape {arr.shape}")

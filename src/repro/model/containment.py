@@ -63,6 +63,30 @@ class ContainmentChecker:
         self._dims = dims
         self._samples = samples_per_stick
         self._min_fraction = min_inside_fraction
+        # Cached sampling offsets and a flat region view: `check` runs
+        # once per offspring attempt, so per-call setup must be nil.
+        if samples_per_stick == 1:
+            self._ts = np.array([0.5])
+        else:
+            self._ts = np.linspace(0.0, 1.0, samples_per_stick)
+        self._region_flat = np.ascontiguousarray(self._region).reshape(-1)
+        # Coded lookup with a one-cell border: 0 = out of frame, 1 = in
+        # frame but outside the region, 2 = inside the region.  Sample
+        # coordinates clamp onto the border, so frame-bounds testing,
+        # index clipping and the region gather collapse into one take.
+        coded = np.zeros((self._height + 2, self._width + 2), dtype=np.int8)
+        coded[1:-1, 1:-1] = 1 + self._region.astype(np.int8)
+        self._coded_flat = np.ascontiguousarray(coded).reshape(-1)
+        # Verdicts memoised by chromosome bytes.  Offspring are often
+        # bit-exact parent copies (low crossover/mutation rates, elites
+        # recurring as parents), so the GA re-tests identical
+        # chromosomes many times per frame.  The checker is rebuilt per
+        # silhouette, which bounds the cache's lifetime.
+        self._verdicts: dict[bytes, bool] = {}
+
+    #: Class-level switch for the batched fast path.  Flipped off only
+    #: by ``repro.perf.compat.legacy_hot_paths`` (bench + parity tests).
+    vectorized = True
 
     def check(self, genes: np.ndarray) -> np.ndarray:
         """Boolean feasibility for each chromosome of a ``(P, 10)`` batch."""
@@ -72,11 +96,67 @@ class ContainmentChecker:
             genes = genes[None, :]
         if genes.shape[1] != GENES:
             raise ValueError(f"expected (P, {GENES}) chromosomes, got {genes.shape}")
+        if self.vectorized and genes.shape[0] == 1:
+            key = genes.tobytes()
+            verdict = self._verdicts.get(key)
+            if verdict is None:
+                segments = forward_kinematics(genes, self._dims)
+                verdict = bool(self._check_batch(segments)[0])
+                if len(self._verdicts) >= 65536:  # runaway-population guard
+                    self._verdicts.clear()
+                self._verdicts[key] = verdict
+            return verdict if squeeze else np.array([verdict])
         segments = forward_kinematics(genes, self._dims)
-        results = np.empty(genes.shape[0], dtype=bool)
-        for p in range(genes.shape[0]):
-            results[p] = self._contained(segments[p])
-        return results[0] if squeeze else results
+        if self.vectorized:
+            results = self._check_batch(segments)
+        else:
+            results = np.empty(genes.shape[0], dtype=bool)
+            for p in range(genes.shape[0]):
+                results[p] = self._contained(segments[p])
+        return bool(results[0]) if squeeze else results
+
+    def _check_batch(self, segments: np.ndarray) -> np.ndarray:
+        """One numpy pass over all ``(P, 8, 2, 2)`` segment batches.
+
+        Produces exactly `_contained` applied per chromosome: the same
+        sample points (same arithmetic as ``sample_segment_points``),
+        the same rounding, the same all-in-frame gate and inside
+        fraction.  Parity is asserted in ``tests/test_perf_parity.py``.
+        """
+        vals = self._sample_codes(segments)
+        # Code 0 anywhere means a sample fell out of frame (the strict
+        # gate); the inside fraction counts only code-2 samples, exactly
+        # as `_region & in_frame` would.
+        all_in = vals.min(axis=1) > 0
+        return all_in & ((vals == 2).mean(axis=1) >= self._min_fraction)
+
+    def _sample_codes(self, segments: np.ndarray) -> np.ndarray:
+        """Per-sample region codes for ``(P, 8, 2, 2)`` segment batches.
+
+        Returns a ``(P, 8 * samples)`` int8 array of lookups into the
+        coded silhouette.  Index arithmetic stays in float64 (the
+        rounded coordinates are integral and tiny, so it is exact) and
+        clamps onto the zero border, so the whole test is a handful of
+        ufunc calls — this runs once per offspring attempt.
+        """
+        population = segments.shape[0]
+        starts = segments[:, :, None, 0, :]  # (P, 8, 1, 2)
+        deltas = segments[:, :, None, 1, :] - starts
+        pts = starts + self._ts[None, None, :, None] * deltas  # (P, 8, T, 2)
+        x = pts[..., 0].reshape(population, -1)
+        y = pts[..., 1].reshape(population, -1)
+        rows = np.rint((self._height - 1) - y)
+        cols = np.rint(x)
+        # np.minimum/np.maximum directly: the np.clip wrapper costs more
+        # than the whole lookup at offspring batch sizes.
+        np.minimum(rows, float(self._height), out=rows)
+        np.maximum(rows, -1.0, out=rows)
+        np.minimum(cols, float(self._width), out=cols)
+        np.maximum(cols, -1.0, out=cols)
+        index = rows * float(self._width + 2)
+        index += cols
+        index += float(self._width + 3)  # shift onto the padded grid
+        return self._coded_flat[index.astype(np.intp)]
 
     def check_pose(self, pose: StickPose) -> bool:
         """Feasibility of a single pose."""
@@ -94,21 +174,8 @@ class ContainmentChecker:
         if squeeze:
             genes = genes[None, :]
         segments = forward_kinematics(genes, self._dims)
-        fractions = np.empty(genes.shape[0], dtype=np.float64)
-        for p in range(genes.shape[0]):
-            points = sample_segment_points(segments[p], self._samples)
-            rc = world_to_image(points, self._height)
-            rows = np.rint(rc[:, 0]).astype(int)
-            cols = np.rint(rc[:, 1]).astype(int)
-            in_frame = (
-                (rows >= 0)
-                & (rows < self._height)
-                & (cols >= 0)
-                & (cols < self._width)
-            )
-            inside = np.zeros(points.shape[0], dtype=bool)
-            inside[in_frame] = self._region[rows[in_frame], cols[in_frame]]
-            fractions[p] = float(inside.mean())
+        vals = self._sample_codes(segments)
+        fractions = (vals == 2).mean(axis=1)
         return float(fractions[0]) if squeeze else fractions
 
     def _contained(self, segments: np.ndarray) -> bool:

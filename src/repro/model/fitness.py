@@ -16,10 +16,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .geometry import mask_points_world, points_to_segments_distance
+from . import geometry
+from .geometry import (
+    mask_points_world,
+    points_to_segments_distance,
+    segment_distances_squared,
+)
 from .pose import StickPose, forward_kinematics
 from .sticks import NUM_STICKS, BodyDimensions
-from ..errors import ModelError
+from ..errors import ConfigurationError, ModelError
 from ..imaging.image import ensure_mask
 
 
@@ -30,10 +35,45 @@ class FitnessConfig:
     ``max_points`` caps the number of silhouette points used (uniform
     subsampling) to bound the cost of one evaluation; 0 disables the
     cap and uses every silhouette pixel like the paper.
+
+    ``precision`` selects the arithmetic of Eq. 3: ``"float64"`` (the
+    default, bit-for-bit the paper configuration) or ``"float32"``, a
+    fast path that also minimises over *squared* normalised distances —
+    scores agree with float64 to ~1e-3 relative (documented and
+    enforced in ``tests/test_perf_parity.py``).
+
+    ``chunk_size`` is the number of chromosomes scored per distance
+    matrix; 0 picks a cache-friendly size from the silhouette point
+    count.  Chunk width only perturbs the summation order of the final
+    per-point mean: scores agree across chunkings to a few ulps, and
+    the end-to-end analysis output is bit-identical
+    (``tests/test_perf_parity.py``).
     """
 
     max_points: int = 1500
     subsample_seed: int = 7
+    precision: str = "float64"
+    chunk_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_points < 0:
+            raise ConfigurationError(
+                f"max_points must be >= 0, got {self.max_points}"
+            )
+        if self.precision not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"precision must be 'float64' or 'float32', got {self.precision!r}"
+            )
+        if self.chunk_size < 0:
+            raise ConfigurationError(
+                f"chunk_size must be >= 0 (0 = adaptive), got {self.chunk_size}"
+            )
+
+
+def _adaptive_chunk(num_points: int) -> int:
+    """Chromosomes per block keeping the distance matrix ~4 MB."""
+    target_elements = 512 * 1024
+    return int(np.clip(target_elements // max(num_points * NUM_STICKS, 1), 8, 256))
 
 
 class SilhouetteFitness:
@@ -67,6 +107,11 @@ class SilhouetteFitness:
             points = points[chosen]
         self._points = points
         self._thickness = np.asarray(dims.thicknesses, dtype=np.float64)
+        if self._config.precision == "float32":
+            self._points32 = self._points.astype(np.float32)
+            self._inv_thickness_sq32 = (
+                1.0 / (self._thickness * self._thickness)
+            ).astype(np.float32)
 
     @property
     def mask(self) -> np.ndarray:
@@ -97,20 +142,51 @@ class SilhouetteFitness:
         segments = forward_kinematics(genes, self._dims)  # (P, 8, 2, 2)
         population = segments.shape[0]
         num_points = self._points.shape[0]
-        scores = np.empty(population, dtype=np.float64)
         # Chunk the population so the (N, C*8) distance matrix stays
-        # small enough to be cache-friendly.
-        chunk = max(1, min(population, 64))
+        # small enough to be cache-friendly.  Each chromosome's column
+        # is reduced independently; only the mean's summation order can
+        # shift with the chunk width (a few ulps at most).
+        chunk = self._config.chunk_size or _adaptive_chunk(num_points)
+        chunk = max(1, min(population, chunk))
+        if self._config.precision == "float32":
+            scores = self._evaluate_float32(segments, chunk)
+            return scores[0] if squeeze else scores
+        scores = np.empty(population, dtype=np.float64)
         for start in range(0, population, chunk):
             block = segments[start : start + chunk]  # (C, 8, 2, 2)
             flat = block.reshape(-1, 2, 2)
-            dists = points_to_segments_distance(self._points, flat)
+            dists = geometry._DISTANCE_IMPL(self._points, flat)
             dists = dists.reshape(num_points, block.shape[0], NUM_STICKS)
             normalised = dists / self._thickness[None, None, :]
             scores[start : start + block.shape[0]] = (
                 normalised.min(axis=2).mean(axis=0)
             )
         return scores[0] if squeeze else scores
+
+    def _evaluate_float32(self, segments: np.ndarray, chunk: int) -> np.ndarray:
+        """Reduced-precision Eq. 3: squared distances, one sqrt per point.
+
+        ``min_l d/t_l == sqrt(min_l d²/t_l²)`` exactly in real
+        arithmetic; in floats the reordering plus float32 storage moves
+        scores by ~1e-3 relative (see ``docs/performance.md``).  The
+        final mean accumulates in float64 so the error does not grow
+        with the silhouette size.
+        """
+        population = segments.shape[0]
+        num_points = self._points32.shape[0]
+        segments32 = segments.astype(np.float32)
+        scores = np.empty(population, dtype=np.float64)
+        for start in range(0, population, chunk):
+            block = segments32[start : start + chunk]
+            flat = block.reshape(-1, 2, 2)
+            sq = segment_distances_squared(self._points32, flat)
+            sq = sq.reshape(num_points, block.shape[0], NUM_STICKS)
+            normalised = sq * self._inv_thickness_sq32[None, None, :]
+            best = np.sqrt(normalised.min(axis=2))
+            scores[start : start + block.shape[0]] = best.mean(
+                axis=0, dtype=np.float64
+            )
+        return scores
 
     def evaluate_pose(self, pose: StickPose) -> float:
         """Fitness of a single :class:`StickPose`."""

@@ -68,7 +68,46 @@ def points_to_segments_distance(points: np.ndarray, segments: np.ndarray) -> np.
         raise ValueError(
             f"segments must have shape (S, 2, 2), got {segments.shape}"
         )
+    return _DISTANCE_IMPL(points, segments)
 
+
+def _segment_distances_fast(points: np.ndarray, segments: np.ndarray) -> np.ndarray:
+    """Coordinate-split form of the reference kernel.
+
+    Works on (N, S) planes per coordinate instead of stacked (N, S, 2)
+    blocks, which drops the einsum dispatches and halves the size of
+    every temporary.  Each output element goes through the *same*
+    floating-point operations in the same association order as
+    :func:`_segment_distances_reference`, so the results are bitwise
+    identical (asserted in ``tests/test_perf_parity.py``).  dtype
+    follows the inputs: float32 in, float32 out.
+    """
+    px = points[:, 0:1]  # (N, 1)
+    py = points[:, 1:2]
+    sx = segments[:, 0, 0]  # (S,)
+    sy = segments[:, 0, 1]
+    dx = segments[:, 1, 0] - sx
+    dy = segments[:, 1, 1] - sy
+    length_sq = dx * dx + dy * dy
+
+    relx = px - sx  # (N, S)
+    rely = py - sy
+    dot = relx * dx + rely * dy
+    if length_sq.size and length_sq.min() > 0.0:
+        t = dot / length_sq
+    else:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = np.where(length_sq > 0.0, dot / length_sq, 0.0)
+    np.clip(t, 0.0, 1.0, out=t)
+    ex = px - (sx + t * dx)
+    ey = py - (sy + t * dy)
+    return np.sqrt(ex * ex + ey * ey)
+
+
+def _segment_distances_reference(
+    points: np.ndarray, segments: np.ndarray
+) -> np.ndarray:
+    """The original einsum kernel, kept as the bitwise ground truth."""
     starts = segments[:, 0, :]  # (S, 2)
     deltas = segments[:, 1, :] - starts  # (S, 2)
     length_sq = np.einsum("sd,sd->s", deltas, deltas)  # (S,)
@@ -82,6 +121,43 @@ def points_to_segments_distance(points: np.ndarray, segments: np.ndarray) -> np.
     closest = starts[None, :, :] + t[..., None] * deltas[None, :, :]
     diff = points[:, None, :] - closest
     return np.sqrt(np.einsum("nsd,nsd->ns", diff, diff))
+
+
+def segment_distances_squared(
+    points: np.ndarray, segments: np.ndarray
+) -> np.ndarray:
+    """Squared point-to-segment distances, dtype-preserving.
+
+    The float32 fitness fast path minimises over *squared* normalised
+    distances and takes one square root per (point, chromosome) instead
+    of per (point, stick) — see ``SilhouetteFitness``.  No validation:
+    callers own the shapes.
+    """
+    px = points[:, 0:1]
+    py = points[:, 1:2]
+    sx = segments[:, 0, 0]
+    sy = segments[:, 0, 1]
+    dx = segments[:, 1, 0] - sx
+    dy = segments[:, 1, 1] - sy
+    length_sq = dx * dx + dy * dy
+
+    relx = px - sx
+    rely = py - sy
+    dot = relx * dx + rely * dy
+    if length_sq.size and length_sq.min() > 0.0:
+        t = dot / length_sq
+    else:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = np.where(length_sq > 0.0, dot / length_sq, 0.0)
+    np.clip(t, 0.0, 1.0, out=t)
+    ex = px - (sx + t * dx)
+    ey = py - (sy + t * dy)
+    return ex * ex + ey * ey
+
+
+#: Active distance kernel.  ``repro.perf.compat.legacy_hot_paths`` swaps
+#: in the reference implementation for benchmarking and parity tests.
+_DISTANCE_IMPL = _segment_distances_fast
 
 
 def sample_segment_points(segments: np.ndarray, samples_per_segment: int) -> np.ndarray:

@@ -9,10 +9,11 @@ into the eight world-space segments of Fig. 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 
 import numpy as np
 
-from .geometry import direction, wrap_angle
+from .geometry import wrap_angle
 from .sticks import (
     FOOT,
     FOREARM,
@@ -31,6 +32,23 @@ from .sticks import (
 from ..errors import ModelError
 
 GENES = NUM_STICKS + 2  # x0, y0, rho0..rho7
+
+
+@lru_cache(maxsize=32)
+def _cached_lengths(dims: BodyDimensions) -> np.ndarray:
+    """Stick lengths as a read-only array, converted once per dims."""
+    lengths = np.asarray(dims.lengths, dtype=np.float64)
+    lengths.setflags(write=False)
+    return lengths
+
+
+#: The kinematic chain of :data:`PARENT` resolved once into
+#: ``(stick, parent, parent_end_index)`` tuples — the trunk's "upper"
+#: end and every distal attachment are segment end 1, "lower" is end 0.
+_CHAIN: tuple[tuple[int, int, int], ...] = tuple(
+    (stick, parent, 0 if end == "lower" else 1)
+    for stick, (parent, end) in PARENT.items()
+)
 
 #: Human-readable joint names produced by :meth:`StickPose.joints`.
 JOINT_NAMES = (
@@ -184,12 +202,24 @@ def forward_kinematics(genes: np.ndarray, dims: BodyDimensions) -> np.ndarray:
     if genes.ndim != 2 or genes.shape[1] != GENES:
         raise ModelError(f"genes must have shape (P, {GENES}), got {genes.shape}")
     population = genes.shape[0]
-    lengths = np.asarray(dims.lengths, dtype=np.float64)
+    lengths = _cached_lengths(dims)
 
     centers = genes[:, :2]  # (P, 2)
-    dirs = direction(genes[:, 2:])  # (P, 8, 2)
+    # Inlined `direction`: write sin/cos straight into the output
+    # layout instead of stacking — this runs once per offspring
+    # containment check, mostly with P == 1, where the fixed overhead
+    # of extra allocations dominates.
+    rad = np.deg2rad(genes[:, 2:])
+    dirs = np.empty((population, NUM_STICKS, 2), dtype=np.float64)
+    np.sin(rad, out=dirs[:, :, 0])
+    np.cos(rad, out=dirs[:, :, 1])
 
     segments = np.empty((population, NUM_STICKS, 2, 2), dtype=np.float64)
+
+    # One multiply covers every stick's distal offset; the chain loop
+    # below then only anchors and adds.  Elementwise identical to the
+    # per-stick `lengths[stick] * dirs[:, stick]` products.
+    offsets = lengths[None, :, None] * dirs
 
     # Trunk: centre +/- half length along its direction.
     half_trunk = 0.5 * lengths[TRUNK]
@@ -197,15 +227,10 @@ def forward_kinematics(genes: np.ndarray, dims: BodyDimensions) -> np.ndarray:
     segments[:, TRUNK, 1] = centers + half_trunk * dirs[:, TRUNK]  # upper
 
     # Children in evaluation order (parents first).
-    for stick, (parent, end) in PARENT.items():
-        if end == "upper":
-            anchor = segments[:, parent, 1]
-        elif end == "lower":
-            anchor = segments[:, parent, 0]
-        else:  # distal
-            anchor = segments[:, parent, 1]
+    for stick, parent, end in _CHAIN:
+        anchor = segments[:, parent, end]
         segments[:, stick, 0] = anchor
-        segments[:, stick, 1] = anchor + lengths[stick] * dirs[:, stick]
+        segments[:, stick, 1] = anchor + offsets[:, stick]
 
     return segments
 

@@ -1,0 +1,287 @@
+"""Benchmark harness behind ``slj bench``.
+
+Times the hot paths of the reproduction on a synthetic jump and
+reports a machine-readable JSON document (committed as
+``BENCH_4.json``):
+
+* ``segmentation`` — frames/sec of the five-step pipeline per
+  execution backend (serial / threads / processes);
+* ``ga_single_frame`` — the Shoji-style single-frame GA with and
+  without incremental elite-fitness reuse (evaluations/sec and the
+  proof that both reach the identical best fitness);
+* ``tracking`` — per-frame temporal tracking throughput, read from the
+  end-to-end run's stage trace;
+* ``end_to_end`` — a full :meth:`JumpAnalyzer.analyze` with the
+  legacy kernels + full GA re-evaluation (the pre-perf-layer
+  baseline) versus the optimised defaults, and their speedup.
+
+The report also records machine info and the config hash, so two
+bench files are comparable at a glance.  :func:`compare_to_baseline`
+implements the CI gate: fail when end-to-end throughput regresses by
+more than the allowed factor against a committed baseline file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import platform
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from .compat import legacy_hot_paths
+from .executors import BACKENDS, ParallelConfig
+
+#: Bumped when the JSON schema changes shape.
+BENCH_VERSION = 1
+
+
+def machine_info() -> dict[str, Any]:
+    """The host facts that make timings comparable across runs."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _with_parallel(config: Any, parallel: ParallelConfig) -> Any:
+    return dataclasses.replace(config, parallel=parallel)
+
+
+def _with_incremental(config: Any, incremental: bool) -> Any:
+    tracker = config.tracker
+    ga = dataclasses.replace(tracker.ga, incremental=incremental)
+    return dataclasses.replace(
+        config, tracker=dataclasses.replace(tracker, ga=ga)
+    )
+
+
+def _bench_segmentation(
+    config: Any, video: Any, workers: int, backends: tuple[str, ...]
+) -> dict[str, Any]:
+    from ..segmentation.pipeline import SegmentationPipeline
+
+    results: dict[str, Any] = {}
+    for backend in backends:
+        parallel = ParallelConfig(backend=backend, workers=workers)
+        pipeline = SegmentationPipeline(config.segmentation, parallel=parallel)
+        seconds, segmented = _timed(lambda: pipeline.segment_video(video))
+        results[backend] = {
+            "seconds": round(seconds, 4),
+            "frames_per_sec": round(len(segmented) / seconds, 2),
+        }
+    return {"frames": len(video), "backends": results}
+
+
+def _bench_ga_single_frame(
+    mask: np.ndarray, dims: Any, quick: bool, seed: int
+) -> dict[str, Any]:
+    from ..ga.engine import GAConfig
+    from ..ga.operators import OperatorConfig
+    from ..ga.single_frame import SingleFrameConfig, estimate_single_frame
+
+    generations = 40 if quick else 120
+    base_ga = GAConfig(
+        population_size=60,
+        max_generations=generations,
+        patience=None,
+        operators=OperatorConfig(
+            crossover_rate=0.2,
+            mutation_rate=0.15,
+            center_sigma=3.0,
+            angle_sigma=25.0,
+        ),
+    )
+    section: dict[str, Any] = {"generations": generations}
+    for label, incremental in (("incremental", True), ("full", False)):
+        config = SingleFrameConfig(
+            ga=dataclasses.replace(base_ga, incremental=incremental)
+        )
+        seconds, estimate = _timed(
+            lambda: estimate_single_frame(
+                mask, dims, config, rng=np.random.default_rng(seed)
+            )
+        )
+        evaluations = estimate.search.total_evaluations
+        section[label] = {
+            "seconds": round(seconds, 4),
+            "evaluations": evaluations,
+            "evaluations_per_sec": round(evaluations / seconds, 1),
+            "best_fitness": float(estimate.fitness),
+        }
+    section["speedup"] = round(
+        section["full"]["seconds"] / section["incremental"]["seconds"], 3
+    )
+    # Incremental reuse is seed-exact: same trajectory, fewer evaluations.
+    section["identical_best"] = (
+        section["incremental"]["best_fitness"] == section["full"]["best_fitness"]
+    )
+    return section
+
+
+def _analyze_once(
+    config: Any, jump: Any, annotation: Any, seed: int
+) -> tuple[float, Any]:
+    from ..pipeline import JumpAnalyzer
+
+    analyzer = JumpAnalyzer(config)
+    return _timed(
+        lambda: analyzer.analyze(
+            jump.video,
+            annotation=annotation,
+            rng=np.random.default_rng(seed),
+        )
+    )
+
+
+def run_bench(
+    config: Any = None,
+    *,
+    frames: int = 24,
+    workers: int = 4,
+    seed: int = 3,
+    quick: bool = False,
+) -> dict[str, Any]:
+    """Run every bench section and return the JSON-ready report.
+
+    ``config`` defaults to the ``fast`` preset.  ``quick`` trims the
+    single-frame GA budget and skips the ``processes`` backend so the
+    bench finishes in well under a minute — the CI smoke mode.  Frame
+    count is the caller's choice: a regression gate must measure at the
+    baseline's frame count, because fixed per-run costs amortise
+    differently across video lengths.
+    """
+    from ..config import config_hash, get_preset
+    from ..model.annotation import simulate_human_annotation
+    from ..video.synthesis.dataset import SyntheticJumpConfig, synthesize_jump
+    from ..video.synthesis.motion import JumpParameters
+
+    if config is None:
+        config = get_preset("fast")
+    frames = max(frames, 4)  # a jump needs at least 4 frames
+
+    jump = synthesize_jump(
+        SyntheticJumpConfig(seed=seed, params=JumpParameters(num_frames=frames))
+    )
+    annotation = simulate_human_annotation(
+        jump.motion.poses[0],
+        jump.dims,
+        mask=jump.person_masks[0],
+        rng=np.random.default_rng(seed),
+    )
+
+    backends = ("serial", "threads") if quick else BACKENDS
+    sections: dict[str, Any] = {}
+    sections["segmentation"] = _bench_segmentation(
+        config, jump.video, workers, backends
+    )
+    sections["ga_single_frame"] = _bench_ga_single_frame(
+        jump.person_masks[0], jump.dims, quick, seed
+    )
+
+    # Baseline: the pre-perf-layer code paths — reference distance
+    # kernel, per-stick containment loop, full GA re-evaluation every
+    # generation, the old fixed evaluation chunk of 64, serial frame
+    # loop.
+    baseline_config = _with_incremental(
+        _with_parallel(config, ParallelConfig()), incremental=False
+    )
+    baseline_tracker = baseline_config.tracker
+    baseline_config = dataclasses.replace(
+        baseline_config,
+        tracker=dataclasses.replace(
+            baseline_tracker,
+            fitness=dataclasses.replace(
+                baseline_tracker.fitness, chunk_size=64
+            ),
+        ),
+    )
+    with legacy_hot_paths():
+        baseline_seconds, _ = _analyze_once(
+            baseline_config, jump, annotation, seed
+        )
+
+    # Optimised: the defaults, with the requested worker count.
+    optimized_config = _with_parallel(
+        config,
+        dataclasses.replace(config.parallel, workers=workers)
+        if not config.parallel.is_serial
+        else config.parallel,
+    )
+    optimized_seconds, analysis = _analyze_once(
+        optimized_config, jump, annotation, seed
+    )
+
+    tracking_timing = analysis.trace.timing("tracking")
+    tracking_seconds = tracking_timing.seconds if tracking_timing else 0.0
+    sections["tracking"] = {
+        "seconds": round(tracking_seconds, 4),
+        "frames_per_sec": round(frames / tracking_seconds, 2)
+        if tracking_seconds
+        else None,
+        "fitness_evaluations": analysis.trace.counters.get("ga.evaluations"),
+    }
+    sections["end_to_end"] = {
+        "baseline": {
+            "seconds": round(baseline_seconds, 4),
+            "frames_per_sec": round(frames / baseline_seconds, 3),
+        },
+        "optimized": {
+            "seconds": round(optimized_seconds, 4),
+            "frames_per_sec": round(frames / optimized_seconds, 3),
+        },
+        "speedup": round(baseline_seconds / optimized_seconds, 3),
+    }
+
+    return {
+        "bench_version": BENCH_VERSION,
+        "machine": machine_info(),
+        "params": {
+            "frames": frames,
+            "workers": workers,
+            "seed": seed,
+            "quick": quick,
+        },
+        "config_hash": config_hash(config),
+        "sections": sections,
+    }
+
+
+def compare_to_baseline(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = 2.0,
+) -> tuple[bool, str]:
+    """CI gate: has end-to-end throughput regressed too far?
+
+    Returns ``(ok, message)``.  The run fails only when the current
+    optimised frames/sec falls more than ``max_regression``× below the
+    committed baseline — loose enough to absorb shared-runner noise,
+    tight enough to catch a real performance cliff.
+    """
+    try:
+        committed = float(
+            baseline["sections"]["end_to_end"]["optimized"]["frames_per_sec"]
+        )
+        measured = float(
+            current["sections"]["end_to_end"]["optimized"]["frames_per_sec"]
+        )
+    except (KeyError, TypeError) as exc:
+        return False, f"baseline file is missing end-to-end throughput: {exc}"
+    floor = committed / max_regression
+    message = (
+        f"end-to-end {measured:.3f} frames/sec vs committed "
+        f"{committed:.3f} (floor {floor:.3f} at {max_regression:g}x allowed "
+        "regression)"
+    )
+    return measured >= floor, message

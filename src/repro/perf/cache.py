@@ -1,0 +1,105 @@
+"""LRU cache for built analyzers, keyed by resolved configuration.
+
+Building a :class:`~repro.pipeline.JumpAnalyzer` validates the whole
+config tree and constructs the stage runner and policies; the service
+used to pay that on every request.  :class:`AnalyzerCache` makes
+repeated configs free while keeping distinct configs fully isolated.
+
+The key is the canonical :func:`~repro.config.config_hash` of the
+config *plus* its ``parallel`` block: the hash deliberately ignores
+execution backends (they cannot change results), but two analyzers
+with different backends are still different objects and must not share
+a cache slot.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+from ..config import config_hash, config_to_dict
+from ..errors import ConfigurationError
+
+
+class AnalyzerCache:
+    """Thread-safe LRU of ``factory(config)`` results.
+
+    ``factory`` is injected (rather than importing the pipeline here)
+    so the cache stays generic and trivially testable; the service
+    passes ``JumpAnalyzer``.
+    """
+
+    def __init__(self, factory: Callable[[Any], Any], capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
+        self._factory = factory
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached analyzers."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def key_for(config: Any) -> str:
+        """Cache key: config hash extended with the execution block."""
+        data = config_to_dict(config)
+        parallel = data.get("parallel") if isinstance(data, dict) else None
+        suffix = json.dumps(parallel, sort_keys=True, separators=(",", ":"))
+        return f"{config_hash(data)}:{suffix}"
+
+    def get(self, config: Any) -> Any:
+        """Return the cached instance for ``config``, building on miss.
+
+        Construction happens outside the lock so a slow build never
+        blocks unrelated lookups; if two threads race on the same new
+        key the first insert wins and the duplicate is discarded.
+        """
+        key = self.key_for(config)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry
+
+        built = self._factory(config)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry
+            self._misses += 1
+            self._entries[key] = built
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return built
+
+    def clear(self) -> None:
+        """Drop every cached instance (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counters for ``/metrics``: hits, misses, evictions, size."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._entries),
+                "capacity": self._capacity,
+            }

@@ -1,0 +1,36 @@
+"""Switch the optimised kernels back to their reference forms.
+
+The PR-4 hot-path surgery (coordinate-split distance kernel, batched
+containment test) is bitwise-identical to the original implementations.
+This module keeps the originals reachable so that claim stays *testable*
+(``tests/test_perf_parity.py``) and the bench harness can measure an
+honest before/after on the same checkout.
+
+Not thread-safe — it flips module/class globals.  Use only from tests
+and ``slj bench``, never in library code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+@contextmanager
+def legacy_hot_paths() -> Iterator[None]:
+    """Run with the pre-optimisation kernels and selection draws."""
+    from ..ga import engine
+    from ..model import containment, geometry
+
+    saved_impl = geometry._DISTANCE_IMPL
+    saved_vectorized = containment.ContainmentChecker.vectorized
+    saved_selection = engine._INLINE_SELECTION
+    geometry._DISTANCE_IMPL = geometry._segment_distances_reference
+    containment.ContainmentChecker.vectorized = False
+    engine._INLINE_SELECTION = False
+    try:
+        yield
+    finally:
+        geometry._DISTANCE_IMPL = saved_impl
+        containment.ContainmentChecker.vectorized = saved_vectorized
+        engine._INLINE_SELECTION = saved_selection

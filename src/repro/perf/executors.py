@@ -1,0 +1,105 @@
+"""Execution backends for embarrassingly parallel per-frame work.
+
+One abstraction — :func:`parallel_map` — serves every fan-out site in
+the pipeline: frame segmentation, corpus evaluation, and the service
+batch endpoint.  The contract is strict so callers never need
+backend-specific code:
+
+* results come back in input order;
+* an exception in any worker propagates to the caller;
+* the ``serial`` backend (and any degenerate pool) runs everything
+  in-process, byte-for-byte equivalent to a plain list comprehension.
+
+The ``processes`` backend requires ``fn`` (and ``initializer``) to be
+module-level picklable callables; per-worker state should be installed
+through ``initializer`` so large constants (a background model, a
+config) are shipped once per worker instead of once per item.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import ConfigurationError
+
+#: Recognised values of :attr:`ParallelConfig.backend`.
+BACKENDS = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelConfig:
+    """How per-frame / per-video fan-out executes.
+
+    This is an *execution* knob, not a model knob: every backend
+    produces numerically identical results (``tests/test_perf_parity.py``
+    proves byte-identical analysis serialisations), so it is excluded
+    from :func:`~repro.config.config_hash`.
+
+    ``threads`` suits the numpy-dominated kernels here (they release
+    the GIL); ``processes`` buys true parallelism for Python-heavy
+    steps at the cost of pickling frames across process boundaries.
+    """
+
+    backend: str = "serial"
+    workers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"parallel backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+
+    def pool_size(self, num_items: int) -> int:
+        """Workers actually worth starting for ``num_items`` tasks."""
+        return max(1, min(self.workers, num_items))
+
+    @property
+    def is_serial(self) -> bool:
+        """True when no pool would be created."""
+        return self.backend == "serial" or self.workers <= 1
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    config: ParallelConfig | None = None,
+    *,
+    initializer: Callable[..., None] | None = None,
+    initargs: Sequence[Any] = (),
+) -> list[Any]:
+    """Ordered ``[fn(item) for item in items]`` under ``config``'s backend.
+
+    ``initializer(*initargs)`` installs per-worker state.  When the call
+    degenerates to in-process execution (serial backend, one worker, or
+    at most one item) the initializer runs once in the calling process,
+    so ``fn`` may rely on it unconditionally.
+    """
+    work = list(items)
+    cfg = config or ParallelConfig()
+    if cfg.is_serial or len(work) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in work]
+
+    workers = cfg.pool_size(len(work))
+    if cfg.backend == "threads":
+        with ThreadPoolExecutor(
+            max_workers=workers,
+            thread_name_prefix="repro-map",
+            initializer=initializer,
+            initargs=tuple(initargs),
+        ) as pool:
+            return list(pool.map(fn, work))
+
+    # processes: chunk to amortise IPC without starving the tail.
+    chunksize = max(1, len(work) // (workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=initializer,
+        initargs=tuple(initargs),
+    ) as pool:
+        return list(pool.map(fn, work, chunksize=chunksize))

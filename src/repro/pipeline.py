@@ -30,6 +30,7 @@ from .errors import ConfigurationError, ReproError, SegmentationError, VideoErro
 from .ga.temporal import TemporalPoseTracker, TrackerConfig, TrackingResult
 from .model.annotation import FirstFrameAnnotation, auto_annotate
 from .model.pose import StickPose
+from .perf.executors import ParallelConfig
 from .runtime import (
     FallbackPolicy,
     FunctionStage,
@@ -105,6 +106,10 @@ class AnalyzerConfig:
     segmentation: SegmentationConfig = field(default_factory=SegmentationConfig)
     tracker: TrackerConfig = field(default_factory=TrackerConfig)
     robustness: RobustnessConfig = field(default_factory=RobustnessConfig)
+    # Execution backend for the embarrassingly parallel stages (frame
+    # segmentation, batch fan-out).  Never changes results, so it is
+    # excluded from `config_hash` — see repro.perf.
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
     # Trajectory filtering before scoring.  "median" (default) removes
     # single-frame tracking spikes without shaving multi-frame extremes
     # — important because every rule aggregates with max/min over a
@@ -270,7 +275,9 @@ class JumpAnalyzer:
                 "least one frame to segment and anchor the stick model"
             )
         segmenter = SegmentationPipeline(
-            self.config.segmentation, instrumentation=ctx.instrumentation
+            self.config.segmentation,
+            instrumentation=ctx.instrumentation,
+            parallel=self.config.parallel,
         )
         segmentations = segmenter.segment_video(video)
         silhouettes = [seg.person for seg in segmentations]

@@ -167,6 +167,21 @@ class Instrumentation:
         """Emit a structured point-in-time event to the sink."""
         self.sink.emit(SpanEvent("event", name, None, tuple(fields.items())))
 
+    def merge(self, other: "Instrumentation") -> None:
+        """Fold another collector's accumulated state into this one.
+
+        Used by parallel fan-outs: each worker records into a private
+        collector (this class is not thread-safe), and the coordinator
+        merges them once the batch completes.  Only the accumulated
+        spans and counters are folded — the sink sees nothing, since
+        the per-observation events already happened in the worker.
+        """
+        for name, seconds in other._seconds.items():
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+            self._calls[name] = self._calls.get(name, 0) + other._calls[name]
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ from .shadow import ShadowMaskConfig, remove_shadows
 from .subtraction import SubtractionConfig, subtract_background
 from ..errors import SegmentationError
 from ..imaging.components import dominant_components
+from ..perf.executors import ParallelConfig, parallel_map
 from ..registry import Registry
 from ..runtime import Instrumentation
 from ..video.sequence import VideoSequence
@@ -191,9 +192,11 @@ class SegmentationPipeline:
         self,
         config: SegmentationConfig | None = None,
         instrumentation: Instrumentation | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> None:
         self.config = config or SegmentationConfig()
         self.instrumentation = instrumentation or Instrumentation()
+        self.parallel = parallel or ParallelConfig()
         self._background_result: BackgroundResult | None = None
 
     # ------------------------------------------------------------------
@@ -237,7 +240,11 @@ class SegmentationPipeline:
 
     def segment(self, frame: np.ndarray) -> FrameSegmentation:
         """Apply the configured per-frame steps (default: Steps 2–5)."""
-        instrumentation = self.instrumentation
+        return self._segment_with(frame, self.instrumentation)
+
+    def _segment_with(
+        self, frame: np.ndarray, instrumentation: Instrumentation
+    ) -> FrameSegmentation:
         state: dict[str, Any] = {"frame": frame, "background": self.background}
         for name, step in self._sub_stages():
             with instrumentation.span(f"segmentation/{name}"):
@@ -283,7 +290,35 @@ class SegmentationPipeline:
             video = VideoSequence(aligned)
 
         self.fit(video)
-        segmentations = [self.segment(frame) for frame in video]
+        frames = list(video)
+        parallel = self.parallel
+        if parallel.is_serial or len(frames) <= 1:
+            segmentations = [self.segment(frame) for frame in frames]
+        else:
+            # Each worker records into a private collector (the shared
+            # instrumentation is not synchronised) and ships it back
+            # with the frame's masks; the collectors are merged after
+            # the fan-out, so per-step spans and counters survive
+            # parallel execution.  Merged span seconds are summed CPU
+            # time across workers, which can exceed the wall-clock
+            # ``segmentation/parallel_frames`` span that brackets the
+            # whole batch.
+            with self.instrumentation.span("segmentation/parallel_frames"):
+                if parallel.backend == "threads":
+                    results = parallel_map(
+                        self._segment_collect, frames, parallel
+                    )
+                else:
+                    results = parallel_map(
+                        _segment_in_worker,
+                        frames,
+                        parallel,
+                        initializer=_init_segmentation_worker,
+                        initargs=(self.config, self._background_result),
+                    )
+            segmentations = [seg for seg, _ in results]
+            for _, worker_instrumentation in results:
+                self.instrumentation.merge(worker_instrumentation)
 
         if offsets is not None:
             from ..imaging.registration import shift_image
@@ -307,6 +342,38 @@ class SegmentationPipeline:
             segmentations = undone
         return segmentations
 
+    def _segment_collect(
+        self, frame: np.ndarray
+    ) -> tuple[FrameSegmentation, Instrumentation]:
+        """One frame with a private collector, returned for merging."""
+        instrumentation = Instrumentation()
+        return self._segment_with(frame, instrumentation), instrumentation
+
     def silhouettes(self, video: VideoSequence) -> list[np.ndarray]:
         """Convenience: just the final person mask of every frame."""
         return [seg.person for seg in self.segment_video(video)]
+
+
+# ----------------------------------------------------------------------
+# Process-backend workers.  The fitted pipeline is rebuilt once per
+# worker from (config, background) shipped through the pool initializer,
+# so frames are the only per-task payload crossing the process boundary.
+# ----------------------------------------------------------------------
+_WORKER_PIPELINE: SegmentationPipeline | None = None
+
+
+def _init_segmentation_worker(
+    config: SegmentationConfig, background: BackgroundResult
+) -> None:
+    global _WORKER_PIPELINE
+    pipeline = SegmentationPipeline(config)
+    pipeline._background_result = background
+    _WORKER_PIPELINE = pipeline
+
+
+def _segment_in_worker(
+    frame: np.ndarray,
+) -> tuple[FrameSegmentation, Instrumentation]:
+    if _WORKER_PIPELINE is None:  # pragma: no cover - initializer contract
+        raise SegmentationError("segmentation worker used before initialisation")
+    return _WORKER_PIPELINE._segment_collect(frame)

@@ -17,9 +17,16 @@ service over the library:
   client can render explanations.
 * ``GET /config`` — the server's fully-resolved default configuration,
   its stable hash, and the known preset names.
+* ``POST /analyze/batch`` — body is ``{"videos": [<analyze items>],
+  "config"/"preset"/"seed": ...}``; all items share one resolved
+  analyzer, one concurrency slot and one deadline, and fan out across
+  the shared worker pool.  The response lists per-item
+  ``{"ok": true, "analysis": ...}`` / ``{"ok": false, "error": ...}``
+  results in request order.
 * ``GET /metrics`` — cumulative per-stage wall-clock timings, pipeline
   counters and request counts across every request served so far
-  (backed by :class:`repro.runtime.MetricsRegistry`).
+  (backed by :class:`repro.runtime.MetricsRegistry`), plus analyzer
+  cache hit/miss statistics and worker-pool utilisation.
 
 An ``/analyze`` request may carry a ``"config"`` block (a partial
 config dict, deep-merged over the server defaults) and/or a
@@ -38,7 +45,10 @@ with 413 before the payload is read; more than ``max_concurrent``
 simultaneous analyses are refused with 503 + ``Retry-After``; an
 analysis that exceeds ``deadline_seconds`` is answered with 504 (its
 worker keeps its concurrency slot until it actually finishes, so
-zombies cannot oversubscribe the host).  Analyses that completed
+zombies cannot oversubscribe the host).  Analyses run on a bounded
+shared worker pool (``pool_workers``), and per-request analyzers are
+served from an LRU cache keyed by config hash + execution backend
+(``analyzer_cache_size``).  Analyses that completed
 through the degradation machinery still return 200, with a top-level
 ``"degraded": true`` and a ``"degradation"`` block naming the
 unhealthy frames and fallback stages.
@@ -55,6 +65,9 @@ import base64
 import io
 import json
 import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -69,6 +82,7 @@ from .config import (
     preset_names,
 )
 from .errors import ConfigurationError, ReproError
+from .perf.cache import AnalyzerCache
 from .pipeline import AnalyzerConfig, JumpAnalyzer
 from .runtime import Instrumentation, MetricsRegistry
 from .scoring.rules import RULES
@@ -89,6 +103,15 @@ class ServiceConfig:
     max_concurrent: int = 4
     # Advisory Retry-After header on 503 responses.
     retry_after_seconds: int = 5
+    # Analyses share a bounded worker pool (no thread-per-request); 0
+    # sizes it to ``max_concurrent`` so every admitted request starts
+    # immediately.
+    pool_workers: int = 0
+    # LRU capacity of the per-request analyzer cache (distinct resolved
+    # configs kept warm).
+    analyzer_cache_size: int = 8
+    # Upper bound on videos in one ``POST /analyze/batch`` request.
+    max_batch_videos: int = 16
 
     def __post_init__(self) -> None:
         if self.max_body_bytes < 1:
@@ -101,6 +124,19 @@ class ServiceConfig:
             raise ConfigurationError(
                 "service retry_after_seconds must be >= 0"
             )
+        if self.pool_workers < 0:
+            raise ConfigurationError(
+                "service pool_workers must be >= 0 (0 = max_concurrent)"
+            )
+        if self.analyzer_cache_size < 1:
+            raise ConfigurationError("service analyzer_cache_size must be >= 1")
+        if self.max_batch_videos < 1:
+            raise ConfigurationError("service max_batch_videos must be >= 1")
+
+    @property
+    def effective_pool_workers(self) -> int:
+        """The worker-pool size actually used."""
+        return self.pool_workers or self.max_concurrent
 
 
 class _ServiceState:
@@ -261,6 +297,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._finish(200)
         elif self.path == "/metrics":
             snapshot = self.server.metrics.snapshot()  # type: ignore[attr-defined]
+            snapshot["analyzer_cache"] = (
+                self.server.analyzer_cache.stats()  # type: ignore[attr-defined]
+            )
+            state = self.server.state.snapshot()  # type: ignore[attr-defined]
+            service_config = self.server.service_config  # type: ignore[attr-defined]
+            snapshot["pool"] = {
+                "workers": service_config.effective_pool_workers,
+                "in_flight": state["in_flight"],
+                "submitted": snapshot["counters"].get(
+                    "service.pool.submitted", 0
+                ),
+                "completed": snapshot["counters"].get(
+                    "service.pool.completed", 0
+                ),
+            }
             self._send_json(200, snapshot)
             self._finish(200)
         else:
@@ -276,8 +327,8 @@ class _Handler(BaseHTTPRequestHandler):
                 break
             remaining -= len(chunk)
 
-    def _parse_analyze_request(self) -> dict[str, Any]:
-        """Decode and validate the /analyze body; :class:`_BadRequest` on error."""
+    def _read_json_body(self) -> dict[str, Any]:
+        """Read and decode the request body under the size cap."""
         try:
             length = int(self.headers.get("Content-Length", "0") or 0)
         except ValueError:
@@ -309,45 +360,58 @@ class _Handler(BaseHTTPRequestHandler):
                 "malformed_json",
                 f"request body must be a JSON object, got {type(request).__name__}",
             )
-        if "video_npz_b64" not in request:
+        return request
+
+    def _resolve_analyzer(self, config: AnalyzerConfig | None) -> JumpAnalyzer:
+        """The shared analyzer, or a cached per-config one.
+
+        Built before any concurrency slot is taken: JumpAnalyzer
+        performs validation beyond AnalyzerConfig.from_dict (e.g.
+        robustness stage names), and a failure must be a structured
+        400, never a leaked gate slot.
+        """
+        if config is None:
+            return self.server.analyzer  # type: ignore[attr-defined]
+        try:
+            return self.server.analyzer_cache.get(  # type: ignore[attr-defined]
+                config
+            )
+        except ConfigurationError as exc:
+            raise _BadRequest("bad_config", str(exc))
+
+    def _parse_video_item(
+        self, item: dict[str, Any], default_seed: int = 0
+    ) -> dict[str, Any]:
+        """Validate one video payload (shared by single and batch)."""
+        if "video_npz_b64" not in item:
             raise _BadRequest(
                 "missing_field", "request is missing the 'video_npz_b64' field"
             )
         try:
-            video = decode_video(request["video_npz_b64"])
+            video = decode_video(item["video_npz_b64"])
         except (ReproError, TypeError) as exc:
             raise _BadRequest("bad_video_payload", str(exc))
         try:
             annotation = (
-                annotation_from_dict(request["annotation"])
-                if request.get("annotation")
+                annotation_from_dict(item["annotation"])
+                if item.get("annotation")
                 else None
             )
         except (ReproError, TypeError) as exc:
             raise _BadRequest("bad_annotation_payload", str(exc))
         try:
-            seed = int(request.get("seed", 0))
+            seed = int(item.get("seed", default_seed))
         except (TypeError, ValueError) as exc:
             raise _BadRequest("bad_seed", f"seed must be an integer: {exc}")
+        return {"video": video, "annotation": annotation, "seed": seed}
+
+    def _parse_analyze_request(self) -> dict[str, Any]:
+        """Decode and validate the /analyze body; :class:`_BadRequest` on error."""
+        request = self._read_json_body()
+        parsed = self._parse_video_item(request)
         config = self._parse_config_block(request)
-        # Build the analyzer here, before any concurrency slot is
-        # taken: JumpAnalyzer performs validation beyond
-        # AnalyzerConfig.from_dict (e.g. robustness stage names), and a
-        # failure must be a structured 400, never a leaked gate slot.
-        try:
-            analyzer = (
-                JumpAnalyzer(config)
-                if config is not None
-                else self.server.analyzer  # type: ignore[attr-defined]
-            )
-        except ConfigurationError as exc:
-            raise _BadRequest("bad_config", str(exc))
-        return {
-            "video": video,
-            "annotation": annotation,
-            "seed": seed,
-            "analyzer": analyzer,
-        }
+        parsed["analyzer"] = self._resolve_analyzer(config)
+        return parsed
 
     def _parse_config_block(
         self, request: dict[str, Any]
@@ -382,11 +446,52 @@ class _Handler(BaseHTTPRequestHandler):
         except ConfigurationError as exc:
             raise _BadRequest("bad_config", str(exc))
 
+    def _analysis_payload(self, analysis: Any) -> dict[str, Any]:
+        """Serialise one successful analysis (shared by single and batch)."""
+        self.server.metrics.observe_trace(  # type: ignore[attr-defined]
+            analysis.trace
+        )
+        payload = analysis_to_dict(analysis)
+        payload["degraded"] = analysis.degraded
+        if analysis.degraded:
+            diagnostics = analysis.diagnostics
+            payload["degradation"] = {
+                "unhealthy_frames": list(
+                    diagnostics.get("unhealthy_frames", [])
+                ),
+                "flagged_frames": list(diagnostics.get("flagged_frames", [])),
+                "degraded_stages": list(
+                    diagnostics.get("degraded_stages", [])
+                ),
+            }
+        return payload
+
+    def _try_acquire_gate(self) -> bool:
+        """One concurrency slot, or a 503 response already sent."""
+        service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
+        gate: threading.BoundedSemaphore = self.server.gate  # type: ignore[attr-defined]
+        if gate.acquire(blocking=False):
+            return True
+        self._send_error_json(
+            503,
+            "overloaded",
+            f"{service_config.max_concurrent} analyses already in "
+            "flight; retry later",
+            headers={"Retry-After": str(service_config.retry_after_seconds)},
+        )
+        self._finish(503)
+        return False
+
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path != "/analyze":
+        if self.path == "/analyze":
+            self._handle_analyze()
+        elif self.path == "/analyze/batch":
+            self._handle_analyze_batch()
+        else:
             self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
             self._finish(404)
-            return
+
+    def _handle_analyze(self) -> None:
         try:
             request = self._parse_analyze_request()
         except _BadRequest as exc:
@@ -399,28 +504,22 @@ class _Handler(BaseHTTPRequestHandler):
         service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
         state: _ServiceState = self.server.state  # type: ignore[attr-defined]
         gate: threading.BoundedSemaphore = self.server.gate  # type: ignore[attr-defined]
-        if not gate.acquire(blocking=False):
-            self._send_error_json(
-                503,
-                "overloaded",
-                f"{service_config.max_concurrent} analyses already in "
-                "flight; retry later",
-                headers={
-                    "Retry-After": str(service_config.retry_after_seconds)
-                },
-            )
-            self._finish(503)
+        metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
+        pool: ThreadPoolExecutor = self.server.pool  # type: ignore[attr-defined]
+        if not self._try_acquire_gate():
             return
 
         instrumentation = Instrumentation()
         analyzer = request["analyzer"]
 
-        # Run the analysis on a worker so the handler can enforce the
-        # deadline.  The worker owns the concurrency slot: on timeout
-        # the zombie analysis keeps it until it actually finishes, so
-        # the gate keeps bounding real load.
+        # Run the analysis on the shared worker pool so the handler can
+        # enforce the deadline without a thread per request.  The worker
+        # owns the concurrency slot: on timeout a zombie analysis keeps
+        # it until it actually finishes, so the gate keeps bounding real
+        # load.
         result: dict[str, Any] = {}
         state.enter()
+        metrics.increment("service.pool.submitted")
 
         def work() -> None:
             try:
@@ -435,12 +534,18 @@ class _Handler(BaseHTTPRequestHandler):
             finally:
                 state.leave()
                 gate.release()
+                metrics.increment("service.pool.completed")
 
-        worker = threading.Thread(target=work, daemon=True)
-        worker.start()
-        worker.join(timeout=service_config.deadline_seconds)
-
-        if worker.is_alive():
+        future: Future[None] = pool.submit(work)
+        try:
+            future.result(timeout=service_config.deadline_seconds)
+        except FutureTimeout:
+            # If the work never started (pool saturated by zombies) the
+            # cancel succeeds and its finally never runs — release the
+            # slot here.  Otherwise the running worker keeps the slot.
+            if future.cancel():
+                state.leave()
+                gate.release()
             message = (
                 "analysis exceeded the "
                 f"{service_config.deadline_seconds:g}s deadline"
@@ -461,24 +566,149 @@ class _Handler(BaseHTTPRequestHandler):
             self._finish(500)
             return
 
-        analysis = result["analysis"]
-        self.server.metrics.observe_trace(  # type: ignore[attr-defined]
-            analysis.trace
-        )
-        payload = analysis_to_dict(analysis)
-        payload["degraded"] = analysis.degraded
-        if analysis.degraded:
-            diagnostics = analysis.diagnostics
-            payload["degradation"] = {
-                "unhealthy_frames": list(
-                    diagnostics.get("unhealthy_frames", [])
-                ),
-                "flagged_frames": list(diagnostics.get("flagged_frames", [])),
-                "degraded_stages": list(
-                    diagnostics.get("degraded_stages", [])
-                ),
+        self._send_json(200, self._analysis_payload(result["analysis"]))
+        self._finish(200)
+
+    def _handle_analyze_batch(self) -> None:
+        """``POST /analyze/batch``: many videos, one concurrency slot.
+
+        The request is ``{"videos": [{video_npz_b64, annotation?,
+        seed?}, ...], "config"?: ..., "preset"?: ..., "seed"?: int}``.
+        All items share one resolved analyzer and fan out across the
+        worker pool; the whole batch occupies a single gate slot and a
+        single shared deadline.  The response is 200 with per-item
+        ``{"ok": true, "analysis": ...}`` / ``{"ok": false, "error":
+        ...}`` entries in request order.
+        """
+        service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
+        state: _ServiceState = self.server.state  # type: ignore[attr-defined]
+        gate: threading.BoundedSemaphore = self.server.gate  # type: ignore[attr-defined]
+        metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
+        pool: ThreadPoolExecutor = self.server.pool  # type: ignore[attr-defined]
+        try:
+            request = self._read_json_body()
+            videos = request.get("videos")
+            if not isinstance(videos, list) or not videos:
+                raise _BadRequest(
+                    "bad_batch", "'videos' must be a non-empty array"
+                )
+            if len(videos) > service_config.max_batch_videos:
+                raise _BadRequest(
+                    "batch_too_large",
+                    f"batch has {len(videos)} videos; the limit is "
+                    f"{service_config.max_batch_videos}",
+                )
+            try:
+                base_seed = int(request.get("seed", 0))
+            except (TypeError, ValueError) as exc:
+                raise _BadRequest("bad_seed", f"seed must be an integer: {exc}")
+            items = []
+            for index, entry in enumerate(videos):
+                if not isinstance(entry, dict):
+                    raise _BadRequest(
+                        "bad_batch",
+                        f"videos[{index}] must be an object, got "
+                        f"{type(entry).__name__}",
+                    )
+                try:
+                    items.append(
+                        self._parse_video_item(
+                            entry, default_seed=base_seed + index
+                        )
+                    )
+                except _BadRequest as exc:
+                    raise _BadRequest(
+                        exc.code, f"videos[{index}]: {exc}", status=exc.status
+                    )
+            analyzer = self._resolve_analyzer(self._parse_config_block(request))
+        except _BadRequest as exc:
+            self._send_error_json(
+                exc.status, exc.code, str(exc), headers=exc.headers
+            )
+            self._finish(exc.status)
+            return
+
+        if not self._try_acquire_gate():
+            return
+
+        # One slot for the whole batch.  Every item future — completed
+        # or cancelled — fires the done-callback, and the last one to
+        # finish releases the slot, so a post-timeout zombie item keeps
+        # the batch's slot occupied until it actually ends.
+        state.enter()
+        remaining = [len(items)]
+        countdown_lock = threading.Lock()
+
+        def on_done(_future: Future) -> None:
+            with countdown_lock:
+                remaining[0] -= 1
+                last = remaining[0] == 0
+            if last:
+                state.leave()
+                gate.release()
+
+        def run_item(item: dict[str, Any], index: int) -> dict[str, Any]:
+            try:
+                analysis = analyzer.analyze(
+                    item["video"],
+                    annotation=item["annotation"],
+                    rng=np.random.default_rng(item["seed"]),
+                    instrumentation=Instrumentation(),
+                )
+            except ReproError as exc:
+                return {
+                    "ok": False,
+                    "index": index,
+                    "error": {"code": "analysis_failed", "message": str(exc)},
+                }
+            except Exception as exc:
+                return {
+                    "ok": False,
+                    "index": index,
+                    "error": {"code": "internal_error", "message": str(exc)},
+                }
+            finally:
+                metrics.increment("service.pool.completed")
+            return {
+                "ok": True,
+                "index": index,
+                "analysis": self._analysis_payload(analysis),
             }
-        self._send_json(200, payload)
+
+        futures: list[Future[dict[str, Any]]] = []
+        for index, item in enumerate(items):
+            metrics.increment("service.pool.submitted")
+            future = pool.submit(run_item, item, index)
+            future.add_done_callback(on_done)
+            futures.append(future)
+
+        deadline = time.monotonic() + service_config.deadline_seconds
+        results: list[dict[str, Any]] = []
+        for future in futures:
+            try:
+                results.append(
+                    future.result(timeout=max(0.0, deadline - time.monotonic()))
+                )
+            except FutureTimeout:
+                for pending in futures:
+                    pending.cancel()
+                message = (
+                    f"batch exceeded the "
+                    f"{service_config.deadline_seconds:g}s deadline"
+                )
+                state.record_error("deadline_exceeded", message)
+                self._send_error_json(504, "deadline_exceeded", message)
+                self._finish(504)
+                return
+
+        failed = sum(1 for entry in results if not entry["ok"])
+        if failed:
+            state.record_error(
+                "analysis_failed", f"{failed}/{len(results)} batch items failed"
+            )
+        self._send_json(
+            200, {"results": results, "count": len(results), "failed": failed}
+        )
         self._finish(200)
 
 
@@ -500,6 +730,17 @@ class ServiceHandle:
         self._server.state = _ServiceState()  # type: ignore[attr-defined]
         self._server.gate = threading.BoundedSemaphore(  # type: ignore[attr-defined]
             service_config.max_concurrent
+        )
+        # Per-config analyzers are cached so repeated custom-config
+        # requests skip re-validating and re-building the whole stack.
+        self._server.analyzer_cache = AnalyzerCache(  # type: ignore[attr-defined]
+            JumpAnalyzer, capacity=service_config.analyzer_cache_size
+        )
+        # All analyses (single and batch items) share one bounded pool
+        # instead of a thread per request.
+        self._server.pool = ThreadPoolExecutor(  # type: ignore[attr-defined]
+            max_workers=service_config.effective_pool_workers,
+            thread_name_prefix="slj-worker",
         )
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
@@ -525,6 +766,11 @@ class ServiceHandle:
         """Shut the server down and join its thread."""
         self._server.shutdown()
         self._server.server_close()
+        # Don't wait: a zombie analysis past its deadline must not
+        # block shutdown.  Queued-but-unstarted work is cancelled.
+        self._server.pool.shutdown(  # type: ignore[attr-defined]
+            wait=False, cancel_futures=True
+        )
         self._thread.join(timeout=5)
 
     def __enter__(self) -> "ServiceHandle":

@@ -26,6 +26,7 @@ from repro.ga.single_frame import SingleFrameConfig
 from repro.ga.temporal import TrackerConfig
 from repro.model.fitness import FitnessConfig
 from repro.model.sticks import AngleWindows
+from repro.perf.executors import ParallelConfig
 from repro.pipeline import AnalyzerConfig
 from repro.registry import Registry
 from repro.segmentation.background import ChangeDetectionConfig
@@ -49,6 +50,7 @@ ALL_CONFIG_CLASSES = [
     ShadowMaskConfig,
     AngleWindows,
     KalmanConfig,
+    ParallelConfig,
 ]
 
 
@@ -157,6 +159,44 @@ class TestPresets:
         assert fast.tracker.ga.max_generations == 10
         assert fast.tracker.ga.population_size == 30
         assert fast.tracker.fitness.max_points == 600
+
+    def test_fast_enables_threaded_frames(self):
+        fast = get_preset("fast")
+        assert fast.parallel.backend == "threads"
+        assert not fast.parallel.is_serial
+
+    def test_paper_stays_serial_float64(self):
+        paper = get_preset("paper")
+        assert paper.parallel.is_serial
+        assert paper.tracker.fitness.precision == "float64"
+
+    def test_parallel_round_trips_through_config_layer(self):
+        config = AnalyzerConfig(
+            parallel=ParallelConfig(backend="processes", workers=3)
+        )
+        restored = config_from_dict(AnalyzerConfig, config_to_dict(config))
+        assert restored == config
+        assert restored.parallel.workers == 3
+
+    def test_parallel_is_execution_only_for_hashing(self):
+        serial = AnalyzerConfig()
+        threaded = AnalyzerConfig(
+            parallel=ParallelConfig(backend="threads", workers=4)
+        )
+        assert config_hash(serial) == config_hash(threaded)
+
+    def test_fitness_tuning_changes_hash(self):
+        from dataclasses import replace
+
+        base = AnalyzerConfig()
+        tuned = replace(
+            base,
+            tracker=replace(
+                base.tracker,
+                fitness=replace(base.tracker.fitness, precision="float32"),
+            ),
+        )
+        assert config_hash(base) != config_hash(tuned)
 
     def test_unknown_preset_lists_names(self):
         with pytest.raises(ConfigurationError, match="paper"):

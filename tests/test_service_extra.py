@@ -117,3 +117,93 @@ class TestPayloadEdges:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
+
+
+def _post_json(url: str, body: dict, timeout: float = 300.0) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestBatchEndpoint:
+    def test_batch_analyzes_every_video(self, service, tiny_jump):
+        encoded = encode_video(tiny_jump.video)
+        status, payload = _post_json(
+            f"{service.address}/analyze/batch",
+            {"videos": [{"video_npz_b64": encoded}, {"video_npz_b64": encoded}]},
+        )
+        assert status == 200
+        assert payload["count"] == 2
+        assert payload["failed"] == 0
+        for index, result in enumerate(payload["results"]):
+            assert result["index"] == index
+            assert result["ok"] is True
+            assert result["analysis"]["report"]["score"] >= 0
+
+    def test_batch_isolates_per_item_failures(self, service, tiny_jump):
+        good = {"video_npz_b64": encode_video(tiny_jump.video)}
+        bad = {
+            "video_npz_b64": encode_video(
+                VideoSequence(tiny_jump.video.frames[:1])
+            )
+        }
+        status, payload = _post_json(
+            f"{service.address}/analyze/batch", {"videos": [bad, good]}
+        )
+        assert status == 200
+        assert payload["failed"] == 1
+        assert payload["results"][0]["ok"] is False
+        assert payload["results"][0]["error"]
+        assert payload["results"][1]["ok"] is True
+
+    def test_batch_rejects_empty_and_oversized(self, service):
+        for body in ({"videos": []}, {"videos": "nope"}):
+            request = urllib.request.Request(
+                f"{service.address}/analyze/batch",
+                data=json.dumps(body).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_batch_item_errors_name_the_index(self, service):
+        request = urllib.request.Request(
+            f"{service.address}/analyze/batch",
+            data=json.dumps({"videos": [{"seed": 1}]}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        detail = json.loads(excinfo.value.read())
+        assert "videos[0]" in detail["error"]["message"]
+
+
+class TestAnalyzerCacheMetrics:
+    def test_per_request_config_populates_cache(self, service, tiny_jump):
+        overrides = {"tracker": {"ga": {"max_generations": 5}}}
+        for _ in range(2):
+            request_analysis(
+                f"{service.address}",
+                tiny_jump.video,
+                seed=0,
+                config=overrides,
+            )
+        with urllib.request.urlopen(
+            f"{service.address}/metrics", timeout=10
+        ) as response:
+            snapshot = json.loads(response.read())
+        cache = snapshot["analyzer_cache"]
+        assert cache["misses"] >= 1
+        assert cache["hits"] >= 1
+        assert cache["size"] >= 1
+        assert snapshot["pool"]["completed"] >= 2
+        assert snapshot["pool"]["workers"] >= 1

@@ -121,10 +121,20 @@ class TestMetricsEndpoint:
     def test_metrics_shape_before_any_analysis(self):
         with ServiceHandle() as handle:
             snapshot = _get_json(f"{handle.address}/metrics")
-            assert set(snapshot) == {"requests", "stages", "counters"}
+            assert set(snapshot) == {
+                "requests",
+                "stages",
+                "counters",
+                "analyzer_cache",
+                "pool",
+            }
             # the /metrics request itself is only counted after serving,
             # so a fresh server reports no stage work yet
             assert snapshot["stages"] == {}
+            assert snapshot["analyzer_cache"]["hits"] == 0
+            assert snapshot["analyzer_cache"]["misses"] == 0
+            assert snapshot["pool"]["workers"] >= 1
+            assert snapshot["pool"]["in_flight"] == 0
 
     def test_analysis_populates_cumulative_stage_timings(
         self, service, tiny_jump
