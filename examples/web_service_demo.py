@@ -5,15 +5,16 @@ Run with::
     python examples/web_service_demo.py
 
 Starts the analysis service on a local port (background thread),
-uploads a synthetic jump video exactly as a remote client would
-(base64 npz over HTTP POST), and prints the advice that comes back.
+submits a synthetic jump video exactly as a remote client would
+(base64 npz over the ``/v1`` job API), polls the job while it runs,
+and prints the advice that comes back.
 """
 
 import numpy as np
 
-from repro import Standard, simulate_human_annotation
+from repro import ServiceClient, Standard, simulate_human_annotation
 from repro.serialization import annotation_to_dict
-from repro.service import ServiceHandle, request_analysis
+from repro.service import ServiceHandle
 from repro.video.synthesis import synthesize_flawed_jump
 
 
@@ -29,12 +30,18 @@ def main() -> None:
     with ServiceHandle() as service:
         print(f"service listening on {service.address}")
         print("uploading a 20-frame jump video (flaw: E5, knees not bent in the air)…")
-        result = request_analysis(
-            service.address,
+        client = ServiceClient(service.address)
+        job = client.submit(
             jump.video,
-            annotation_dict=annotation_to_dict(annotation),
+            annotation=annotation_to_dict(annotation),
             seed=1,
         )
+        print(f"job {job['id']} accepted; waiting for the pipeline…")
+        result = client.wait(job["id"])
+        record = client.job(job["id"])
+        progress = record["progress"]
+        print(f"job finished: {record['state']} "
+              f"({progress['total_stages']} stages)")
 
     report = result["report"]
     print()

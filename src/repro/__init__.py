@@ -18,7 +18,13 @@ the synthetic-video substrate and ground truth needed to evaluate it:
   flight kinematics;
 * :mod:`repro.runtime` — the composable stage runtime (Stage /
   PipelineRunner / Instrumentation) every layer is composed from;
-* :mod:`repro.pipeline` — the end-to-end :class:`JumpAnalyzer`.
+* :mod:`repro.pipeline` — the end-to-end :class:`JumpAnalyzer`;
+* :mod:`repro.service` / :mod:`repro.client` / :mod:`repro.jobs` — the
+  versioned ``/v1`` HTTP service the paper sketches as future work,
+  its typed client, and the asynchronous job subsystem.
+
+The intended entry points are re-exported here and frozen in
+``repro.__all__`` (snapshot-tested); see ``docs/api.md`` for the tour.
 
 Quickstart::
 
@@ -33,6 +39,7 @@ Quickstart::
 """
 
 from .errors import (
+    CancelledError,
     ConfigurationError,
     ImageError,
     ModelError,
@@ -41,6 +48,14 @@ from .errors import (
     SegmentationError,
     TrackingError,
     VideoError,
+)
+from .config import (
+    config_from_dict,
+    config_hash,
+    config_to_dict,
+    get_preset,
+    preset_names,
+    resolve_config,
 )
 from .ga import (
     GAConfig,
@@ -99,6 +114,24 @@ from .scoring import (
     measure_jump,
 )
 from .segmentation import SegmentationConfig, SegmentationPipeline
+from .jobs import JobManager, JobsConfig, JobState, JobStore
+from .service import (
+    API_VERSION,
+    ServiceConfig,
+    ServiceHandle,
+    encode_video,
+    decode_video,
+    request_analysis,
+    route_table,
+    serve,
+)
+from .client import (
+    ClientError,
+    JobFailedError,
+    JobTimeoutError,
+    ServiceClient,
+    ServiceError,
+)
 from .video import VideoSequence
 from .video.synthesis import (
     JumpParameters,
@@ -112,6 +145,9 @@ from .video.synthesis import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "API_VERSION",
+    "CancelledError",
+    "ClientError",
     "ConfigurationError",
     "ImageError",
     "ModelError",
@@ -166,6 +202,27 @@ __all__ = [
     "measure_jump",
     "SegmentationConfig",
     "SegmentationPipeline",
+    "JobFailedError",
+    "JobManager",
+    "JobState",
+    "JobStore",
+    "JobTimeoutError",
+    "JobsConfig",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHandle",
+    "config_from_dict",
+    "config_hash",
+    "config_to_dict",
+    "decode_video",
+    "encode_video",
+    "get_preset",
+    "preset_names",
+    "request_analysis",
+    "resolve_config",
+    "route_table",
+    "serve",
     "VideoSequence",
     "JumpParameters",
     "JumpStyle",

@@ -7,6 +7,8 @@ Subcommands:
 * ``slj analyze`` — run the full pipeline on a saved video and print
   the scoring report.
 * ``slj demo`` — synthesize + analyze end to end in one go.
+* ``slj jobs submit|status|result|cancel|list`` — drive a running
+  service's asynchronous job API (``/v1/jobs``) from the shell.
 * ``slj chaos`` — fault-injection sweep (one analysis per fault) with
   a survival report; ``--min-survival`` turns it into a CI gate.
 * ``slj bench`` — time the hot paths (segmentation backends, the GA
@@ -280,6 +282,74 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .client import ServiceClient
+    from .config import config_to_dict
+
+    client = ServiceClient(args.url)
+    action = args.jobs_command
+    if action == "submit":
+        from .service import encode_video
+
+        video = VideoSequence.load(args.video)
+        customised = (
+            getattr(args, "preset", None)
+            or getattr(args, "config", None)
+            or getattr(args, "overrides", None)
+            or getattr(args, "fast", False)
+        )
+        config = (
+            config_to_dict(_resolve_cli_config(args)) if customised else None
+        )
+        job = client.submit(
+            encode_video(video), seed=args.seed, config=config
+        )
+        print(f"submitted job {job['id']} ({job['state']})")
+        if args.wait:
+            analysis = client.wait(job["id"], timeout=args.timeout)
+            print(
+                f"job {job['id']} succeeded: score "
+                f"{analysis['report']['score']:.4f} "
+                f"(config {analysis['config_hash']})"
+            )
+            if args.json is not None:
+                Path(args.json).write_text(_json.dumps(analysis, indent=2))
+                print(f"wrote analysis JSON to {args.json}")
+    elif action == "status":
+        job = client.job(args.job_id)
+        progress = job["progress"]
+        print(
+            f"job {job['id']}: {job['state']} "
+            f"({progress['fraction']:.0%}, stage "
+            f"{progress['current_stage'] or '-'})"
+        )
+    elif action == "result":
+        analysis = client.result(args.job_id)
+        if args.json is not None:
+            Path(args.json).write_text(_json.dumps(analysis, indent=2))
+            print(f"wrote analysis JSON to {args.json}")
+        else:
+            print(_json.dumps(analysis["report"], indent=2))
+    elif action == "cancel":
+        response = client.cancel(args.job_id)
+        print(
+            f"job {response['job']['id']}: cancel={response['cancel']} "
+            f"(state {response['job']['state']})"
+        )
+    elif action == "list":
+        jobs = client.jobs(limit=args.limit, state=args.state)
+        if not jobs:
+            print("no jobs")
+        for job in jobs:
+            print(
+                f"{job['id']}  {job['state']:<9}  "
+                f"{job['progress']['fraction']:.0%}"
+            )
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -473,6 +543,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="simultaneous analyses before the service answers 503",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="talk to a running service's async job API (/v1/jobs)"
+    )
+    p_jobs.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="base URL of a running `slj serve` instance",
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    pj_submit = jobs_sub.add_parser(
+        "submit", help="submit a video for asynchronous analysis"
+    )
+    pj_submit.add_argument("video", help="video .npz written by synthesize")
+    pj_submit.add_argument("--seed", type=int, default=0)
+    pj_submit.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    pj_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="seconds to wait with --wait before giving up",
+    )
+    pj_submit.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="with --wait, write the final analysis JSON here",
+    )
+    _add_config_arguments(pj_submit)
+
+    pj_status = jobs_sub.add_parser("status", help="one job's state + progress")
+    pj_status.add_argument("job_id")
+
+    pj_result = jobs_sub.add_parser("result", help="fetch a succeeded job's analysis")
+    pj_result.add_argument("job_id")
+    pj_result.add_argument(
+        "--json", default=None, metavar="PATH", help="write the analysis JSON here"
+    )
+
+    pj_cancel = jobs_sub.add_parser("cancel", help="cancel a queued or running job")
+    pj_cancel.add_argument("job_id")
+
+    pj_list = jobs_sub.add_parser("list", help="list recent jobs (newest first)")
+    pj_list.add_argument("--limit", type=int, default=20)
+    pj_list.add_argument(
+        "--state",
+        default=None,
+        help="filter: submitted/running/succeeded/failed/cancelled",
+    )
+    p_jobs.set_defaults(func=_cmd_jobs)
 
     p_chaos = sub.add_parser(
         "chaos",

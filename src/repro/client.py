@@ -1,0 +1,281 @@
+"""Typed client for the jump-analysis service.
+
+:class:`ServiceClient` is the supported way to talk to a server
+started by :func:`repro.service.serve` /
+:class:`~repro.service.ServiceHandle`.  It speaks the versioned
+``/v1`` surface, converts the service's structured error envelope
+(``{"error": {"type", "message", "detail"}}``) into typed exceptions,
+and wraps the asynchronous job API into a submit / poll / wait flow::
+
+    client = ServiceClient(handle.address)
+    job_id = client.submit(video, seed=7)["id"]
+    analysis = client.wait(job_id, timeout=120.0)
+
+Only the standard library is used (``urllib``), matching the service
+itself.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from .errors import ReproError
+from .service import API_VERSION, encode_video
+from .video.sequence import VideoSequence
+
+
+class ClientError(ReproError):
+    """The request never produced a service response (transport-level)."""
+
+
+class ServiceError(ClientError):
+    """The service answered with a structured error envelope."""
+
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        detail: Any = None,
+    ) -> None:
+        super().__init__(f"[{status} {error_type}] {message}")
+        self.status = status
+        self.error_type = error_type
+        self.detail = detail
+
+
+class JobFailedError(ClientError):
+    """A waited-on job finished as ``failed`` or ``cancelled``."""
+
+    def __init__(self, job: dict[str, Any]) -> None:
+        error = job.get("error") or {}
+        super().__init__(
+            f"job {job.get('id')!r} {job.get('state')}: "
+            f"{error.get('message', 'no error recorded')}"
+        )
+        self.job = job
+
+
+class JobTimeoutError(ClientError):
+    """A waited-on job did not reach a terminal state in time."""
+
+    def __init__(self, job_id: str, timeout: float) -> None:
+        super().__init__(f"job {job_id!r} not finished after {timeout:g}s")
+        self.job_id = job_id
+        self.timeout = timeout
+
+
+class ServiceClient:
+    """A typed HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """One request against the ``/v1`` surface; raises typed errors."""
+        url = f"{self.base_url}/{API_VERSION}{path}"
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            raise self._service_error(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ClientError(
+                f"could not reach {url}: {exc.reason}"
+            ) from exc
+
+    @staticmethod
+    def _service_error(exc: urllib.error.HTTPError) -> ServiceError:
+        try:
+            envelope = json.loads(exc.read())
+            error = envelope["error"]
+            return ServiceError(
+                exc.code,
+                str(error.get("type", "unknown")),
+                str(error.get("message", "")),
+                detail=error.get("detail"),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return ServiceError(exc.code, "unknown", str(exc))
+
+    @staticmethod
+    def _video_body(
+        video: VideoSequence | str,
+        annotation: dict[str, Any] | None = None,
+        seed: int = 0,
+        config: dict[str, Any] | None = None,
+        preset: str | None = None,
+    ) -> dict[str, Any]:
+        payload = (
+            video if isinstance(video, str) else encode_video(video)
+        )
+        body: dict[str, Any] = {
+            "video_npz_b64": payload,
+            "annotation": annotation,
+            "seed": seed,
+        }
+        if config is not None:
+            body["config"] = config
+        if preset is not None:
+            body["preset"] = preset
+        return body
+
+    # ------------------------------------------------------------------
+    # Synchronous analysis
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        video: VideoSequence | str,
+        annotation: dict[str, Any] | None = None,
+        seed: int = 0,
+        config: dict[str, Any] | None = None,
+        preset: str | None = None,
+    ) -> dict[str, Any]:
+        """``POST /v1/analyze``: block until the analysis payload.
+
+        ``video`` may be a :class:`VideoSequence` or an
+        already-encoded base64 ``.npz`` string.
+        """
+        return self._request(
+            "POST",
+            "/analyze",
+            self._video_body(video, annotation, seed, config, preset),
+        )
+
+    def analyze_batch(
+        self,
+        videos: list[VideoSequence | str | dict[str, Any]],
+        seed: int = 0,
+        config: dict[str, Any] | None = None,
+        preset: str | None = None,
+    ) -> dict[str, Any]:
+        """``POST /v1/analyze/batch``: many videos, one round trip.
+
+        Each entry may be a :class:`VideoSequence`, an encoded base64
+        string, or a full item dict (``{"video_npz_b64": ...,
+        "annotation"?: ..., "seed"?: ...}``).
+        """
+        items: list[dict[str, Any]] = []
+        for entry in videos:
+            if isinstance(entry, dict):
+                items.append(entry)
+            else:
+                items.append({"video_npz_b64": entry}
+                             if isinstance(entry, str)
+                             else {"video_npz_b64": encode_video(entry)})
+        body: dict[str, Any] = {"videos": items, "seed": seed}
+        if config is not None:
+            body["config"] = config
+        if preset is not None:
+            body["preset"] = preset
+        return self._request("POST", "/analyze/batch", body)
+
+    # ------------------------------------------------------------------
+    # Asynchronous jobs
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        video: VideoSequence | str,
+        annotation: dict[str, Any] | None = None,
+        seed: int = 0,
+        config: dict[str, Any] | None = None,
+        preset: str | None = None,
+    ) -> dict[str, Any]:
+        """``POST /v1/jobs``: returns the submitted job payload (202)."""
+        response = self._request(
+            "POST",
+            "/jobs",
+            self._video_body(video, annotation, seed, config, preset),
+        )
+        return response["job"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/{id}``: status + progress."""
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/{id}/result``: the analysis of a succeeded job."""
+        return self._request("GET", f"/jobs/{job_id}/result")["analysis"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """``DELETE /v1/jobs/{id}``: request cooperative cancellation."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def jobs(
+        self, limit: int = 50, state: str | None = None
+    ) -> list[dict[str, Any]]:
+        """``GET /v1/jobs``: newest-first bounded listing."""
+        path = f"/jobs?limit={limit}"
+        if state is not None:
+            path += f"&state={state}"
+        return self._request("GET", path)["jobs"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.05,
+    ) -> dict[str, Any]:
+        """Poll a job until terminal; return its analysis payload.
+
+        Raises :class:`JobFailedError` when the job finishes as
+        ``failed`` or ``cancelled`` and :class:`JobTimeoutError` when
+        it is still running after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            state = job["state"]
+            if state == "succeeded":
+                return self.result(job_id)
+            if state in ("failed", "cancelled"):
+                raise JobFailedError(job)
+            if time.monotonic() >= deadline:
+                raise JobTimeoutError(job_id, timeout)
+            time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """``GET /v1/health``."""
+        return self._request("GET", "/health")
+
+    def metrics(self) -> dict[str, Any]:
+        """``GET /v1/metrics``."""
+        return self._request("GET", "/metrics")
+
+    def standards(self) -> dict[str, Any]:
+        """``GET /v1/standards``."""
+        return self._request("GET", "/standards")
+
+    def config(self) -> dict[str, Any]:
+        """``GET /v1/config``."""
+        return self._request("GET", "/config")
+
+    def version(self) -> dict[str, Any]:
+        """``GET /v1/version``."""
+        return self._request("GET", "/version")

@@ -36,5 +36,9 @@ class TrackingError(ReproError):
     """Pose tracking failed (e.g. empty silhouette, infeasible seed)."""
 
 
+class CancelledError(ReproError):
+    """A run was cooperatively cancelled between pipeline stages."""
+
+
 class ScoringError(ReproError):
     """A score request referenced frames or rules that do not exist."""

@@ -1,0 +1,45 @@
+"""Asynchronous analysis jobs.
+
+The paper's envisioned web system takes an upload and answers "with
+advices" — but a real video analysis takes long enough that holding an
+HTTP connection open for it is the wrong contract.  This package adds
+the asynchronous one: ``POST /v1/jobs`` answers **202 + a job id**
+immediately, the analysis runs on the service's shared bounded worker
+pool, and the client polls ``GET /v1/jobs/{id}`` (per-stage progress
+included) until the job is terminal, then fetches the result.
+
+Layout
+------
+``models``
+    :class:`Job` records, :class:`JobState` lifecycle constants, and
+    the :class:`JobsConfig` knobs (wired into ``ServiceConfig``).
+``store``
+    :class:`JobStore` — lock-guarded LRU with result TTL and optional
+    JSON-file persistence.
+``worker``
+    :class:`JobWorkerPool` — runs jobs on a shared
+    :class:`~repro.perf.pool.WorkerPool`, mirrors pipeline
+    instrumentation into job progress, honours cooperative
+    cancellation between stages.
+``manager``
+    :class:`JobManager` — the submit/read/cancel/list facade the HTTP
+    layer talks to, plus :class:`JobQueueFull` backpressure.
+"""
+
+from __future__ import annotations
+
+from .manager import JobManager, JobQueueFull
+from .models import Job, JobsConfig, JobState
+from .store import JobStore
+from .worker import JobProgressSink, JobWorkerPool
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobProgressSink",
+    "JobQueueFull",
+    "JobState",
+    "JobStore",
+    "JobWorkerPool",
+    "JobsConfig",
+]

@@ -1,0 +1,108 @@
+"""The facade the service (and tests) talk to.
+
+:class:`JobManager` wires a :class:`~repro.jobs.store.JobStore` and a
+:class:`~repro.jobs.worker.JobWorkerPool` together behind one small
+API: submit, read, cancel, list.  It owns admission control (the
+``max_queued`` backpressure bound) but no HTTP concerns — status codes
+live in :mod:`repro.service`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .models import JobsConfig
+from .store import JobStore
+from .worker import JobWorkerPool
+from ..errors import ReproError
+from ..perf.pool import WorkerPool
+from ..serialization import analysis_payload
+
+
+class JobQueueFull(ReproError):
+    """Too many jobs already queued or running (maps to HTTP 503)."""
+
+
+class JobManager:
+    """Owns the job store and worker pool for one service instance."""
+
+    def __init__(
+        self,
+        config: JobsConfig,
+        pool: WorkerPool,
+        metrics: Any | None = None,
+        serializer: Callable[[Any], dict[str, Any]] = analysis_payload,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.config = config
+        store_kwargs: dict[str, Any] = {
+            "capacity": config.max_jobs,
+            "ttl_seconds": config.result_ttl_seconds,
+            "persist_path": config.persist_path,
+        }
+        if clock is not None:
+            store_kwargs["clock"] = clock
+        self.store = JobStore(**store_kwargs)
+        self.workers = JobWorkerPool(
+            pool, self.store, metrics=metrics, serializer=serializer
+        )
+
+    # ------------------------------------------------------------------
+    def submit_analysis(
+        self,
+        analyzer: Any,
+        video: Any,
+        annotation: Any = None,
+        seed: int = 0,
+        digest: str = "",
+        config_hash: str = "",
+    ) -> dict[str, Any]:
+        """Admit one job and queue it; returns the submitted payload.
+
+        Raises :class:`JobQueueFull` when ``max_queued`` non-terminal
+        jobs already exist — the job is *not* created, so a rejected
+        submission leaves no trace.
+        """
+        if self.store.pending_count() >= self.config.max_queued:
+            raise JobQueueFull(
+                f"{self.config.max_queued} jobs already queued or running; "
+                "retry later"
+            )
+        payload = self.store.create(
+            digest or "0" * 10, seed=seed, config_hash=config_hash
+        )
+        self.workers.submit(
+            payload["id"], analyzer, video, annotation=annotation, seed=seed
+        )
+        return payload
+
+    # ------------------------------------------------------------------
+    def payload(
+        self, job_id: str, include_result: bool = False
+    ) -> dict[str, Any] | None:
+        """One job's status payload (``None`` when unknown/expired)."""
+        return self.store.payload(job_id, include_result=include_result)
+
+    def is_expired(self, job_id: str) -> bool:
+        """Whether the job existed but aged out of the store."""
+        return self.store.is_expired(job_id)
+
+    def cancel(self, job_id: str) -> str | None:
+        """Request cancellation; see :meth:`JobStore.request_cancel`."""
+        outcome = self.store.request_cancel(job_id)
+        if outcome == "cancelling":
+            self.workers.cancel(job_id)
+        return outcome
+
+    def list_payload(
+        self, limit: int = 50, state: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Newest-first bounded job listing."""
+        return self.store.list_payload(limit=limit, state=state)
+
+    def stats(self) -> dict[str, Any]:
+        """Job counters for ``/metrics``."""
+        stats = self.store.stats()
+        stats["enabled"] = self.config.enabled
+        stats["max_queued"] = self.config.max_queued
+        return stats

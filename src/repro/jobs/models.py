@@ -1,0 +1,158 @@
+"""Job records, states and the :class:`JobsConfig` knobs.
+
+A *job* is one asynchronous analysis request moving through the
+lifecycle::
+
+    submitted ──> running ──> succeeded
+                     │  └───> failed
+                     └──────> cancelled   (also reachable from submitted)
+
+Terminal jobs carry either a ``result`` (the serialized analysis) or a
+structured ``error``; every job carries per-stage ``progress`` sourced
+from the pipeline's instrumentation events.  Records are plain mutable
+dataclasses — all mutation happens under the owning
+:class:`~repro.jobs.store.JobStore`'s lock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ConfigurationError
+
+
+class JobState:
+    """String constants for the job lifecycle."""
+
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL: tuple[str, ...] = (SUBMITTED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+    TERMINAL: tuple[str, ...] = (SUCCEEDED, FAILED, CANCELLED)
+
+
+def _new_progress() -> dict[str, Any]:
+    return {
+        "total_stages": 0,
+        "stages_completed": [],
+        "current_stage": None,
+        "fraction": 0.0,
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class JobsConfig:
+    """Behaviour of the asynchronous job subsystem.
+
+    Wired into :class:`~repro.service.ServiceConfig` (and therefore
+    into ``config_to_dict`` / ``config_from_dict``), so a service's
+    job policy is part of its declarative configuration.
+    """
+
+    # Serve the /v1/jobs endpoints at all (503 ``jobs_disabled`` when off).
+    enabled: bool = True
+    # LRU capacity of the job store (terminal jobs evicted oldest-first).
+    max_jobs: int = 256
+    # Seconds a finished job (and its result) stays retrievable; after
+    # this the job answers a structured 410.
+    result_ttl_seconds: float = 3600.0
+    # Refuse new submissions beyond this many non-terminal jobs (503).
+    max_queued: int = 64
+    # Optional JSON file the store mirrors itself into; terminal jobs
+    # (results included) survive a service restart.
+    persist_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_jobs < 1:
+            raise ConfigurationError("jobs.max_jobs must be >= 1")
+        if self.result_ttl_seconds <= 0:
+            raise ConfigurationError("jobs.result_ttl_seconds must be > 0")
+        if self.max_queued < 1:
+            raise ConfigurationError("jobs.max_queued must be >= 1")
+
+
+@dataclass(slots=True)
+class Job:
+    """One asynchronous analysis and everything known about it."""
+
+    id: str
+    state: str = JobState.SUBMITTED
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    expires_at: float | None = None
+    seed: int = 0
+    config_hash: str = ""
+    progress: dict[str, Any] = field(default_factory=_new_progress)
+    result: dict[str, Any] | None = None
+    error: dict[str, Any] | None = None
+    degraded: bool = False
+    degradation: dict[str, Any] | None = None
+    cancel_requested: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job reached a final state."""
+        return self.state in JobState.TERMINAL
+
+    def to_dict(self, include_result: bool = False) -> dict[str, Any]:
+        """JSON-ready status payload (result omitted unless asked)."""
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "expires_at": self.expires_at,
+            "seed": self.seed,
+            "config_hash": self.config_hash,
+            "progress": {
+                "total_stages": self.progress["total_stages"],
+                "stages_completed": list(self.progress["stages_completed"]),
+                "current_stage": self.progress["current_stage"],
+                "fraction": self.progress["fraction"],
+            },
+            "error": dict(self.error) if self.error else None,
+            "degraded": self.degraded,
+            "degradation": dict(self.degradation) if self.degradation else None,
+            "cancel_requested": self.cancel_requested,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+    def to_record(self) -> dict[str, Any]:
+        """Full persistence form (result always included)."""
+        record = self.to_dict(include_result=True)
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "Job":
+        """Inverse of :meth:`to_record` (for the file-backed store)."""
+        progress = record.get("progress") or _new_progress()
+        return cls(
+            id=str(record["id"]),
+            state=str(record.get("state", JobState.SUBMITTED)),
+            created_at=float(record.get("created_at", 0.0)),
+            started_at=record.get("started_at"),
+            finished_at=record.get("finished_at"),
+            expires_at=record.get("expires_at"),
+            seed=int(record.get("seed", 0)),
+            config_hash=str(record.get("config_hash", "")),
+            progress={
+                "total_stages": int(progress.get("total_stages", 0)),
+                "stages_completed": list(progress.get("stages_completed", [])),
+                "current_stage": progress.get("current_stage"),
+                "fraction": float(progress.get("fraction", 0.0)),
+            },
+            result=record.get("result"),
+            error=record.get("error"),
+            degraded=bool(record.get("degraded", False)),
+            degradation=record.get("degradation"),
+            cancel_requested=bool(record.get("cancel_requested", False)),
+        )

@@ -1,0 +1,358 @@
+"""Thread-safe job storage: in-memory LRU + optional JSON persistence.
+
+The store owns every :class:`~repro.jobs.models.Job` record and all of
+its mutation; workers and HTTP handlers only ever call store methods,
+so one reentrant lock serialises the whole lifecycle.
+
+* **Deterministic ids** — ``j<seq>-<digest>``: a monotone sequence
+  number plus a content digest of the submission (video bytes, seed,
+  config hash).  Two stores fed the same submissions in the same order
+  mint identical ids, which keeps job tests and replayed traffic
+  stable.
+* **LRU bound** — beyond ``capacity``, the oldest *terminal* jobs are
+  evicted first; running/queued jobs are never evicted (their workers
+  hold them).
+* **TTL** — terminal jobs expire ``ttl_seconds`` after finishing.
+  Expired ids are remembered (bounded) so the service can answer a
+  structured ``410 result_expired`` instead of a bare 404.
+* **Persistence** — with ``persist_path`` the store mirrors itself to
+  a JSON file on every state transition; terminal jobs (results
+  included) survive a restart, while jobs caught mid-flight are
+  restored as ``failed`` with an ``Interrupted`` error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable
+
+from .models import Job, JobState
+from ..errors import ConfigurationError
+
+#: How many expired job ids are remembered for 410 answers.
+_EXPIRED_MEMORY = 1024
+
+
+class JobStore:
+    """Lock-guarded LRU of :class:`Job` records with TTL + persistence."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl_seconds: float = 3600.0,
+        persist_path: str | Path | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"job store capacity must be >= 1, got {capacity}")
+        if ttl_seconds <= 0:
+            raise ConfigurationError(
+                f"job store ttl_seconds must be > 0, got {ttl_seconds}"
+            )
+        self._capacity = capacity
+        self._ttl = ttl_seconds
+        self._persist_path = Path(persist_path) if persist_path else None
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._expired: OrderedDict[str, str] = OrderedDict()
+        self._seq = 0
+        if self._persist_path is not None and self._persist_path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Creation / identity
+    # ------------------------------------------------------------------
+    @staticmethod
+    def digest_of(*parts: bytes | str) -> str:
+        """Stable content digest over the submission's identifying parts."""
+        hasher = hashlib.sha256()
+        for part in parts:
+            if isinstance(part, str):
+                part = part.encode("utf-8")
+            hasher.update(part)
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
+
+    def create(
+        self, digest: str, seed: int = 0, config_hash: str = ""
+    ) -> dict[str, Any]:
+        """Mint a new ``submitted`` job; returns its status payload."""
+        with self._lock:
+            self._evict_expired()
+            self._seq += 1
+            job_id = f"j{self._seq:05d}-{digest[:10]}"
+            job = Job(
+                id=job_id,
+                created_at=self._clock(),
+                seed=seed,
+                config_hash=config_hash,
+            )
+            self._jobs[job_id] = job
+            self._enforce_capacity()
+            self._save()
+            return job.to_dict()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def payload(
+        self, job_id: str, include_result: bool = False
+    ) -> dict[str, Any] | None:
+        """Status payload of one job, or ``None`` when unknown/expired."""
+        with self._lock:
+            self._evict_expired()
+            job = self._jobs.get(job_id)
+            return job.to_dict(include_result=include_result) if job else None
+
+    def is_expired(self, job_id: str) -> bool:
+        """True when the job existed but its TTL has evicted it."""
+        with self._lock:
+            self._evict_expired()
+            return job_id in self._expired
+
+    def list_payload(
+        self, limit: int = 50, state: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Newest-first bounded listing of job summaries (no results)."""
+        if state is not None and state not in JobState.ALL:
+            raise ConfigurationError(
+                f"unknown job state {state!r}; states are {list(JobState.ALL)}"
+            )
+        with self._lock:
+            self._evict_expired()
+            out: list[dict[str, Any]] = []
+            for job in reversed(self._jobs.values()):
+                if state is not None and job.state != state:
+                    continue
+                out.append(job.to_dict())
+                if len(out) >= limit:
+                    break
+            return out
+
+    def counts(self) -> dict[str, int]:
+        """Number of stored jobs per state."""
+        with self._lock:
+            self._evict_expired()
+            out = {state: 0 for state in JobState.ALL}
+            for job in self._jobs.values():
+                out[job.state] += 1
+            return out
+
+    def pending_count(self) -> int:
+        """Jobs not yet terminal (queued + running)."""
+        with self._lock:
+            self._evict_expired()
+            return sum(1 for job in self._jobs.values() if not job.terminal)
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for ``/metrics``."""
+        with self._lock:
+            counts = self.counts()
+            return {
+                "states": counts,
+                "pending": counts[JobState.SUBMITTED] + counts[JobState.RUNNING],
+                "size": len(self._jobs),
+                "capacity": self._capacity,
+                "created": self._seq,
+                "expired": len(self._expired),
+            }
+
+    # ------------------------------------------------------------------
+    # Lifecycle transitions (called by the worker pool)
+    # ------------------------------------------------------------------
+    def mark_running(self, job_id: str, total_stages: int = 0) -> bool:
+        """``submitted`` → ``running``; False when the job was cancelled
+        (or evicted) before its worker picked it up."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != JobState.SUBMITTED:
+                return False
+            if job.cancel_requested:
+                self._finish_locked(job, JobState.CANCELLED, error={
+                    "type": "CancelledError",
+                    "message": "job cancelled before it started",
+                })
+                return False
+            job.state = JobState.RUNNING
+            job.started_at = self._clock()
+            job.progress["total_stages"] = total_stages
+            self._save()
+            return True
+
+    def update_progress(
+        self,
+        job_id: str,
+        current_stage: str | None = None,
+        completed_stage: str | None = None,
+    ) -> None:
+        """Record stage progress (not persisted — too chatty)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return
+            progress = job.progress
+            if current_stage is not None:
+                progress["current_stage"] = current_stage
+            if completed_stage is not None:
+                done = progress["stages_completed"]
+                if completed_stage not in done:
+                    done.append(completed_stage)
+                if progress["current_stage"] == completed_stage:
+                    progress["current_stage"] = None
+                total = progress["total_stages"]
+                if total:
+                    progress["fraction"] = round(len(done) / total, 4)
+
+    def finish(
+        self,
+        job_id: str,
+        state: str,
+        result: dict[str, Any] | None = None,
+        error: dict[str, Any] | None = None,
+        degraded: bool = False,
+        degradation: dict[str, Any] | None = None,
+    ) -> None:
+        """Move a job to a terminal state and arm its TTL."""
+        if state not in JobState.TERMINAL:
+            raise ConfigurationError(
+                f"finish() needs a terminal state, got {state!r}"
+            )
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return
+            self._finish_locked(
+                job, state, result=result, error=error,
+                degraded=degraded, degradation=degradation,
+            )
+
+    def _finish_locked(
+        self,
+        job: Job,
+        state: str,
+        result: dict[str, Any] | None = None,
+        error: dict[str, Any] | None = None,
+        degraded: bool = False,
+        degradation: dict[str, Any] | None = None,
+    ) -> None:
+        job.state = state
+        job.finished_at = self._clock()
+        job.expires_at = job.finished_at + self._ttl
+        job.result = result
+        job.error = error
+        job.degraded = degraded
+        job.degradation = degradation
+        if state == JobState.SUCCEEDED:
+            job.progress["fraction"] = 1.0
+            job.progress["current_stage"] = None
+        self._save()
+
+    def request_cancel(self, job_id: str) -> str | None:
+        """Ask for cancellation.
+
+        Returns ``"cancelled"`` (was still queued — cancelled on the
+        spot), ``"cancelling"`` (running — its token is the worker's
+        to honour), ``"finished"`` (already terminal), or ``None``
+        (unknown job).
+        """
+        with self._lock:
+            self._evict_expired()
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.terminal:
+                return "finished"
+            job.cancel_requested = True
+            if job.state == JobState.SUBMITTED:
+                self._finish_locked(job, JobState.CANCELLED, error={
+                    "type": "CancelledError",
+                    "message": "job cancelled before it started",
+                })
+                return "cancelled"
+            self._save()
+            return "cancelling"
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Whether cancellation was requested for this job."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return bool(job and job.cancel_requested)
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _remember_expired(self, job: Job) -> None:
+        self._expired[job.id] = job.state
+        while len(self._expired) > _EXPIRED_MEMORY:
+            self._expired.popitem(last=False)
+
+    def _evict_expired(self, now: float | None = None) -> int:
+        """Drop terminal jobs past their TTL (call with the lock held)."""
+        now = self._clock() if now is None else now
+        stale = [
+            job for job in self._jobs.values()
+            if job.terminal and job.expires_at is not None
+            and job.expires_at <= now
+        ]
+        for job in stale:
+            del self._jobs[job.id]
+            self._remember_expired(job)
+        if stale:
+            self._save()
+        return len(stale)
+
+    def _enforce_capacity(self) -> None:
+        """Evict oldest terminal jobs beyond capacity (lock held)."""
+        if len(self._jobs) <= self._capacity:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self._capacity:
+                break
+            job = self._jobs[job_id]
+            if job.terminal:
+                del self._jobs[job_id]
+                self._remember_expired(job)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _save(self) -> None:
+        if self._persist_path is None:
+            return
+        payload = {
+            "seq": self._seq,
+            "jobs": [job.to_record() for job in self._jobs.values()],
+            "expired": dict(self._expired),
+        }
+        tmp = self._persist_path.with_suffix(self._persist_path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(self._persist_path)
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self._persist_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"could not load job store from {self._persist_path}: {exc}"
+            ) from exc
+        self._seq = int(payload.get("seq", 0))
+        for name, state in dict(payload.get("expired", {})).items():
+            self._expired[str(name)] = str(state)
+        for record in payload.get("jobs", []):
+            job = Job.from_record(record)
+            if not job.terminal:
+                # The previous process died mid-flight; the work is gone.
+                job.state = JobState.FAILED
+                job.error = {
+                    "type": "Interrupted",
+                    "message": "job interrupted by a service restart",
+                }
+                job.finished_at = self._clock()
+                job.expires_at = job.finished_at + self._ttl
+            self._jobs[job.id] = job

@@ -1,0 +1,176 @@
+"""Runs jobs on the shared worker pool with progress + cancellation.
+
+The worker is deliberately thin: every state transition goes through
+the :class:`~repro.jobs.store.JobStore`, progress comes straight from
+the pipeline's own :class:`~repro.runtime.Instrumentation` events (no
+second bookkeeping path to drift), and cancellation is the runtime's
+cooperative :class:`~repro.runtime.CancellationToken`, checked by the
+:class:`~repro.runtime.runner.PipelineRunner` between stages.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+import numpy as np
+
+from .models import JobState
+from .store import JobStore
+from ..errors import CancelledError, ReproError
+from ..perf.pool import WorkerPool
+from ..runtime import CancellationToken, Instrumentation
+from ..runtime.instrumentation import SpanEvent
+from ..serialization import analysis_payload
+
+
+class JobProgressSink:
+    """Instrumentation sink that mirrors stage events into a job record.
+
+    The runner emits a ``runtime/stage_start`` event before each stage
+    and a span for each finished one; this sink translates exactly
+    those two signals into the job's ``progress`` block.
+    """
+
+    __slots__ = ("_store", "_job_id", "_stages")
+
+    def __init__(
+        self, store: JobStore, job_id: str, stage_names: tuple[str, ...]
+    ) -> None:
+        self._store = store
+        self._job_id = job_id
+        self._stages = set(stage_names)
+
+    def emit(self, event: SpanEvent) -> None:
+        if event.kind == "event" and event.name == "runtime/stage_start":
+            stage = event.field_dict().get("stage")
+            if stage in self._stages:
+                self._store.update_progress(self._job_id, current_stage=stage)
+        elif event.kind == "span" and event.name in self._stages:
+            self._store.update_progress(
+                self._job_id, completed_stage=event.name
+            )
+
+
+class JobWorkerPool:
+    """Executes jobs on a shared :class:`~repro.perf.pool.WorkerPool`.
+
+    Holds one :class:`CancellationToken` per in-flight job so
+    ``DELETE /v1/jobs/{id}`` can interrupt the run between pipeline
+    stages without poisoning the pool: the worker catches the resulting
+    :class:`~repro.errors.CancelledError`, records the terminal state,
+    and returns its thread to the pool clean.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        store: JobStore,
+        metrics: Any | None = None,
+        serializer: Callable[[Any], dict[str, Any]] = analysis_payload,
+    ) -> None:
+        self._pool = pool
+        self._store = store
+        self._metrics = metrics
+        self._serializer = serializer
+        self._lock = threading.Lock()
+        self._tokens: dict[str, CancellationToken] = {}
+
+    def submit(
+        self,
+        job_id: str,
+        analyzer: Any,
+        video: Any,
+        annotation: Any = None,
+        seed: int = 0,
+    ) -> None:
+        """Queue one job; returns immediately."""
+        token = CancellationToken()
+        with self._lock:
+            self._tokens[job_id] = token
+        self._pool.submit(
+            self._run, job_id, analyzer, video, annotation, seed, token
+        )
+
+    def cancel(self, job_id: str) -> None:
+        """Trip the job's token (no-op when it already finished)."""
+        with self._lock:
+            token = self._tokens.get(job_id)
+        if token is not None:
+            token.cancel()
+
+    def active(self) -> int:
+        """Jobs currently holding a cancellation token."""
+        with self._lock:
+            return len(self._tokens)
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        job_id: str,
+        analyzer: Any,
+        video: Any,
+        annotation: Any,
+        seed: int,
+        token: CancellationToken,
+    ) -> None:
+        store = self._store
+        try:
+            # A cancel that landed while the job sat in the queue is
+            # honoured without ever starting the pipeline.
+            if store.cancel_requested(job_id):
+                token.cancel()
+            stage_names = tuple(getattr(analyzer, "STAGES", ()))
+            if not store.mark_running(job_id, total_stages=len(stage_names)):
+                return  # cancelled pre-start or evicted
+            if token.cancelled:
+                store.finish(
+                    job_id,
+                    JobState.CANCELLED,
+                    error={
+                        "type": "CancelledError",
+                        "message": "job cancelled before it started",
+                    },
+                )
+                return
+            instrumentation = Instrumentation(
+                sink=JobProgressSink(store, job_id, stage_names)
+            )
+            analysis = analyzer.analyze(
+                video,
+                annotation=annotation,
+                rng=np.random.default_rng(seed),
+                instrumentation=instrumentation,
+                cancel_token=token,
+            )
+            if self._metrics is not None and hasattr(analysis, "trace"):
+                self._metrics.observe_trace(analysis.trace)
+            result = self._serializer(analysis)
+            store.finish(
+                job_id,
+                JobState.SUCCEEDED,
+                result=result,
+                degraded=bool(result.get("degraded", False)),
+                degradation=result.get("degradation"),
+            )
+        except CancelledError as exc:
+            store.finish(
+                job_id,
+                JobState.CANCELLED,
+                error={"type": "CancelledError", "message": str(exc)},
+            )
+        except ReproError as exc:
+            store.finish(
+                job_id,
+                JobState.FAILED,
+                error={"type": type(exc).__name__, "message": str(exc)},
+            )
+        except BaseException as exc:  # the pool thread must survive
+            store.finish(
+                job_id,
+                JobState.FAILED,
+                error={"type": "InternalError", "message": str(exc)},
+            )
+        finally:
+            with self._lock:
+                self._tokens.pop(job_id, None)

@@ -15,6 +15,10 @@ Submodules
 ``cache``
     :class:`AnalyzerCache`, an LRU keyed by config hash so repeated
     service requests stop rebuilding :class:`~repro.pipeline.JumpAnalyzer`.
+``pool``
+    :class:`WorkerPool`, the counted bounded thread pool shared by the
+    synchronous service path, the batch fan-out and the async job
+    subsystem (:mod:`repro.jobs`).
 ``compat``
     Context manager restoring the pre-optimisation hot paths — used by
     the bench harness to measure honest speedups and by the parity
@@ -30,10 +34,12 @@ from __future__ import annotations
 
 from .cache import AnalyzerCache
 from .executors import BACKENDS, ParallelConfig, parallel_map
+from .pool import WorkerPool
 
 __all__ = [
     "AnalyzerCache",
     "BACKENDS",
     "ParallelConfig",
+    "WorkerPool",
     "parallel_map",
 ]

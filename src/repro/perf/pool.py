@@ -1,0 +1,76 @@
+"""The bounded worker pool shared by every service execution path.
+
+PR 4 replaced the service's thread-per-request model with one bounded
+``ThreadPoolExecutor``; this module promotes that pool into a small
+reusable abstraction so the synchronous ``/analyze`` path, the batch
+fan-out *and* the asynchronous job subsystem (:mod:`repro.jobs`) all
+draw from the same fixed set of workers — one knob
+(``ServiceConfig.pool_workers``) bounds the host's total analysis
+parallelism no matter which API surface the work arrived through.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+from ..errors import ConfigurationError
+
+
+class WorkerPool:
+    """A counted, bounded thread pool.
+
+    Thin wrapper over :class:`~concurrent.futures.ThreadPoolExecutor`
+    that tracks submitted / completed / active counts for ``/metrics``.
+    Futures behave exactly like executor futures (cancellation of
+    queued work included); cancelled futures count as completed.
+    """
+
+    def __init__(
+        self, max_workers: int, thread_name_prefix: str = "worker"
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"worker pool needs max_workers >= 1, got {max_workers}"
+            )
+        self._max_workers = max_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=thread_name_prefix
+        )
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+
+    @property
+    def max_workers(self) -> int:
+        """The fixed worker count."""
+        return self._max_workers
+
+    def submit(
+        self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any
+    ) -> Future:
+        """Schedule ``fn(*args, **kwargs)``; returns its future."""
+        with self._lock:
+            self._submitted += 1
+        future = self._executor.submit(fn, *args, **kwargs)
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, _future: Future) -> None:
+        with self._lock:
+            self._completed += 1
+
+    def stats(self) -> dict[str, int]:
+        """Counters for ``/metrics``: workers, submitted, completed, active."""
+        with self._lock:
+            return {
+                "workers": self._max_workers,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "active": self._submitted - self._completed,
+            }
+
+    def shutdown(self, wait: bool = False, cancel_futures: bool = True) -> None:
+        """Stop accepting work; optionally cancel queued futures."""
+        self._executor.shutdown(wait=wait, cancel_futures=cancel_futures)

@@ -32,6 +32,7 @@ from .model.annotation import FirstFrameAnnotation, auto_annotate
 from .model.pose import StickPose
 from .perf.executors import ParallelConfig
 from .runtime import (
+    CancellationToken,
     FallbackPolicy,
     FunctionStage,
     Instrumentation,
@@ -429,6 +430,7 @@ class JumpAnalyzer:
         annotation: FirstFrameAnnotation | None = None,
         rng: np.random.Generator | None = None,
         instrumentation: Instrumentation | None = None,
+        cancel_token: "CancellationToken | None" = None,
     ) -> JumpAnalysis:
         """Run segmentation, tracking, event detection and scoring.
 
@@ -440,13 +442,19 @@ class JumpAnalyzer:
         ``instrumentation`` chooses the observability sink for this
         run; by default a fresh silent collector is used, so the
         returned :attr:`JumpAnalysis.trace` is always populated.
+
+        ``cancel_token`` enables cooperative cancellation: the runner
+        checks it between stages and raises
+        :class:`~repro.errors.CancelledError` once it is set (the job
+        subsystem's ``DELETE /v1/jobs/{id}`` path).
         """
         rng = rng if rng is not None else np.random.default_rng(0)
 
         config_dict = self.config.to_dict()
         resolved_hash = config_hash(config_dict)
         context = StageContext(
-            instrumentation=instrumentation or Instrumentation()
+            instrumentation=instrumentation or Instrumentation(),
+            cancel_token=cancel_token,
         )
         context.artifacts["annotation"] = annotation
         context.artifacts["rng"] = rng

@@ -15,6 +15,7 @@ this package; perf work (caching, batching, frame-parallelism) hooks
 in here rather than into any one algorithm.
 """
 
+from .cancellation import CancellationToken
 from .instrumentation import (
     Instrumentation,
     LoggingSink,
@@ -39,6 +40,7 @@ from .trace import RunTrace, StageTiming
 
 __all__ = [
     "CATCHABLE_ERRORS",
+    "CancellationToken",
     "FallbackPolicy",
     "FunctionStage",
     "Instrumentation",

@@ -1,0 +1,52 @@
+"""Cooperative cancellation for pipeline runs.
+
+A :class:`CancellationToken` is a thread-safe flag shared between the
+party that wants a run stopped (a job-cancel endpoint, a signal
+handler) and the :class:`~repro.runtime.runner.PipelineRunner`
+executing it.  The runner checks the token *between* stages — stages
+themselves never see it, so a cancelled run stops at the next stage
+boundary with a :class:`~repro.errors.CancelledError` rather than
+corrupting in-flight work.  Retry/fallback policies never observe the
+cancellation either: the check happens outside the per-stage policy
+machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import CancelledError
+
+
+class CancellationToken:
+    """Thread-safe, one-way cancellation flag.
+
+    ``cancel()`` may be called from any thread, any number of times;
+    once set the token never resets.  The executing side polls
+    :attr:`cancelled` or calls :meth:`raise_if_cancelled` at safe
+    points.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, thread-safe)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+    def raise_if_cancelled(self, where: str = "") -> None:
+        """Raise :class:`~repro.errors.CancelledError` if cancelled."""
+        if self._event.is_set():
+            suffix = f" before stage {where!r}" if where else ""
+            raise CancelledError(f"run cancelled{suffix}")
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        return f"CancellationToken({state})"

@@ -175,6 +175,13 @@ class PipelineRunner:
         degradations: list[dict[str, str]] = []
         run_start = time.perf_counter()
         for stage in self._stages:
+            # Cooperative cancellation: checked at stage boundaries
+            # only, outside the retry/fallback machinery, so a
+            # cancelled run never half-applies a stage or triggers a
+            # fallback substitute.
+            if context.cancel_token is not None:
+                context.cancel_token.raise_if_cancelled(stage.name)
+            inst.event("runtime/stage_start", stage=stage.name)
             start = time.perf_counter()
             value, degradation = self._run_stage(stage, value, context, inst)
             if degradation is not None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, runtime_checkable
 
+from .cancellation import CancellationToken
 from .instrumentation import Instrumentation
 from ..errors import ConfigurationError
 
@@ -24,12 +25,15 @@ class StageContext:
     silhouette stream); ``instrumentation`` is the run's collector;
     ``metadata`` holds run-level provenance (config dict + hash) that
     the runner copies onto the resulting
-    :class:`~repro.runtime.trace.RunTrace`.
+    :class:`~repro.runtime.trace.RunTrace`; ``cancel_token`` (when
+    set) lets the runner abort the run cooperatively between stages
+    (see :mod:`repro.runtime.cancellation`).
     """
 
     instrumentation: Instrumentation = field(default_factory=Instrumentation)
     artifacts: dict[str, Any] = field(default_factory=dict)
     metadata: dict[str, Any] = field(default_factory=dict)
+    cancel_token: "CancellationToken | None" = None
 
     def require(self, key: str) -> Any:
         """Fetch an artifact an upstream stage must have produced."""

@@ -20,6 +20,7 @@ from .model.sticks import BodyDimensions
 from .scoring.report import JumpReport
 from .scoring.phases import StageWindows
 from .scoring.rules import RULES
+from .scoring.standards import ADVICE, Standard
 
 
 # ----------------------------------------------------------------------
@@ -168,6 +169,56 @@ def analysis_to_dict(analysis) -> dict[str, Any]:
     }
 
 
+def analysis_payload(analysis) -> dict[str, Any]:
+    """The one wire format for a finished analysis.
+
+    :func:`analysis_to_dict` plus the degradation summary: a top-level
+    ``"degraded"`` flag and, when set, a ``"degradation"`` block naming
+    the unhealthy frames and fallback stages.  The HTTP service, the
+    async job results and the CLI ``--json`` output all emit exactly
+    this shape, so a payload can be moved between them freely.
+    """
+    payload = analysis_to_dict(analysis)
+    payload["degraded"] = analysis.degraded
+    if analysis.degraded:
+        diagnostics = analysis.diagnostics
+        payload["degradation"] = {
+            "unhealthy_frames": list(diagnostics.get("unhealthy_frames", [])),
+            "flagged_frames": list(diagnostics.get("flagged_frames", [])),
+            "degraded_stages": list(diagnostics.get("degraded_stages", [])),
+        }
+    return payload
+
+
 def write_analysis_json(path: str | Path, analysis) -> None:
     """Write one analysis as indented JSON (CLI ``--json``)."""
-    Path(path).write_text(json.dumps(analysis_to_dict(analysis), indent=2))
+    Path(path).write_text(json.dumps(analysis_payload(analysis), indent=2))
+
+
+def standards_payload() -> dict[str, Any]:
+    """The Table 1 standards and Table 2 rules as one JSON document.
+
+    Served by ``GET /v1/standards`` and reusable by any client that
+    wants to render explanations offline.
+    """
+    return {
+        "standards": [
+            {
+                "name": standard.name,
+                "stage": standard.stage,
+                "description": standard.description,
+                "advice": ADVICE[standard],
+            }
+            for standard in Standard
+        ],
+        "rules": [
+            {
+                "rule": rule.rule_id,
+                "standard": rule.standard.name,
+                "expression": rule.expression,
+                "threshold_deg": rule.threshold,
+                "direction": "greater" if rule.greater else "less",
+            }
+            for rule in RULES
+        ],
+    }

@@ -4,59 +4,66 @@ The paper's future work: "we would also like to build a web-based
 system on the Internet.  The user will be able to upload a video
 sequence of a standing long jump ... the system will be able to
 respond with advices to the user."  This module implements that
-service over the library:
+service over the library.
 
-* ``POST /analyze`` — body is a JSON object
+The HTTP surface is versioned: every endpoint lives under ``/v1/``,
+and the original unversioned paths are served as deprecated aliases —
+same handler, same body, plus a ``Deprecation: true`` response header.
+The full route table (:data:`ROUTES`) is part of the public API and
+snapshot-tested.
+
+* ``POST /v1/analyze`` — body is a JSON object
   ``{"video_npz_b64": <base64 of a compressed .npz with a 'frames'
   array>, "annotation": <optional annotation dict>, "seed": <int>}``;
   the response is the serialised analysis (report, advice, poses,
   events, measurement).
-* ``GET /health`` — liveness probe, with in-flight request count and
-  the last analysis error (if any).
-* ``GET /standards`` — the Table 1 standards and Table 2 rules, so a
-  client can render explanations.
-* ``GET /config`` — the server's fully-resolved default configuration,
-  its stable hash, and the known preset names.
-* ``POST /analyze/batch`` — body is ``{"videos": [<analyze items>],
+* ``POST /v1/analyze/batch`` — body is ``{"videos": [<analyze items>],
   "config"/"preset"/"seed": ...}``; all items share one resolved
   analyzer, one concurrency slot and one deadline, and fan out across
-  the shared worker pool.  The response lists per-item
-  ``{"ok": true, "analysis": ...}`` / ``{"ok": false, "error": ...}``
-  results in request order.
-* ``GET /metrics`` — cumulative per-stage wall-clock timings, pipeline
-  counters and request counts across every request served so far
-  (backed by :class:`repro.runtime.MetricsRegistry`), plus analyzer
-  cache hit/miss statistics and worker-pool utilisation.
+  the shared worker pool.
+* ``POST /v1/jobs`` — the same body as ``/v1/analyze``, but the
+  response is **202 Accepted** with a job id *before* the analysis
+  runs.  The job executes on the shared worker pool; its per-stage
+  progress is visible while it runs and it can be cancelled
+  cooperatively between pipeline stages (:mod:`repro.jobs`).
+* ``GET /v1/jobs`` / ``GET /v1/jobs/{id}`` /
+  ``GET /v1/jobs/{id}/result`` / ``DELETE /v1/jobs/{id}`` — bounded
+  listing, status+progress polling, result retrieval (structured 410
+  after the result TTL), and cancellation.
+* ``GET /v1/health`` — liveness probe, with in-flight request count
+  and the last analysis error (if any).
+* ``GET /v1/standards`` — the Table 1 standards and Table 2 rules.
+* ``GET /v1/config`` — the server's fully-resolved default
+  configuration, its stable hash, and the known preset names.
+* ``GET /v1/version`` — package version, API version, config hash.
+* ``GET /v1/metrics`` — cumulative per-stage timings, pipeline
+  counters, request counts, analyzer-cache stats, worker-pool
+  utilisation, and job-store counters.
 
-An ``/analyze`` request may carry a ``"config"`` block (a partial
-config dict, deep-merged over the server defaults) and/or a
-``"preset"`` name; unknown or ill-typed keys are answered with a
-structured 400 naming the offending dotted key.  The response embeds
-the fully-resolved config and its hash.
+Every non-2xx response carries one envelope::
 
-Malformed requests (invalid JSON, non-object bodies, missing or
-undecodable video payloads) are answered with HTTP 400 and a
-structured JSON error ``{"error": {"code": ..., "message": ...}}``;
-analysable-but-failing videos map to 422; unexpected faults to 500.
+    {"error": {"type": <machine-readable>, "message": <human-readable>,
+               "detail": <structured context or null>}}
 
-The service is hardened against abuse and overload
-(:class:`ServiceConfig`): bodies over ``max_body_bytes`` are refused
-with 413 before the payload is read; more than ``max_concurrent``
-simultaneous analyses are refused with 503 + ``Retry-After``; an
-analysis that exceeds ``deadline_seconds`` is answered with 504 (its
-worker keeps its concurrency slot until it actually finishes, so
-zombies cannot oversubscribe the host).  Analyses run on a bounded
-shared worker pool (``pool_workers``), and per-request analyzers are
-served from an LRU cache keyed by config hash + execution backend
-(``analyzer_cache_size``).  Analyses that completed
-through the degradation machinery still return 200, with a top-level
-``"degraded": true`` and a ``"degradation"`` block naming the
-unhealthy frames and fallback stages.
+Malformed requests map to 400, analysable-but-failing videos to 422,
+unexpected faults to 500.  The service is hardened against abuse and
+overload (:class:`ServiceConfig`): bodies over ``max_body_bytes`` are
+refused with 413 before the payload is read; more than
+``max_concurrent`` simultaneous analyses are refused with 503 +
+``Retry-After``; an analysis that exceeds ``deadline_seconds`` is
+answered with 504 (its worker keeps its concurrency slot until it
+actually finishes, so zombies cannot oversubscribe the host).  All
+analyses — synchronous, batch and jobs — share one bounded
+:class:`~repro.perf.pool.WorkerPool` (``pool_workers``), and
+per-request analyzers are served from an LRU cache keyed by config
+hash + execution backend (``analyzer_cache_size``).  Analyses that
+completed through the degradation machinery still return 200, with a
+top-level ``"degraded": true`` and a ``"degradation"`` block.
 
 Start a server with :func:`serve` (blocking) or
 :class:`ServiceHandle` (background thread, used by the tests and the
-example).  Helpers :func:`encode_video` / :func:`request_analysis`
-implement the client side with stdlib ``urllib``.
+example).  The client side lives in :class:`repro.client.ServiceClient`;
+the old :func:`request_analysis` helper survives as a deprecated shim.
 """
 
 from __future__ import annotations
@@ -66,11 +73,12 @@ import io
 import json
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
@@ -82,13 +90,43 @@ from .config import (
     preset_names,
 )
 from .errors import ConfigurationError, ReproError
+from .jobs import JobManager, JobQueueFull, JobsConfig, JobStore
 from .perf.cache import AnalyzerCache
+from .perf.pool import WorkerPool
 from .pipeline import AnalyzerConfig, JumpAnalyzer
 from .runtime import Instrumentation, MetricsRegistry
-from .scoring.rules import RULES
-from .scoring.standards import ADVICE, Standard
-from .serialization import analysis_to_dict, annotation_from_dict
+from .serialization import (
+    analysis_payload,
+    annotation_from_dict,
+    standards_payload,
+)
 from .video.sequence import VideoSequence
+
+#: The one API version this server speaks.
+API_VERSION = "v1"
+
+#: The complete HTTP surface, versioned.  Unversioned aliases of every
+#: route are also served, answering with a ``Deprecation: true``
+#: header.  Snapshot-tested in ``tests/test_api_surface.py``.
+ROUTES: tuple[tuple[str, str], ...] = (
+    ("GET", "/v1/config"),
+    ("GET", "/v1/health"),
+    ("GET", "/v1/jobs"),
+    ("GET", "/v1/jobs/{id}"),
+    ("GET", "/v1/jobs/{id}/result"),
+    ("GET", "/v1/metrics"),
+    ("GET", "/v1/standards"),
+    ("GET", "/v1/version"),
+    ("POST", "/v1/analyze"),
+    ("POST", "/v1/analyze/batch"),
+    ("POST", "/v1/jobs"),
+    ("DELETE", "/v1/jobs/{id}"),
+)
+
+
+def route_table() -> list[str]:
+    """The route surface as sorted ``"METHOD /path"`` strings."""
+    return sorted(f"{method} {path}" for method, path in ROUTES)
 
 
 @dataclass(frozen=True, slots=True)
@@ -112,6 +150,8 @@ class ServiceConfig:
     analyzer_cache_size: int = 8
     # Upper bound on videos in one ``POST /analyze/batch`` request.
     max_batch_videos: int = 16
+    # The asynchronous job subsystem (``/v1/jobs``).
+    jobs: JobsConfig = field(default_factory=JobsConfig)
 
     def __post_init__(self) -> None:
         if self.max_body_bytes < 1:
@@ -157,9 +197,9 @@ class _ServiceState:
         with self._lock:
             self.in_flight -= 1
 
-    def record_error(self, code: str, message: str) -> None:
+    def record_error(self, error_type: str, message: str) -> None:
         with self._lock:
-            self.last_error = {"code": code, "message": message}
+            self.last_error = {"type": error_type, "message": message}
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
@@ -184,50 +224,50 @@ def decode_video(payload_b64: str) -> VideoSequence:
         raise ReproError(f"could not decode video payload: {exc}") from exc
 
 
-def _standards_payload() -> dict[str, Any]:
-    return {
-        "standards": [
-            {
-                "name": standard.name,
-                "stage": standard.stage,
-                "description": standard.description,
-                "advice": ADVICE[standard],
-            }
-            for standard in Standard
-        ],
-        "rules": [
-            {
-                "rule": rule.rule_id,
-                "standard": rule.standard.name,
-                "expression": rule.expression,
-                "threshold_deg": rule.threshold,
-                "direction": "greater" if rule.greater else "less",
-            }
-            for rule in RULES
-        ],
-    }
-
-
 class _BadRequest(Exception):
-    """A client error that maps to an HTTP 4xx with a structured payload."""
+    """A client error that maps to an HTTP status with a structured payload."""
 
     def __init__(
         self,
-        code: str,
+        error_type: str,
         message: str,
         status: int = 400,
         headers: dict[str, str] | None = None,
+        detail: Any = None,
     ) -> None:
         super().__init__(message)
-        self.code = code
+        self.error_type = error_type
         self.status = status
         self.headers = headers
+        self.detail = detail
 
 
 class _Handler(BaseHTTPRequestHandler):
     """Request handler bound to one analyzer instance via the server."""
 
     server_version = "slj/1.0"
+
+    # Set per-request by _route(): True when the client used an
+    # unversioned (deprecated) alias path.
+    _deprecated = False
+
+    def _route(self) -> str:
+        """Normalise the request path to its unversioned core.
+
+        ``/v1/...`` is the canonical surface; any other prefix is the
+        legacy alias and flags the response as deprecated.  The query
+        string is parsed into ``self._query``.
+        """
+        parts = urlsplit(self.path)
+        self._query = parse_qs(parts.query)
+        path = parts.path
+        prefix = f"/{API_VERSION}"
+        if path == prefix or path.startswith(prefix + "/"):
+            self._deprecated = False
+            path = path[len(prefix):] or "/"
+        else:
+            self._deprecated = True
+        return path
 
     def _send_json(
         self,
@@ -239,6 +279,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._deprecated:
+            self.send_header("Deprecation", "true")
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -247,16 +289,33 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_error_json(
         self,
         status: int,
-        code: str,
+        error_type: str,
         message: str,
         headers: dict[str, str] | None = None,
+        detail: Any = None,
     ) -> None:
-        """Structured JSON error: ``{"error": {"code", "message"}}``."""
+        """The one error envelope: ``{"error": {"type", "message", "detail"}}``."""
         self._send_json(
             status,
-            {"error": {"code": code, "message": message}},
+            {
+                "error": {
+                    "type": error_type,
+                    "message": message,
+                    "detail": detail,
+                }
+            },
             headers=headers,
         )
+
+    def _send_bad_request(self, exc: _BadRequest) -> None:
+        self._send_error_json(
+            exc.status,
+            exc.error_type,
+            str(exc),
+            headers=exc.headers,
+            detail=exc.detail,
+        )
+        self._finish(exc.status)
 
     def _finish(self, status: int) -> None:
         self.server.metrics.count_request(  # type: ignore[attr-defined]
@@ -266,58 +325,235 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep test output clean
 
+    # ------------------------------------------------------------------
+    # GET
+    # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        if self.path == "/health":
-            state = self.server.state.snapshot()  # type: ignore[attr-defined]
-            service_config = self.server.service_config  # type: ignore[attr-defined]
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "in_flight": state["in_flight"],
-                    "max_concurrent": service_config.max_concurrent,
-                    "last_error": state["last_error"],
-                },
-            )
-            self._finish(200)
-        elif self.path == "/standards":
-            self._send_json(200, _standards_payload())
-            self._finish(200)
-        elif self.path == "/config":
-            config = self.server.analyzer.config  # type: ignore[attr-defined]
-            resolved = config_to_dict(config)
-            self._send_json(
-                200,
-                {
-                    "config": resolved,
-                    "config_hash": config_hash(resolved),
-                    "presets": list(preset_names()),
-                },
-            )
-            self._finish(200)
-        elif self.path == "/metrics":
-            snapshot = self.server.metrics.snapshot()  # type: ignore[attr-defined]
-            snapshot["analyzer_cache"] = (
-                self.server.analyzer_cache.stats()  # type: ignore[attr-defined]
-            )
-            state = self.server.state.snapshot()  # type: ignore[attr-defined]
-            service_config = self.server.service_config  # type: ignore[attr-defined]
-            snapshot["pool"] = {
-                "workers": service_config.effective_pool_workers,
-                "in_flight": state["in_flight"],
-                "submitted": snapshot["counters"].get(
-                    "service.pool.submitted", 0
-                ),
-                "completed": snapshot["counters"].get(
-                    "service.pool.completed", 0
-                ),
-            }
-            self._send_json(200, snapshot)
-            self._finish(200)
-        else:
-            self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
-            self._finish(404)
+        path = self._route()
+        try:
+            if path == "/health":
+                self._handle_health()
+            elif path == "/standards":
+                self._send_json(200, standards_payload())
+                self._finish(200)
+            elif path == "/config":
+                self._handle_config()
+            elif path == "/version":
+                self._handle_version()
+            elif path == "/metrics":
+                self._handle_metrics()
+            elif path == "/jobs":
+                self._handle_jobs_list()
+            elif path.startswith("/jobs/"):
+                rest = path[len("/jobs/"):]
+                if rest.endswith("/result"):
+                    self._handle_job_result(rest[: -len("/result")])
+                elif "/" not in rest and rest:
+                    self._handle_job_status(rest)
+                else:
+                    raise _BadRequest(
+                        "not_found", f"unknown path {self.path!r}", status=404
+                    )
+            else:
+                raise _BadRequest(
+                    "not_found", f"unknown path {self.path!r}", status=404
+                )
+        except _BadRequest as exc:
+            self._send_bad_request(exc)
 
+    def _handle_health(self) -> None:
+        state = self.server.state.snapshot()  # type: ignore[attr-defined]
+        service_config = self.server.service_config  # type: ignore[attr-defined]
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "in_flight": state["in_flight"],
+                "max_concurrent": service_config.max_concurrent,
+                "last_error": state["last_error"],
+            },
+        )
+        self._finish(200)
+
+    def _handle_config(self) -> None:
+        config = self.server.analyzer.config  # type: ignore[attr-defined]
+        resolved = config_to_dict(config)
+        self._send_json(
+            200,
+            {
+                "config": resolved,
+                "config_hash": config_hash(resolved),
+                "presets": list(preset_names()),
+            },
+        )
+        self._finish(200)
+
+    def _handle_version(self) -> None:
+        import repro
+
+        config = self.server.analyzer.config  # type: ignore[attr-defined]
+        self._send_json(
+            200,
+            {
+                "package_version": repro.__version__,
+                "api_version": API_VERSION,
+                "config_hash": config_hash(config_to_dict(config)),
+            },
+        )
+        self._finish(200)
+
+    def _handle_metrics(self) -> None:
+        snapshot = self.server.metrics.snapshot()  # type: ignore[attr-defined]
+        snapshot["analyzer_cache"] = (
+            self.server.analyzer_cache.stats()  # type: ignore[attr-defined]
+        )
+        state = self.server.state.snapshot()  # type: ignore[attr-defined]
+        pool_stats = self.server.pool.stats()  # type: ignore[attr-defined]
+        pool_stats["in_flight"] = state["in_flight"]
+        snapshot["pool"] = pool_stats
+        snapshot["jobs"] = self.server.jobs.stats()  # type: ignore[attr-defined]
+        self._send_json(200, snapshot)
+        self._finish(200)
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+    def _jobs_manager(self) -> JobManager:
+        manager: JobManager = self.server.jobs  # type: ignore[attr-defined]
+        if not manager.config.enabled:
+            raise _BadRequest(
+                "jobs_disabled",
+                "the asynchronous job API is disabled on this server",
+                status=503,
+            )
+        return manager
+
+    def _job_not_found(self, manager: JobManager, job_id: str) -> _BadRequest:
+        if manager.is_expired(job_id):
+            return _BadRequest(
+                "result_expired",
+                f"job {job_id!r} finished but its result expired",
+                status=410,
+            )
+        return _BadRequest(
+            "job_not_found", f"unknown job {job_id!r}", status=404
+        )
+
+    def _handle_jobs_list(self) -> None:
+        manager = self._jobs_manager()
+        try:
+            limit = int(self._query.get("limit", ["50"])[0])
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest("bad_limit", f"limit must be an integer: {exc}")
+        if not 1 <= limit <= 500:
+            raise _BadRequest(
+                "bad_limit", f"limit must be in [1, 500], got {limit}"
+            )
+        state = self._query.get("state", [None])[0]
+        try:
+            jobs = manager.list_payload(limit=limit, state=state)
+        except ConfigurationError as exc:
+            raise _BadRequest("bad_state", str(exc))
+        self._send_json(200, {"jobs": jobs, "count": len(jobs)})
+        self._finish(200)
+
+    def _handle_job_status(self, job_id: str) -> None:
+        manager = self._jobs_manager()
+        payload = manager.payload(job_id)
+        if payload is None:
+            raise self._job_not_found(manager, job_id)
+        self._send_json(200, {"job": payload})
+        self._finish(200)
+
+    def _handle_job_result(self, job_id: str) -> None:
+        manager = self._jobs_manager()
+        payload = manager.payload(job_id, include_result=True)
+        if payload is None:
+            raise self._job_not_found(manager, job_id)
+        analysis = payload.pop("result", None)
+        state = payload["state"]
+        if state == "succeeded":
+            self._send_json(200, {"job": payload, "analysis": analysis})
+            self._finish(200)
+            return
+        if state in ("failed", "cancelled"):
+            raise _BadRequest(
+                f"job_{state}",
+                f"job {job_id!r} {state}; it has no result",
+                status=409,
+                detail=payload.get("error"),
+            )
+        raise _BadRequest(
+            "job_not_finished",
+            f"job {job_id!r} is still {state}; poll GET "
+            f"/{API_VERSION}/jobs/{job_id} until it is terminal",
+            status=409,
+            detail={"state": state, "progress": payload.get("progress")},
+        )
+
+    def _handle_jobs_submit(self) -> None:
+        manager = self._jobs_manager()
+        service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
+        metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
+        request = self._read_json_body()
+        parsed = self._parse_video_item(request)
+        analyzer = self._resolve_analyzer(self._parse_config_block(request))
+        resolved_hash = config_hash(config_to_dict(analyzer.config))
+        digest = JobStore.digest_of(
+            str(request.get("video_npz_b64", "")),
+            str(parsed["seed"]),
+            resolved_hash,
+        )
+        try:
+            payload = manager.submit_analysis(
+                analyzer,
+                parsed["video"],
+                annotation=parsed["annotation"],
+                seed=parsed["seed"],
+                digest=digest,
+                config_hash=resolved_hash,
+            )
+        except JobQueueFull as exc:
+            metrics.increment("service.jobs.rejected")
+            raise _BadRequest(
+                "jobs_queue_full",
+                str(exc),
+                status=503,
+                headers={
+                    "Retry-After": str(service_config.retry_after_seconds)
+                },
+            )
+        metrics.increment("service.jobs.submitted")
+        self._send_json(
+            202,
+            {"job": payload},
+            headers={"Location": f"/{API_VERSION}/jobs/{payload['id']}"},
+        )
+        self._finish(202)
+
+    def _handle_job_cancel(self, job_id: str) -> None:
+        manager = self._jobs_manager()
+        metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
+        outcome = manager.cancel(job_id)
+        if outcome is None:
+            raise self._job_not_found(manager, job_id)
+        payload = manager.payload(job_id)
+        if outcome == "cancelling":
+            # The worker owns the token; the cancel lands between stages.
+            metrics.increment("service.jobs.cancelled")
+            self._send_json(202, {"job": payload, "cancel": outcome})
+            self._finish(202)
+            return
+        if outcome == "cancelled":
+            metrics.increment("service.jobs.cancelled")
+        # "cancelled" (was still queued) and "finished" (terminal
+        # already — cancelling is an idempotent no-op) both answer 200.
+        self._send_json(200, {"job": payload, "cancel": outcome})
+        self._finish(200)
+
+    # ------------------------------------------------------------------
+    # Request parsing
+    # ------------------------------------------------------------------
     def _drain_body(self, length: int, cap: int = 256 * 1024 * 1024) -> None:
         """Read and discard up to ``min(length, cap)`` body bytes."""
         remaining = min(length, cap)
@@ -382,7 +618,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _parse_video_item(
         self, item: dict[str, Any], default_seed: int = 0
     ) -> dict[str, Any]:
-        """Validate one video payload (shared by single and batch)."""
+        """Validate one video payload (shared by single, batch and jobs)."""
         if "video_npz_b64" not in item:
             raise _BadRequest(
                 "missing_field", "request is missing the 'video_npz_b64' field"
@@ -447,24 +683,11 @@ class _Handler(BaseHTTPRequestHandler):
             raise _BadRequest("bad_config", str(exc))
 
     def _analysis_payload(self, analysis: Any) -> dict[str, Any]:
-        """Serialise one successful analysis (shared by single and batch)."""
+        """Serialise one successful analysis and record its trace."""
         self.server.metrics.observe_trace(  # type: ignore[attr-defined]
             analysis.trace
         )
-        payload = analysis_to_dict(analysis)
-        payload["degraded"] = analysis.degraded
-        if analysis.degraded:
-            diagnostics = analysis.diagnostics
-            payload["degradation"] = {
-                "unhealthy_frames": list(
-                    diagnostics.get("unhealthy_frames", [])
-                ),
-                "flagged_frames": list(diagnostics.get("flagged_frames", [])),
-                "degraded_stages": list(
-                    diagnostics.get("degraded_stages", [])
-                ),
-            }
-        return payload
+        return analysis_payload(analysis)
 
     def _try_acquire_gate(self) -> bool:
         """One concurrency slot, or a 503 response already sent."""
@@ -482,30 +705,49 @@ class _Handler(BaseHTTPRequestHandler):
         self._finish(503)
         return False
 
+    # ------------------------------------------------------------------
+    # POST / DELETE
+    # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path == "/analyze":
-            self._handle_analyze()
-        elif self.path == "/analyze/batch":
-            self._handle_analyze_batch()
-        else:
-            self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
-            self._finish(404)
+        path = self._route()
+        try:
+            if path == "/analyze":
+                self._handle_analyze()
+            elif path == "/analyze/batch":
+                self._handle_analyze_batch()
+            elif path == "/jobs":
+                self._handle_jobs_submit()
+            else:
+                raise _BadRequest(
+                    "not_found", f"unknown path {self.path!r}", status=404
+                )
+        except _BadRequest as exc:
+            self._send_bad_request(exc)
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        path = self._route()
+        try:
+            if path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                if not job_id or "/" in job_id:
+                    raise _BadRequest(
+                        "not_found", f"unknown path {self.path!r}", status=404
+                    )
+                self._handle_job_cancel(job_id)
+            else:
+                raise _BadRequest(
+                    "not_found", f"unknown path {self.path!r}", status=404
+                )
+        except _BadRequest as exc:
+            self._send_bad_request(exc)
 
     def _handle_analyze(self) -> None:
-        try:
-            request = self._parse_analyze_request()
-        except _BadRequest as exc:
-            self._send_error_json(
-                exc.status, exc.code, str(exc), headers=exc.headers
-            )
-            self._finish(exc.status)
-            return
+        request = self._parse_analyze_request()
 
         service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
         state: _ServiceState = self.server.state  # type: ignore[attr-defined]
         gate: threading.BoundedSemaphore = self.server.gate  # type: ignore[attr-defined]
-        metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
-        pool: ThreadPoolExecutor = self.server.pool  # type: ignore[attr-defined]
+        pool: WorkerPool = self.server.pool  # type: ignore[attr-defined]
         if not self._try_acquire_gate():
             return
 
@@ -519,7 +761,6 @@ class _Handler(BaseHTTPRequestHandler):
         # load.
         result: dict[str, Any] = {}
         state.enter()
-        metrics.increment("service.pool.submitted")
 
         def work() -> None:
             try:
@@ -534,7 +775,6 @@ class _Handler(BaseHTTPRequestHandler):
             finally:
                 state.leave()
                 gate.release()
-                metrics.increment("service.pool.completed")
 
         future: Future[None] = pool.submit(work)
         try:
@@ -583,50 +823,41 @@ class _Handler(BaseHTTPRequestHandler):
         service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
         state: _ServiceState = self.server.state  # type: ignore[attr-defined]
         gate: threading.BoundedSemaphore = self.server.gate  # type: ignore[attr-defined]
-        metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
-        pool: ThreadPoolExecutor = self.server.pool  # type: ignore[attr-defined]
+        pool: WorkerPool = self.server.pool  # type: ignore[attr-defined]
+        request = self._read_json_body()
+        videos = request.get("videos")
+        if not isinstance(videos, list) or not videos:
+            raise _BadRequest("bad_batch", "'videos' must be a non-empty array")
+        if len(videos) > service_config.max_batch_videos:
+            raise _BadRequest(
+                "batch_too_large",
+                f"batch has {len(videos)} videos; the limit is "
+                f"{service_config.max_batch_videos}",
+            )
         try:
-            request = self._read_json_body()
-            videos = request.get("videos")
-            if not isinstance(videos, list) or not videos:
+            base_seed = int(request.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest("bad_seed", f"seed must be an integer: {exc}")
+        items = []
+        for index, entry in enumerate(videos):
+            if not isinstance(entry, dict):
                 raise _BadRequest(
-                    "bad_batch", "'videos' must be a non-empty array"
-                )
-            if len(videos) > service_config.max_batch_videos:
-                raise _BadRequest(
-                    "batch_too_large",
-                    f"batch has {len(videos)} videos; the limit is "
-                    f"{service_config.max_batch_videos}",
+                    "bad_batch",
+                    f"videos[{index}] must be an object, got "
+                    f"{type(entry).__name__}",
                 )
             try:
-                base_seed = int(request.get("seed", 0))
-            except (TypeError, ValueError) as exc:
-                raise _BadRequest("bad_seed", f"seed must be an integer: {exc}")
-            items = []
-            for index, entry in enumerate(videos):
-                if not isinstance(entry, dict):
-                    raise _BadRequest(
-                        "bad_batch",
-                        f"videos[{index}] must be an object, got "
-                        f"{type(entry).__name__}",
-                    )
-                try:
-                    items.append(
-                        self._parse_video_item(
-                            entry, default_seed=base_seed + index
-                        )
-                    )
-                except _BadRequest as exc:
-                    raise _BadRequest(
-                        exc.code, f"videos[{index}]: {exc}", status=exc.status
-                    )
-            analyzer = self._resolve_analyzer(self._parse_config_block(request))
-        except _BadRequest as exc:
-            self._send_error_json(
-                exc.status, exc.code, str(exc), headers=exc.headers
-            )
-            self._finish(exc.status)
-            return
+                items.append(
+                    self._parse_video_item(entry, default_seed=base_seed + index)
+                )
+            except _BadRequest as exc:
+                raise _BadRequest(
+                    exc.error_type,
+                    f"videos[{index}]: {exc}",
+                    status=exc.status,
+                    detail=exc.detail,
+                )
+        analyzer = self._resolve_analyzer(self._parse_config_block(request))
 
         if not self._try_acquire_gate():
             return
@@ -659,16 +890,22 @@ class _Handler(BaseHTTPRequestHandler):
                 return {
                     "ok": False,
                     "index": index,
-                    "error": {"code": "analysis_failed", "message": str(exc)},
+                    "error": {
+                        "type": "analysis_failed",
+                        "message": str(exc),
+                        "detail": None,
+                    },
                 }
             except Exception as exc:
                 return {
                     "ok": False,
                     "index": index,
-                    "error": {"code": "internal_error", "message": str(exc)},
+                    "error": {
+                        "type": "internal_error",
+                        "message": str(exc),
+                        "detail": None,
+                    },
                 }
-            finally:
-                metrics.increment("service.pool.completed")
             return {
                 "ok": True,
                 "index": index,
@@ -677,7 +914,6 @@ class _Handler(BaseHTTPRequestHandler):
 
         futures: list[Future[dict[str, Any]]] = []
         for index, item in enumerate(items):
-            metrics.increment("service.pool.submitted")
             future = pool.submit(run_item, item, index)
             future.add_done_callback(on_done)
             futures.append(future)
@@ -736,11 +972,16 @@ class ServiceHandle:
         self._server.analyzer_cache = AnalyzerCache(  # type: ignore[attr-defined]
             JumpAnalyzer, capacity=service_config.analyzer_cache_size
         )
-        # All analyses (single and batch items) share one bounded pool
-        # instead of a thread per request.
-        self._server.pool = ThreadPoolExecutor(  # type: ignore[attr-defined]
-            max_workers=service_config.effective_pool_workers,
+        # All analyses (single, batch items, and jobs) share one
+        # bounded pool instead of a thread per request.
+        self._server.pool = WorkerPool(  # type: ignore[attr-defined]
+            service_config.effective_pool_workers,
             thread_name_prefix="slj-worker",
+        )
+        self._server.jobs = JobManager(  # type: ignore[attr-defined]
+            service_config.jobs,
+            self._server.pool,  # type: ignore[attr-defined]
+            metrics=self._server.metrics,  # type: ignore[attr-defined]
         )
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
@@ -750,6 +991,11 @@ class ServiceHandle:
     def metrics(self) -> MetricsRegistry:
         """The server's cumulative metrics registry."""
         return self._server.metrics  # type: ignore[attr-defined]
+
+    @property
+    def jobs(self) -> JobManager:
+        """The server's job manager (store + workers)."""
+        return self._server.jobs  # type: ignore[attr-defined]
 
     @property
     def address(self) -> str:
@@ -803,28 +1049,26 @@ def request_analysis(
     config: dict[str, Any] | None = None,
     preset: str | None = None,
 ) -> dict[str, Any]:
-    """Client helper: POST a video to a running service.
+    """Deprecated: use :class:`repro.client.ServiceClient` instead.
 
-    ``config`` (a partial config dict) and/or ``preset`` customise the
-    analyzer for this request; they merge over the server defaults.
+    Kept as a thin shim over ``ServiceClient.analyze`` so existing
+    callers keep working; it emits a :class:`DeprecationWarning`.
     """
-    import urllib.request
+    import warnings
 
-    body: dict[str, Any] = {
-        "video_npz_b64": encode_video(video),
-        "annotation": annotation_dict,
-        "seed": seed,
-    }
-    if config is not None:
-        body["config"] = config
-    if preset is not None:
-        body["preset"] = preset
-    payload = json.dumps(body).encode("utf-8")
-    request = urllib.request.Request(
-        f"{base_url}/analyze",
-        data=payload,
-        headers={"Content-Type": "application/json"},
-        method="POST",
+    from .client import ServiceClient
+
+    warnings.warn(
+        "request_analysis() is deprecated; use "
+        "repro.client.ServiceClient.analyze() instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    with urllib.request.urlopen(request, timeout=timeout) as response:
-        return json.loads(response.read())
+    client = ServiceClient(base_url, timeout=timeout)
+    return client.analyze(
+        video,
+        annotation=annotation_dict,
+        seed=seed,
+        config=config,
+        preset=preset,
+    )

@@ -194,3 +194,75 @@ class TestAnalyzeProfile:
         # sub-stages and counters ride along
         assert "segmentation/subtract" in printed
         assert "ga.evaluations" in printed
+
+
+class TestJobsCommand:
+    def test_jobs_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["jobs", "submit", "video.npz", "--wait", "--fast"],
+            ["jobs", "status", "j00001-abc"],
+            ["jobs", "result", "j00001-abc", "--json", "out.json"],
+            ["jobs", "cancel", "j00001-abc"],
+            ["jobs", "list", "--limit", "5", "--state", "succeeded"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_jobs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs"])
+
+    def test_submit_wait_status_list_against_live_service(
+        self, tmp_path, capsys
+    ):
+        from repro.pipeline import AnalyzerConfig
+        from repro.service import ServiceHandle
+        from repro.video.sequence import VideoSequence
+
+        class InstantAnalyzer:
+            STAGES = ("segmentation", "tracking", "scoring")
+            config = AnalyzerConfig()
+
+            def analyze(self, video, annotation=None, rng=None,
+                        instrumentation=None, cancel_token=None):
+                return object()
+
+        video_path = tmp_path / "video.npz"
+        VideoSequence(np.zeros((2, 8, 8, 3), dtype=np.uint8)).save(video_path)
+
+        handle = ServiceHandle()
+        handle._server.analyzer = InstantAnalyzer()
+        handle.jobs.workers._serializer = lambda analysis: {
+            "report": {"score": 0.5},
+            "config_hash": "deadbeef",
+            "degraded": False,
+        }
+        handle.start()
+        try:
+            out_json = tmp_path / "analysis.json"
+            code = main(
+                [
+                    "jobs",
+                    "--url",
+                    handle.address,
+                    "submit",
+                    str(video_path),
+                    "--wait",
+                    "--json",
+                    str(out_json),
+                ]
+            )
+            assert code == 0
+            printed = capsys.readouterr().out
+            assert "submitted job j00001-" in printed
+            assert "succeeded" in printed
+            assert json.loads(out_json.read_text())["report"]["score"] == 0.5
+
+            job_id = printed.split("submitted job ")[1].split(" ")[0]
+            assert main(["jobs", "--url", handle.address, "status", job_id]) == 0
+            assert "succeeded" in capsys.readouterr().out
+            assert main(["jobs", "--url", handle.address, "list"]) == 0
+            assert job_id in capsys.readouterr().out
+        finally:
+            handle.stop()

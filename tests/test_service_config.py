@@ -96,7 +96,7 @@ class TestPerRequestConfig:
             urllib.request.urlopen(request, timeout=30)
         assert excinfo.value.code == 400
         error = json.loads(excinfo.value.read())["error"]
-        assert error["code"] == "bad_config"
+        assert error["type"] == "bad_config"
         assert "no_such_knob" in error["message"]
 
     def test_ill_typed_value_is_structured_400(self, service, tiny_jump):
@@ -111,7 +111,7 @@ class TestPerRequestConfig:
             urllib.request.urlopen(request, timeout=30)
         assert excinfo.value.code == 400
         error = json.loads(excinfo.value.read())["error"]
-        assert error["code"] == "bad_config"
+        assert error["type"] == "bad_config"
         assert "tracker.ga.max_generations" in error["message"]
 
     def test_unknown_preset_is_structured_400(self, service, tiny_jump):
@@ -125,7 +125,7 @@ class TestPerRequestConfig:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=30)
         assert excinfo.value.code == 400
-        assert json.loads(excinfo.value.read())["error"]["code"] == "bad_config"
+        assert json.loads(excinfo.value.read())["error"]["type"] == "bad_config"
 
     def test_non_object_config_is_400(self, service, tiny_jump):
         request = _post(

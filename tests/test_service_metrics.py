@@ -68,7 +68,7 @@ class TestBadRequests:
         error = _post(service, b"{this is not json")
         assert error.code == 400
         payload = _error_payload(error)
-        assert payload["code"] == "malformed_json"
+        assert payload["type"] == "malformed_json"
         assert "JSON" in payload["message"]
 
     def test_non_object_json_is_400_not_500(self, service):
@@ -76,7 +76,7 @@ class TestBadRequests:
         # the handler (an unhandled 500 / dropped connection)
         error = _post(service, b"[1, 2, 3]")
         assert error.code == 400
-        assert _error_payload(error)["code"] == "malformed_json"
+        assert _error_payload(error)["type"] == "malformed_json"
 
     def test_undecodable_base64_is_400_with_structured_error(self, service):
         # regression: the npz/base64 decode failure must surface as a
@@ -84,7 +84,7 @@ class TestBadRequests:
         error = _post(service, json.dumps({"video_npz_b64": "###"}).encode())
         assert error.code == 400
         payload = _error_payload(error)
-        assert payload["code"] == "bad_video_payload"
+        assert payload["type"] == "bad_video_payload"
         assert payload["message"]
 
     def test_valid_base64_invalid_npz_is_400(self, service):
@@ -93,12 +93,12 @@ class TestBadRequests:
         bogus = base64.b64encode(b"not an npz archive").decode()
         error = _post(service, json.dumps({"video_npz_b64": bogus}).encode())
         assert error.code == 400
-        assert _error_payload(error)["code"] == "bad_video_payload"
+        assert _error_payload(error)["type"] == "bad_video_payload"
 
     def test_missing_video_field_is_400(self, service):
         error = _post(service, b"{}")
         assert error.code == 400
-        assert _error_payload(error)["code"] == "missing_field"
+        assert _error_payload(error)["type"] == "missing_field"
 
     def test_non_integer_seed_is_400(self, service, tiny_jump):
         from repro.service import encode_video
@@ -108,13 +108,13 @@ class TestBadRequests:
         ).encode()
         error = _post(service, body)
         assert error.code == 400
-        assert _error_payload(error)["code"] == "bad_seed"
+        assert _error_payload(error)["type"] == "bad_seed"
 
     def test_404_error_is_structured_too(self, service):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(f"{service.address}/nowhere", timeout=10)
         assert excinfo.value.code == 404
-        assert _error_payload(excinfo.value)["code"] == "not_found"
+        assert _error_payload(excinfo.value)["type"] == "not_found"
 
 
 class TestMetricsEndpoint:
@@ -127,6 +127,7 @@ class TestMetricsEndpoint:
                 "counters",
                 "analyzer_cache",
                 "pool",
+                "jobs",
             }
             # the /metrics request itself is only counted after serving,
             # so a fresh server reports no stage work yet

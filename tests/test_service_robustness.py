@@ -86,7 +86,7 @@ class TestBodyLimit:
                 f"{handle.address}/analyze", _analyze_body(short_jump.video)
             )
             assert status == 413
-            assert payload["error"]["code"] == "body_too_large"
+            assert payload["error"]["type"] == "body_too_large"
             # Draining is capped, so the connection must not be reused.
             assert headers["Connection"] == "close"
         finally:
@@ -127,7 +127,7 @@ class TestConcurrencyGate:
                     f"{handle.address}/analyze", body
                 )
                 assert status == 400
-                assert payload["error"]["code"] == "bad_config"
+                assert payload["error"]["type"] == "bad_config"
                 assert "bogus" in payload["error"]["message"]
             # The slot was never taken: the gate still admits a request.
             assert handle._server.gate.acquire(blocking=False)
@@ -150,7 +150,7 @@ class TestConcurrencyGate:
                     _analyze_body(short_jump.video),
                 )
                 assert status == 503
-                assert payload["error"]["code"] == "overloaded"
+                assert payload["error"]["type"] == "overloaded"
                 assert headers["Retry-After"] == "7"
             finally:
                 handle._server.gate.release()
@@ -169,10 +169,10 @@ class TestDeadline:
                 f"{handle.address}/analyze", _analyze_body(short_jump.video)
             )
             assert status == 504
-            assert payload["error"]["code"] == "deadline_exceeded"
+            assert payload["error"]["type"] == "deadline_exceeded"
             # The timeout lands in /health's last_error.
             _, health = _get(f"{handle.address}/health")
-            assert health["last_error"]["code"] == "deadline_exceeded"
+            assert health["last_error"]["type"] == "deadline_exceeded"
         finally:
             handle.stop()
 
@@ -199,7 +199,7 @@ class TestErrorMapping:
                 f"{handle.address}/analyze", _analyze_body(short_jump.video)
             )
             assert status == 422
-            assert payload["error"]["code"] == "analysis_failed"
+            assert payload["error"]["type"] == "analysis_failed"
             assert "kaput" in payload["error"]["message"]
         finally:
             handle.stop()
@@ -212,9 +212,9 @@ class TestErrorMapping:
                 f"{handle.address}/analyze", _analyze_body(short_jump.video)
             )
             assert status == 500
-            assert payload["error"]["code"] == "internal_error"
+            assert payload["error"]["type"] == "internal_error"
             _, health = _get(f"{handle.address}/health")
-            assert health["last_error"]["code"] == "internal_error"
+            assert health["last_error"]["type"] == "internal_error"
         finally:
             handle.stop()
 
@@ -225,7 +225,7 @@ class TestErrorMapping:
                 f"{handle.address}/analyze", b"not json"
             )
             assert status == 400
-            assert payload["error"]["code"] == "malformed_json"
+            assert payload["error"]["type"] == "malformed_json"
         finally:
             handle.stop()
 
