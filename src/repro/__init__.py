@@ -19,6 +19,9 @@ the synthetic-video substrate and ground truth needed to evaluate it:
 * :mod:`repro.runtime` — the composable stage runtime (Stage /
   PipelineRunner / Instrumentation) every layer is composed from;
 * :mod:`repro.pipeline` — the end-to-end :class:`JumpAnalyzer`;
+* :mod:`repro.streaming` — the push-based frame-at-a-time core
+  (:class:`StreamingAnalyzer`) that batch ``analyze`` wraps, with
+  provisional mid-stream estimates;
 * :mod:`repro.service` / :mod:`repro.client` / :mod:`repro.jobs` — the
   versioned ``/v1`` HTTP service the paper sketches as future work,
   its typed client, and the asynchronous job subsystem.
@@ -46,6 +49,7 @@ from .errors import (
     ReproError,
     ScoringError,
     SegmentationError,
+    StreamError,
     TrackingError,
     VideoError,
 )
@@ -64,6 +68,7 @@ from .ga import (
     TemporalPoseTracker,
     TrackerConfig,
     TrackingResult,
+    TrackingSession,
     estimate_single_frame,
 )
 from .model import (
@@ -87,8 +92,10 @@ from .pipeline import (
     JumpAnalysis,
     JumpAnalyzer,
     RobustnessConfig,
+    StreamingConfig,
     analyze_video,
 )
+from .streaming import FrameUpdate, ProvisionalEstimate, StreamingAnalyzer
 from .runtime import (
     FunctionStage,
     Instrumentation,
@@ -113,8 +120,22 @@ from .scoring import (
     grade_distance,
     measure_jump,
 )
-from .segmentation import SegmentationConfig, SegmentationPipeline
-from .jobs import JobManager, JobsConfig, JobState, JobStore
+from .segmentation import (
+    OnlineBackgroundModel,
+    RunningBackgroundModel,
+    SegmentationConfig,
+    SegmentationPipeline,
+    WarmupBackgroundModel,
+)
+from .jobs import (
+    FrameQueue,
+    FrameQueueFull,
+    JobManager,
+    JobsConfig,
+    JobState,
+    JobStore,
+    StreamIdleTimeout,
+)
 from .service import (
     API_VERSION,
     ServiceConfig,
@@ -154,6 +175,7 @@ __all__ = [
     "ReproError",
     "ScoringError",
     "SegmentationError",
+    "StreamError",
     "TrackingError",
     "VideoError",
     "GAConfig",
@@ -162,6 +184,7 @@ __all__ = [
     "TemporalPoseTracker",
     "TrackerConfig",
     "TrackingResult",
+    "TrackingSession",
     "estimate_single_frame",
     "AngleWindows",
     "BodyDimensions",
@@ -175,7 +198,11 @@ __all__ = [
     "JumpAnalysis",
     "JumpAnalyzer",
     "RobustnessConfig",
+    "StreamingConfig",
     "analyze_video",
+    "FrameUpdate",
+    "ProvisionalEstimate",
+    "StreamingAnalyzer",
     "FunctionStage",
     "Instrumentation",
     "LoggingSink",
@@ -200,14 +227,20 @@ __all__ = [
     "Standard",
     "grade_distance",
     "measure_jump",
+    "OnlineBackgroundModel",
+    "RunningBackgroundModel",
     "SegmentationConfig",
     "SegmentationPipeline",
+    "WarmupBackgroundModel",
+    "FrameQueue",
+    "FrameQueueFull",
     "JobFailedError",
     "JobManager",
     "JobState",
     "JobStore",
     "JobTimeoutError",
     "JobsConfig",
+    "StreamIdleTimeout",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",

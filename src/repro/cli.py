@@ -9,6 +9,9 @@ Subcommands:
 * ``slj demo`` — synthesize + analyze end to end in one go.
 * ``slj jobs submit|status|result|cancel|list`` — drive a running
   service's asynchronous job API (``/v1/jobs``) from the shell.
+* ``slj stream`` — push a video frame by frame through a streaming
+  job (``POST /v1/jobs/{id}/frames``) and watch provisional takeoff /
+  landing / score estimates evolve before the final report.
 * ``slj chaos`` — fault-injection sweep (one analysis per fault) with
   a survival report; ``--min-survival`` turns it into a CI gate.
 * ``slj bench`` — time the hot paths (segmentation backends, the GA
@@ -350,6 +353,102 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from .client import ServiceClient
+    from .config import config_to_dict
+    from .serialization import annotation_to_dict
+    from .video.synthesis.motion import JumpParameters
+
+    config_dict = config_to_dict(_resolve_cli_config(args))
+    config_dict["streaming"]["warmup_frames"] = args.warmup
+
+    if args.video is not None:
+        video = VideoSequence.load(args.video)
+        annotation = None
+    else:
+        jump = synthesize_jump(
+            SyntheticJumpConfig(
+                seed=args.seed, params=JumpParameters(num_frames=args.frames)
+            )
+        )
+        video = jump.video
+        annotation = annotation_to_dict(
+            simulate_human_annotation(
+                jump.motion.poses[0],
+                jump.dims,
+                mask=jump.person_masks[0],
+                rng=np.random.default_rng(args.seed),
+            )
+        )
+
+    def run(client: ServiceClient) -> int:
+        job = client.submit_stream(
+            annotation=annotation, seed=args.seed, config=config_dict
+        )
+        job_id = job["id"]
+        print(f"stream job {job_id} open (warmup {args.warmup} frames)")
+        frames = video.frames
+        provisional_seen = False
+        for start in range(0, len(frames), args.chunk):
+            response = client.push_frames(
+                job_id, frames[start : start + args.chunk]
+            )
+            block = response["job"]["stream"]
+            provisional = block["provisional"] or {}
+            estimate = provisional.get("estimate")
+            line = (
+                f"pushed {block['frames_received']}/{len(frames)} frames "
+                f"(queued {response['queued']}, "
+                f"phase {provisional.get('phase') or 'pending'})"
+            )
+            if estimate:
+                provisional_seen = True
+                line += (
+                    f"; provisional takeoff {estimate['takeoff_frame']} "
+                    f"landing {estimate['landing_frame']}"
+                )
+                if estimate.get("score") is not None:
+                    line += f" score {estimate['score']:.4f}"
+            print(line)
+        # Every frame is queued; give the worker a bounded window to
+        # surface a provisional estimate before the stream closes.
+        deadline = _time.monotonic() + args.timeout
+        while not provisional_seen and _time.monotonic() < deadline:
+            provisional = client.job(job_id)["stream"]["provisional"] or {}
+            if provisional.get("estimate"):
+                provisional_seen = True
+                break
+            _time.sleep(0.05)
+        client.eof(job_id)
+        print(f"eof sent (provisional before eof: {provisional_seen})")
+        analysis = client.wait(job_id, timeout=args.timeout)
+        print(
+            f"job {job_id} succeeded: score "
+            f"{analysis['report']['score']:.4f} "
+            f"(config {analysis['config_hash']})"
+        )
+        if args.json is not None:
+            Path(args.json).write_text(_json.dumps(analysis, indent=2))
+            print(f"wrote analysis JSON to {args.json}")
+        if args.require_provisional and not provisional_seen:
+            print(
+                "FAIL: no provisional estimate arrived before eof",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.url is not None:
+        return run(ServiceClient(args.url))
+    from .service import ServiceHandle
+
+    with ServiceHandle() as handle:
+        return run(ServiceClient(handle.address))
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -370,13 +469,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             rng=np.random.default_rng(args.seed),
         )
     plan = default_fault_grid(seed=args.seed, stage=args.stage)
-    print(f"chaos sweep: {plan.describe()}")
+    mode = "streaming" if args.stream else "batch"
+    print(f"chaos sweep ({mode}): {plan.describe()}")
     report = run_chaos(
         video,
         annotation=annotation,
         config=config,
         plan=plan,
         rng_seed=args.seed,
+        streaming=args.stream,
     )
     print()
     print(report.render_table())
@@ -448,6 +549,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(
         f"end-to-end: baseline {e2e['baseline']['seconds']}s, optimized "
         f"{e2e['optimized']['seconds']}s -> {e2e['speedup']}x speedup"
+    )
+    ttfr = sections["time_to_first_result"]
+    print(
+        f"time to first result: stream {ttfr['first_result_seconds']}s "
+        f"(warmup {ttfr['warmup_frames']}) vs batch "
+        f"{ttfr['batch_seconds']}s -> {ttfr['ratio_vs_batch']}x"
     )
     if args.out is not None:
         Path(args.out).write_text(_json.dumps(report, indent=2) + "\n")
@@ -597,6 +704,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_jobs.set_defaults(func=_cmd_jobs)
 
+    p_stream = sub.add_parser(
+        "stream",
+        help="feed a video frame by frame through a streaming job and "
+        "watch provisional results evolve",
+    )
+    p_stream.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running `slj serve` instance "
+        "(default: start an in-process service for the demo)",
+    )
+    p_stream.add_argument(
+        "--video",
+        default=None,
+        metavar="PATH",
+        help="video .npz to stream (default: synthesize a jump)",
+    )
+    p_stream.add_argument(
+        "--frames",
+        type=int,
+        default=24,
+        help="synthetic jump length when no --video is given",
+    )
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument(
+        "--chunk",
+        type=int,
+        default=4,
+        help="frames per POST /v1/jobs/{id}/frames chunk",
+    )
+    p_stream.add_argument(
+        "--warmup",
+        type=int,
+        default=4,
+        help="streaming.warmup_frames for the job's config "
+        "(0 = batch-identical buffering; >= 2 = live mode)",
+    )
+    p_stream.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="seconds to wait for the final result",
+    )
+    p_stream.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the final analysis JSON here",
+    )
+    p_stream.add_argument(
+        "--require-provisional",
+        action="store_true",
+        help="exit 1 unless a provisional estimate surfaced before eof "
+        "(the CI streaming smoke gate)",
+    )
+    _add_config_arguments(p_stream)
+    p_stream.set_defaults(func=_cmd_stream)
+
     p_chaos = sub.add_parser(
         "chaos",
         help="fault-injection sweep: one analysis per fault, survival report",
@@ -622,6 +787,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument(
         "--json", default=None, metavar="PATH", help="also write the report as JSON"
+    )
+    p_chaos.add_argument(
+        "--stream",
+        action="store_true",
+        help="feed each faulted video frame by frame through the "
+        "streaming analyzer instead of one batch analyze()",
     )
     _add_config_arguments(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
@@ -651,7 +822,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         metavar="PATH",
-        help="write the JSON report here (e.g. BENCH_4.json)",
+        help="write the JSON report here (e.g. BENCH_6.json)",
     )
     p_bench.add_argument(
         "--baseline",

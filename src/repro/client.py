@@ -212,6 +212,109 @@ class ServiceClient:
         )
         return response["job"]
 
+    # ------------------------------------------------------------------
+    # Streaming jobs
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_frames(frames: Any) -> str:
+        """Frames (VideoSequence / array / list / b64 str) → b64 npz."""
+        if isinstance(frames, str):
+            return frames
+        if isinstance(frames, VideoSequence):
+            return encode_video(frames)
+        return encode_video(VideoSequence(frames))
+
+    def submit_stream(
+        self,
+        annotation: dict[str, Any] | None = None,
+        seed: int = 0,
+        config: dict[str, Any] | None = None,
+        preset: str | None = None,
+    ) -> dict[str, Any]:
+        """``POST /v1/jobs`` with ``"mode": "stream"``: open a stream job.
+
+        The job takes no video up front; feed it with
+        :meth:`push_frames` and close it with :meth:`eof`.
+        """
+        body: dict[str, Any] = {
+            "mode": "stream",
+            "annotation": annotation,
+            "seed": seed,
+        }
+        if config is not None:
+            body["config"] = config
+        if preset is not None:
+            body["preset"] = preset
+        return self._request("POST", "/jobs", body)["job"]
+
+    def push_frames(
+        self,
+        job_id: str,
+        frames: Any,
+        retry_interval: float = 0.1,
+        max_retries: int = 100,
+    ) -> dict[str, Any]:
+        """``POST /v1/jobs/{id}/frames``: append one chunk to a stream.
+
+        A ``429 frame_queue_full`` answer (the worker hasn't drained
+        the bounded queue yet) is retried up to ``max_retries`` times
+        with ``retry_interval`` seconds between attempts; any other
+        error raises immediately.  Returns the response — the job
+        payload (``stream`` block included) plus queue depth and the
+        received-frame total.
+        """
+        body = {"frames_npz_b64": self._encode_frames(frames)}
+        attempts = 0
+        while True:
+            try:
+                return self._request("POST", f"/jobs/{job_id}/frames", body)
+            except ServiceError as exc:
+                if exc.error_type != "frame_queue_full":
+                    raise
+                attempts += 1
+                if attempts > max_retries:
+                    raise
+                time.sleep(retry_interval)
+
+    def eof(self, job_id: str) -> dict[str, Any]:
+        """``POST /v1/jobs/{id}/eof``: close a stream job's frame feed."""
+        return self._request("POST", f"/jobs/{job_id}/eof")["job"]
+
+    def stream(
+        self,
+        video: VideoSequence,
+        annotation: dict[str, Any] | None = None,
+        seed: int = 0,
+        config: dict[str, Any] | None = None,
+        preset: str | None = None,
+        chunk_frames: int = 4,
+        on_update: Any = None,
+        timeout: float = 300.0,
+    ) -> dict[str, Any]:
+        """Submit, push ``video`` in chunks, ``eof``, wait for the result.
+
+        ``on_update`` (if given) is called with each push response, so
+        a caller can watch the provisional state evolve.  Returns the
+        final analysis payload (same shape as :meth:`wait`).
+        """
+        if chunk_frames < 1:
+            raise ClientError(
+                f"chunk_frames must be >= 1, got {chunk_frames}"
+            )
+        job = self.submit_stream(
+            annotation=annotation, seed=seed, config=config, preset=preset
+        )
+        job_id = job["id"]
+        frames = video.frames
+        for start in range(0, len(frames), chunk_frames):
+            response = self.push_frames(
+                job_id, frames[start : start + chunk_frames]
+            )
+            if on_update is not None:
+                on_update(response)
+        self.eof(job_id)
+        return self.wait(job_id, timeout=timeout)
+
     def job(self, job_id: str) -> dict[str, Any]:
         """``GET /v1/jobs/{id}``: status + progress."""
         return self._request("GET", f"/jobs/{job_id}")["job"]

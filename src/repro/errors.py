@@ -40,5 +40,9 @@ class CancelledError(ReproError):
     """A run was cooperatively cancelled between pipeline stages."""
 
 
+class StreamError(ReproError):
+    """A streaming analysis was used out of order, closed, or overrun."""
+
+
 class ScoringError(ReproError):
     """A score request referenced frames or rules that do not exist."""

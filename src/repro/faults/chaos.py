@@ -155,6 +155,7 @@ def run_chaos(
     config=None,
     plan: FaultPlan | None = None,
     rng_seed: int = 0,
+    streaming: bool = False,
 ) -> ChaosReport:
     """Run one analysis per fault in ``plan`` and collect the outcomes.
 
@@ -165,6 +166,14 @@ def run_chaos(
     Errors while *setting up* a fault (an invalid plan, e.g. a frame
     index out of range) propagate instead: a harness misconfiguration
     is not a pipeline non-survival.
+
+    With ``streaming=True`` every faulted video is fed frame by frame
+    through :meth:`~repro.pipeline.JumpAnalyzer.open_stream` instead of
+    one :meth:`analyze` call.  Under the default configuration
+    (``streaming.warmup_frames == 0``) the stream buffers and runs the
+    identical batch pipeline, so survival must match batch exactly;
+    with a live config (``warmup_frames >= 2``) the sweep exercises the
+    per-frame recovery ladder under fire.
     """
     from ..pipeline import JumpAnalyzer
 
@@ -181,11 +190,20 @@ def run_chaos(
         analyzer = apply_stage_faults(JumpAnalyzer(config), single)
         start = time.perf_counter()
         try:
-            analysis = analyzer.analyze(
-                faulted_video,
-                annotation=annotation,
-                rng=np.random.default_rng(rng_seed),
-            )
+            if streaming:
+                stream = analyzer.open_stream(
+                    annotation=annotation,
+                    rng=np.random.default_rng(rng_seed),
+                )
+                for frame in faulted_video:
+                    stream.push_frame(frame)
+                analysis = stream.finish()
+            else:
+                analysis = analyzer.analyze(
+                    faulted_video,
+                    annotation=annotation,
+                    rng=np.random.default_rng(rng_seed),
+                )
         except Exception as exc:  # noqa: BLE001 — chaos records, it
             # does not crash; any escape IS the finding.
             outcomes.append(

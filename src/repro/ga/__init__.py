@@ -17,6 +17,7 @@ from .temporal import (
     TemporalPoseTracker,
     TrackerConfig,
     TrackingResult,
+    TrackingSession,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "TemporalPoseTracker",
     "TrackerConfig",
     "TrackingResult",
+    "TrackingSession",
 ]

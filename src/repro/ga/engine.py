@@ -55,8 +55,13 @@ class GAConfig:
     # independent of the rest of the batch — true of every fitness in
     # this repo (Eq. 3 is a per-chromosome sum over silhouette points).
     # The search trajectory is identical either way; only the number of
-    # `fitness_fn` rows changes.
-    incremental: bool = True
+    # `fitness_fn` rows changes.  Off by default: at this repo's
+    # population sizes the vectorised fitness batch is so cheap that
+    # the split-batch bookkeeping costs more than the skipped rows —
+    # BENCH_4 measured 0.817x (a slowdown) with `identical_best` true.
+    # Flip on only when a single fitness row is genuinely expensive
+    # (e.g. max_points far above the presets').
+    incremental: bool = False
     operators: OperatorConfig = field(default_factory=OperatorConfig)
     # "ranking" (default): linear rank-proportional parent choice —
     # "the fittest ... have a higher probability to be picked".

@@ -626,6 +626,21 @@ class TemporalPoseTracker:
         accepted_areas.append(pixels)
         return pose, record, FrameHealth(index, status, reason, recovery, fitness)
 
+    def start(
+        self,
+        initial_pose: StickPose,
+        rng: np.random.Generator | None = None,
+    ) -> "TrackingSession":
+        """Open an incremental track anchored on the frame-0 pose.
+
+        The returned :class:`TrackingSession` accepts one silhouette at
+        a time via :meth:`TrackingSession.step` and can report its
+        accumulated :class:`TrackingResult` at any point — the
+        streaming analyzer's per-frame entry point.  :meth:`track` is a
+        thin loop over it.
+        """
+        return TrackingSession(self, initial_pose, rng=rng)
+
     def track(
         self,
         silhouettes: list[np.ndarray],
@@ -644,79 +659,130 @@ class TemporalPoseTracker:
         """
         if not silhouettes:
             raise TrackingError("no silhouettes to track")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        session = self.start(initial_pose, rng=rng)
+        for index in range(1, len(silhouettes)):
+            session.step(silhouettes[index])
+        return session.result()
 
-        recovery_enabled = self.config.recovery.enabled
-        instrumentation = self.instrumentation
-        poses: list[StickPose] = [initial_pose]
-        records: list[FrameTrackingRecord] = []
-        health: list[FrameHealth] = [
+
+class TrackingSession:
+    """Frame-at-a-time view of :meth:`TemporalPoseTracker.track`.
+
+    Holds exactly the loop state the batch tracker threads between
+    frames (previous poses, loss run, accepted fitness/areas), so
+    stepping a whole sequence through a session is byte-identical to
+    one :meth:`~TemporalPoseTracker.track` call — same RNG draws, same
+    instrumentation spans, counters and events, same recovery ladder.
+    """
+
+    def __init__(
+        self,
+        tracker: TemporalPoseTracker,
+        initial_pose: StickPose,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._tracker = tracker
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._poses: list[StickPose] = [initial_pose]
+        self._records: list[FrameTrackingRecord] = []
+        self._health: list[FrameHealth] = [
             FrameHealth(0, "tracked", "annotated first frame")
         ]
-        prev = initial_pose
-        prev_prev: StickPose | None = None
-        loss_run = 0
-        accepted_fitness: list[float] = []
-        accepted_areas: list[int] = []
-        for index in range(1, len(silhouettes)):
-            with instrumentation.span("tracking/frame"):
-                if recovery_enabled:
-                    pose, record, frame_health = self._track_frame(
-                        silhouettes[index],
-                        index,
-                        prev,
-                        prev_prev,
-                        rng,
-                        loss_run,
-                        accepted_fitness,
-                        accepted_areas,
-                    )
-                else:
-                    pose, search = self.estimate_frame(
-                        silhouettes[index], prev, rng, prev_prev_pose=prev_prev
-                    )
-                    fitness = (
-                        search.raw_fitness
-                        if search.raw_fitness is not None
-                        else search.best_fitness
-                    )
-                    record = FrameTrackingRecord(
-                        frame_index=index,
-                        pose=pose,
-                        fitness=fitness,
-                        search=search,
-                    )
-                    frame_health = FrameHealth(
-                        index, "tracked", fitness=fitness
-                    )
-            poses.append(pose)
-            health.append(frame_health)
-            instrumentation.count("tracking.frames", 1)
-            if record is not None:
-                records.append(record)
-                accepted_fitness.append(record.fitness)
-                loss_run = 0
-                search = record.search
-                instrumentation.event(
-                    "tracking/frame",
-                    frame=index,
-                    fitness=record.fitness,
-                    generations=search.generations,
-                    generation_of_best=search.generation_of_best,
-                    evaluations=search.total_evaluations,
+        self._prev = initial_pose
+        self._prev_prev: StickPose | None = None
+        self._loss_run = 0
+        self._accepted_fitness: list[float] = []
+        self._accepted_areas: list[int] = []
+        self._index = 0
+
+    @property
+    def frames_seen(self) -> int:
+        """Number of frames in the track so far (frame 0 included)."""
+        return len(self._poses)
+
+    @property
+    def poses(self) -> tuple[StickPose, ...]:
+        """The track so far, frame 0 first."""
+        return tuple(self._poses)
+
+    @property
+    def latest_pose(self) -> StickPose:
+        """The most recent pose in the track."""
+        return self._prev
+
+    @property
+    def latest_health(self) -> FrameHealth:
+        """Health of the most recent frame."""
+        return self._health[-1]
+
+    def step(self, mask: np.ndarray) -> tuple[StickPose, FrameHealth]:
+        """Track the next frame's silhouette and return its outcome."""
+        tracker = self._tracker
+        instrumentation = tracker.instrumentation
+        self._index += 1
+        index = self._index
+        with instrumentation.span("tracking/frame"):
+            if tracker.config.recovery.enabled:
+                pose, record, frame_health = tracker._track_frame(
+                    mask,
+                    index,
+                    self._prev,
+                    self._prev_prev,
+                    self._rng,
+                    self._loss_run,
+                    self._accepted_fitness,
+                    self._accepted_areas,
                 )
             else:
-                loss_run += 1
-                instrumentation.count("tracking.recovered_frames", 1)
-                instrumentation.event(
-                    "tracking/recovery",
-                    frame=index,
-                    status=frame_health.status,
-                    reason=frame_health.reason,
-                    recovery=frame_health.recovery,
+                pose, search = tracker.estimate_frame(
+                    mask, self._prev, self._rng, prev_prev_pose=self._prev_prev
                 )
-            prev_prev = prev
-            prev = pose
+                fitness = (
+                    search.raw_fitness
+                    if search.raw_fitness is not None
+                    else search.best_fitness
+                )
+                record = FrameTrackingRecord(
+                    frame_index=index,
+                    pose=pose,
+                    fitness=fitness,
+                    search=search,
+                )
+                frame_health = FrameHealth(index, "tracked", fitness=fitness)
+        self._poses.append(pose)
+        self._health.append(frame_health)
+        instrumentation.count("tracking.frames", 1)
+        if record is not None:
+            self._records.append(record)
+            self._accepted_fitness.append(record.fitness)
+            self._loss_run = 0
+            search = record.search
+            instrumentation.event(
+                "tracking/frame",
+                frame=index,
+                fitness=record.fitness,
+                generations=search.generations,
+                generation_of_best=search.generation_of_best,
+                evaluations=search.total_evaluations,
+            )
+        else:
+            self._loss_run += 1
+            instrumentation.count("tracking.recovered_frames", 1)
+            instrumentation.event(
+                "tracking/recovery",
+                frame=index,
+                status=frame_health.status,
+                reason=frame_health.reason,
+                recovery=frame_health.recovery,
+            )
+        self._prev_prev = self._prev
+        self._prev = pose
+        return pose, frame_health
+
+    def result(self) -> TrackingResult:
+        """The accumulated track as an immutable :class:`TrackingResult`."""
         return TrackingResult(
-            poses=tuple(poses), records=tuple(records), health=tuple(health)
+            poses=tuple(self._poses),
+            records=tuple(self._records),
+            health=tuple(self._health),
         )

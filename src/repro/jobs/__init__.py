@@ -24,6 +24,13 @@ Layout
 ``manager``
     :class:`JobManager` — the submit/read/cancel/list facade the HTTP
     layer talks to, plus :class:`JobQueueFull` backpressure.
+``stream``
+    :class:`FrameQueue` — the bounded hand-off between the streaming
+    ingest endpoints (``POST /v1/jobs/{id}/frames`` / ``.../eof``) and
+    the worker's :class:`~repro.streaming.StreamingAnalyzer`, with
+    :class:`FrameQueueFull` (→ 429) and :class:`StreamIdleTimeout`
+    (a producer that never sends ``eof`` fails the job instead of
+    pinning a pool slot).
 """
 
 from __future__ import annotations
@@ -31,9 +38,12 @@ from __future__ import annotations
 from .manager import JobManager, JobQueueFull
 from .models import Job, JobsConfig, JobState
 from .store import JobStore
+from .stream import FrameQueue, FrameQueueFull, StreamIdleTimeout
 from .worker import JobProgressSink, JobWorkerPool
 
 __all__ = [
+    "FrameQueue",
+    "FrameQueueFull",
     "Job",
     "JobManager",
     "JobProgressSink",
@@ -42,4 +52,5 @@ __all__ = [
     "JobStore",
     "JobWorkerPool",
     "JobsConfig",
+    "StreamIdleTimeout",
 ]

@@ -9,12 +9,14 @@ live in :mod:`repro.service`.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable
 
-from .models import JobsConfig
+from .models import JobsConfig, JobState
 from .store import JobStore
+from .stream import FrameQueue
 from .worker import JobWorkerPool
-from ..errors import ReproError
+from ..errors import ReproError, StreamError
 from ..perf.pool import WorkerPool
 from ..serialization import analysis_payload
 
@@ -46,6 +48,10 @@ class JobManager:
         self.workers = JobWorkerPool(
             pool, self.store, metrics=metrics, serializer=serializer
         )
+        # job id -> FrameQueue for streaming jobs; pruned lazily once
+        # the job is terminal (its queue is closed by the worker).
+        self._streams: dict[str, FrameQueue] = {}
+        self._streams_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def submit_analysis(
@@ -77,6 +83,90 @@ class JobManager:
         return payload
 
     # ------------------------------------------------------------------
+    # Streaming jobs
+    # ------------------------------------------------------------------
+    def submit_stream(
+        self,
+        analyzer: Any,
+        annotation: Any = None,
+        seed: int = 0,
+        digest: str = "",
+        config_hash: str = "",
+    ) -> dict[str, Any]:
+        """Admit one streaming job; frames arrive via :meth:`push_frames`.
+
+        Same :class:`JobQueueFull` admission rule as
+        :meth:`submit_analysis`.  The worker starts immediately and
+        waits on the job's bounded frame queue; a producer that never
+        sends ``eof`` fails the job after the configured idle timeout.
+        """
+        if self.store.pending_count() >= self.config.max_queued:
+            raise JobQueueFull(
+                f"{self.config.max_queued} jobs already queued or running; "
+                "retry later"
+            )
+        payload = self.store.create(
+            digest or "0" * 10,
+            seed=seed,
+            config_hash=config_hash,
+            mode="stream",
+        )
+        queue = FrameQueue(self.config.stream_queue_frames)
+        with self._streams_lock:
+            self._prune_streams_locked()
+            self._streams[payload["id"]] = queue
+        self.workers.submit_stream(
+            payload["id"],
+            analyzer,
+            queue,
+            annotation=annotation,
+            seed=seed,
+            idle_timeout=self.config.stream_idle_timeout_seconds,
+        )
+        return payload
+
+    def _prune_streams_locked(self) -> None:
+        for job_id in list(self._streams):
+            payload = self.store.payload(job_id)
+            if payload is None or payload["state"] in JobState.TERMINAL:
+                del self._streams[job_id]
+
+    def stream_queue(self, job_id: str) -> FrameQueue | None:
+        """The live frame queue of one streaming job, if any."""
+        with self._streams_lock:
+            return self._streams.get(job_id)
+
+    def push_frames(self, job_id: str, frames: list) -> dict[str, Any]:
+        """Append frames to a streaming job's queue.
+
+        Raises :class:`~repro.jobs.stream.FrameQueueFull` at capacity
+        (HTTP 429) and :class:`~repro.errors.StreamError` when the
+        stream is closed or unknown (HTTP 409).
+        """
+        queue = self.stream_queue(job_id)
+        if queue is None:
+            raise StreamError(f"job {job_id!r} has no open stream")
+        queued = queue.put(frames)
+        total = self.store.record_frames(job_id, len(frames))
+        return {"queued": queued, "frames_received": total}
+
+    def eof(self, job_id: str) -> None:
+        """Signal end-of-frames; the worker finishes and scores the job."""
+        queue = self.stream_queue(job_id)
+        if queue is None:
+            raise StreamError(f"job {job_id!r} has no open stream")
+        if queue.closed:
+            raise StreamError(f"job {job_id!r} already received eof")
+        queue.close()
+        self.store.mark_eof(job_id)
+
+    def open_streams(self) -> int:
+        """Streaming jobs whose frame queue is still registered."""
+        with self._streams_lock:
+            self._prune_streams_locked()
+            return len(self._streams)
+
+    # ------------------------------------------------------------------
     def payload(
         self, job_id: str, include_result: bool = False
     ) -> dict[str, Any] | None:
@@ -88,10 +178,19 @@ class JobManager:
         return self.store.is_expired(job_id)
 
     def cancel(self, job_id: str) -> str | None:
-        """Request cancellation; see :meth:`JobStore.request_cancel`."""
+        """Request cancellation; see :meth:`JobStore.request_cancel`.
+
+        For streaming jobs the frame queue is closed *after* the token
+        trips, so a worker woken by the close observes the cancel
+        before it can finish the analysis.
+        """
         outcome = self.store.request_cancel(job_id)
         if outcome == "cancelling":
             self.workers.cancel(job_id)
+        if outcome in ("cancelling", "cancelled"):
+            queue = self.stream_queue(job_id)
+            if queue is not None:
+                queue.close()
         return outcome
 
     def list_payload(
@@ -105,4 +204,5 @@ class JobManager:
         stats = self.store.stats()
         stats["enabled"] = self.config.enabled
         stats["max_queued"] = self.config.max_queued
+        stats["open_streams"] = self.open_streams()
         return stats

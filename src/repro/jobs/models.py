@@ -66,6 +66,12 @@ class JobsConfig:
     # Optional JSON file the store mirrors itself into; terminal jobs
     # (results included) survive a service restart.
     persist_path: str | None = None
+    # Bounded per-job frame queue for streaming jobs; chunks that would
+    # overflow it answer 429 until the worker drains the backlog.
+    stream_queue_frames: int = 64
+    # A running stream job that sees no frame and no eof for this long
+    # fails (freeing its pool slot) instead of waiting forever.
+    stream_idle_timeout_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_jobs < 1:
@@ -74,6 +80,12 @@ class JobsConfig:
             raise ConfigurationError("jobs.result_ttl_seconds must be > 0")
         if self.max_queued < 1:
             raise ConfigurationError("jobs.max_queued must be >= 1")
+        if self.stream_queue_frames < 1:
+            raise ConfigurationError("jobs.stream_queue_frames must be >= 1")
+        if self.stream_idle_timeout_seconds <= 0:
+            raise ConfigurationError(
+                "jobs.stream_idle_timeout_seconds must be > 0"
+            )
 
 
 @dataclass(slots=True)
@@ -94,6 +106,12 @@ class Job:
     degraded: bool = False
     degradation: dict[str, Any] | None = None
     cancel_requested: bool = False
+    # Streaming jobs ("mode": "stream"): frames appended over HTTP run
+    # through the push-based pipeline as they arrive.
+    mode: str = "batch"
+    frames_received: int = 0
+    eof: bool = False
+    provisional: dict[str, Any] | None = None
 
     @property
     def terminal(self) -> bool:
@@ -105,6 +123,7 @@ class Job:
         payload: dict[str, Any] = {
             "id": self.id,
             "state": self.state,
+            "mode": self.mode,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -122,6 +141,14 @@ class Job:
             "degradation": dict(self.degradation) if self.degradation else None,
             "cancel_requested": self.cancel_requested,
         }
+        if self.mode == "stream":
+            payload["stream"] = {
+                "frames_received": self.frames_received,
+                "eof": self.eof,
+                "provisional": (
+                    dict(self.provisional) if self.provisional else None
+                ),
+            }
         if include_result:
             payload["result"] = self.result
         return payload
@@ -135,6 +162,7 @@ class Job:
     def from_record(cls, record: dict[str, Any]) -> "Job":
         """Inverse of :meth:`to_record` (for the file-backed store)."""
         progress = record.get("progress") or _new_progress()
+        stream = record.get("stream") or {}
         return cls(
             id=str(record["id"]),
             state=str(record.get("state", JobState.SUBMITTED)),
@@ -155,4 +183,8 @@ class Job:
             degraded=bool(record.get("degraded", False)),
             degradation=record.get("degradation"),
             cancel_requested=bool(record.get("cancel_requested", False)),
+            mode=str(record.get("mode", "batch")),
+            frames_received=int(stream.get("frames_received", 0)),
+            eof=bool(stream.get("eof", False)),
+            provisional=stream.get("provisional"),
         )

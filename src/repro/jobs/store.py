@@ -80,7 +80,11 @@ class JobStore:
         return hasher.hexdigest()
 
     def create(
-        self, digest: str, seed: int = 0, config_hash: str = ""
+        self,
+        digest: str,
+        seed: int = 0,
+        config_hash: str = "",
+        mode: str = "batch",
     ) -> dict[str, Any]:
         """Mint a new ``submitted`` job; returns its status payload."""
         with self._lock:
@@ -92,6 +96,7 @@ class JobStore:
                 created_at=self._clock(),
                 seed=seed,
                 config_hash=config_hash,
+                mode=mode,
             )
             self._jobs[job_id] = job
             self._enforce_capacity()
@@ -208,6 +213,36 @@ class JobStore:
                 total = progress["total_stages"]
                 if total:
                     progress["fraction"] = round(len(done) / total, 4)
+
+    def record_frames(self, job_id: str, count: int) -> int | None:
+        """Add ``count`` to a stream job's received-frame total.
+
+        Returns the new total, or ``None`` for unknown/terminal jobs.
+        Like stage progress, this is not persisted (too chatty).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return None
+            job.frames_received += count
+            return job.frames_received
+
+    def mark_eof(self, job_id: str) -> bool:
+        """Record that the stream's producer signalled end-of-frames."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return False
+            job.eof = True
+            return True
+
+    def set_provisional(self, job_id: str, provisional: dict[str, Any]) -> None:
+        """Replace a stream job's provisional block (not persisted)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return
+            job.provisional = dict(provisional)
 
     def finish(
         self,

@@ -1,0 +1,127 @@
+"""The bounded frame queue between HTTP ingest and a stream job worker.
+
+A streaming job has two sides running at different speeds: the HTTP
+handler appending frame chunks (``POST /v1/jobs/{id}/frames``) and the
+pool worker folding frames into a
+:class:`~repro.streaming.StreamingAnalyzer`.  :class:`FrameQueue` is
+the hand-off — a small, bounded, condition-variable queue with the
+exact semantics the service needs:
+
+* **Backpressure, not buffering** — ``put`` never blocks; when the
+  queue is full it raises :class:`FrameQueueFull`, which the service
+  maps to ``429`` + ``Retry-After`` so the producer slows down instead
+  of the server swallowing unbounded video.
+* **EOF as a state** — ``close()`` marks the end of the stream; the
+  consumer's ``get`` drains the remaining frames and then returns
+  ``None`` exactly once per call.  Pushing after close raises
+  :class:`~repro.errors.StreamError` (→ 409).
+* **Idle timeout** — a producer that goes away without ``eof`` must
+  not pin a pool slot forever; ``get(timeout)`` raises
+  :class:`StreamIdleTimeout` so the worker can fail the job and return
+  its thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from ..errors import ConfigurationError, ReproError, StreamError
+
+
+class FrameQueueFull(ReproError):
+    """The stream's frame queue is at capacity (maps to HTTP 429)."""
+
+
+class StreamIdleTimeout(ReproError):
+    """No frame and no EOF arrived within the idle timeout."""
+
+
+class FrameQueue:
+    """A bounded, closeable frame queue (see module docstring)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"frame queue capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._cond = threading.Condition()
+        self._frames: deque[np.ndarray] = deque()
+        self._closed = False
+        self._total = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum frames held at once."""
+        return self._capacity
+
+    @property
+    def closed(self) -> bool:
+        """True once EOF (or cancellation) closed the queue."""
+        with self._cond:
+            return self._closed
+
+    def size(self) -> int:
+        """Frames currently queued (pushed but not yet consumed)."""
+        with self._cond:
+            return len(self._frames)
+
+    def total_put(self) -> int:
+        """Frames accepted over the queue's lifetime."""
+        with self._cond:
+            return self._total
+
+    def put(self, frames) -> int:
+        """Append frames; returns the queue depth after the append.
+
+        All-or-nothing: when the chunk would overflow the bound,
+        nothing is queued and :class:`FrameQueueFull` is raised — the
+        producer retries the whole chunk after ``Retry-After``.
+        """
+        frames = list(frames)
+        with self._cond:
+            if self._closed:
+                raise StreamError(
+                    "the stream is closed; no more frames are accepted"
+                )
+            if len(self._frames) + len(frames) > self._capacity:
+                raise FrameQueueFull(
+                    f"frame queue holds {len(self._frames)}/"
+                    f"{self._capacity} frames and cannot take "
+                    f"{len(frames)} more; retry shortly"
+                )
+            self._frames.extend(frames)
+            self._total += len(frames)
+            self._cond.notify_all()
+            return len(self._frames)
+
+    def close(self) -> None:
+        """Mark EOF (idempotent); queued frames remain consumable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def get(self, timeout: float) -> np.ndarray | None:
+        """The next frame, ``None`` at EOF, or :class:`StreamIdleTimeout`.
+
+        Waits up to ``timeout`` seconds for a frame or the close flag;
+        the timeout resets on every call, so it bounds *idle* time, not
+        total stream duration.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._frames:
+                    return self._frames.popleft()
+                if self._closed:
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise StreamIdleTimeout(
+                        f"no frame and no eof for {timeout:g}s"
+                    )
+                self._cond.wait(remaining)

@@ -17,6 +17,7 @@ import numpy as np
 
 from .models import JobState
 from .store import JobStore
+from .stream import FrameQueue, StreamIdleTimeout
 from ..errors import CancelledError, ReproError
 from ..perf.pool import WorkerPool
 from ..runtime import CancellationToken, Instrumentation
@@ -90,6 +91,30 @@ class JobWorkerPool:
             self._tokens[job_id] = token
         self._pool.submit(
             self._run, job_id, analyzer, video, annotation, seed, token
+        )
+
+    def submit_stream(
+        self,
+        job_id: str,
+        analyzer: Any,
+        frames: FrameQueue,
+        annotation: Any = None,
+        seed: int = 0,
+        idle_timeout: float = 30.0,
+    ) -> None:
+        """Queue one streaming job fed by ``frames``; returns immediately."""
+        token = CancellationToken()
+        with self._lock:
+            self._tokens[job_id] = token
+        self._pool.submit(
+            self._run_stream,
+            job_id,
+            analyzer,
+            frames,
+            annotation,
+            seed,
+            idle_timeout,
+            token,
         )
 
     def cancel(self, job_id: str) -> None:
@@ -172,5 +197,111 @@ class JobWorkerPool:
                 error={"type": "InternalError", "message": str(exc)},
             )
         finally:
+            with self._lock:
+                self._tokens.pop(job_id, None)
+
+    @staticmethod
+    def _stream_progress(update: Any) -> dict[str, Any]:
+        """The job payload's ``provisional`` block for one frame update."""
+        return {
+            "frames_seen": update.frames_seen,
+            "phase": update.phase,
+            "pose_box": (
+                list(update.pose_box) if update.pose_box is not None else None
+            ),
+            "estimate": (
+                update.provisional.to_dict()
+                if update.provisional is not None
+                else None
+            ),
+        }
+
+    def _run_stream(
+        self,
+        job_id: str,
+        analyzer: Any,
+        frames: FrameQueue,
+        annotation: Any,
+        seed: int,
+        idle_timeout: float,
+        token: CancellationToken,
+    ) -> None:
+        """Drain the frame queue through a streaming analyzer.
+
+        Mirrors :meth:`_run`'s lifecycle and error mapping; the extra
+        exits are :class:`StreamIdleTimeout` (no frame and no eof →
+        ``failed``, never a leaked pool slot) and a queue closed by
+        cancellation (the token raises on the next push or at finish).
+        """
+        store = self._store
+        try:
+            if store.cancel_requested(job_id):
+                token.cancel()
+            stage_names = tuple(getattr(analyzer, "STAGES", ()))
+            if not store.mark_running(job_id, total_stages=len(stage_names)):
+                return  # cancelled pre-start or evicted
+            if token.cancelled:
+                store.finish(
+                    job_id,
+                    JobState.CANCELLED,
+                    error={
+                        "type": "CancelledError",
+                        "message": "job cancelled before it started",
+                    },
+                )
+                return
+            instrumentation = Instrumentation(
+                sink=JobProgressSink(store, job_id, stage_names)
+            )
+            stream = analyzer.open_stream(
+                annotation=annotation,
+                rng=np.random.default_rng(seed),
+                instrumentation=instrumentation,
+                cancel_token=token,
+            )
+            while True:
+                frame = frames.get(timeout=idle_timeout)
+                if frame is None:  # eof (or a cancel closed the queue)
+                    break
+                update = stream.push_frame(frame)
+                store.set_provisional(job_id, self._stream_progress(update))
+            token.raise_if_cancelled("finish")
+            analysis = stream.finish()
+            if self._metrics is not None and hasattr(analysis, "trace"):
+                self._metrics.observe_trace(analysis.trace)
+            result = self._serializer(analysis)
+            store.finish(
+                job_id,
+                JobState.SUCCEEDED,
+                result=result,
+                degraded=bool(result.get("degraded", False)),
+                degradation=result.get("degradation"),
+            )
+        except StreamIdleTimeout as exc:
+            store.finish(
+                job_id,
+                JobState.FAILED,
+                error={"type": "StreamIdleTimeout", "message": str(exc)},
+            )
+        except CancelledError as exc:
+            store.finish(
+                job_id,
+                JobState.CANCELLED,
+                error={"type": "CancelledError", "message": str(exc)},
+            )
+        except ReproError as exc:
+            store.finish(
+                job_id,
+                JobState.FAILED,
+                error={"type": type(exc).__name__, "message": str(exc)},
+            )
+        except BaseException as exc:  # the pool thread must survive
+            store.finish(
+                job_id,
+                JobState.FAILED,
+                error={"type": "InternalError", "message": str(exc)},
+            )
+        finally:
+            frames.close()  # further pushes answer "stream closed"
             with self._lock:
                 self._tokens.pop(job_id, None)

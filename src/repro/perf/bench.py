@@ -13,7 +13,11 @@ reports a machine-readable JSON document (committed as
   end-to-end run's stage trace;
 * ``end_to_end`` — a full :meth:`JumpAnalyzer.analyze` with the
   legacy kernels + full GA re-evaluation (the pre-perf-layer
-  baseline) versus the optimised defaults, and their speedup.
+  baseline) versus the optimised defaults, and their speedup;
+* ``time_to_first_result`` — how long a live stream
+  (:meth:`JumpAnalyzer.open_stream`, ``warmup_frames=4``) takes to
+  produce its first tracked-frame update, against the batch
+  end-to-end latency it replaces.
 
 The report also records machine info and the config hash, so two
 bench files are comparable at a glance.  :func:`compare_to_baseline`
@@ -144,6 +148,50 @@ def _analyze_once(
     )
 
 
+def _bench_time_to_first_result(
+    config: Any, jump: Any, annotation: Any, seed: int, batch_seconds: float
+) -> dict[str, Any]:
+    """Time a live stream's first tracked-frame update vs batch latency.
+
+    ``batch_seconds`` is the already-measured optimised end-to-end
+    time: the streaming pitch is that a caller sees a per-frame result
+    after only the warmup prefix instead of waiting for the whole
+    video, so the headline number is ``first_result_seconds /
+    batch_seconds``.
+    """
+    from ..pipeline import JumpAnalyzer
+
+    warmup = 4
+    live_config = dataclasses.replace(
+        config,
+        streaming=dataclasses.replace(
+            config.streaming, warmup_frames=warmup
+        ),
+    )
+    analyzer = JumpAnalyzer(live_config)
+    start = time.perf_counter()
+    stream = analyzer.open_stream(
+        annotation=annotation, rng=np.random.default_rng(seed)
+    )
+    first_result_seconds = None
+    for frame in jump.video:
+        update = stream.push_frame(frame)
+        if first_result_seconds is None and update.phase == "tracking":
+            first_result_seconds = time.perf_counter() - start
+    stream.finish()
+    total_seconds = time.perf_counter() - start
+    if first_result_seconds is None:  # video shorter than the warmup
+        first_result_seconds = total_seconds
+    return {
+        "warmup_frames": warmup,
+        "frames": len(jump.video),
+        "batch_seconds": round(batch_seconds, 4),
+        "first_result_seconds": round(first_result_seconds, 4),
+        "stream_total_seconds": round(total_seconds, 4),
+        "ratio_vs_batch": round(first_result_seconds / batch_seconds, 4),
+    }
+
+
 def run_bench(
     config: Any = None,
     *,
@@ -242,6 +290,9 @@ def run_bench(
         },
         "speedup": round(baseline_seconds / optimized_seconds, 3),
     }
+    sections["time_to_first_result"] = _bench_time_to_first_result(
+        optimized_config, jump, annotation, seed, optimized_seconds
+    )
 
     return {
         "bench_version": BENCH_VERSION,

@@ -101,6 +101,59 @@ class RobustnessConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class StreamingConfig:
+    """Frame-at-a-time behaviour of the analyzer (see :mod:`repro.streaming`).
+
+    ``warmup_frames`` is the number of leading frames buffered before
+    Step 1 freezes and per-frame processing starts:
+
+    * ``0`` (default) keeps the batch contract — every pushed frame is
+      buffered and ``finish()`` runs the classic seven-stage pipeline
+      over the whole sequence, byte-identical to feeding the same
+      frames to ``JumpAnalyzer.analyze``;
+    * ``>= 2`` goes *live* after the warm-up — the background is frozen
+      from the warm-up prefix alone, every frame is segmented and
+      tracked as it arrives, and ``push_frame`` returns provisional
+      pose/event/score estimates.  The final background (hence the
+      final analysis) then depends only on the prefix: that is the
+      latency-for-context trade streaming makes, which is why this
+      knob participates in ``config_hash``.
+
+    ``background`` picks the live-mode Step-1 model: ``"warmup"``
+    buffers the prefix and freezes it through the batch estimator;
+    ``"running"`` uses the O(1)-memory incremental estimator (see
+    :mod:`repro.segmentation.online`).
+    """
+
+    warmup_frames: int = 0
+    background: str = "warmup"
+    # Provisional per-frame output in live mode: re-detect events (and
+    # re-score) on the pose prefix every ``provisional_every`` frames.
+    # Errors in provisional estimation never interrupt the stream.
+    provisional_events: bool = True
+    provisional_scoring: bool = True
+    provisional_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warmup_frames < 0:
+            raise ConfigurationError("streaming.warmup_frames must be >= 0")
+        if self.warmup_frames == 1:
+            raise ConfigurationError(
+                "streaming.warmup_frames must be 0 (batch) or >= 2 "
+                "(change detection needs two frames)"
+            )
+        if self.background not in ("warmup", "running"):
+            raise ConfigurationError(
+                "streaming.background must be 'warmup' or 'running', got "
+                f"{self.background!r}"
+            )
+        if self.provisional_every < 1:
+            raise ConfigurationError(
+                "streaming.provisional_every must be >= 1"
+            )
+
+
+@dataclass(frozen=True, slots=True)
 class AnalyzerConfig:
     """Configuration of the full pipeline."""
 
@@ -119,6 +172,9 @@ class AnalyzerConfig:
     # constant-velocity RTS smoother; "none" scores the raw track.
     smoothing_mode: str = "median"
     smoothing_window: int = 3
+    # Frame-at-a-time behaviour (warm-up length, provisional output).
+    # The default keeps the batch contract; see StreamingConfig.
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
 
     def __post_init__(self) -> None:
         from .errors import ConfigurationError
@@ -422,8 +478,54 @@ class JumpAnalyzer:
         return poses
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------
+    #: Post-tracking stages shared by the batch runner and the streaming
+    #: finish path (the only stages with fallback substitutes).
+    TAIL_STAGES = ("smoothing", "events", "scoring", "measurement")
+
+    def open_stream(
+        self,
+        annotation: FirstFrameAnnotation | None = None,
+        rng: np.random.Generator | None = None,
+        instrumentation: Instrumentation | None = None,
+        cancel_token: "CancellationToken | None" = None,
+    ):
+        """Open a frame-at-a-time analysis (see :mod:`repro.streaming`).
+
+        Returns a :class:`~repro.streaming.StreamingAnalyzer`: call
+        ``push_frame(frame)`` per arriving frame and ``finish()`` for
+        the final :class:`JumpAnalysis`.  :meth:`analyze` is a thin
+        wrapper that feeds a whole sequence through this stream — there
+        is one pipeline, not two.
+        """
+        from .streaming import StreamingAnalyzer
+
+        return StreamingAnalyzer(
+            self,
+            annotation=annotation,
+            rng=rng,
+            instrumentation=instrumentation,
+            cancel_token=cancel_token,
+        )
+
+    def tail_runner(self) -> PipelineRunner:
+        """The post-tracking stages of the live runner, as a pipeline.
+
+        Built from :attr:`runner`'s own stage objects and policies, so
+        anything that rewrites the runner (fault injection, future
+        wrappers) is honoured by the streaming finish path too.
+        """
+        tail = [s for s in self._runner.stages if s.name in self.TAIL_STAGES]
+        policies = {
+            name: policy
+            for name, policy in self._runner.policies.items()
+            if name in self.TAIL_STAGES
+        }
+        return PipelineRunner(
+            tail, name="jump-analysis-tail", policies=policies or None
+        )
+
     def analyze(
         self,
         video: VideoSequence,
@@ -447,13 +549,36 @@ class JumpAnalyzer:
         checks it between stages and raises
         :class:`~repro.errors.CancelledError` once it is set (the job
         subsystem's ``DELETE /v1/jobs/{id}`` path).
-        """
-        rng = rng if rng is not None else np.random.default_rng(0)
 
+        This is a thin wrapper over the streaming core: the sequence is
+        fed through :meth:`open_stream` and finished.  With the default
+        ``streaming.warmup_frames = 0`` the stream buffers every frame
+        and ``finish()`` runs the classic seven-stage runner over the
+        whole sequence, so results are identical to the pre-streaming
+        analyzer.
+        """
+        stream = self.open_stream(
+            annotation=annotation,
+            rng=rng,
+            instrumentation=instrumentation,
+            cancel_token=cancel_token,
+        )
+        stream.extend(video)
+        return stream.finish()
+
+    def _analyze_batch(
+        self,
+        video: VideoSequence,
+        annotation: FirstFrameAnnotation | None,
+        rng: np.random.Generator,
+        instrumentation: Instrumentation,
+        cancel_token: "CancellationToken | None",
+    ) -> JumpAnalysis:
+        """The classic whole-sequence path: run all seven stages."""
         config_dict = self.config.to_dict()
         resolved_hash = config_hash(config_dict)
         context = StageContext(
-            instrumentation=instrumentation or Instrumentation(),
+            instrumentation=instrumentation,
             cancel_token=cancel_token,
         )
         context.artifacts["annotation"] = annotation

@@ -7,6 +7,11 @@ from .background import (
     MedianBackgroundEstimator,
 )
 from .cleanup import CleanupConfig, CleanupStages, clean_foreground
+from .online import (
+    OnlineBackgroundModel,
+    RunningBackgroundModel,
+    WarmupBackgroundModel,
+)
 from .evaluation import (
     SequenceEvaluation,
     StageScores,
@@ -22,6 +27,9 @@ __all__ = [
     "ChangeDetectionBackgroundEstimator",
     "ChangeDetectionConfig",
     "MedianBackgroundEstimator",
+    "OnlineBackgroundModel",
+    "RunningBackgroundModel",
+    "WarmupBackgroundModel",
     "CleanupConfig",
     "CleanupStages",
     "clean_foreground",

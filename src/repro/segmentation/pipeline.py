@@ -27,6 +27,7 @@ from .background import (
     ChangeDetectionConfig,
     MedianBackgroundEstimator,
 )
+from .online import WarmupBackgroundModel
 from .cleanup import (
     CleanupConfig,
     step_hole_fill,
@@ -202,27 +203,57 @@ class SegmentationPipeline:
     # ------------------------------------------------------------------
     # Step 1
     # ------------------------------------------------------------------
+    def _estimator(
+        self,
+    ) -> MedianBackgroundEstimator | ChangeDetectionBackgroundEstimator:
+        """The batch Step-1 estimator this config selects."""
+        if self.config.use_median_background:
+            return MedianBackgroundEstimator()
+        return ChangeDetectionBackgroundEstimator(self.config.change_detection)
+
+    def background_model(self, warmup_frames: int = 0) -> WarmupBackgroundModel:
+        """A fresh online Step-1 model matching this pipeline's config.
+
+        The model buffers observed frames and freezes them through the
+        configured batch estimator, so freezing after the whole sequence
+        is byte-identical to :meth:`fit`.  ``warmup_frames`` sets when
+        the model reports :attr:`~WarmupBackgroundModel.ready` (``0``:
+        the owner decides).
+        """
+        return WarmupBackgroundModel(
+            self._estimator(), warmup_frames=warmup_frames
+        )
+
     def fit(self, video: VideoSequence) -> BackgroundResult:
         """Estimate the background (Step 1) and remember it."""
         with self.instrumentation.span("segmentation/fit_background"):
-            if self.config.use_median_background:
-                estimator: (
-                    MedianBackgroundEstimator | ChangeDetectionBackgroundEstimator
-                )
-                estimator = MedianBackgroundEstimator()
-            else:
-                estimator = ChangeDetectionBackgroundEstimator(
-                    self.config.change_detection
-                )
-            self._background_result = estimator.estimate(video)
+            model = self.background_model()
+            model.observe_video(video)
+            self._background_result = model.freeze()
+        return self._background_result
+
+    def set_background(self, result: BackgroundResult) -> None:
+        """Adopt a background frozen elsewhere.
+
+        Used by the streaming analyzer (which freezes an
+        :class:`~repro.segmentation.online.OnlineBackgroundModel` after
+        its warm-up) and by the process-pool workers (which rebuild the
+        fitted pipeline from a shipped background).
+        """
+        self._background_result = result
+
+    @property
+    def background_result(self) -> BackgroundResult:
+        """The full Step-1 result (requires :meth:`fit` or
+        :meth:`set_background`)."""
+        if self._background_result is None:
+            raise SegmentationError("call fit() before reading the background")
         return self._background_result
 
     @property
     def background(self) -> np.ndarray:
         """The estimated background image (requires :meth:`fit`)."""
-        if self._background_result is None:
-            raise SegmentationError("call fit() before reading the background")
-        return self._background_result.background
+        return self.background_result.background
 
     # ------------------------------------------------------------------
     # Steps 2–5, as named sub-stages over a per-frame state dict
@@ -367,7 +398,7 @@ def _init_segmentation_worker(
 ) -> None:
     global _WORKER_PIPELINE
     pipeline = SegmentationPipeline(config)
-    pipeline._background_result = background
+    pipeline.set_background(background)
     _WORKER_PIPELINE = pipeline
 
 

@@ -26,6 +26,17 @@ snapshot-tested.
   runs.  The job executes on the shared worker pool; its per-stage
   progress is visible while it runs and it can be cancelled
   cooperatively between pipeline stages (:mod:`repro.jobs`).
+* ``POST /v1/jobs`` with ``{"mode": "stream"}`` — open a **streaming**
+  job that takes no video up front.  Frames are appended while it runs
+  with ``POST /v1/jobs/{id}/frames`` (``{"frames_npz_b64": <base64 of
+  a compressed .npz chunk with a 'frames' array>}``) and the stream is
+  closed with ``POST /v1/jobs/{id}/eof``; ``GET /v1/jobs/{id}``
+  meanwhile carries a ``stream`` block with the received-frame count
+  and the latest provisional state (current pose box, provisional
+  takeoff/landing estimate).  The per-job frame queue is bounded:
+  chunks that would overflow it answer **429** + ``Retry-After``, and
+  a stream that goes idle without ``eof`` fails after the configured
+  timeout instead of pinning a worker.  See ``docs/streaming.md``.
 * ``GET /v1/jobs`` / ``GET /v1/jobs/{id}`` /
   ``GET /v1/jobs/{id}/result`` / ``DELETE /v1/jobs/{id}`` — bounded
   listing, status+progress polling, result retrieval (structured 410
@@ -89,8 +100,14 @@ from .config import (
     get_preset,
     preset_names,
 )
-from .errors import ConfigurationError, ReproError
-from .jobs import JobManager, JobQueueFull, JobsConfig, JobStore
+from .errors import ConfigurationError, ReproError, StreamError
+from .jobs import (
+    FrameQueueFull,
+    JobManager,
+    JobQueueFull,
+    JobsConfig,
+    JobStore,
+)
 from .perf.cache import AnalyzerCache
 from .perf.pool import WorkerPool
 from .pipeline import AnalyzerConfig, JumpAnalyzer
@@ -120,6 +137,8 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("POST", "/v1/analyze"),
     ("POST", "/v1/analyze/batch"),
     ("POST", "/v1/jobs"),
+    ("POST", "/v1/jobs/{id}/eof"),
+    ("POST", "/v1/jobs/{id}/frames"),
     ("DELETE", "/v1/jobs/{id}"),
 )
 
@@ -496,6 +515,14 @@ class _Handler(BaseHTTPRequestHandler):
         service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
         metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
         request = self._read_json_body()
+        mode = request.get("mode", "batch")
+        if mode == "stream":
+            self._handle_stream_submit(manager, request)
+            return
+        if mode != "batch":
+            raise _BadRequest(
+                "bad_mode", f"'mode' must be 'batch' or 'stream', got {mode!r}"
+            )
         parsed = self._parse_video_item(request)
         analyzer = self._resolve_analyzer(self._parse_config_block(request))
         resolved_hash = config_hash(config_to_dict(analyzer.config))
@@ -529,6 +556,132 @@ class _Handler(BaseHTTPRequestHandler):
             {"job": payload},
             headers={"Location": f"/{API_VERSION}/jobs/{payload['id']}"},
         )
+        self._finish(202)
+
+    def _handle_stream_submit(
+        self, manager: JobManager, request: dict[str, Any]
+    ) -> None:
+        """``POST /v1/jobs`` with ``"mode": "stream"``: open a stream job."""
+        service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
+        metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
+        try:
+            annotation = (
+                annotation_from_dict(request["annotation"])
+                if request.get("annotation")
+                else None
+            )
+        except (ReproError, TypeError) as exc:
+            raise _BadRequest("bad_annotation_payload", str(exc))
+        try:
+            seed = int(request.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest("bad_seed", f"seed must be an integer: {exc}")
+        analyzer = self._resolve_analyzer(self._parse_config_block(request))
+        resolved_hash = config_hash(config_to_dict(analyzer.config))
+        digest = JobStore.digest_of("stream", str(seed), resolved_hash)
+        try:
+            payload = manager.submit_stream(
+                analyzer,
+                annotation=annotation,
+                seed=seed,
+                digest=digest,
+                config_hash=resolved_hash,
+            )
+        except JobQueueFull as exc:
+            metrics.increment("service.jobs.rejected")
+            raise _BadRequest(
+                "jobs_queue_full",
+                str(exc),
+                status=503,
+                headers={
+                    "Retry-After": str(service_config.retry_after_seconds)
+                },
+            )
+        metrics.increment("service.jobs.submitted")
+        metrics.increment("service.jobs.streams")
+        self._send_json(
+            202,
+            {"job": payload},
+            headers={"Location": f"/{API_VERSION}/jobs/{payload['id']}"},
+        )
+        self._finish(202)
+
+    def _stream_job(self, manager: JobManager, job_id: str) -> dict[str, Any]:
+        """A known stream job's payload, or the right :class:`_BadRequest`."""
+        if not job_id or "/" in job_id:
+            raise _BadRequest(
+                "not_found", f"unknown path {self.path!r}", status=404
+            )
+        payload = manager.payload(job_id)
+        if payload is None:
+            raise self._job_not_found(manager, job_id)
+        if payload.get("mode") != "stream":
+            raise _BadRequest(
+                "not_a_stream_job",
+                f"job {job_id!r} is a batch job; it takes no frames",
+                status=409,
+            )
+        if payload["state"] in ("succeeded", "failed", "cancelled"):
+            raise _BadRequest(
+                "job_finished",
+                f"job {job_id!r} already {payload['state']}; its stream "
+                "is closed",
+                status=409,
+                detail=payload.get("error"),
+            )
+        return payload
+
+    def _handle_job_frames(self, job_id: str) -> None:
+        """``POST /v1/jobs/{id}/frames``: append a chunk to a stream job."""
+        manager = self._jobs_manager()
+        service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
+        metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
+        self._stream_job(manager, job_id)
+        request = self._read_json_body()
+        if "frames_npz_b64" not in request:
+            raise _BadRequest(
+                "missing_field",
+                "request is missing the 'frames_npz_b64' field",
+            )
+        try:
+            chunk = decode_video(request["frames_npz_b64"])
+        except (ReproError, TypeError) as exc:
+            raise _BadRequest("bad_video_payload", str(exc))
+        frames = [chunk.frames[index] for index in range(len(chunk))]
+        try:
+            result = manager.push_frames(job_id, frames)
+        except FrameQueueFull as exc:
+            metrics.increment("service.jobs.frames_rejected")
+            raise _BadRequest(
+                "frame_queue_full",
+                str(exc),
+                status=429,
+                headers={
+                    "Retry-After": str(service_config.retry_after_seconds)
+                },
+            )
+        except StreamError as exc:
+            raise _BadRequest("stream_closed", str(exc), status=409)
+        metrics.increment("service.jobs.frames", len(frames))
+        self._send_json(
+            202,
+            {
+                "job": manager.payload(job_id),
+                "queued": result["queued"],
+                "frames_received": result["frames_received"],
+            },
+        )
+        self._finish(202)
+
+    def _handle_job_eof(self, job_id: str) -> None:
+        """``POST /v1/jobs/{id}/eof``: close a stream job's frame feed."""
+        manager = self._jobs_manager()
+        self._stream_job(manager, job_id)
+        try:
+            manager.eof(job_id)
+        except StreamError as exc:
+            raise _BadRequest("stream_closed", str(exc), status=409)
+        self._send_json(202, {"job": manager.payload(job_id)})
         self._finish(202)
 
     def _handle_job_cancel(self, job_id: str) -> None:
@@ -717,6 +870,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_analyze_batch()
             elif path == "/jobs":
                 self._handle_jobs_submit()
+            elif path.startswith("/jobs/"):
+                rest = path[len("/jobs/"):]
+                if rest.endswith("/frames"):
+                    self._handle_job_frames(rest[: -len("/frames")])
+                elif rest.endswith("/eof"):
+                    self._handle_job_eof(rest[: -len("/eof")])
+                else:
+                    raise _BadRequest(
+                        "not_found", f"unknown path {self.path!r}", status=404
+                    )
             else:
                 raise _BadRequest(
                     "not_found", f"unknown path {self.path!r}", status=404

@@ -1,0 +1,19 @@
+"""Frame-at-a-time analysis with provisional results.
+
+:class:`StreamingAnalyzer` is the push-based core of the pipeline: feed
+it one frame at a time (``push_frame``), read the provisional state it
+returns (:class:`FrameUpdate`), and call ``finish()`` for the final
+:class:`~repro.pipeline.JumpAnalysis`.  The batch
+:meth:`~repro.pipeline.JumpAnalyzer.analyze` is a thin wrapper that
+feeds a whole sequence through a stream, so there is exactly one
+pipeline — see :class:`~repro.pipeline.StreamingConfig` for the
+warm-up/provisional knobs and ``docs/streaming.md`` for the protocol.
+"""
+
+from .analyzer import FrameUpdate, ProvisionalEstimate, StreamingAnalyzer
+
+__all__ = [
+    "FrameUpdate",
+    "ProvisionalEstimate",
+    "StreamingAnalyzer",
+]

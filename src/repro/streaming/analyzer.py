@@ -1,0 +1,442 @@
+"""The streaming analyzer: a push_frame/finish state machine.
+
+Two modes, selected by ``AnalyzerConfig.streaming.warmup_frames``:
+
+* **batch** (``warmup_frames == 0``, the default): every pushed frame
+  is buffered; ``finish()`` runs the analyzer's classic seven-stage
+  runner over the whole sequence.  This is byte-identical to the
+  pre-streaming ``JumpAnalyzer.analyze`` — same stages, policies,
+  instrumentation events, parallel fan-out and cancellation points.
+* **live** (``warmup_frames >= 2``): the first ``warmup_frames`` frames
+  feed an :class:`~repro.segmentation.online.OnlineBackgroundModel`;
+  once it freezes, the buffered frames drain through the per-frame path
+  and every further ``push_frame`` does O(frame) work — segment
+  (Steps 2–5), one :class:`~repro.ga.temporal.TrackingSession` step
+  (recovery ladder included), and a guarded provisional event/score
+  estimate.  ``finish()`` runs the shared post-tracking tail stages
+  (smoothing → events → scoring → measurement, with the same
+  retry/fallback policies) and assembles the :class:`JumpAnalysis`.
+
+A stream that ends before its warm-up fills falls back to the batch
+path over whatever was buffered, so short clips behave identically in
+both modes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..analysis.events import detect_events
+from ..config.hashing import config_hash
+from ..errors import ReproError, SegmentationError, StreamError, VideoError
+from ..ga.temporal import FrameHealth, TemporalPoseTracker, TrackingSession
+from ..imaging.image import ensure_rgb
+from ..model.annotation import FirstFrameAnnotation, auto_annotate
+from ..model.pose import StickPose
+from ..pipeline import JumpAnalysis, JumpAnalyzer
+from ..runtime import CancellationToken, Instrumentation, StageContext
+from ..runtime.trace import StageTiming
+from ..scoring.report import JumpScorer
+from ..segmentation.online import RunningBackgroundModel
+from ..segmentation.pipeline import FrameSegmentation, SegmentationPipeline
+from ..video.sequence import VideoSequence
+
+
+@dataclass(frozen=True, slots=True)
+class ProvisionalEstimate:
+    """Best current guess at the jump's structure, mid-stream.
+
+    Re-estimated from the raw pose prefix as frames arrive; provisional
+    by construction (the final analysis smooths the track first) and
+    absent until at least four poses exist.
+    """
+
+    frames_seen: int
+    takeoff_frame: int
+    landing_frame: int
+    peak_frame: int
+    ground_height: float
+    score: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the job payload's ``provisional`` block)."""
+        return {
+            "frames_seen": self.frames_seen,
+            "takeoff_frame": self.takeoff_frame,
+            "landing_frame": self.landing_frame,
+            "peak_frame": self.peak_frame,
+            "ground_height": self.ground_height,
+            "score": self.score,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class FrameUpdate:
+    """What one ``push_frame`` produced.
+
+    ``phase`` is ``"buffering"`` (batch mode), ``"warmup"`` (live mode,
+    background not yet frozen) or ``"tracking"`` (live); pose fields
+    are populated only while tracking.
+    """
+
+    frame_index: int
+    frames_seen: int
+    phase: str
+    pose: StickPose | None = None
+    pose_box: tuple[float, float, float, float] | None = None  # x, y, w, h
+    health: FrameHealth | None = None
+    provisional: ProvisionalEstimate | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (job progress / client printing)."""
+        return {
+            "frame_index": self.frame_index,
+            "frames_seen": self.frames_seen,
+            "phase": self.phase,
+            "pose": (
+                [self.pose.x0, self.pose.y0, *self.pose.angles_deg]
+                if self.pose is not None
+                else None
+            ),
+            "pose_box": list(self.pose_box) if self.pose_box else None,
+            "health": self.health.to_dict() if self.health else None,
+            "provisional": (
+                self.provisional.to_dict() if self.provisional else None
+            ),
+        }
+
+
+class StreamingAnalyzer:
+    """Push-based frame-at-a-time analysis (see module docstring).
+
+    Create via :meth:`repro.pipeline.JumpAnalyzer.open_stream`; the
+    stream shares the analyzer's config, stage objects and policies.
+    """
+
+    def __init__(
+        self,
+        analyzer: JumpAnalyzer,
+        annotation: FirstFrameAnnotation | None = None,
+        rng: np.random.Generator | None = None,
+        instrumentation: Instrumentation | None = None,
+        cancel_token: CancellationToken | None = None,
+    ) -> None:
+        self._analyzer = analyzer
+        self.config = analyzer.config
+        self._given_annotation = annotation
+        self._annotation = annotation
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._instrumentation = instrumentation or Instrumentation()
+        self._cancel_token = cancel_token
+        self._live = self.config.streaming.warmup_frames > 0
+        self._buffer: list[np.ndarray] = []
+        self._video: VideoSequence | None = None
+        self._frames_seen = 0
+        self._finished = False
+        self._started_at: float | None = None
+        # Live-mode state, populated once the background freezes.
+        self._segmenter: SegmentationPipeline | None = None
+        self._segmentations: list[FrameSegmentation] = []
+        self._background = None  # BackgroundResult
+        self._session: TrackingSession | None = None
+        self._provisional: ProvisionalEstimate | None = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def frames_seen(self) -> int:
+        """Total frames pushed so far."""
+        return self._frames_seen
+
+    @property
+    def live(self) -> bool:
+        """True when this stream analyzes frames as they arrive."""
+        return self._live
+
+    @property
+    def provisional(self) -> ProvisionalEstimate | None:
+        """The latest provisional estimate (live mode, >= 4 poses)."""
+        return self._provisional
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def push_frame(self, frame: np.ndarray) -> FrameUpdate:
+        """Fold one frame into the analysis and report the new state."""
+        if self._finished:
+            raise StreamError("push_frame() after finish()")
+        if self._cancel_token is not None:
+            self._cancel_token.raise_if_cancelled(
+                f"frame {self._frames_seen}"
+            )
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        index = self._frames_seen
+        frame = ensure_rgb(frame, f"frame {index}")
+        self._frames_seen += 1
+        if not self._live:
+            self._buffer.append(frame)
+            return FrameUpdate(
+                frame_index=index,
+                frames_seen=self._frames_seen,
+                phase="buffering",
+            )
+        if self._background is None:
+            self._buffer.append(frame)
+            if len(self._buffer) < self.config.streaming.warmup_frames:
+                return FrameUpdate(
+                    frame_index=index,
+                    frames_seen=self._frames_seen,
+                    phase="warmup",
+                )
+            return self._go_live()
+        return self._process_live(frame, index)
+
+    def extend(self, frames: Iterable[np.ndarray]) -> None:
+        """Push every frame of an iterable (the batch wrapper's loop).
+
+        In batch mode a whole :class:`VideoSequence` is adopted without
+        re-buffering — the zero-copy fast path ``analyze`` uses.
+        """
+        if (
+            not self._live
+            and isinstance(frames, VideoSequence)
+            and self._video is None
+            and not self._buffer
+            and not self._finished
+        ):
+            if self._started_at is None:
+                self._started_at = time.perf_counter()
+            self._video = frames
+            self._frames_seen += len(frames)
+            return
+        for frame in frames:
+            self.push_frame(frame)
+
+    # ------------------------------------------------------------------
+    # Live path
+    # ------------------------------------------------------------------
+    def _go_live(self) -> FrameUpdate:
+        """Freeze the background on the warm-up buffer and drain it."""
+        streaming = self.config.streaming
+        segmenter = SegmentationPipeline(
+            self.config.segmentation,
+            instrumentation=self._instrumentation,
+        )
+        if (
+            streaming.background == "running"
+            and not self.config.segmentation.use_median_background
+        ):
+            model = RunningBackgroundModel(
+                self.config.segmentation.change_detection,
+                min_frames=streaming.warmup_frames,
+            )
+        else:
+            # "warmup", or a median background (which has no exact
+            # incremental form): buffer the prefix, freeze through the
+            # batch estimator.
+            model = segmenter.background_model(
+                warmup_frames=streaming.warmup_frames
+            )
+        with self._instrumentation.span("segmentation/fit_background"):
+            for frame in self._buffer:
+                model.observe(frame)
+            background = model.freeze()
+        segmenter.set_background(background)
+        self._segmenter = segmenter
+        self._background = background
+        drained, self._buffer = self._buffer, []
+        update: FrameUpdate | None = None
+        for offset, frame in enumerate(drained):
+            update = self._process_live(frame, offset)
+        assert update is not None  # warmup_frames >= 2 frames drained
+        return update
+
+    def _process_live(self, frame: np.ndarray, index: int) -> FrameUpdate:
+        """Segment and track one frame; refresh the provisional state."""
+        seg = self._segmenter.segment(frame)
+        self._segmentations.append(seg)
+        mask = seg.person
+        if self._session is None:
+            if not mask.any():
+                raise SegmentationError(
+                    "no human object found in the first frame; cannot "
+                    "anchor the stick model"
+                )
+            if self._annotation is None:
+                self._annotation = auto_annotate(mask)
+                self._instrumentation.count("annotation.automatic", 1)
+            tracker = TemporalPoseTracker(
+                self._annotation.dims,
+                self.config.tracker,
+                instrumentation=self._instrumentation,
+            )
+            self._session = tracker.start(self._annotation.pose, rng=self._rng)
+            pose = self._annotation.pose
+            health = self._session.latest_health
+        else:
+            pose, health = self._session.step(mask)
+        self._refresh_provisional(index)
+        return FrameUpdate(
+            frame_index=index,
+            frames_seen=self._frames_seen,
+            phase="tracking",
+            pose=pose,
+            pose_box=self._pose_box(pose),
+            health=health,
+            provisional=self._provisional,
+        )
+
+    def _pose_box(
+        self, pose: StickPose
+    ) -> tuple[float, float, float, float]:
+        """Axis-aligned bounding box of the stick figure (x, y, w, h)."""
+        segments = pose.segments(self._annotation.dims)
+        xs, ys = segments[..., 0], segments[..., 1]
+        x_min, y_min = float(xs.min()), float(ys.min())
+        return (
+            x_min,
+            y_min,
+            float(xs.max()) - x_min,
+            float(ys.max()) - y_min,
+        )
+
+    def _refresh_provisional(self, index: int) -> None:
+        """Re-estimate events/score on the pose prefix, never raising."""
+        streaming = self.config.streaming
+        if not streaming.provisional_events:
+            return
+        poses = self._session.poses
+        if len(poses) < 4 or index % streaming.provisional_every:
+            return
+        try:
+            events = detect_events(poses, self._annotation.dims)
+        except ReproError:
+            return
+        score: float | None = None
+        if streaming.provisional_scoring:
+            try:
+                # A private scorer: provisional passes must not inflate
+                # the stream's own rule counters.
+                report = JumpScorer().score(
+                    poses, takeoff_frame=events.takeoff_frame
+                )
+                score = report.score
+            except ReproError:
+                score = None
+        self._provisional = ProvisionalEstimate(
+            frames_seen=self._frames_seen,
+            takeoff_frame=events.takeoff_frame,
+            landing_frame=events.landing_frame,
+            peak_frame=events.peak_frame,
+            ground_height=events.ground_height,
+            score=score,
+        )
+
+    # ------------------------------------------------------------------
+    # Finish
+    # ------------------------------------------------------------------
+    def finish(self) -> JumpAnalysis:
+        """Close the stream and assemble the final analysis."""
+        if self._finished:
+            raise StreamError("finish() called twice")
+        self._finished = True
+        if self._session is None:
+            # Batch mode — or a live stream that ended inside its
+            # warm-up, which degenerates to the batch path over the
+            # buffered prefix.
+            return self._finish_batch()
+        return self._finish_live()
+
+    def _finish_batch(self) -> JumpAnalysis:
+        if self._video is not None and not self._buffer:
+            video = self._video
+        elif self._video is not None:
+            video = VideoSequence(list(self._video) + self._buffer)
+        elif self._buffer:
+            video = VideoSequence(self._buffer)
+        else:
+            raise VideoError(
+                "cannot analyze a zero-frame video; the sequence needs at "
+                "least one frame to segment and anchor the stick model"
+            )
+        return self._analyzer._analyze_batch(
+            video,
+            annotation=self._given_annotation,
+            rng=self._rng,
+            instrumentation=self._instrumentation,
+            cancel_token=self._cancel_token,
+        )
+
+    def _finish_live(self) -> JumpAnalysis:
+        if self._cancel_token is not None:
+            self._cancel_token.raise_if_cancelled("finish")
+        config_dict = self.config.to_dict()
+        resolved_hash = config_hash(config_dict)
+        context = StageContext(
+            instrumentation=self._instrumentation,
+            cancel_token=self._cancel_token,
+        )
+        tracking = self._session.result()
+        context.artifacts["annotation"] = self._annotation
+        context.artifacts["rng"] = self._rng
+        context.artifacts["segmentations"] = tuple(self._segmentations)
+        context.artifacts["background"] = self._background.background
+        context.artifacts["tracking"] = tracking
+        context.metadata["config"] = config_dict
+        context.metadata["config_hash"] = resolved_hash
+        outcome = self._analyzer.tail_runner().run(
+            tracking.poses, context=context
+        )
+        trace = self._synthesize_trace(outcome.trace)
+        artifacts = outcome.context.artifacts
+        diagnostics = self._analyzer._build_diagnostics(tracking, trace)
+        return JumpAnalysis(
+            segmentations=tuple(self._segmentations),
+            background=self._background.background,
+            annotation=self._annotation,
+            tracking=tracking,
+            poses=artifacts["poses"],
+            events=artifacts["events"],
+            report=artifacts["report"],
+            measurement=artifacts["measurement"],
+            trace=trace,
+            config=config_dict,
+            config_hash=resolved_hash,
+            diagnostics=diagnostics,
+        )
+
+    def _synthesize_trace(self, tail_trace):
+        """Prepend per-frame stage totals to the tail runner's trace.
+
+        The live path has no top-level segmentation/tracking stage
+        spans (work happened per frame), so the trace's stage table is
+        rebuilt from the accumulated sub-spans; ``total_seconds`` is
+        the wall-clock from the first push to finish.
+        """
+        inst = self._instrumentation
+        seg_seconds = sum(
+            timing.seconds
+            for timing in inst.timings()
+            if timing.name.startswith("segmentation/")
+        )
+        head = (
+            StageTiming("segmentation", seg_seconds),
+            StageTiming("tracking", inst.seconds("tracking/frame")),
+        )
+        elapsed = (
+            time.perf_counter() - self._started_at
+            if self._started_at is not None
+            else tail_trace.total_seconds
+        )
+        return dataclasses.replace(
+            tail_trace,
+            stages=head + tail_trace.stages,
+            total_seconds=elapsed,
+        )

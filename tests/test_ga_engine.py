@@ -60,7 +60,9 @@ class TestOptimisation:
 
     def test_history_and_evaluations(self, rng):
         initial = rng.uniform(0, 10, (10, GENES))
-        config = GAConfig(population_size=10, max_generations=5, patience=None)
+        config = GAConfig(
+            population_size=10, max_generations=5, patience=None, incremental=True
+        )
         result = GeneticAlgorithm(config).run(initial, _sphere(np.zeros(GENES)), rng=rng)
         assert result.generations == 6  # gen 0 + 5
         # Incremental evaluation skips the carried elite each generation:

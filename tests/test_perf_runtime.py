@@ -215,6 +215,10 @@ class TestBenchHarness:
         assert sections["end_to_end"]["baseline"]["seconds"] > 0
         assert sections["end_to_end"]["optimized"]["seconds"] > 0
         assert sections["end_to_end"]["speedup"] > 0
+        ttfr = sections["time_to_first_result"]
+        assert ttfr["warmup_frames"] >= 2
+        assert ttfr["first_result_seconds"] > 0
+        assert ttfr["ratio_vs_batch"] > 0
 
     def test_report_is_json_ready(self, quick_report):
         import json
@@ -258,3 +262,17 @@ class TestBenchHarness:
         # The PR-4 acceptance floor: >= 2x end-to-end speedup.
         assert end_to_end["speedup"] >= 2.0
         assert end_to_end["optimized"]["frames_per_sec"] > 0
+
+    def test_committed_bench_6_shows_streaming_latency_win(self):
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_6.json"
+        committed = json.loads(path.read_text())
+        assert committed["bench_version"] == 1
+        assert committed["sections"]["end_to_end"]["speedup"] >= 2.0
+        ttfr = committed["sections"]["time_to_first_result"]
+        # The PR-6 acceptance floor: a live stream's first tracked
+        # result lands in < 0.25x the batch end-to-end latency.
+        assert ttfr["warmup_frames"] >= 2
+        assert ttfr["ratio_vs_batch"] < 0.25

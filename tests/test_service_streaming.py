@@ -1,0 +1,446 @@
+"""Streaming job surface: FrameQueue semantics + the HTTP endpoints."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.client import ServiceClient
+from repro.errors import StreamError
+from repro.jobs import FrameQueue, FrameQueueFull, JobsConfig, StreamIdleTimeout
+from repro.pipeline import AnalyzerConfig
+from repro.service import ServiceConfig, ServiceHandle, encode_video
+from repro.streaming import FrameUpdate, ProvisionalEstimate
+from repro.video.sequence import VideoSequence
+
+
+def _frame(value=0):
+    return np.full((8, 8, 3), value, dtype=np.uint8)
+
+
+class TestFrameQueue:
+    def test_fifo_order_and_counts(self):
+        queue = FrameQueue(4)
+        assert queue.put([_frame(0), _frame(1)]) == 2
+        assert queue.put([_frame(2)]) == 3
+        assert queue.total_put() == 3
+        assert queue.size() == 3
+        values = [queue.get(timeout=1.0)[0, 0, 0] for _ in range(3)]
+        assert values == [0, 1, 2]
+
+    def test_overflow_is_all_or_nothing(self):
+        queue = FrameQueue(2)
+        queue.put([_frame()])
+        with pytest.raises(FrameQueueFull):
+            queue.put([_frame(), _frame()])
+        # the rejected chunk left nothing behind
+        assert queue.size() == 1
+        assert queue.total_put() == 1
+
+    def test_put_after_close_raises(self):
+        queue = FrameQueue(2)
+        queue.close()
+        queue.close()  # idempotent
+        assert queue.closed
+        with pytest.raises(StreamError):
+            queue.put([_frame()])
+
+    def test_get_drains_then_signals_eof(self):
+        queue = FrameQueue(2)
+        queue.put([_frame(5)])
+        queue.close()
+        assert queue.get(timeout=1.0)[0, 0, 0] == 5
+        assert queue.get(timeout=1.0) is None
+
+    def test_idle_timeout_raises(self):
+        queue = FrameQueue(2)
+        start = time.monotonic()
+        with pytest.raises(StreamIdleTimeout):
+            queue.get(timeout=0.05)
+        assert time.monotonic() - start < 5.0
+
+
+# ----------------------------------------------------------------------
+# HTTP surface, with a scripted streaming analyzer
+# ----------------------------------------------------------------------
+def _request(method, url, body=None):
+    """One request; returns (status, payload, headers) without raising."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), exc.headers
+
+
+class _ScriptedStream:
+    """Stand-in for StreamingAnalyzer driven by events, not pixels."""
+
+    def __init__(self, owner):
+        self._owner = owner
+        self.frames = []
+
+    def push_frame(self, frame):
+        self.frames.append(frame)
+        if self._owner.push_started is not None:
+            self._owner.push_started.set()
+        if self._owner.push_release is not None:
+            self._owner.push_release.wait(timeout=10)
+        count = len(self.frames)
+        provisional = None
+        if count >= 2:
+            provisional = ProvisionalEstimate(
+                frames_seen=count,
+                takeoff_frame=0,
+                landing_frame=count - 1,
+                peak_frame=count // 2,
+                ground_height=1.0,
+                score=0.5,
+            )
+        return FrameUpdate(
+            frame_index=count - 1,
+            frames_seen=count,
+            phase="tracking",
+            pose_box=(0.0, 0.0, 4.0, 6.0),
+            provisional=provisional,
+        )
+
+    def finish(self):
+        if self._owner.error is not None:
+            raise self._owner.error
+        return {"stub": True, "frames": len(self.frames)}
+
+
+class _ScriptedStreamAnalyzer:
+    """Analyzer stub exposing both entry points the worker uses."""
+
+    STAGES = ("segmentation", "tracking", "scoring")
+
+    def __init__(self, error=None, push_started=None, push_release=None):
+        self.config = AnalyzerConfig()
+        self.error = error
+        self.push_started = push_started
+        self.push_release = push_release
+        self.streams = []
+
+    def open_stream(
+        self, annotation=None, rng=None, instrumentation=None, cancel_token=None
+    ):
+        stream = _ScriptedStream(self)
+        self.streams.append(stream)
+        return stream
+
+    def analyze(self, video, annotation=None, rng=None,
+                instrumentation=None, cancel_token=None):
+        return {"stub": True}
+
+
+def _stub_handle(analyzer, jobs=None):
+    config = ServiceConfig(jobs=jobs or JobsConfig())
+    handle = ServiceHandle(service_config=config)
+    handle._server.analyzer = analyzer
+    handle.jobs.workers._serializer = lambda analysis: {
+        "stub": True,
+        "degraded": False,
+    }
+    return handle.start()
+
+
+def _frames_b64(count, value=0):
+    return encode_video(
+        VideoSequence(np.full((count, 8, 8, 3), value, dtype=np.uint8))
+    )
+
+
+def _submit_stream(address, seed=0):
+    return _request(
+        "POST", f"{address}/v1/jobs", {"mode": "stream", "seed": seed}
+    )
+
+
+def _push(address, job_id, count=1, value=0):
+    return _request(
+        "POST",
+        f"{address}/v1/jobs/{job_id}/frames",
+        {"frames_npz_b64": _frames_b64(count, value)},
+    )
+
+
+def _poll_terminal(address, job_id, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload, _ = _request("GET", f"{address}/v1/jobs/{job_id}")
+        assert status == 200
+        if payload["job"]["state"] in ("succeeded", "failed", "cancelled"):
+            return payload["job"]
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} never became terminal")
+
+
+class TestStreamSubmit:
+    def test_unknown_mode_is_400(self):
+        handle = _stub_handle(_ScriptedStreamAnalyzer())
+        try:
+            status, payload, _ = _request(
+                "POST", f"{handle.address}/v1/jobs", {"mode": "firehose"}
+            )
+            assert status == 400
+            assert payload["error"]["type"] == "bad_mode"
+        finally:
+            handle.stop()
+
+    def test_stream_submit_202_with_stream_block(self):
+        handle = _stub_handle(_ScriptedStreamAnalyzer())
+        try:
+            status, payload, headers = _submit_stream(handle.address, seed=2)
+            assert status == 202
+            job = payload["job"]
+            assert headers["Location"] == f"/v1/jobs/{job['id']}"
+            assert job["mode"] == "stream"
+            assert job["stream"]["frames_received"] == 0
+            assert job["stream"]["eof"] is False
+            assert job["stream"]["provisional"] is None
+        finally:
+            handle.stop()
+
+    def test_push_to_batch_job_is_409(self):
+        handle = _stub_handle(_ScriptedStreamAnalyzer())
+        try:
+            status, payload, _ = _request(
+                "POST",
+                f"{handle.address}/v1/jobs",
+                {"video_npz_b64": _frames_b64(2), "seed": 1},
+            )
+            assert status == 202
+            job_id = payload["job"]["id"]
+            status, payload, _ = _push(handle.address, job_id)
+            assert status == 409
+            assert payload["error"]["type"] == "not_a_stream_job"
+        finally:
+            handle.stop()
+
+    def test_push_to_unknown_job_is_404(self):
+        handle = _stub_handle(_ScriptedStreamAnalyzer())
+        try:
+            status, payload, _ = _push(handle.address, "j99999-missing")
+            assert status == 404
+        finally:
+            handle.stop()
+
+
+class TestStreamFlow:
+    def test_push_eof_succeed(self):
+        analyzer = _ScriptedStreamAnalyzer()
+        handle = _stub_handle(analyzer)
+        try:
+            _, payload, _ = _submit_stream(handle.address)
+            job_id = payload["job"]["id"]
+
+            status, payload, _ = _push(handle.address, job_id, count=3)
+            assert status == 202
+            assert payload["frames_received"] == 3
+            assert payload["job"]["stream"]["frames_received"] == 3
+
+            # The worker drains the queue and publishes a provisional
+            # block (the scripted stream emits one from frame 2 on).
+            deadline = time.monotonic() + 10
+            provisional = None
+            while time.monotonic() < deadline:
+                _, payload, _ = _request(
+                    "GET", f"{handle.address}/v1/jobs/{job_id}"
+                )
+                provisional = payload["job"]["stream"]["provisional"]
+                if provisional and provisional.get("estimate"):
+                    break
+                time.sleep(0.01)
+            assert provisional is not None
+            assert provisional["phase"] == "tracking"
+            assert provisional["estimate"]["score"] == 0.5
+
+            status, payload, _ = _request(
+                "POST", f"{handle.address}/v1/jobs/{job_id}/eof"
+            )
+            assert status == 202
+            assert payload["job"]["stream"]["eof"] is True
+
+            final = _poll_terminal(handle.address, job_id)
+            assert final["state"] == "succeeded"
+            status, payload, _ = _request(
+                "GET", f"{handle.address}/v1/jobs/{job_id}/result"
+            )
+            assert status == 200
+            assert payload["analysis"]["stub"] is True
+            assert len(analyzer.streams) == 1
+            assert len(analyzer.streams[0].frames) == 3
+        finally:
+            handle.stop()
+
+    def test_missing_frames_field_is_400(self):
+        handle = _stub_handle(_ScriptedStreamAnalyzer())
+        try:
+            _, payload, _ = _submit_stream(handle.address)
+            job_id = payload["job"]["id"]
+            status, payload, _ = _request(
+                "POST", f"{handle.address}/v1/jobs/{job_id}/frames", {}
+            )
+            assert status == 400
+            assert payload["error"]["type"] == "missing_field"
+        finally:
+            handle.stop()
+
+    def test_push_after_eof_is_409(self):
+        handle = _stub_handle(_ScriptedStreamAnalyzer())
+        try:
+            _, payload, _ = _submit_stream(handle.address)
+            job_id = payload["job"]["id"]
+            _push(handle.address, job_id, count=2)
+            _request("POST", f"{handle.address}/v1/jobs/{job_id}/eof")
+            status, payload, _ = _push(handle.address, job_id)
+            assert status == 409
+            assert payload["error"]["type"] in (
+                "stream_closed",
+                "job_finished",  # the worker may already have finished
+            )
+        finally:
+            handle.stop()
+
+    def test_double_eof_is_409(self):
+        handle = _stub_handle(_ScriptedStreamAnalyzer())
+        try:
+            _, payload, _ = _submit_stream(handle.address)
+            job_id = payload["job"]["id"]
+            _push(handle.address, job_id, count=2)
+            status, _, _ = _request(
+                "POST", f"{handle.address}/v1/jobs/{job_id}/eof"
+            )
+            assert status == 202
+            status, payload, _ = _request(
+                "POST", f"{handle.address}/v1/jobs/{job_id}/eof"
+            )
+            assert status == 409
+        finally:
+            handle.stop()
+
+
+class TestStreamRobustness:
+    def test_idle_timeout_fails_job_without_leaking_a_slot(self):
+        jobs = JobsConfig(stream_idle_timeout_seconds=0.2)
+        handle = _stub_handle(_ScriptedStreamAnalyzer(), jobs=jobs)
+        try:
+            _, payload, _ = _submit_stream(handle.address)
+            job_id = payload["job"]["id"]
+            _push(handle.address, job_id, count=1)
+            # Never send eof: the worker must give up on its own.
+            final = _poll_terminal(handle.address, job_id)
+            assert final["state"] == "failed"
+            assert final["error"]["type"] == "StreamIdleTimeout"
+            # The pool slot came back: no token held, next job runs.
+            assert handle.jobs.workers.active() == 0
+            status, payload, _ = _request(
+                "POST",
+                f"{handle.address}/v1/jobs",
+                {"video_npz_b64": _frames_b64(2), "seed": 5},
+            )
+            assert status == 202
+            batch = _poll_terminal(handle.address, payload["job"]["id"])
+            assert batch["state"] == "succeeded"
+        finally:
+            handle.stop()
+
+    def test_full_queue_answers_429_with_retry_after(self):
+        started = threading.Event()
+        release = threading.Event()
+        jobs = JobsConfig(stream_queue_frames=2)
+        handle = _stub_handle(
+            _ScriptedStreamAnalyzer(
+                push_started=started, push_release=release
+            ),
+            jobs=jobs,
+        )
+        try:
+            _, payload, _ = _submit_stream(handle.address)
+            job_id = payload["job"]["id"]
+            # One frame in; wait until the worker is wedged inside
+            # push_frame so the queue depth is deterministic.
+            status, _, _ = _push(handle.address, job_id, count=1)
+            assert status == 202
+            assert started.wait(timeout=10)
+            status, _, _ = _push(handle.address, job_id, count=2)
+            assert status == 202  # fills the 2-deep queue
+            status, payload, headers = _push(handle.address, job_id, count=1)
+            assert status == 429
+            assert payload["error"]["type"] == "frame_queue_full"
+            assert "Retry-After" in headers
+            release.set()
+            _request("POST", f"{handle.address}/v1/jobs/{job_id}/eof")
+            final = _poll_terminal(handle.address, job_id)
+            assert final["state"] == "succeeded"
+        finally:
+            release.set()
+            handle.stop()
+
+    def test_cancel_mid_stream(self):
+        started = threading.Event()
+        release = threading.Event()
+        handle = _stub_handle(
+            _ScriptedStreamAnalyzer(
+                push_started=started, push_release=release
+            )
+        )
+        try:
+            _, payload, _ = _submit_stream(handle.address)
+            job_id = payload["job"]["id"]
+            _push(handle.address, job_id, count=2)
+            assert started.wait(timeout=10)
+            status, _, _ = _request(
+                "DELETE", f"{handle.address}/v1/jobs/{job_id}"
+            )
+            assert status == 202
+            release.set()
+            final = _poll_terminal(handle.address, job_id)
+            assert final["state"] == "cancelled"
+            # A cancelled stream takes no more frames.
+            status, payload, _ = _push(handle.address, job_id)
+            assert status == 409
+        finally:
+            release.set()
+            handle.stop()
+
+
+class TestClientStreaming:
+    def test_client_stream_chunks_and_waits(self):
+        analyzer = _ScriptedStreamAnalyzer()
+        handle = _stub_handle(analyzer)
+        try:
+            client = ServiceClient(handle.address)
+            video = VideoSequence(np.zeros((5, 8, 8, 3), dtype=np.uint8))
+            updates = []
+            analysis = client.stream(
+                video, seed=4, chunk_frames=2, on_update=updates.append
+            )
+            assert analysis == {"stub": True, "degraded": False}
+            assert len(updates) == 3  # 2 + 2 + 1 frames
+            assert updates[-1]["frames_received"] == 5
+            assert len(analyzer.streams[0].frames) == 5
+        finally:
+            handle.stop()
+
+    def test_client_rejects_bad_chunk_size(self):
+        from repro.client import ClientError
+
+        client = ServiceClient("http://127.0.0.1:9")
+        video = VideoSequence(np.zeros((2, 8, 8, 3), dtype=np.uint8))
+        with pytest.raises(ClientError):
+            client.stream(video, chunk_frames=0)
