@@ -83,8 +83,10 @@ from .model import (
 )
 from .evaluation import (
     DetectionEvaluation,
+    MOTEvaluation,
     TrackingEvaluation,
     evaluate_detection,
+    evaluate_mot,
     evaluate_tracking,
 )
 from .pipeline import (
@@ -94,6 +96,16 @@ from .pipeline import (
     RobustnessConfig,
     StreamingConfig,
     analyze_video,
+    multi_actor_config,
+)
+from .tracking import (
+    AssociationResult,
+    Track,
+    TrackAnalysis,
+    TrackManager,
+    TrackingConfig,
+    associate,
+    box_iou,
 )
 from .streaming import FrameUpdate, ProvisionalEstimate, StreamingAnalyzer
 from .runtime import (
@@ -157,10 +169,13 @@ from .video import VideoSequence
 from .video.synthesis import (
     JumpParameters,
     JumpStyle,
+    MultiActorJump,
+    MultiActorJumpConfig,
     SyntheticJump,
     SyntheticJumpConfig,
     synthesize_flawed_jump,
     synthesize_jump,
+    synthesize_multi_jump,
 )
 
 __version__ = "1.0.0"
@@ -200,6 +215,14 @@ __all__ = [
     "RobustnessConfig",
     "StreamingConfig",
     "analyze_video",
+    "multi_actor_config",
+    "AssociationResult",
+    "Track",
+    "TrackAnalysis",
+    "TrackManager",
+    "TrackingConfig",
+    "associate",
+    "box_iou",
     "FrameUpdate",
     "ProvisionalEstimate",
     "StreamingAnalyzer",
@@ -215,8 +238,10 @@ __all__ = [
     "StageContext",
     "StageTiming",
     "DetectionEvaluation",
+    "MOTEvaluation",
     "TrackingEvaluation",
     "evaluate_detection",
+    "evaluate_mot",
     "evaluate_tracking",
     "JumpMeasurement",
     "JumpReport",
@@ -259,9 +284,12 @@ __all__ = [
     "VideoSequence",
     "JumpParameters",
     "JumpStyle",
+    "MultiActorJump",
+    "MultiActorJumpConfig",
     "SyntheticJump",
     "SyntheticJumpConfig",
     "synthesize_flawed_jump",
     "synthesize_jump",
+    "synthesize_multi_jump",
     "__version__",
 ]

@@ -195,6 +195,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    if getattr(args, "actors", 1) > 1:
+        return _cmd_demo_multi(args)
     analyzer_config = _resolve_cli_config(args)
     config = SyntheticJumpConfig(
         seed=args.seed, violated=_parse_standards(args.violate or [])
@@ -218,6 +220,52 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print()
     print(f"injected flaws: {sorted(injected) or 'none'}")
     print(f"detected flaws: {sorted(detected) or 'none'}")
+    if args.profile:
+        print()
+        print("stage timings:")
+        print(analysis.trace.render_table())
+    if args.json is not None:
+        from .serialization import write_analysis_json
+
+        write_analysis_json(args.json, analysis)
+        print(
+            f"wrote analysis JSON to {args.json} "
+            f"(config {analysis.config_hash})"
+        )
+    return 0
+
+
+def _cmd_demo_multi(args: argparse.Namespace) -> int:
+    """``slj demo --actors N``: an N-jumper scene, one report per track."""
+    from .evaluation import evaluate_mot
+    from .pipeline import multi_actor_config
+    from .video.synthesis import MultiActorJumpConfig, synthesize_multi_jump
+
+    if args.violate:
+        print("note: --violate applies to single-actor demos only; ignored")
+    config = multi_actor_config(_resolve_cli_config(args), actors=args.actors)
+    jump = synthesize_multi_jump(
+        MultiActorJumpConfig(seed=args.seed, actors=args.actors)
+    )
+    analysis = JumpAnalyzer(config).analyze(
+        jump.video, rng=np.random.default_rng(args.seed)
+    )
+    print(f"synthetic {args.actors}-actor scene (seed {args.seed})")
+    for track in analysis.tracks:
+        last = track.start_frame + track.frames - 1
+        print()
+        print(
+            f"track {track.track_id} ({track.state}, frames "
+            f"{track.start_frame}..{last}): score {track.report.score:.3f}, "
+            f"distance {track.measurement.distance:.1f}px"
+        )
+    mot = evaluate_mot(jump, analysis)
+    print()
+    print(
+        f"MOT vs ground truth: {mot.num_tracks} tracks for "
+        f"{mot.num_actors} actors, {mot.id_switches} id switches, "
+        f"MOTA {mot.mota:.3f}"
+    )
     if args.profile:
         print()
         print("stage timings:")
@@ -456,8 +504,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from .video.synthesis.dataset import synthesize_jump as _synthesize
 
     config = _resolve_cli_config(args)
+    actors = getattr(args, "actors", 1)
     if args.video is not None:
         video = VideoSequence.load(args.video)
+        annotation = None
+    elif actors > 1:
+        from .pipeline import multi_actor_config
+        from .video.synthesis import (
+            MultiActorJumpConfig,
+            synthesize_multi_jump,
+        )
+
+        config = multi_actor_config(config, actors=actors)
+        video = synthesize_multi_jump(
+            MultiActorJumpConfig(seed=args.seed, actors=actors)
+        ).video
         annotation = None
     else:
         jump = _synthesize(SyntheticJumpConfig(seed=args.seed))
@@ -556,6 +617,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"(warmup {ttfr['warmup_frames']}) vs batch "
         f"{ttfr['batch_seconds']}s -> {ttfr['ratio_vs_batch']}x"
     )
+    multi = sections.get("multi_actor")
+    if multi:
+        print(
+            f"multi-actor: {multi['actors']} actors -> {multi['tracks']} "
+            f"tracks in {multi['seconds']}s "
+            f"({multi['overhead_vs_single']}x single-actor)"
+        )
     if args.out is not None:
         Path(args.out).write_text(_json.dumps(report, indent=2) + "\n")
         print(f"wrote bench report to {args.out}")
@@ -622,6 +690,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--seed", type=int, default=0)
     p_demo.add_argument(
         "--violate", nargs="*", metavar="E#", help="standards to violate (E1..E7)"
+    )
+    p_demo.add_argument(
+        "--actors",
+        type=int,
+        default=1,
+        help="number of jumpers in the scene; >1 enables multi-actor "
+        "tracking and prints one report per track",
     )
     p_demo.add_argument(
         "--json", default=None, metavar="PATH", help="also write the analysis as JSON"
@@ -777,6 +852,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--stage",
         default="tracking",
         help="pipeline stage targeted by the injected stage fault",
+    )
+    p_chaos.add_argument(
+        "--actors",
+        type=int,
+        default=1,
+        help="torture a synthetic multi-actor scene instead of the "
+        "single-jumper video (>1 enables multi-actor tracking)",
     )
     p_chaos.add_argument(
         "--min-survival",

@@ -149,3 +149,116 @@ def evaluate_tracking(
         per_stick_angle_error=tuple(float(v) for v in per_stick),
         num_jumps=len(jumps),
     )
+
+
+# ----------------------------------------------------------------------
+# Multi-actor (MOT-style) evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class MOTEvaluation:
+    """Labelled multi-actor tracking quality for one scene.
+
+    Per-frame ground-truth actor boxes (from synthesis) are Hungarian-
+    matched against the analysis' per-track pose boxes at
+    ``iou_threshold``; the classic MOT ledgers follow:
+
+    * ``id_switches`` — frames where an actor's matched track id
+      differs from the id it matched in its previous matched frame;
+    * ``track_purity`` — per track, the fraction of its matched frames
+      spent on its majority actor (1.0 = the track never borrowed
+      another actor's silhouette);
+    * ``mota`` — MOTA-lite: ``1 - (misses + false_positives +
+      id_switches) / gt_total`` (clamped at 0 below).
+    """
+
+    num_actors: int
+    num_tracks: int
+    gt_total: int  # ground-truth actor-frames with a visible box
+    matches: int
+    misses: int
+    false_positives: int
+    id_switches: int
+    id_switches_per_actor: tuple[int, ...]
+    track_purity: dict[str, float]
+    mota: float
+
+
+def evaluate_mot(jump, analysis, iou_threshold: float = 0.1) -> MOTEvaluation:
+    """Score a multi-actor analysis against its scene's ground truth.
+
+    ``jump`` is a :class:`~repro.video.synthesis.MultiActorJump`;
+    ``analysis`` a :class:`~repro.pipeline.JumpAnalysis` with per-track
+    results (a single-actor analysis works too — its synthesised
+    primary track is matched like any other).
+    """
+    from .tracking.association import hungarian_match, iou_matrix
+    from .tracking.track import pose_bounding_box
+
+    shape = jump.video.frames.shape[1:3]
+    tracks = list(analysis.tracks)
+    num_frames = jump.num_frames
+
+    # Per-frame predicted box of every track (None outside its span).
+    def track_box(track, frame):
+        offset = frame - track.start_frame
+        if offset < 0 or offset >= len(track.tracking.poses):
+            return None
+        return pose_bounding_box(
+            track.tracking.poses[offset], track.annotation.dims, shape
+        )
+
+    gt_total = matches = misses = false_positives = 0
+    last_track_of: dict[int, str] = {}  # actor -> last matched track id
+    switches = [0] * jump.num_actors
+    assignment_log: list[tuple[int, str]] = []  # (actor, track_id) pairs
+
+    for frame in range(num_frames):
+        gt = [(i, box) for i, box in enumerate(jump.gt_boxes(frame)) if box]
+        pred = [
+            (t.track_id, box)
+            for t in tracks
+            if (box := track_box(t, frame)) is not None
+        ]
+        gt_total += len(gt)
+        matrix = iou_matrix([b for _, b in gt], [b for _, b in pred])
+        pairs = hungarian_match(matrix, iou_threshold)
+        matches += len(pairs)
+        misses += len(gt) - len(pairs)
+        false_positives += len(pred) - len(pairs)
+        for row, col in pairs:
+            actor, track_id = gt[row][0], pred[col][0]
+            previous = last_track_of.get(actor)
+            if previous is not None and previous != track_id:
+                switches[actor] += 1
+            last_track_of[actor] = track_id
+            assignment_log.append((actor, track_id))
+
+    purity: dict[str, float] = {}
+    for track in tracks:
+        counts: dict[int, int] = {}
+        for actor, track_id in assignment_log:
+            if track_id == track.track_id:
+                counts[actor] = counts.get(actor, 0) + 1
+        total = sum(counts.values())
+        purity[track.track_id] = (
+            max(counts.values()) / total if total else 0.0
+        )
+
+    id_switches = sum(switches)
+    mota = (
+        max(0.0, 1.0 - (misses + false_positives + id_switches) / gt_total)
+        if gt_total
+        else 0.0
+    )
+    return MOTEvaluation(
+        num_actors=jump.num_actors,
+        num_tracks=len(tracks),
+        gt_total=gt_total,
+        matches=matches,
+        misses=misses,
+        false_positives=false_positives,
+        id_switches=id_switches,
+        id_switches_per_actor=tuple(switches),
+        track_purity=purity,
+        mota=mota,
+    )

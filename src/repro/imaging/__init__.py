@@ -12,6 +12,7 @@ from .components import (
     label_components,
     largest_component,
     remove_small_components,
+    top_n_components,
 )
 from .draw import (
     draw_capsule,
@@ -87,6 +88,7 @@ __all__ = [
     "component_stats",
     "label_components",
     "largest_component",
+    "top_n_components",
     "remove_small_components",
     "draw_capsule",
     "draw_disk",

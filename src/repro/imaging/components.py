@@ -168,6 +168,35 @@ def largest_component(mask: np.ndarray, connectivity: int = 8) -> np.ndarray:
     return labels == int(areas.argmax())
 
 
+def top_n_components(
+    mask: np.ndarray,
+    n: int,
+    min_area: int = 1,
+    connectivity: int = 8,
+) -> list[np.ndarray]:
+    """The ``n`` largest connected regions, one boolean mask each.
+
+    Regions below ``min_area`` pixels are never returned.  Ordering is
+    deterministic: area descending, ties broken by label order — and
+    labels are assigned in raster order of each region's first pixel
+    (see :func:`label_components`), so two equal-area regions always
+    come back top-to-bottom, left-to-right.  This is what multi-actor
+    segmentation builds its per-actor silhouette candidates from.
+    """
+    mask = ensure_mask(mask)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    labels, count = label_components(mask, connectivity=connectivity)
+    if count == 0:
+        return []
+    areas = np.bincount(labels.ravel(), minlength=count + 1)
+    ranked = sorted(
+        (label for label in range(1, count + 1) if areas[label] >= max(min_area, 1)),
+        key=lambda label: (-areas[label], label),
+    )
+    return [labels == label for label in ranked[:n]]
+
+
 def dominant_components(
     mask: np.ndarray,
     keep_fraction: float = 0.3,

@@ -192,6 +192,44 @@ def _bench_time_to_first_result(
     }
 
 
+def _bench_multi_actor(
+    config: Any, seed: int, frames: int, single_seconds: float
+) -> dict[str, Any]:
+    """Time a 2-actor scene end to end against the single-actor run.
+
+    The headline is ``overhead_vs_single``: a 2-actor analysis runs two
+    GA pose trackers plus association, so the honest expectation is
+    roughly 2x — this section keeps that factor visible so association
+    overhead (the part that is *not* inherent) can't silently grow.
+    """
+    from ..pipeline import JumpAnalyzer, multi_actor_config
+    from ..video.synthesis.multi import (
+        MultiActorJumpConfig,
+        synthesize_multi_jump,
+    )
+
+    actors = 2
+    jump = synthesize_multi_jump(
+        MultiActorJumpConfig(
+            seed=seed, actors=actors, num_frames=max(frames, 8)
+        )
+    )
+    analyzer = JumpAnalyzer(multi_actor_config(config, actors=actors))
+    seconds, analysis = _timed(
+        lambda: analyzer.analyze(
+            jump.video, rng=np.random.default_rng(seed)
+        )
+    )
+    return {
+        "actors": actors,
+        "frames": len(jump.video),
+        "tracks": len(analysis.tracks),
+        "seconds": round(seconds, 4),
+        "frames_per_sec": round(len(jump.video) / seconds, 3),
+        "overhead_vs_single": round(seconds / single_seconds, 3),
+    }
+
+
 def run_bench(
     config: Any = None,
     *,
@@ -292,6 +330,9 @@ def run_bench(
     }
     sections["time_to_first_result"] = _bench_time_to_first_result(
         optimized_config, jump, annotation, seed, optimized_seconds
+    )
+    sections["multi_actor"] = _bench_multi_actor(
+        optimized_config, seed, frames, optimized_seconds
     )
 
     return {

@@ -17,7 +17,7 @@ analyzer fall back to the automatic moment-based initialiser.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
@@ -49,6 +49,7 @@ from .segmentation.pipeline import (
     SegmentationConfig,
     SegmentationPipeline,
 )
+from .tracking import TrackAnalysis, TrackManager, TrackingConfig
 from .video.sequence import VideoSequence
 
 
@@ -159,6 +160,12 @@ class AnalyzerConfig:
 
     segmentation: SegmentationConfig = field(default_factory=SegmentationConfig)
     tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    # Multi-actor data association (see repro.tracking).  Disabled by
+    # default: the paper's pipeline assumes one jumper per video.  When
+    # enabled, segmentation should emit per-component candidates
+    # (segmentation.max_components > 1) — multi_actor_config() builds a
+    # coherent pair of settings.
+    tracking: TrackingConfig = field(default_factory=TrackingConfig)
     robustness: RobustnessConfig = field(default_factory=RobustnessConfig)
     # Execution backend for the embarrassingly parallel stages (frame
     # segmentation, batch fan-out).  Never changes results, so it is
@@ -200,6 +207,27 @@ class AnalyzerConfig:
         return config_hash(self)
 
 
+def multi_actor_config(
+    base: AnalyzerConfig | None = None, actors: int = 2
+) -> AnalyzerConfig:
+    """An :class:`AnalyzerConfig` tuned for an ``actors``-jumper scene.
+
+    Turns tracking on with ``max_tracks = actors`` (so a clean N-actor
+    scene yields exactly N tracks) and widens segmentation to emit
+    ``actors + 1`` component candidates per frame — one slack slot so a
+    transient distractor blob cannot evict a real actor from the
+    candidate list.  Everything else is inherited from ``base``.
+    """
+    if actors < 1:
+        raise ConfigurationError(f"actors must be >= 1, got {actors}")
+    base = base or AnalyzerConfig()
+    return replace(
+        base,
+        segmentation=replace(base.segmentation, max_components=actors + 1),
+        tracking=replace(base.tracking, enabled=True, max_tracks=actors),
+    )
+
+
 @dataclass(frozen=True, slots=True)
 class JumpAnalysis:
     """Everything the pipeline produced for one video."""
@@ -221,6 +249,11 @@ class JumpAnalysis:
     # low-confidence frames, stages that completed via fallback.  See
     # :meth:`JumpAnalyzer.analyze`; serialized with the report.
     diagnostics: dict[str, Any] = field(default_factory=dict)
+    # Per-actor analyses when multi-actor tracking is enabled (one
+    # entry per reportable track, spawn order).  Empty on the classic
+    # single-jumper path; the top-level fields above always describe
+    # the primary track either way.
+    tracks: tuple[TrackAnalysis, ...] = ()
 
     @property
     def degraded(self) -> bool:
@@ -339,10 +372,16 @@ class JumpAnalyzer:
         segmentations = segmenter.segment_video(video)
         silhouettes = [seg.person for seg in segmentations]
         if not silhouettes[0].any():
-            raise SegmentationError(
-                "no human object found in the first frame; cannot anchor "
-                "the stick model"
-            )
+            # Multi-actor scenes may legitimately start empty (actors
+            # entering later spawn tracks mid-stream); only a fully
+            # empty sequence is unanalyzable there.
+            if not self.config.tracking.enabled or not any(
+                s.any() for s in silhouettes
+            ):
+                raise SegmentationError(
+                    "no human object found in the first frame; cannot anchor "
+                    "the stick model"
+                )
         ctx.artifacts["segmentations"] = tuple(segmentations)
         ctx.artifacts["background"] = segmenter.background
         return silhouettes
@@ -350,6 +389,11 @@ class JumpAnalyzer:
     def _stage_annotation(
         self, silhouettes: list[np.ndarray], ctx: StageContext
     ) -> list[np.ndarray]:
+        if self.config.tracking.enabled:
+            # Multi-actor mode: the TrackManager annotates each track
+            # from its spawning component; a caller-supplied annotation
+            # (left on the blackboard) seeds the first spawn.
+            return silhouettes
         if ctx.artifacts.get("annotation") is None:
             ctx.artifacts["annotation"] = auto_annotate(silhouettes[0])
             ctx.instrumentation.count("annotation.automatic", 1)
@@ -358,6 +402,8 @@ class JumpAnalyzer:
     def _stage_tracking(
         self, silhouettes: list[np.ndarray], ctx: StageContext
     ) -> tuple[StickPose, ...]:
+        if self.config.tracking.enabled:
+            return self._stage_tracking_multi(silhouettes, ctx)
         annotation: FirstFrameAnnotation = ctx.require("annotation")
         tracker = TemporalPoseTracker(
             annotation.dims,
@@ -369,6 +415,76 @@ class JumpAnalyzer:
         )
         ctx.artifacts["tracking"] = tracking
         return tracking.poses
+
+    def _stage_tracking_multi(
+        self, silhouettes: list[np.ndarray], ctx: StageContext
+    ) -> tuple[StickPose, ...]:
+        """N-actor tracking: associate components, one session per track.
+
+        The primary track's raw poses flow on to the main runner's tail
+        stages (so the legacy top-level fields keep their meaning); the
+        per-track tails run here, inside the ``tracking`` stage, through
+        :meth:`tail_runner` — fault wrappers and retry/fallback policies
+        on the tail stages therefore apply per track too.
+        """
+        segmentations: tuple[FrameSegmentation, ...] = ctx.artifacts.get(
+            "segmentations", ()
+        )
+        manager = TrackManager(
+            self.config.tracker,
+            self.config.tracking,
+            rng=ctx.require("rng"),
+            instrumentation=ctx.instrumentation,
+            seed_annotation=ctx.artifacts.get("annotation"),
+        )
+        for index, mask in enumerate(silhouettes):
+            candidates = (
+                segmentations[index].candidates
+                if index < len(segmentations)
+                else ()
+            )
+            manager.step(mask, candidates)
+        primary = manager.primary_track()
+        reportable = list(manager.confirmed_tracks()) or [primary]
+        analyses = []
+        for track in reportable:
+            try:
+                analyses.append(self._finish_track(track, ctx))
+            except ReproError:
+                if track is primary:
+                    raise
+                # A short-lived secondary track whose tail cannot be
+                # computed degrades to absence, not a dead analysis.
+                ctx.instrumentation.event(
+                    "tracking/track_tail_failed", track_id=track.track_id
+                )
+        ctx.artifacts["tracks"] = tuple(analyses)
+        tracking = primary.result()
+        ctx.artifacts["tracking"] = tracking
+        # The primary's annotation anchors the legacy top-level tail.
+        ctx.artifacts["annotation"] = primary.annotation
+        return tracking.poses
+
+    def _finish_track(self, track, ctx: StageContext) -> TrackAnalysis:
+        """Run the post-tracking tail for one track."""
+        result = track.result()
+        sub = StageContext(
+            instrumentation=ctx.instrumentation,
+            cancel_token=ctx.cancel_token,
+        )
+        sub.artifacts["annotation"] = track.annotation
+        self.tail_runner().run(result.poses, context=sub)
+        return TrackAnalysis(
+            track_id=track.track_id,
+            state=track.state,
+            start_frame=track.start_frame,
+            annotation=track.annotation,
+            tracking=result,
+            poses=sub.artifacts["poses"],
+            events=sub.artifacts["events"],
+            report=sub.artifacts["report"],
+            measurement=sub.artifacts["measurement"],
+        )
 
     def _stage_smoothing(
         self, poses: tuple[StickPose, ...], ctx: StageContext
@@ -589,7 +705,9 @@ class JumpAnalyzer:
 
         artifacts: dict[str, Any] = outcome.context.artifacts
         tracking: TrackingResult = artifacts["tracking"]
+        tracks: tuple[TrackAnalysis, ...] = artifacts.get("tracks", ())
         diagnostics = self._build_diagnostics(tracking, outcome.trace)
+        self._augment_diagnostics(diagnostics, tracks)
         return JumpAnalysis(
             segmentations=artifacts["segmentations"],
             background=artifacts["background"],
@@ -603,6 +721,7 @@ class JumpAnalyzer:
             config=config_dict,
             config_hash=resolved_hash,
             diagnostics=diagnostics,
+            tracks=tracks,
         )
 
     @staticmethod
@@ -618,6 +737,27 @@ class JumpAnalyzer:
             "frame_health": [entry.to_dict() for entry in tracking.health],
             "degraded_stages": list(trace.degraded_stages),
         }
+
+    @staticmethod
+    def _augment_diagnostics(
+        diagnostics: dict[str, Any], tracks: tuple[TrackAnalysis, ...]
+    ) -> None:
+        """Fold per-track health into a diagnostics dict (multi mode)."""
+        if not tracks:
+            return
+        diagnostics["tracks"] = [
+            {
+                "track_id": t.track_id,
+                "state": t.state,
+                "start_frame": t.start_frame,
+                "frames": t.frames,
+                "degraded": t.degraded,
+            }
+            for t in tracks
+        ]
+        diagnostics["degraded"] = bool(
+            diagnostics["degraded"] or any(t.degraded for t in tracks)
+        )
 
 
 def analyze_video(

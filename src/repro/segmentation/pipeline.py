@@ -37,7 +37,7 @@ from .cleanup import (
 from .shadow import ShadowMaskConfig, remove_shadows
 from .subtraction import SubtractionConfig, subtract_background
 from ..errors import SegmentationError
-from ..imaging.components import dominant_components
+from ..imaging.components import label_components
 from ..perf.executors import ParallelConfig, parallel_map
 from ..registry import Registry
 from ..runtime import Instrumentation
@@ -82,6 +82,14 @@ class SegmentationConfig:
     # the largest one; cleanup can sever the jumper at a thin junction,
     # so strictly keeping one component would drop half the body.
     component_keep_fraction: float = 0.3
+    # Multi-actor mode: with max_components > 1 the final step stops
+    # collapsing to the dominant region and instead keeps the union of
+    # the top-N components (area >= min_component_area each), emitting
+    # them as per-component silhouette candidates on the
+    # FrameSegmentation for the tracking layer to associate.  The
+    # default (1) preserves the paper's one-jumper behaviour exactly.
+    max_components: int = 1
+    min_component_area: int = 40
     remove_shadows: bool = True
     # Per-frame sub-steps, by registry name and in execution order.
     # Dropping a name skips that paper step; registered extensions can
@@ -100,6 +108,14 @@ class SegmentationConfig:
                 "the 'subtract' step is mandatory (every later step "
                 "consumes its foreground mask)"
             )
+        if self.max_components < 1:
+            raise SegmentationError(
+                f"max_components must be >= 1, got {self.max_components}"
+            )
+        if self.min_component_area < 1:
+            raise SegmentationError(
+                f"min_component_area must be >= 1, got {self.min_component_area}"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -112,6 +128,11 @@ class FrameSegmentation:
     after_hole_fill: np.ndarray  # Step 4 (Fig. 2d)
     detected_shadow: np.ndarray  # Step 5 shadow mask
     person: np.ndarray  # final silhouette (Fig. 3)
+    # Per-component silhouette candidates (multi-actor mode only, i.e.
+    # ``max_components > 1``): one boolean mask per kept component,
+    # largest first.  ``person`` is their union.  Empty in the paper's
+    # single-jumper configuration.
+    candidates: tuple[np.ndarray, ...] = ()
 
     def stages(self) -> dict[str, np.ndarray]:
         """All masks keyed by stage name, in pipeline order."""
@@ -170,10 +191,57 @@ def _step_shadow(state: dict[str, Any], config: SegmentationConfig) -> None:
 
 @SEGMENTATION_STEPS.register("components")
 def _step_components(state: dict[str, Any], config: SegmentationConfig) -> None:
-    if config.keep_largest_component:
-        state["mask"] = dominant_components(
-            state["mask"], keep_fraction=config.component_keep_fraction
+    if config.max_components > 1:
+        before = state["mask"]
+        labels, count = label_components(before)
+        if count == 0:
+            state["candidates"] = ()
+            state["mask"] = np.zeros_like(before, dtype=bool)
+            state["components_total"] = 0
+            state["components_rejected"] = 0
+            state["rejected_area"] = 0
+            return
+        areas = np.bincount(labels.ravel(), minlength=count + 1)
+        # Same ordering contract as imaging.top_n_components: area
+        # descending, ties broken by raster-order label.
+        ranked = sorted(
+            (
+                label
+                for label in range(1, count + 1)
+                if areas[label] >= config.min_component_area
+            ),
+            key=lambda label: (-areas[label], label),
+        )[: config.max_components]
+        candidates = tuple(labels == label for label in ranked)
+        union = np.zeros_like(before, dtype=bool)
+        for candidate in candidates:
+            union |= candidate
+        state["candidates"] = candidates
+        state["mask"] = union
+        state["components_total"] = count
+        state["components_rejected"] = count - len(candidates)
+        state["rejected_area"] = int(
+            sum(int(areas[label]) for label in range(1, count + 1))
+            - sum(int(areas[label]) for label in ranked)
         )
+        return
+    if config.keep_largest_component:
+        before = state["mask"]
+        labels, count = label_components(before)
+        if count == 0:
+            state["mask"] = np.zeros_like(before, dtype=bool)
+            state["components_total"] = 0
+            state["components_rejected"] = 0
+            state["rejected_area"] = 0
+            return
+        areas = np.bincount(labels.ravel(), minlength=count + 1)
+        areas[0] = 0
+        keep = areas >= config.component_keep_fraction * areas.max()
+        keep[0] = False
+        state["mask"] = keep[labels]
+        state["components_total"] = count
+        state["components_rejected"] = int(count - keep.sum())
+        state["rejected_area"] = int(areas[~keep].sum())
 
 
 class SegmentationPipeline:
@@ -286,6 +354,21 @@ class SegmentationPipeline:
         instrumentation.count(
             "segmentation.person_pixels", float(state["person"].sum())
         )
+        # Discarded actors/noise blobs are an observable, not a silent
+        # drop: /metrics and --profile report how many components the
+        # final step rejected and how much silhouette area went with
+        # them.
+        if "components_rejected" in state:
+            instrumentation.count(
+                "segmentation.components_total", state["components_total"]
+            )
+            instrumentation.count(
+                "segmentation.components_rejected",
+                state["components_rejected"],
+            )
+            instrumentation.count(
+                "segmentation.rejected_area", float(state["rejected_area"])
+            )
         # Steps skipped by config fall back to the nearest upstream
         # mask, so the FrameSegmentation record stays total.
         raw = state["raw_foreground"]
@@ -301,6 +384,7 @@ class SegmentationPipeline:
                 "detected_shadow", np.zeros_like(state["person"])
             ),
             person=state["person"],
+            candidates=tuple(state.get("candidates", ())),
         )
 
     def segment_video(self, video: VideoSequence) -> list[FrameSegmentation]:
@@ -368,6 +452,10 @@ class SegmentationPipeline:
                         after_hole_fill=shift_image(seg.after_hole_fill, -drow, -dcol),
                         detected_shadow=shift_image(seg.detected_shadow, -drow, -dcol),
                         person=shift_image(seg.person, -drow, -dcol),
+                        candidates=tuple(
+                            shift_image(candidate, -drow, -dcol)
+                            for candidate in seg.candidates
+                        ),
                     )
                 )
             segmentations = undone

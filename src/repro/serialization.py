@@ -136,6 +136,84 @@ def report_from_dict(data: dict[str, Any]) -> JumpReport:
         raise ReproError(f"malformed report payload: {exc}") from exc
 
 
+def _events_dict(events) -> dict[str, Any]:
+    return {
+        "takeoff_frame": events.takeoff_frame,
+        "landing_frame": events.landing_frame,
+        "peak_frame": events.peak_frame,
+        "ground_height": events.ground_height,
+    }
+
+
+def _measurement_dict(measurement) -> dict[str, Any]:
+    return {
+        "distance_px": measurement.distance,
+        "relative_to_stature": measurement.relative_to_stature,
+        "takeoff_line_x": measurement.takeoff_line_x,
+        "landing_heel_x": measurement.landing_heel_x,
+        "landing_frame": measurement.landing_frame,
+    }
+
+
+def track_to_dict(track) -> dict[str, Any]:
+    """Serialise one :class:`~repro.tracking.TrackAnalysis`.
+
+    The same per-actor shape the top-level analysis fields use, plus
+    the track's identity, lifecycle outcome and health summary.
+    """
+    return {
+        "track_id": track.track_id,
+        "state": track.state,
+        "start_frame": track.start_frame,
+        "frames": track.frames,
+        "poses": [pose_to_dict(pose) for pose in track.poses],
+        "events": _events_dict(track.events),
+        "report": report_to_dict(track.report),
+        "measurement": _measurement_dict(track.measurement),
+        "annotation": annotation_to_dict(track.annotation),
+        "health": {
+            "degraded": track.degraded,
+            "summary": track.health_summary(),
+            "unhealthy_frames": track.tracking.unhealthy_frames(),
+            "flagged_frames": track.tracking.flagged_frames(),
+        },
+    }
+
+
+def _tracks_list(analysis) -> list[dict[str, Any]]:
+    """The per-track report array: real tracks, or a synthesised one.
+
+    On the classic single-jumper path (``analysis.tracks`` empty) the
+    top-level fields are repackaged as one ``t0`` entry so every
+    consumer sees the same ``tracks`` shape regardless of mode.
+    """
+    tracks = getattr(analysis, "tracks", ())
+    if tracks:
+        return [track_to_dict(track) for track in tracks]
+    diagnostics = analysis.diagnostics
+    return [
+        {
+            "track_id": "t0",
+            "state": "confirmed",
+            "start_frame": 0,
+            "frames": len(analysis.poses),
+            "poses": [pose_to_dict(pose) for pose in analysis.poses],
+            "events": _events_dict(analysis.events),
+            "report": report_to_dict(analysis.report),
+            "measurement": _measurement_dict(analysis.measurement),
+            "annotation": annotation_to_dict(analysis.annotation),
+            "health": {
+                "degraded": bool(diagnostics.get("degraded")),
+                "summary": dict(diagnostics.get("health_summary", {})),
+                "unhealthy_frames": list(
+                    diagnostics.get("unhealthy_frames", [])
+                ),
+                "flagged_frames": list(diagnostics.get("flagged_frames", [])),
+            },
+        }
+    ]
+
+
 def analysis_to_dict(analysis) -> dict[str, Any]:
     """Serialise the full outcome of :meth:`JumpAnalyzer.analyze`.
 
@@ -144,26 +222,20 @@ def analysis_to_dict(analysis) -> dict[str, Any]:
     render feedback, plus the fully-resolved configuration and its
     stable hash, so any report is reproducible from its own output
     (``slj analyze --config report.json``).
+
+    ``tracks`` is always present: the per-actor report array on the
+    multi-actor path, and a single synthesised entry mirroring the
+    top-level fields on the classic path (see ``docs/tracking.md``).
     """
     return {
         "config": dict(analysis.config),
         "config_hash": analysis.config_hash,
         "report": report_to_dict(analysis.report),
         "poses": [pose_to_dict(pose) for pose in analysis.poses],
-        "events": {
-            "takeoff_frame": analysis.events.takeoff_frame,
-            "landing_frame": analysis.events.landing_frame,
-            "peak_frame": analysis.events.peak_frame,
-            "ground_height": analysis.events.ground_height,
-        },
-        "measurement": {
-            "distance_px": analysis.measurement.distance,
-            "relative_to_stature": analysis.measurement.relative_to_stature,
-            "takeoff_line_x": analysis.measurement.takeoff_line_x,
-            "landing_heel_x": analysis.measurement.landing_heel_x,
-            "landing_frame": analysis.measurement.landing_frame,
-        },
+        "events": _events_dict(analysis.events),
+        "measurement": _measurement_dict(analysis.measurement),
         "annotation": annotation_to_dict(analysis.annotation),
+        "tracks": _tracks_list(analysis),
         "trace": analysis.trace.to_dict(),
         "diagnostics": dict(analysis.diagnostics),
     }

@@ -44,6 +44,7 @@ from ..runtime.trace import StageTiming
 from ..scoring.report import JumpScorer
 from ..segmentation.online import RunningBackgroundModel
 from ..segmentation.pipeline import FrameSegmentation, SegmentationPipeline
+from ..tracking import TrackAnalysis, TrackFrameState, TrackManager
 from ..video.sequence import VideoSequence
 
 
@@ -91,6 +92,9 @@ class FrameUpdate:
     pose_box: tuple[float, float, float, float] | None = None  # x, y, w, h
     health: FrameHealth | None = None
     provisional: ProvisionalEstimate | None = None
+    # Per-track outcomes when multi-actor tracking is enabled; the
+    # scalar pose/health fields above then mirror the primary track.
+    tracks: tuple[TrackFrameState, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (job progress / client printing)."""
@@ -108,6 +112,7 @@ class FrameUpdate:
             "provisional": (
                 self.provisional.to_dict() if self.provisional else None
             ),
+            "tracks": [state.to_dict() for state in self.tracks],
         }
 
 
@@ -144,6 +149,7 @@ class StreamingAnalyzer:
         self._segmentations: list[FrameSegmentation] = []
         self._background = None  # BackgroundResult
         self._session: TrackingSession | None = None
+        self._manager: TrackManager | None = None  # multi-actor live mode
         self._provisional: ProvisionalEstimate | None = None
 
     # ------------------------------------------------------------------
@@ -263,6 +269,8 @@ class StreamingAnalyzer:
         seg = self._segmenter.segment(frame)
         self._segmentations.append(seg)
         mask = seg.person
+        if self.config.tracking.enabled:
+            return self._process_live_multi(seg, mask, index)
         if self._session is None:
             if not mask.any():
                 raise SegmentationError(
@@ -293,11 +301,54 @@ class StreamingAnalyzer:
             provisional=self._provisional,
         )
 
+    def _process_live_multi(
+        self, seg: FrameSegmentation, mask: np.ndarray, index: int
+    ) -> FrameUpdate:
+        """One frame through the :class:`TrackManager` (multi-actor).
+
+        The scalar pose/health fields of the update mirror the current
+        primary track (most frames so far) so single-actor consumers of
+        the stream keep working; ``tracks`` carries every track's
+        outcome.  An empty first frame is not an error here — tracks
+        spawn whenever their actor first appears.
+        """
+        if self._manager is None:
+            self._manager = TrackManager(
+                self.config.tracker,
+                self.config.tracking,
+                rng=self._rng,
+                instrumentation=self._instrumentation,
+                seed_annotation=self._annotation,
+            )
+        states = self._manager.step(mask, seg.candidates)
+        pose = health = pose_box = None
+        if self._manager.tracks:
+            primary = self._manager.primary_track()
+            if primary.alive:
+                pose = primary.latest_pose
+                health = primary.latest_health
+                pose_box = self._pose_box(pose, primary.annotation.dims)
+                self._refresh_provisional(
+                    index,
+                    poses=primary.session.poses,
+                    dims=primary.annotation.dims,
+                )
+        return FrameUpdate(
+            frame_index=index,
+            frames_seen=self._frames_seen,
+            phase="tracking",
+            pose=pose,
+            pose_box=pose_box,
+            health=health,
+            provisional=self._provisional,
+            tracks=states,
+        )
+
     def _pose_box(
-        self, pose: StickPose
+        self, pose: StickPose, dims=None
     ) -> tuple[float, float, float, float]:
         """Axis-aligned bounding box of the stick figure (x, y, w, h)."""
-        segments = pose.segments(self._annotation.dims)
+        segments = pose.segments(dims if dims is not None else self._annotation.dims)
         xs, ys = segments[..., 0], segments[..., 1]
         x_min, y_min = float(xs.min()), float(ys.min())
         return (
@@ -307,16 +358,22 @@ class StreamingAnalyzer:
             float(ys.max()) - y_min,
         )
 
-    def _refresh_provisional(self, index: int) -> None:
-        """Re-estimate events/score on the pose prefix, never raising."""
+    def _refresh_provisional(self, index: int, poses=None, dims=None) -> None:
+        """Re-estimate events/score on the pose prefix, never raising.
+
+        ``poses``/``dims`` default to the single-actor session's; the
+        multi-actor path passes the primary track's.
+        """
         streaming = self.config.streaming
         if not streaming.provisional_events:
             return
-        poses = self._session.poses
+        if poses is None:
+            poses = self._session.poses
+            dims = self._annotation.dims
         if len(poses) < 4 or index % streaming.provisional_every:
             return
         try:
-            events = detect_events(poses, self._annotation.dims)
+            events = detect_events(poses, dims)
         except ReproError:
             return
         score: float | None = None
@@ -347,7 +404,7 @@ class StreamingAnalyzer:
         if self._finished:
             raise StreamError("finish() called twice")
         self._finished = True
-        if self._session is None:
+        if self._session is None and self._manager is None:
             # Batch mode — or a live stream that ended inside its
             # warm-up, which degenerates to the batch path over the
             # buffered prefix.
@@ -383,7 +440,30 @@ class StreamingAnalyzer:
             instrumentation=self._instrumentation,
             cancel_token=self._cancel_token,
         )
-        tracking = self._session.result()
+        tracks: tuple[TrackAnalysis, ...] = ()
+        if self._manager is not None:
+            # Multi-actor live mode: per-track tails, primary anchors
+            # the legacy top-level fields (same shape as the batch
+            # multi path in JumpAnalyzer._stage_tracking_multi).
+            primary = self._manager.primary_track()
+            reportable = list(self._manager.confirmed_tracks()) or [primary]
+            collected = []
+            for track in reportable:
+                try:
+                    collected.append(
+                        self._analyzer._finish_track(track, context)
+                    )
+                except ReproError:
+                    if track is primary:
+                        raise
+                    self._instrumentation.event(
+                        "tracking/track_tail_failed", track_id=track.track_id
+                    )
+            tracks = tuple(collected)
+            tracking = primary.result()
+            self._annotation = primary.annotation
+        else:
+            tracking = self._session.result()
         context.artifacts["annotation"] = self._annotation
         context.artifacts["rng"] = self._rng
         context.artifacts["segmentations"] = tuple(self._segmentations)
@@ -397,6 +477,7 @@ class StreamingAnalyzer:
         trace = self._synthesize_trace(outcome.trace)
         artifacts = outcome.context.artifacts
         diagnostics = self._analyzer._build_diagnostics(tracking, trace)
+        self._analyzer._augment_diagnostics(diagnostics, tracks)
         return JumpAnalysis(
             segmentations=tuple(self._segmentations),
             background=self._background.background,
@@ -410,6 +491,7 @@ class StreamingAnalyzer:
             config=config_dict,
             config_hash=resolved_hash,
             diagnostics=diagnostics,
+            tracks=tracks,
         )
 
     def _synthesize_trace(self, tail_trace):

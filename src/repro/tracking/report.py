@@ -1,0 +1,50 @@
+"""Per-track analysis product: one jumper's full report.
+
+The multi-actor pipeline runs the identical post-tracking tail
+(smoothing → events → scoring → measurement) once per track, so each
+actor gets the same artefacts the single-jumper pipeline produces.
+:class:`TrackAnalysis` bundles them with the track's identity and
+lifecycle outcome; :class:`~repro.pipeline.JumpAnalysis` carries a
+tuple of these in its ``tracks`` field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..analysis.events import JumpEvents
+from ..ga.temporal import TrackingResult
+from ..model.annotation import FirstFrameAnnotation
+from ..model.pose import StickPose
+from ..scoring.distance import JumpMeasurement
+from ..scoring.report import JumpReport
+
+
+@dataclass(frozen=True, slots=True)
+class TrackAnalysis:
+    """Everything the pipeline produced for one tracked actor."""
+
+    track_id: str
+    state: str  # lifecycle state at end of video (confirmed / retired)
+    start_frame: int  # frame index the track spawned on
+    annotation: FirstFrameAnnotation
+    tracking: TrackingResult  # raw per-frame poses + health
+    poses: tuple[StickPose, ...]  # smoothed track actually scored
+    events: JumpEvents
+    report: JumpReport
+    measurement: JumpMeasurement
+
+    @property
+    def frames(self) -> int:
+        """Frames this track covers (after trailing-miss trimming)."""
+        return len(self.poses)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any of this track's frames needed recovery."""
+        return self.tracking.degraded
+
+    def health_summary(self) -> dict[str, Any]:
+        """Per-outcome frame counts of this track."""
+        return self.tracking.health_summary()

@@ -19,6 +19,13 @@ from .motion import (
     generate_jump_motion,
     good_style,
 )
+from .multi import (
+    ActorTruth,
+    MultiActorJump,
+    MultiActorJumpConfig,
+    crossing_actor_parameters,
+    synthesize_multi_jump,
+)
 from .noise import NoiseConfig, apply_noise
 from .persistence import load_jump, save_jump
 from .render import (
@@ -50,6 +57,11 @@ __all__ = [
     "JumpStyle",
     "generate_jump_motion",
     "good_style",
+    "ActorTruth",
+    "MultiActorJump",
+    "MultiActorJumpConfig",
+    "crossing_actor_parameters",
+    "synthesize_multi_jump",
     "NoiseConfig",
     "apply_noise",
     "load_jump",

@@ -175,6 +175,19 @@ class TestConfigProvenance:
         assert payload["config"]["tracker"]["ga"]["max_generations"] == 10
         assert f"config {payload['config_hash']}" in capsys.readouterr().out
 
+    def test_demo_multi_actor_scores_two_tracks(self, tmp_path, capsys):
+        path = tmp_path / "demo2.json"
+        code = main(["demo", "--fast", "--actors", "2", "--json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert [t["track_id"] for t in payload["tracks"]] == ["t0", "t1"]
+        assert all(
+            t["report"]["score"] is not None for t in payload["tracks"]
+        )
+        out = capsys.readouterr().out
+        assert "track t0" in out and "track t1" in out
+        assert "0 id switches" in out
+
 
 class TestAnalyzeProfile:
     def test_profile_prints_stage_timing_table(self, tmp_path, capsys):

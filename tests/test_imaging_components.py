@@ -9,6 +9,7 @@ from repro.imaging.components import (
     label_components,
     largest_component,
     remove_small_components,
+    top_n_components,
 )
 
 
@@ -116,3 +117,66 @@ class TestLargestAndDominant:
     def test_dominant_validates_fraction(self):
         with pytest.raises(ValueError):
             dominant_components(np.zeros((3, 3), dtype=bool), keep_fraction=0.0)
+
+
+class TestTopNComponents:
+    def test_ordered_by_area_descending(self):
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[0:2, 0:2] = True  # 4 px
+        mask[5:10, 5:10] = True  # 25 px
+        mask[14:17, 14:17] = True  # 9 px
+        parts = top_n_components(mask, 3)
+        assert [int(p.sum()) for p in parts] == [25, 9, 4]
+
+    def test_n_truncates(self):
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[0:2, 0:2] = True
+        mask[5:10, 5:10] = True
+        parts = top_n_components(mask, 1)
+        assert len(parts) == 1 and int(parts[0].sum()) == 25
+
+    def test_min_area_filters(self):
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[0:4, 0:4] = True  # 16 px
+        mask[10, 10] = True  # 1 px
+        parts = top_n_components(mask, 5, min_area=5)
+        assert len(parts) == 1
+
+    def test_equal_area_ties_break_in_raster_order(self):
+        # Two identical 3x3 squares: the one whose first pixel comes
+        # first in raster order (top-to-bottom, left-to-right) wins.
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[2:5, 10:13] = True  # upper-right square, first pixel (2, 10)
+        mask[6:9, 1:4] = True  # lower-left square, first pixel (6, 1)
+        first, second = top_n_components(mask, 2)
+        assert first[2, 10] and not first[6, 1]
+        assert second[6, 1] and not second[2, 10]
+
+    def test_tie_break_deterministic_across_calls(self):
+        rng = np.random.default_rng(9)
+        mask = rng.random((30, 30)) > 0.6
+        runs = [top_n_components(mask, 4) for _ in range(3)]
+        for other in runs[1:]:
+            assert len(other) == len(runs[0])
+            for a, b in zip(runs[0], other):
+                assert np.array_equal(a, b)
+
+    def test_masks_are_disjoint_and_cover(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random((25, 25)) > 0.7
+        parts = top_n_components(mask, 1000)
+        union = np.zeros_like(mask)
+        total = 0
+        for part in parts:
+            assert not (union & part).any()
+            union |= part
+            total += int(part.sum())
+        assert np.array_equal(union, mask)
+        assert total == int(mask.sum())
+
+    def test_empty_mask(self):
+        assert top_n_components(np.zeros((5, 5), dtype=bool), 3) == []
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            top_n_components(np.zeros((5, 5), dtype=bool), 0)

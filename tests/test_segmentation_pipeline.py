@@ -93,3 +93,71 @@ class TestEvaluationHelpers:
         segmentations = pipeline.segment_video(jump.video)
         with pytest.raises(ValueError):
             evaluate_sequence(segmentations[:-1], jump, pipeline.background)
+
+
+class TestMultiComponentCandidates:
+    """``max_components > 1``: per-component candidates + reject metrics."""
+
+    def test_candidates_empty_in_single_mode(self, jump):
+        pipeline = SegmentationPipeline()
+        seg = pipeline.segment_video(jump.video)[10]
+        assert seg.candidates == ()
+
+    def test_candidates_union_is_person(self, jump):
+        pipeline = SegmentationPipeline(
+            SegmentationConfig(max_components=3, min_component_area=40)
+        )
+        for seg in pipeline.segment_video(jump.video):
+            union = np.zeros_like(seg.person)
+            for candidate in seg.candidates:
+                union |= candidate
+            assert np.array_equal(union, seg.person)
+
+    def test_candidates_area_ordered(self, jump):
+        pipeline = SegmentationPipeline(
+            SegmentationConfig(max_components=3, min_component_area=40)
+        )
+        seg = pipeline.segment_video(jump.video)[10]
+        areas = [int(c.sum()) for c in seg.candidates]
+        assert areas == sorted(areas, reverse=True)
+        assert areas and areas[0] >= 40
+
+    def test_rejected_components_counted(self, jump):
+        from repro.runtime import Instrumentation
+
+        # An absurd area floor rejects every component: the drop is an
+        # observable metric, never a silent truncation.
+        instrumentation = Instrumentation()
+        pipeline = SegmentationPipeline(
+            SegmentationConfig(max_components=2, min_component_area=100_000),
+            instrumentation=instrumentation,
+        )
+        segmentations = pipeline.segment_video(jump.video)
+        assert all(seg.candidates == () for seg in segmentations)
+        assert instrumentation.counter("segmentation.components_total") > 0
+        assert instrumentation.counter(
+            "segmentation.components_rejected"
+        ) == instrumentation.counter("segmentation.components_total")
+        assert instrumentation.counter("segmentation.rejected_area") > 0
+
+    def test_rejected_metrics_zero_when_all_kept(self, jump):
+        from repro.runtime import Instrumentation
+
+        instrumentation = Instrumentation()
+        pipeline = SegmentationPipeline(
+            SegmentationConfig(max_components=10_000, min_component_area=1),
+            instrumentation=instrumentation,
+        )
+        pipeline.segment_video(jump.video)
+        assert instrumentation.counter("segmentation.components_rejected") == 0
+        assert instrumentation.counter("segmentation.rejected_area") == 0
+
+    def test_single_mode_metrics_still_emitted(self, jump):
+        from repro.runtime import Instrumentation
+
+        instrumentation = Instrumentation()
+        pipeline = SegmentationPipeline(
+            SegmentationConfig(), instrumentation=instrumentation
+        )
+        pipeline.segment_video(jump.video)
+        assert instrumentation.counter("segmentation.components_total") > 0
