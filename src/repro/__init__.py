@@ -43,6 +43,7 @@ Quickstart::
 
 from .errors import (
     CancelledError,
+    CircuitOpen,
     ConfigurationError,
     ImageError,
     ModelError,
@@ -162,8 +163,17 @@ from .client import (
     ClientError,
     JobFailedError,
     JobTimeoutError,
+    RetryPolicy,
     ServiceClient,
     ServiceError,
+)
+from .resilience import (
+    CHECKPOINT_STAGES,
+    CircuitBreaker,
+    JobCheckpointer,
+    ServiceLifecycle,
+    StageCheckpoint,
+    Watchdog,
 )
 from .video import VideoSequence
 from .video.synthesis import (
@@ -266,6 +276,14 @@ __all__ = [
     "JobTimeoutError",
     "JobsConfig",
     "StreamIdleTimeout",
+    "CHECKPOINT_STAGES",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "JobCheckpointer",
+    "RetryPolicy",
+    "ServiceLifecycle",
+    "StageCheckpoint",
+    "Watchdog",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",

@@ -320,14 +320,28 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .jobs import JobsConfig
     from .service import ServiceConfig, serve
 
+    jobs = JobsConfig()
+    if args.state_dir is not None:
+        state_dir = Path(args.state_dir)
+        state_dir.mkdir(parents=True, exist_ok=True)
+        jobs = JobsConfig(
+            persist_path=str(state_dir / "jobs.json"),
+            checkpoint_dir=str(state_dir / "checkpoints"),
+            job_deadline_seconds=args.job_deadline,
+        )
+    elif args.job_deadline:
+        jobs = JobsConfig(job_deadline_seconds=args.job_deadline)
     serve(
         host=args.host,
         port=args.port,
         service_config=ServiceConfig(
             deadline_seconds=args.deadline,
             max_concurrent=args.max_concurrent,
+            drain_timeout_seconds=args.drain_timeout,
+            jobs=jobs,
         ),
     )
     return 0
@@ -529,17 +543,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             mask=jump.person_masks[0],
             rng=np.random.default_rng(args.seed),
         )
-    plan = default_fault_grid(seed=args.seed, stage=args.stage)
-    mode = "streaming" if args.stream else "batch"
-    print(f"chaos sweep ({mode}): {plan.describe()}")
-    report = run_chaos(
-        video,
-        annotation=annotation,
-        config=config,
-        plan=plan,
-        rng_seed=args.seed,
-        streaming=args.stream,
-    )
+    if args.ops:
+        from .faults import OPS_FAULT_KINDS, run_ops_chaos
+
+        print(f"ops chaos sweep: {', '.join(OPS_FAULT_KINDS)}")
+        report = run_ops_chaos(
+            video, annotation=annotation, config=config, seed=args.seed
+        )
+    else:
+        plan = default_fault_grid(seed=args.seed, stage=args.stage)
+        mode = "streaming" if args.stream else "batch"
+        print(f"chaos sweep ({mode}): {plan.describe()}")
+        report = run_chaos(
+            video,
+            annotation=annotation,
+            config=config,
+            plan=plan,
+            rng_seed=args.seed,
+            streaming=args.stream,
+        )
     print()
     print(report.render_table())
     if args.json is not None:
@@ -724,6 +746,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="simultaneous analyses before the service answers 503",
     )
+    p_serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="PATH",
+        help="crash-safe state directory: persists the job store and "
+        "stage checkpoints there, so interrupted jobs resume after a "
+        "restart instead of failing",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a graceful stop (SIGTERM/Ctrl-C) waits for "
+        "in-flight jobs before cancelling what is still queued",
+    )
+    p_serve.add_argument(
+        "--job-deadline",
+        type=float,
+        default=0.0,
+        help="soft per-job deadline in seconds; the watchdog fails "
+        "jobs beyond it and reclaims their worker slot (0 = off)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_jobs = sub.add_parser(
@@ -875,6 +919,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="feed each faulted video frame by frame through the "
         "streaming analyzer instead of one batch analyze()",
+    )
+    p_chaos.add_argument(
+        "--ops",
+        action="store_true",
+        help="run the process-level (operational) chaos grid instead: "
+        "kill a worker mid-job, restart the service mid-stream, wedge "
+        "a worker past the watchdog, drain under load, trip and "
+        "recover the circuit breaker",
     )
     _add_config_arguments(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)

@@ -18,9 +18,11 @@ itself.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
+from dataclasses import dataclass
 from typing import Any
 
 from .errors import ReproError
@@ -41,11 +43,43 @@ class ServiceError(ClientError):
         error_type: str,
         message: str,
         detail: Any = None,
+        retry_after: float | None = None,
     ) -> None:
         super().__init__(f"[{status} {error_type}] {message}")
         self.status = status
         self.error_type = error_type
         self.detail = detail
+        #: Parsed ``Retry-After`` response header (seconds), if any.
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff for *idempotent* requests answered 429/503.
+
+    The server's ``Retry-After`` header wins when present (capped at
+    ``max_delay_seconds``); otherwise the delay doubles from
+    ``base_delay_seconds`` up to the cap, with jitter (a uniform
+    0.5–1.0 factor) so a fleet of clients does not retry in lockstep.
+    Non-idempotent requests (job submission, ``eof``) are never
+    retried — a timeout there could otherwise double-submit.
+    """
+
+    max_retries: int = 4
+    base_delay_seconds: float = 0.1
+    max_delay_seconds: float = 5.0
+    statuses: tuple[int, ...] = (429, 503)
+
+    def delay_seconds(
+        self, attempt: int, retry_after: float | None = None
+    ) -> float:
+        if retry_after is not None and retry_after >= 0:
+            return min(retry_after, self.max_delay_seconds)
+        delay = min(
+            self.base_delay_seconds * (2.0 ** attempt),
+            self.max_delay_seconds,
+        )
+        return delay * (0.5 + random.random() * 0.5)
 
 
 class JobFailedError(ClientError):
@@ -72,9 +106,19 @@ class JobTimeoutError(ClientError):
 class ServiceClient:
     """A typed HTTP client bound to one service base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 300.0,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Backoff for idempotent requests; ``RetryPolicy(max_retries=0)``
+        #: disables retries entirely.
+        self.retry_policy = retry_policy or RetryPolicy()
+        # Seam for tests: patched to observe/skip real sleeping.
+        self._sleep = time.sleep
 
     # ------------------------------------------------------------------
     # Transport
@@ -85,8 +129,39 @@ class ServiceClient:
         path: str,
         body: dict[str, Any] | None = None,
         timeout: float | None = None,
+        idempotent: bool | None = None,
     ) -> dict[str, Any]:
-        """One request against the ``/v1`` surface; raises typed errors."""
+        """One request against the ``/v1`` surface; raises typed errors.
+
+        Idempotent requests (every GET unless overridden, plus frame
+        pushes, which the server applies all-or-nothing) are retried
+        per :attr:`retry_policy` when the service answers 429/503,
+        honouring its ``Retry-After``.  Everything else is single-shot.
+        """
+        if idempotent is None:
+            idempotent = method == "GET"
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body, timeout)
+            except ServiceError as exc:
+                if (
+                    not idempotent
+                    or exc.status not in policy.statuses
+                    or attempt >= policy.max_retries
+                ):
+                    raise
+                self._sleep(policy.delay_seconds(attempt, exc.retry_after))
+                attempt += 1
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
         url = f"{self.base_url}/{API_VERSION}{path}"
         data = json.dumps(body).encode("utf-8") if body is not None else None
         request = urllib.request.Request(
@@ -109,6 +184,13 @@ class ServiceClient:
 
     @staticmethod
     def _service_error(exc: urllib.error.HTTPError) -> ServiceError:
+        retry_after = None
+        header = exc.headers.get("Retry-After") if exc.headers else None
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except (TypeError, ValueError):
+                retry_after = None
         try:
             envelope = json.loads(exc.read())
             error = envelope["error"]
@@ -117,9 +199,12 @@ class ServiceClient:
                 str(error.get("type", "unknown")),
                 str(error.get("message", "")),
                 detail=error.get("detail"),
+                retry_after=retry_after,
             )
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            return ServiceError(exc.code, "unknown", str(exc))
+            return ServiceError(
+                exc.code, "unknown", str(exc), retry_after=retry_after
+            )
 
     @staticmethod
     def _video_body(
@@ -267,14 +352,19 @@ class ServiceClient:
         attempts = 0
         while True:
             try:
-                return self._request("POST", f"/jobs/{job_id}/frames", body)
+                # Safe to mark idempotent: the server queues a chunk
+                # all-or-nothing, so a rejected push left no frames
+                # behind and the same chunk can be re-sent verbatim.
+                return self._request(
+                    "POST", f"/jobs/{job_id}/frames", body, idempotent=True
+                )
             except ServiceError as exc:
                 if exc.error_type != "frame_queue_full":
                     raise
                 attempts += 1
                 if attempts > max_retries:
                     raise
-                time.sleep(retry_interval)
+                self._sleep(retry_interval)
 
     def eof(self, job_id: str) -> dict[str, Any]:
         """``POST /v1/jobs/{id}/eof``: close a stream job's frame feed."""

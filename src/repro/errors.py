@@ -46,3 +46,15 @@ class StreamError(ReproError):
 
 class ScoringError(ReproError):
     """A score request referenced frames or rules that do not exist."""
+
+
+class CircuitOpen(ReproError):
+    """A circuit breaker is refusing work for this configuration.
+
+    ``retry_after`` hints how many seconds until the cooldown probe —
+    the service forwards it as a ``Retry-After`` header on the 503.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)

@@ -13,10 +13,20 @@ service can be exercised deterministically.
   seeded frame corruptors plus stage wrappers;
 * :mod:`repro.faults.chaos` — :func:`run_chaos`, one analysis per
   fault, summarised in a :class:`ChaosReport` (the CLI ``chaos``
-  subcommand and the CI smoke step).
+  subcommand and the CI smoke step);
+* :mod:`repro.faults.ops` — :func:`run_ops_chaos`, process-level
+  chaos against the crash-safe lifecycle (kill/restart/wedge/drain/
+  breaker), summarised in an :class:`OpsChaosReport` (``slj chaos
+  --ops``).
 """
 
 from .chaos import ChaosReport, FaultOutcome, default_fault_grid, run_chaos
+from .ops import (
+    OPS_FAULT_KINDS,
+    OpsChaosReport,
+    OpsFaultOutcome,
+    run_ops_chaos,
+)
 from .injectors import (
     FAULTS,
     apply_stage_faults,
@@ -35,14 +45,18 @@ __all__ = [
     "FAULTS",
     "FAULT_KINDS",
     "FRAME_FAULT_KINDS",
+    "OPS_FAULT_KINDS",
     "STAGE_FAULT_KINDS",
     "ChaosReport",
     "FaultOutcome",
     "FaultPlan",
     "FaultSpec",
+    "OpsChaosReport",
+    "OpsFaultOutcome",
     "apply_stage_faults",
     "default_fault_grid",
     "fault_kinds",
     "inject_video_faults",
     "run_chaos",
+    "run_ops_chaos",
 ]

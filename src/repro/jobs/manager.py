@@ -18,7 +18,20 @@ from .stream import FrameQueue
 from .worker import JobWorkerPool
 from ..errors import ReproError, StreamError
 from ..perf.pool import WorkerPool
-from ..serialization import analysis_payload
+from ..resilience import (
+    CircuitBreaker,
+    JobCheckpointer,
+    Watchdog,
+    has_spool,
+    load_input_frames,
+    load_input_meta,
+    load_stream_spool,
+    spool_input,
+    spool_stream_chunk,
+    spool_stream_eof,
+    stream_chunk_count,
+)
+from ..serialization import analysis_payload, annotation_to_dict
 
 
 class JobQueueFull(ReproError):
@@ -26,7 +39,15 @@ class JobQueueFull(ReproError):
 
 
 class JobManager:
-    """Owns the job store and worker pool for one service instance."""
+    """Owns the job store and worker pool for one service instance.
+
+    With ``config.checkpoint_dir`` the manager also owns crash safety:
+    submissions are spooled to disk, the pipeline checkpoints at stage
+    boundaries, restart survivors are re-queued (``resumed``) instead
+    of failed, and :meth:`recover` re-submits them.  The watchdog and
+    the per-config circuit breaker live here too — the service only
+    maps their refusals to status codes.
+    """
 
     def __init__(
         self,
@@ -37,21 +58,89 @@ class JobManager:
         clock: Callable[[], float] | None = None,
     ) -> None:
         self.config = config
+        resumable = None
+        if config.checkpoint_dir and config.resume_on_start:
+            directory = config.checkpoint_dir
+
+            def resumable(job_id: str) -> bool:
+                return has_spool(directory, job_id)
+
         store_kwargs: dict[str, Any] = {
             "capacity": config.max_jobs,
             "ttl_seconds": config.result_ttl_seconds,
             "persist_path": config.persist_path,
+            "resumable": resumable,
         }
         if clock is not None:
             store_kwargs["clock"] = clock
         self.store = JobStore(**store_kwargs)
-        self.workers = JobWorkerPool(
-            pool, self.store, metrics=metrics, serializer=serializer
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            cooldown_seconds=config.breaker_cooldown_seconds,
         )
+        self.workers = JobWorkerPool(
+            pool,
+            self.store,
+            metrics=metrics,
+            serializer=serializer,
+            breaker=self.breaker,
+        )
+        self.watchdog = Watchdog(
+            self.workers,
+            deadline_seconds=config.job_deadline_seconds,
+            interval_seconds=config.watchdog_interval_seconds,
+        )
+        self.watchdog.start()
         # job id -> FrameQueue for streaming jobs; pruned lazily once
         # the job is terminal (its queue is closed by the worker).
         self._streams: dict[str, FrameQueue] = {}
         self._streams_lock = threading.Lock()
+        # Next spool chunk index per streaming job (seeded from disk
+        # on recovery so resumed streams append, never overwrite).
+        self._chunk_counts: dict[str, int] = {}
+
+    def close(self) -> None:
+        """Stop background machinery (the watchdog scan thread)."""
+        self.watchdog.stop()
+
+    # ------------------------------------------------------------------
+    # Crash-safety helpers
+    # ------------------------------------------------------------------
+    def _checkpointer(self, job_id: str, config_hash: str) -> JobCheckpointer | None:
+        if not self.config.checkpoint_dir:
+            return None
+        return JobCheckpointer(self.config.checkpoint_dir, job_id, config_hash)
+
+    @staticmethod
+    def _analyzer_config_dict(analyzer: Any) -> dict[str, Any] | None:
+        """The analyzer's resolved config as a dict, when it has one."""
+        config = getattr(analyzer, "config", None)
+        to_dict = getattr(config, "to_dict", None)
+        return to_dict() if callable(to_dict) else None
+
+    def _spool_submission(
+        self,
+        job_id: str,
+        mode: str,
+        analyzer: Any,
+        annotation: Any,
+        seed: int,
+        frames: Any = None,
+    ) -> None:
+        """Persist a submission's inputs (only with a checkpoint_dir)."""
+        if not self.config.checkpoint_dir:
+            return
+        spool_input(
+            self.config.checkpoint_dir,
+            job_id,
+            mode=mode,
+            seed=seed,
+            config=self._analyzer_config_dict(analyzer),
+            annotation=(
+                None if annotation is None else annotation_to_dict(annotation)
+            ),
+            frames=frames,
+        )
 
     # ------------------------------------------------------------------
     def submit_analysis(
@@ -74,11 +163,25 @@ class JobManager:
                 f"{self.config.max_queued} jobs already queued or running; "
                 "retry later"
             )
+        self.breaker.check(config_hash)
         payload = self.store.create(
             digest or "0" * 10, seed=seed, config_hash=config_hash
         )
+        self._spool_submission(
+            payload["id"],
+            "batch",
+            analyzer,
+            annotation,
+            seed,
+            frames=getattr(video, "frames", None),
+        )
         self.workers.submit(
-            payload["id"], analyzer, video, annotation=annotation, seed=seed
+            payload["id"],
+            analyzer,
+            video,
+            annotation=annotation,
+            seed=seed,
+            checkpointer=self._checkpointer(payload["id"], config_hash),
         )
         return payload
 
@@ -105,12 +208,14 @@ class JobManager:
                 f"{self.config.max_queued} jobs already queued or running; "
                 "retry later"
             )
+        self.breaker.check(config_hash)
         payload = self.store.create(
             digest or "0" * 10,
             seed=seed,
             config_hash=config_hash,
             mode="stream",
         )
+        self._spool_submission(payload["id"], "stream", analyzer, annotation, seed)
         queue = FrameQueue(self.config.stream_queue_frames)
         with self._streams_lock:
             self._prune_streams_locked()
@@ -122,6 +227,7 @@ class JobManager:
             annotation=annotation,
             seed=seed,
             idle_timeout=self.config.stream_idle_timeout_seconds,
+            checkpointer=self._checkpointer(payload["id"], config_hash),
         )
         return payload
 
@@ -147,8 +253,25 @@ class JobManager:
         if queue is None:
             raise StreamError(f"job {job_id!r} has no open stream")
         queued = queue.put(frames)
+        self._spool_chunk(job_id, frames)
         total = self.store.record_frames(job_id, len(frames))
         return {"queued": queued, "frames_received": total}
+
+    def _spool_chunk(self, job_id: str, frames: list) -> None:
+        """Persist one accepted frame chunk (only with a checkpoint_dir).
+
+        Spooled *after* ``queue.put`` succeeds so the spool never holds
+        frames the stream rejected, and the chunk sequence mirrors the
+        accepted-frame sequence exactly.
+        """
+        if not self.config.checkpoint_dir:
+            return
+        with self._streams_lock:
+            index = self._chunk_counts.get(job_id)
+            if index is None:
+                index = stream_chunk_count(self.config.checkpoint_dir, job_id)
+            self._chunk_counts[job_id] = index + 1
+        spool_stream_chunk(self.config.checkpoint_dir, job_id, index, frames)
 
     def eof(self, job_id: str) -> None:
         """Signal end-of-frames; the worker finishes and scores the job."""
@@ -157,6 +280,8 @@ class JobManager:
             raise StreamError(f"job {job_id!r} has no open stream")
         if queue.closed:
             raise StreamError(f"job {job_id!r} already received eof")
+        if self.config.checkpoint_dir:
+            spool_stream_eof(self.config.checkpoint_dir, job_id)
         queue.close()
         self.store.mark_eof(job_id)
 
@@ -199,10 +324,98 @@ class JobManager:
         """Newest-first bounded job listing."""
         return self.store.list_payload(limit=limit, state=state)
 
+    # ------------------------------------------------------------------
+    # Restart recovery
+    # ------------------------------------------------------------------
+    def recover(self, analyzer_factory: Callable[[dict[str, Any] | None], Any]) -> list[str]:
+        """Re-submit jobs the store restored as resumable.
+
+        ``analyzer_factory`` maps a spooled config dict (or ``None``)
+        to an analyzer.  Batch jobs resume from their last completed
+        stage checkpoint; streaming jobs get a fresh frame queue and
+        replay their spooled chunks, so a reconnecting client can keep
+        pushing from ``frames_received``.  Jobs whose spool turns out
+        unreadable are failed cleanly as ``Interrupted`` rather than
+        left queued forever.  Returns the re-submitted job ids.
+        """
+        directory = self.config.checkpoint_dir
+        if not directory or not self.config.resume_on_start:
+            return []
+        recovered: list[str] = []
+        for payload in self.store.queued_jobs():
+            if not payload.get("resumed"):
+                continue
+            job_id = payload["id"]
+            meta = load_input_meta(directory, job_id)
+            if meta is None:
+                self._fail_unrecoverable(job_id, "input spool unreadable")
+                continue
+            annotation = None
+            if meta.get("annotation") is not None:
+                from ..serialization import annotation_from_dict
+
+                annotation = annotation_from_dict(meta["annotation"])
+            seed = int(meta.get("seed", 0))
+            analyzer = analyzer_factory(meta.get("config"))
+            checkpointer = self._checkpointer(
+                job_id, payload.get("config_hash", "")
+            )
+            if meta.get("mode") == "stream":
+                frames, eof = load_stream_spool(directory, job_id)
+                queue = FrameQueue(self.config.stream_queue_frames)
+                if eof:
+                    queue.close()
+                with self._streams_lock:
+                    self._streams[job_id] = queue
+                    self._chunk_counts[job_id] = stream_chunk_count(
+                        directory, job_id
+                    )
+                self.workers.submit_stream(
+                    job_id,
+                    analyzer,
+                    queue,
+                    annotation=annotation,
+                    seed=seed,
+                    idle_timeout=self.config.stream_idle_timeout_seconds,
+                    checkpointer=checkpointer,
+                    replay=frames,
+                    replay_eof=eof,
+                )
+            else:
+                frames_array = load_input_frames(directory, job_id)
+                if frames_array is None:
+                    self._fail_unrecoverable(job_id, "frame spool unreadable")
+                    continue
+                from ..video.sequence import VideoSequence
+
+                self.workers.submit(
+                    job_id,
+                    analyzer,
+                    VideoSequence(frames_array),
+                    annotation=annotation,
+                    seed=seed,
+                    checkpointer=checkpointer,
+                )
+            recovered.append(job_id)
+        return recovered
+
+    def _fail_unrecoverable(self, job_id: str, reason: str) -> None:
+        self.store.mark_running(job_id)
+        self.store.finish(
+            job_id,
+            JobState.FAILED,
+            error={
+                "type": "Interrupted",
+                "message": f"job could not be resumed after restart: {reason}",
+            },
+        )
+
     def stats(self) -> dict[str, Any]:
         """Job counters for ``/metrics``."""
         stats = self.store.stats()
         stats["enabled"] = self.config.enabled
         stats["max_queued"] = self.config.max_queued
         stats["open_streams"] = self.open_streams()
+        stats["watchdog_timeouts"] = self.workers.watchdog_timeouts
+        stats["breaker"] = self.breaker.snapshot()
         return stats

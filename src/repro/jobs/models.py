@@ -72,6 +72,24 @@ class JobsConfig:
     # A running stream job that sees no frame and no eof for this long
     # fails (freeing its pool slot) instead of waiting forever.
     stream_idle_timeout_seconds: float = 30.0
+    # Directory for input spools and per-stage checkpoints (see
+    # repro.resilience.checkpoint).  None (default) disables both:
+    # jobs interrupted by a restart keep failing as ``Interrupted``.
+    checkpoint_dir: str | None = None
+    # With a checkpoint_dir, re-submit interrupted jobs automatically
+    # when the service starts (JobManager.recover).
+    resume_on_start: bool = True
+    # Soft per-job deadline: a running job older than this is failed
+    # by the watchdog (WatchdogTimeout) and its pool slot reclaimed.
+    # 0 disables the watchdog — deadlines are workload-specific.
+    job_deadline_seconds: float = 0.0
+    # Cadence of the watchdog scan thread.
+    watchdog_interval_seconds: float = 0.5
+    # Circuit breaker: this many *consecutive* failures under one
+    # config_hash trip it (503 circuit_open until a cooldown probe
+    # passes).  0 disables the breaker.
+    breaker_threshold: int = 0
+    breaker_cooldown_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_jobs < 1:
@@ -85,6 +103,18 @@ class JobsConfig:
         if self.stream_idle_timeout_seconds <= 0:
             raise ConfigurationError(
                 "jobs.stream_idle_timeout_seconds must be > 0"
+            )
+        if self.job_deadline_seconds < 0:
+            raise ConfigurationError("jobs.job_deadline_seconds must be >= 0")
+        if self.watchdog_interval_seconds <= 0:
+            raise ConfigurationError(
+                "jobs.watchdog_interval_seconds must be > 0"
+            )
+        if self.breaker_threshold < 0:
+            raise ConfigurationError("jobs.breaker_threshold must be >= 0")
+        if self.breaker_cooldown_seconds <= 0:
+            raise ConfigurationError(
+                "jobs.breaker_cooldown_seconds must be > 0"
             )
 
 
@@ -106,6 +136,9 @@ class Job:
     degraded: bool = False
     degradation: dict[str, Any] | None = None
     cancel_requested: bool = False
+    # True when the job survived a service restart: it was re-queued
+    # from its input spool instead of failing as ``Interrupted``.
+    resumed: bool = False
     # Streaming jobs ("mode": "stream"): frames appended over HTTP run
     # through the push-based pipeline as they arrive.
     mode: str = "batch"
@@ -140,6 +173,7 @@ class Job:
             "degraded": self.degraded,
             "degradation": dict(self.degradation) if self.degradation else None,
             "cancel_requested": self.cancel_requested,
+            "resumed": self.resumed,
         }
         if self.mode == "stream":
             payload["stream"] = {
@@ -183,6 +217,7 @@ class Job:
             degraded=bool(record.get("degraded", False)),
             degradation=record.get("degradation"),
             cancel_requested=bool(record.get("cancel_requested", False)),
+            resumed=bool(record.get("resumed", False)),
             mode=str(record.get("mode", "batch")),
             frames_received=int(stream.get("frames_received", 0)),
             eof=bool(stream.get("eof", False)),

@@ -17,8 +17,12 @@ so one reentrant lock serialises the whole lifecycle.
   structured ``410 result_expired`` instead of a bare 404.
 * **Persistence** — with ``persist_path`` the store mirrors itself to
   a JSON file on every state transition; terminal jobs (results
-  included) survive a restart, while jobs caught mid-flight are
-  restored as ``failed`` with an ``Interrupted`` error.
+  included) survive a restart.  Jobs caught mid-flight are restored as
+  ``failed`` with an ``Interrupted`` error — unless the owner passes a
+  ``resumable`` predicate (the manager's input-spool check, see
+  :mod:`repro.resilience.checkpoint`) that recognises them, in which
+  case they are re-queued as ``submitted`` with ``resumed`` set and
+  picked up by :meth:`~repro.jobs.manager.JobManager.recover`.
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ class JobStore:
         ttl_seconds: float = 3600.0,
         persist_path: str | Path | None = None,
         clock: Callable[[], float] = time.time,
+        resumable: Callable[[str], bool] | None = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"job store capacity must be >= 1, got {capacity}")
@@ -58,12 +63,19 @@ class JobStore:
         self._ttl = ttl_seconds
         self._persist_path = Path(persist_path) if persist_path else None
         self._clock = clock
+        self._resumable = resumable or (lambda _job_id: False)
         self._lock = threading.RLock()
         self._jobs: OrderedDict[str, Job] = OrderedDict()
         self._expired: OrderedDict[str, str] = OrderedDict()
         self._seq = 0
+        self.resumed_count = 0  # jobs re-queued across restarts (metrics)
         if self._persist_path is not None and self._persist_path.exists():
             self._load()
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        """The store's time source (shared by the watchdog)."""
+        return self._clock
 
     # ------------------------------------------------------------------
     # Creation / identity
@@ -155,6 +167,37 @@ class JobStore:
             self._evict_expired()
             return sum(1 for job in self._jobs.values() if not job.terminal)
 
+    def queued_jobs(self) -> list[dict[str, Any]]:
+        """Status payloads of every ``submitted`` job, oldest first.
+
+        Recovery uses this to re-submit restart survivors; the payloads
+        carry everything the manager needs (id, mode, seed, resumed).
+        """
+        with self._lock:
+            self._evict_expired()
+            return [
+                job.to_dict()
+                for job in self._jobs.values()
+                if job.state == JobState.SUBMITTED
+            ]
+
+    def running_jobs(self) -> list[tuple[str, float, str | None]]:
+        """``(job_id, started_at, current_stage)`` of every running job.
+
+        The watchdog's scan set: ``started_at`` is on the store's own
+        clock, so deadline arithmetic stays consistent with it.
+        """
+        with self._lock:
+            return [
+                (
+                    job.id,
+                    float(job.started_at or job.created_at),
+                    job.progress.get("current_stage"),
+                )
+                for job in self._jobs.values()
+                if job.state == JobState.RUNNING
+            ]
+
     def stats(self) -> dict[str, Any]:
         """Counters for ``/metrics``."""
         with self._lock:
@@ -166,6 +209,7 @@ class JobStore:
                 "capacity": self._capacity,
                 "created": self._seq,
                 "expired": len(self._expired),
+                "resumed": self.resumed_count,
             }
 
     # ------------------------------------------------------------------
@@ -252,8 +296,14 @@ class JobStore:
         error: dict[str, Any] | None = None,
         degraded: bool = False,
         degradation: dict[str, Any] | None = None,
-    ) -> None:
-        """Move a job to a terminal state and arm its TTL."""
+    ) -> bool:
+        """Move a job to a terminal state and arm its TTL.
+
+        Returns True when the transition applied; False when the job
+        is unknown or already terminal (a lost race — e.g. the
+        watchdog against a normal completion — is a no-op, never a
+        state flip).
+        """
         if state not in JobState.TERMINAL:
             raise ConfigurationError(
                 f"finish() needs a terminal state, got {state!r}"
@@ -261,11 +311,12 @@ class JobStore:
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None or job.terminal:
-                return
+                return False
             self._finish_locked(
                 job, state, result=result, error=error,
                 degraded=degraded, degradation=degradation,
             )
+            return True
 
     def _finish_locked(
         self,
@@ -382,12 +433,31 @@ class JobStore:
         for record in payload.get("jobs", []):
             job = Job.from_record(record)
             if not job.terminal:
-                # The previous process died mid-flight; the work is gone.
-                job.state = JobState.FAILED
-                job.error = {
-                    "type": "Interrupted",
-                    "message": "job interrupted by a service restart",
-                }
-                job.finished_at = self._clock()
-                job.expires_at = job.finished_at + self._ttl
+                if self._resumable(job.id):
+                    # The inputs were spooled: re-queue instead of
+                    # failing.  Progress restarts from zero (a resumed
+                    # run may skip checkpointed stages, but the sink
+                    # rebuilds the progress block either way).
+                    job.state = JobState.SUBMITTED
+                    job.started_at = None
+                    job.progress = {
+                        "total_stages": 0,
+                        "stages_completed": [],
+                        "current_stage": None,
+                        "fraction": 0.0,
+                    }
+                    job.frames_received = 0
+                    job.provisional = None
+                    job.resumed = True
+                    self.resumed_count += 1
+                else:
+                    # The previous process died mid-flight and nothing
+                    # was spooled; the work is gone.
+                    job.state = JobState.FAILED
+                    job.error = {
+                        "type": "Interrupted",
+                        "message": "job interrupted by a service restart",
+                    }
+                    job.finished_at = self._clock()
+                    job.expires_at = job.finished_at + self._ttl
             self._jobs[job.id] = job

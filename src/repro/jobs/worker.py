@@ -69,13 +69,17 @@ class JobWorkerPool:
         store: JobStore,
         metrics: Any | None = None,
         serializer: Callable[[Any], dict[str, Any]] = analysis_payload,
+        breaker: Any | None = None,
     ) -> None:
         self._pool = pool
         self._store = store
         self._metrics = metrics
         self._serializer = serializer
+        self._breaker = breaker
         self._lock = threading.Lock()
         self._tokens: dict[str, CancellationToken] = {}
+        self._reaped: set[str] = set()  # watchdog-reaped, thread zombie
+        self.watchdog_timeouts = 0  # lifetime reaps (metrics)
 
     def submit(
         self,
@@ -84,13 +88,21 @@ class JobWorkerPool:
         video: Any,
         annotation: Any = None,
         seed: int = 0,
+        checkpointer: Any = None,
     ) -> None:
         """Queue one job; returns immediately."""
         token = CancellationToken()
         with self._lock:
             self._tokens[job_id] = token
         self._pool.submit(
-            self._run, job_id, analyzer, video, annotation, seed, token
+            self._run,
+            job_id,
+            analyzer,
+            video,
+            annotation,
+            seed,
+            token,
+            checkpointer,
         )
 
     def submit_stream(
@@ -101,8 +113,19 @@ class JobWorkerPool:
         annotation: Any = None,
         seed: int = 0,
         idle_timeout: float = 30.0,
+        checkpointer: Any = None,
+        replay: list[Any] | None = None,
+        replay_eof: bool = False,
     ) -> None:
-        """Queue one streaming job fed by ``frames``; returns immediately."""
+        """Queue one streaming job fed by ``frames``; returns immediately.
+
+        ``replay`` (recovery) is a list of frames spooled before a
+        restart: they are pushed through the stream first — rebuilding
+        the received-frame count and the background-model state — and
+        the queue is drained after.  ``replay_eof`` means the producer
+        already signalled end-of-frames, so the job finishes from the
+        replay alone, no client required.
+        """
         token = CancellationToken()
         with self._lock:
             self._tokens[job_id] = token
@@ -115,6 +138,9 @@ class JobWorkerPool:
             seed,
             idle_timeout,
             token,
+            checkpointer,
+            replay,
+            replay_eof,
         )
 
     def cancel(self, job_id: str) -> None:
@@ -129,6 +155,87 @@ class JobWorkerPool:
         with self._lock:
             return len(self._tokens)
 
+    def reap_overdue(self, deadline_seconds: float) -> list[str]:
+        """Fail every running job older than the soft deadline.
+
+        The watchdog's one move: the job is finished as ``failed``
+        (``WatchdogTimeout`` + diagnostics), its token is tripped in
+        case the wedged stage eventually yields, and the pool grows a
+        replacement slot — shrunk back by the job's ``finally`` block
+        when the zombie thread exits, so no slot ever leaks.
+        """
+        now = self._store.clock()
+        reaped: list[str] = []
+        for job_id, started_at, stage in self._store.running_jobs():
+            elapsed = now - started_at
+            if elapsed < deadline_seconds:
+                continue
+            with self._lock:
+                token = self._tokens.get(job_id)
+                if token is None or job_id in self._reaped:
+                    continue
+            applied = self._store.finish(
+                job_id,
+                JobState.FAILED,
+                error={
+                    "type": "WatchdogTimeout",
+                    "message": (
+                        f"job exceeded its {deadline_seconds:g}s soft "
+                        "deadline and was reaped by the watchdog"
+                    ),
+                    "detail": {
+                        "elapsed_seconds": round(elapsed, 3),
+                        "current_stage": stage,
+                    },
+                },
+            )
+            if not applied:  # finished cleanly in the meantime
+                continue
+            token.cancel()
+            with self._lock:
+                self._reaped.add(job_id)
+            self._pool.reclaim_slot()
+            self.watchdog_timeouts += 1
+            self._report_outcome(job_id, success=False)
+            reaped.append(job_id)
+        return reaped
+
+    def _report_outcome(self, job_id: str, success: bool) -> None:
+        """Feed the circuit breaker (keyed on the job's config hash)."""
+        if self._breaker is None:
+            return
+        payload = self._store.payload(job_id)
+        key = (payload or {}).get("config_hash") or ""
+        if success:
+            self._breaker.record_success(key)
+        else:
+            self._breaker.record_failure(key)
+
+    def _release(self, job_id: str) -> None:
+        """Common exit: drop the token, shrink a reclaimed slot."""
+        with self._lock:
+            self._tokens.pop(job_id, None)
+            was_reaped = job_id in self._reaped
+            self._reaped.discard(job_id)
+        if was_reaped:
+            self._pool.release_reclaimed()
+
+    def _cleanup_state(self, job_id: str, checkpointer: Any) -> None:
+        """Drop a terminal job's checkpoint + spool (crash state only
+        matters for jobs that still have work left)."""
+        if checkpointer is None:
+            return
+        payload = self._store.payload(job_id)
+        if payload is not None and payload["state"] not in JobState.TERMINAL:
+            return
+        try:
+            from ..resilience.checkpoint import clear_spool
+
+            checkpointer.clear()
+            clear_spool(checkpointer.directory.parent, job_id)
+        except Exception:  # cleanup must never poison the pool thread
+            pass
+
     # ------------------------------------------------------------------
     def _run(
         self,
@@ -138,6 +245,7 @@ class JobWorkerPool:
         annotation: Any,
         seed: int,
         token: CancellationToken,
+        checkpointer: Any = None,
     ) -> None:
         store = self._store
         try:
@@ -161,23 +269,28 @@ class JobWorkerPool:
             instrumentation = Instrumentation(
                 sink=JobProgressSink(store, job_id, stage_names)
             )
+            # Stub analyzers (tests) keep their narrower signature; the
+            # checkpointer kwarg is only threaded when one exists.
+            extra = {"checkpointer": checkpointer} if checkpointer else {}
             analysis = analyzer.analyze(
                 video,
                 annotation=annotation,
                 rng=np.random.default_rng(seed),
                 instrumentation=instrumentation,
                 cancel_token=token,
+                **extra,
             )
             if self._metrics is not None and hasattr(analysis, "trace"):
                 self._metrics.observe_trace(analysis.trace)
             result = self._serializer(analysis)
-            store.finish(
+            if store.finish(
                 job_id,
                 JobState.SUCCEEDED,
                 result=result,
                 degraded=bool(result.get("degraded", False)),
                 degradation=result.get("degradation"),
-            )
+            ):
+                self._report_outcome(job_id, success=True)
         except CancelledError as exc:
             store.finish(
                 job_id,
@@ -185,20 +298,22 @@ class JobWorkerPool:
                 error={"type": "CancelledError", "message": str(exc)},
             )
         except ReproError as exc:
-            store.finish(
+            if store.finish(
                 job_id,
                 JobState.FAILED,
                 error={"type": type(exc).__name__, "message": str(exc)},
-            )
+            ):
+                self._report_outcome(job_id, success=False)
         except BaseException as exc:  # the pool thread must survive
-            store.finish(
+            if store.finish(
                 job_id,
                 JobState.FAILED,
                 error={"type": "InternalError", "message": str(exc)},
-            )
+            ):
+                self._report_outcome(job_id, success=False)
         finally:
-            with self._lock:
-                self._tokens.pop(job_id, None)
+            self._cleanup_state(job_id, checkpointer)
+            self._release(job_id)
 
     @staticmethod
     def _stream_progress(update: Any) -> dict[str, Any]:
@@ -225,6 +340,9 @@ class JobWorkerPool:
         seed: int,
         idle_timeout: float,
         token: CancellationToken,
+        checkpointer: Any = None,
+        replay: list[Any] | None = None,
+        replay_eof: bool = False,
     ) -> None:
         """Drain the frame queue through a streaming analyzer.
 
@@ -253,36 +371,52 @@ class JobWorkerPool:
             instrumentation = Instrumentation(
                 sink=JobProgressSink(store, job_id, stage_names)
             )
+            extra = {"checkpointer": checkpointer} if checkpointer else {}
             stream = analyzer.open_stream(
                 annotation=annotation,
                 rng=np.random.default_rng(seed),
                 instrumentation=instrumentation,
                 cancel_token=token,
+                **extra,
             )
-            while True:
-                frame = frames.get(timeout=idle_timeout)
-                if frame is None:  # eof (or a cancel closed the queue)
-                    break
+            # Recovery replay: frames spooled before a restart rebuild
+            # the stream (received count, background model) before any
+            # newly pushed ones are consumed.
+            for frame in replay or ():
                 update = stream.push_frame(frame)
+                store.record_frames(job_id, 1)
                 store.set_provisional(job_id, self._stream_progress(update))
+            if replay_eof:
+                store.mark_eof(job_id)
+            else:
+                while True:
+                    frame = frames.get(timeout=idle_timeout)
+                    if frame is None:  # eof (or a cancel closed the queue)
+                        break
+                    update = stream.push_frame(frame)
+                    store.set_provisional(
+                        job_id, self._stream_progress(update)
+                    )
             token.raise_if_cancelled("finish")
             analysis = stream.finish()
             if self._metrics is not None and hasattr(analysis, "trace"):
                 self._metrics.observe_trace(analysis.trace)
             result = self._serializer(analysis)
-            store.finish(
+            if store.finish(
                 job_id,
                 JobState.SUCCEEDED,
                 result=result,
                 degraded=bool(result.get("degraded", False)),
                 degradation=result.get("degradation"),
-            )
+            ):
+                self._report_outcome(job_id, success=True)
         except StreamIdleTimeout as exc:
-            store.finish(
+            if store.finish(
                 job_id,
                 JobState.FAILED,
                 error={"type": "StreamIdleTimeout", "message": str(exc)},
-            )
+            ):
+                self._report_outcome(job_id, success=False)
         except CancelledError as exc:
             store.finish(
                 job_id,
@@ -290,18 +424,20 @@ class JobWorkerPool:
                 error={"type": "CancelledError", "message": str(exc)},
             )
         except ReproError as exc:
-            store.finish(
+            if store.finish(
                 job_id,
                 JobState.FAILED,
                 error={"type": type(exc).__name__, "message": str(exc)},
-            )
+            ):
+                self._report_outcome(job_id, success=False)
         except BaseException as exc:  # the pool thread must survive
-            store.finish(
+            if store.finish(
                 job_id,
                 JobState.FAILED,
                 error={"type": "InternalError", "message": str(exc)},
-            )
+            ):
+                self._report_outcome(job_id, success=False)
         finally:
             frames.close()  # further pushes answer "stream closed"
-            with self._lock:
-                self._tokens.pop(job_id, None)
+            self._cleanup_state(job_id, checkpointer)
+            self._release(job_id)

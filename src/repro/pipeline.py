@@ -606,6 +606,7 @@ class JumpAnalyzer:
         rng: np.random.Generator | None = None,
         instrumentation: Instrumentation | None = None,
         cancel_token: "CancellationToken | None" = None,
+        checkpointer: Any = None,
     ):
         """Open a frame-at-a-time analysis (see :mod:`repro.streaming`).
 
@@ -614,6 +615,10 @@ class JumpAnalyzer:
         the final :class:`JumpAnalysis`.  :meth:`analyze` is a thin
         wrapper that feeds a whole sequence through this stream — there
         is one pipeline, not two.
+
+        ``checkpointer`` (see :mod:`repro.resilience.checkpoint`)
+        applies to the batch finish path: warmup 0 streams and
+        :meth:`analyze` both persist/resume per-stage state through it.
         """
         from .streaming import StreamingAnalyzer
 
@@ -623,6 +628,7 @@ class JumpAnalyzer:
             rng=rng,
             instrumentation=instrumentation,
             cancel_token=cancel_token,
+            checkpointer=checkpointer,
         )
 
     def tail_runner(self) -> PipelineRunner:
@@ -649,6 +655,7 @@ class JumpAnalyzer:
         rng: np.random.Generator | None = None,
         instrumentation: Instrumentation | None = None,
         cancel_token: "CancellationToken | None" = None,
+        checkpointer: Any = None,
     ) -> JumpAnalysis:
         """Run segmentation, tracking, event detection and scoring.
 
@@ -678,6 +685,7 @@ class JumpAnalyzer:
             rng=rng,
             instrumentation=instrumentation,
             cancel_token=cancel_token,
+            checkpointer=checkpointer,
         )
         stream.extend(video)
         return stream.finish()
@@ -689,8 +697,16 @@ class JumpAnalyzer:
         rng: np.random.Generator,
         instrumentation: Instrumentation,
         cancel_token: "CancellationToken | None",
+        checkpointer: Any = None,
     ) -> JumpAnalysis:
-        """The classic whole-sequence path: run all seven stages."""
+        """The classic whole-sequence path: run all seven stages.
+
+        With a ``checkpointer``, a stage checkpoint left by a previous
+        (interrupted) run restores the pipeline value, the context
+        artifacts and the rng bit-generator state, and the runner skips
+        the completed prefix — so the resumed run draws the same random
+        stream and lands on the same report as an uninterrupted one.
+        """
         config_dict = self.config.to_dict()
         resolved_hash = config_hash(config_dict)
         context = StageContext(
@@ -701,7 +717,29 @@ class JumpAnalyzer:
         context.artifacts["rng"] = rng
         context.metadata["config"] = config_dict
         context.metadata["config_hash"] = resolved_hash
-        outcome = self._runner.run(video, context=context)
+
+        value: Any = video
+        start_after: str | None = None
+        if checkpointer is not None:
+            checkpointer.set_multi_actor(self.config.tracking.enabled)
+            saved = checkpointer.load()
+            if saved is not None:
+                from .resilience.checkpoint import restore_rng
+
+                context.artifacts.update(saved.artifacts)
+                restore_rng(rng, saved.rng_state)
+                value = saved.value
+                start_after = saved.stage
+                instrumentation.count("resilience.resumes", 1)
+                instrumentation.event(
+                    "resilience/resumed", stage=saved.stage
+                )
+        outcome = self._runner.run(
+            value,
+            context=context,
+            start_after=start_after,
+            checkpoint=checkpointer,
+        )
 
         artifacts: dict[str, Any] = outcome.context.artifacts
         tracking: TrackingResult = artifacts["tracking"]

@@ -1,0 +1,133 @@
+"""A per-configuration circuit breaker for the job subsystem.
+
+When one configuration keeps failing (a pathological override, a
+poisoned preset), re-admitting work under it burns pool slots on
+analyses that will fail again.  The breaker counts *consecutive*
+failures per ``config_hash``; at ``threshold`` it opens and submission
+fast-fails with :class:`~repro.errors.CircuitOpen` (the service maps
+it to 503 ``circuit_open`` + ``Retry-After``).  After
+``cooldown_seconds`` one probe job is let through half-open: success
+closes the circuit, failure re-opens it for another cooldown.
+
+Keying on the config hash keeps healthy configurations flowing while a
+broken one is quarantined — the breaker never punishes the service as
+a whole.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import CircuitOpen
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half_open"
+
+
+class _Circuit:
+    __slots__ = ("state", "failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.state = _CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker keyed on configuration hash.
+
+    ``threshold <= 0`` disables the breaker (every check passes).
+    Thread-safe: admission checks and worker outcome reports arrive
+    from different threads.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 0,
+        cooldown_seconds: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.threshold = int(threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._circuits: dict[str, _Circuit] = {}
+        self.trips = 0  # lifetime open transitions (metrics)
+
+    @property
+    def enabled(self) -> bool:
+        """True when a positive threshold was configured."""
+        return self.threshold > 0
+
+    def check(self, key: str) -> None:
+        """Admission gate: raise :class:`CircuitOpen` when tripped.
+
+        Half-open admission lets exactly one probe through per
+        cooldown; concurrent submitters under the same key still
+        fast-fail until the probe reports back.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None or circuit.state == _CLOSED:
+                return
+            remaining = (
+                circuit.opened_at + self.cooldown_seconds - self._clock()
+            )
+            if circuit.state == _OPEN and remaining <= 0:
+                circuit.state = _HALF_OPEN
+                circuit.probing = False
+            if circuit.state == _HALF_OPEN and not circuit.probing:
+                circuit.probing = True  # this submission is the probe
+                return
+            raise CircuitOpen(
+                f"circuit open for config {key[:12]}: "
+                f"{circuit.failures} consecutive failures",
+                retry_after=max(1.0, remaining),
+            )
+
+    def record_success(self, key: str) -> None:
+        """A job under ``key`` finished cleanly; close its circuit."""
+        if not self.enabled:
+            return
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is not None:
+                circuit.state = _CLOSED
+                circuit.failures = 0
+                circuit.probing = False
+
+    def record_failure(self, key: str) -> None:
+        """A job under ``key`` failed; maybe open its circuit."""
+        if not self.enabled:
+            return
+        with self._lock:
+            circuit = self._circuits.setdefault(key, _Circuit())
+            circuit.failures += 1
+            was_open = circuit.state == _OPEN
+            if circuit.failures >= self.threshold or circuit.state == _HALF_OPEN:
+                circuit.state = _OPEN
+                circuit.opened_at = self._clock()
+                circuit.probing = False
+                if not was_open:
+                    self.trips += 1
+
+    def snapshot(self) -> dict:
+        """Metrics view: open circuits and lifetime trips."""
+        with self._lock:
+            open_keys = [
+                key
+                for key, circuit in self._circuits.items()
+                if circuit.state != _CLOSED
+            ]
+            return {
+                "enabled": self.enabled,
+                "threshold": self.threshold,
+                "cooldown_seconds": self.cooldown_seconds,
+                "trips": self.trips,
+                "open": sorted(open_keys),
+            }

@@ -1,0 +1,62 @@
+"""Service lifecycle: uptime, graceful drain, shutdown accounting.
+
+One :class:`ServiceLifecycle` lives on the HTTP server object.  It
+starts in ``running``; :meth:`begin_drain` (SIGTERM, or
+``ServiceHandle.stop(drain=True)``) flips it to ``draining``:
+
+* new submissions — ``POST /v1/analyze``, ``/v1/analyze/batch``,
+  ``/v1/jobs``, ``/v1/jobs/stream`` — are refused with 503
+  ``draining`` + ``Retry-After`` (reads, frame pushes, eof and cancel
+  keep working so in-flight jobs can complete);
+* ``GET /v1/health`` reports ``status: "shutting_down"`` so load
+  balancers stop routing;
+* the stopping thread waits up to the drain deadline for in-flight
+  work to finish; still-queued jobs stay ``submitted`` in the
+  persistence file and are picked up on the next start.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class ServiceLifecycle:
+    """Thread-safe service phase + uptime + shutdown counters."""
+
+    def __init__(self, clock=time.time) -> None:
+        self._clock = clock
+        self.started_at = clock()
+        self._draining = threading.Event()
+        # Pool futures cancelled by a non-drain stop() — work accepted
+        # but never run, the loss /metrics must make visible.
+        self.cancelled_at_shutdown = 0
+
+    @property
+    def draining(self) -> bool:
+        """True once a drain (or stop) has begun."""
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Enter draining mode (idempotent)."""
+        self._draining.set()
+
+    def uptime_seconds(self) -> float:
+        """Seconds since the service started."""
+        return max(0.0, self._clock() - self.started_at)
+
+    def wait_drained(
+        self, is_idle, timeout: float, poll_seconds: float = 0.05
+    ) -> bool:
+        """Poll ``is_idle()`` until it holds or ``timeout`` elapses.
+
+        Returns True when the service went idle (all in-flight and
+        queued jobs reached a terminal state) within the deadline.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            if is_idle():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_seconds)

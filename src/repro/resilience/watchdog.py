@@ -1,0 +1,72 @@
+"""Per-job soft deadlines: detect hung analyses, reclaim their slots.
+
+A wedged GA (or a fault-injected sleep) holds a
+:class:`~repro.perf.pool.WorkerPool` slot forever — cooperative
+cancellation only helps between stages, and a stage stuck *inside* a
+call never reaches the next boundary.  The :class:`Watchdog` scans the
+running jobs on a fixed cadence; any job past its soft deadline is
+failed with diagnostics (``WatchdogTimeout``, the stage it was stuck
+in, elapsed seconds), its cancellation token is tripped (in case the
+stage does eventually yield), and its pool slot is *reclaimed* — the
+pool temporarily grows by one so new work keeps flowing, shrinking
+back when the zombie thread finally exits.  Zero slots leak either
+way, which `slj chaos --ops` gates on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Watchdog:
+    """Scan running jobs and reap any past the soft deadline.
+
+    ``deadline_seconds <= 0`` disables the watchdog entirely (the
+    default — deadlines are workload-specific).  The scan itself is
+    delegated to :meth:`JobWorkerPool.reap_overdue`, which owns the
+    store/token/pool plumbing; this class only provides the thread.
+    """
+
+    def __init__(
+        self,
+        worker,
+        deadline_seconds: float,
+        interval_seconds: float = 0.5,
+    ) -> None:
+        self._worker = worker
+        self.deadline_seconds = float(deadline_seconds)
+        self.interval_seconds = float(interval_seconds)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def enabled(self) -> bool:
+        """True when a positive deadline was configured."""
+        return self.deadline_seconds > 0
+
+    def start(self) -> None:
+        """Start the scan thread (no-op when disabled or running)."""
+        if not self.enabled or self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="slj-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the scan thread and wait for it to exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def scan_once(self) -> list[str]:
+        """One synchronous scan (tests); returns reaped job ids."""
+        return self._worker.reap_overdue(self.deadline_seconds)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self._worker.reap_overdue(self.deadline_seconds)
+            except Exception:  # pragma: no cover - scan must never die
+                pass

@@ -155,6 +155,8 @@ class PipelineRunner:
         value: Any,
         instrumentation: Instrumentation | None = None,
         context: StageContext | None = None,
+        start_after: str | None = None,
+        checkpoint: Any = None,
     ) -> RunOutcome:
         """Thread ``value`` through every stage and trace the run.
 
@@ -162,6 +164,17 @@ class PipelineRunner:
         is given; pass your own to choose a sink or to share one
         collector across layers.  ``context`` may be pre-seeded with
         artifacts the first stage needs.
+
+        ``start_after`` resumes a previous run: stages up to and
+        including the named one are skipped, so ``value`` and the
+        pre-seeded ``context`` artifacts must be the restored outputs
+        of that prefix (see :mod:`repro.resilience.checkpoint`).
+
+        ``checkpoint`` is an optional callable invoked as
+        ``checkpoint(stage_name, value, context)`` after each stage
+        completes.  A checkpoint failure degrades (an event plus a
+        counter) rather than killing the run — persistence is an aid,
+        never a new failure mode.
         """
         if context is None:
             context = StageContext(
@@ -171,10 +184,23 @@ class PipelineRunner:
             context.instrumentation = instrumentation
         inst = context.instrumentation
 
+        names = self.stage_names
+        if start_after is not None and start_after not in names:
+            raise ConfigurationError(
+                f"start_after names unknown stage {start_after!r}; "
+                f"stages are: {list(names)}"
+            )
+        skipping = start_after is not None
+
         stage_timings: list[StageTiming] = []
         degradations: list[dict[str, str]] = []
         run_start = time.perf_counter()
         for stage in self._stages:
+            if skipping:
+                inst.event("runtime/stage_skipped", stage=stage.name)
+                if stage.name == start_after:
+                    skipping = False
+                continue
             # Cooperative cancellation: checked at stage boundaries
             # only, outside the retry/fallback machinery, so a
             # cancelled run never half-applies a stage or triggers a
@@ -189,6 +215,16 @@ class PipelineRunner:
             stage_timings.append(
                 StageTiming(stage.name, time.perf_counter() - start)
             )
+            if checkpoint is not None:
+                try:
+                    checkpoint(stage.name, value, context)
+                except Exception as exc:
+                    inst.count("runtime.checkpoint_failures", 1)
+                    inst.event(
+                        "runtime/checkpoint_failed",
+                        stage=stage.name,
+                        error=type(exc).__name__,
+                    )
         total = time.perf_counter() - run_start
 
         if degradations:

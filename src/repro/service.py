@@ -82,6 +82,7 @@ from __future__ import annotations
 import base64
 import io
 import json
+import signal
 import threading
 import time
 from concurrent.futures import Future
@@ -100,7 +101,7 @@ from .config import (
     get_preset,
     preset_names,
 )
-from .errors import ConfigurationError, ReproError, StreamError
+from .errors import CircuitOpen, ConfigurationError, ReproError, StreamError
 from .jobs import (
     FrameQueueFull,
     JobManager,
@@ -111,6 +112,7 @@ from .jobs import (
 from .perf.cache import AnalyzerCache
 from .perf.pool import WorkerPool
 from .pipeline import AnalyzerConfig, JumpAnalyzer
+from .resilience import ServiceLifecycle
 from .runtime import Instrumentation, MetricsRegistry
 from .serialization import (
     analysis_payload,
@@ -169,6 +171,9 @@ class ServiceConfig:
     analyzer_cache_size: int = 8
     # Upper bound on videos in one ``POST /analyze/batch`` request.
     max_batch_videos: int = 16
+    # How long a graceful stop waits for in-flight work before
+    # cancelling what is still queued (``stop(drain=True)`` / SIGTERM).
+    drain_timeout_seconds: float = 30.0
     # The asynchronous job subsystem (``/v1/jobs``).
     jobs: JobsConfig = field(default_factory=JobsConfig)
 
@@ -191,6 +196,10 @@ class ServiceConfig:
             raise ConfigurationError("service analyzer_cache_size must be >= 1")
         if self.max_batch_videos < 1:
             raise ConfigurationError("service max_batch_videos must be >= 1")
+        if self.drain_timeout_seconds < 0:
+            raise ConfigurationError(
+                "service drain_timeout_seconds must be >= 0"
+            )
 
     @property
     def effective_pool_workers(self) -> int:
@@ -380,13 +389,38 @@ class _Handler(BaseHTTPRequestHandler):
         except _BadRequest as exc:
             self._send_bad_request(exc)
 
+    def _lifecycle(self) -> ServiceLifecycle:
+        return self.server.lifecycle  # type: ignore[attr-defined]
+
+    def _check_not_draining(self) -> None:
+        """Refuse new work while the service drains (HTTP 503).
+
+        Only *new* submissions are refused: polling, results, frame
+        pushes and ``eof`` for already-admitted streams keep working so
+        in-flight jobs can finish.
+        """
+        if not self._lifecycle().draining:
+            return
+        service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
+        raise _BadRequest(
+            "draining",
+            "the service is shutting down and no longer accepts new "
+            "work; retry against another instance or after restart",
+            status=503,
+            headers={"Retry-After": str(service_config.retry_after_seconds)},
+        )
+
     def _handle_health(self) -> None:
         state = self.server.state.snapshot()  # type: ignore[attr-defined]
         service_config = self.server.service_config  # type: ignore[attr-defined]
+        lifecycle = self._lifecycle()
+        draining = lifecycle.draining
         self._send_json(
             200,
             {
-                "status": "ok",
+                "status": "shutting_down" if draining else "ok",
+                "shutting_down": draining,
+                "uptime_seconds": lifecycle.uptime_seconds(),
                 "in_flight": state["in_flight"],
                 "max_concurrent": service_config.max_concurrent,
                 "last_error": state["last_error"],
@@ -430,7 +464,18 @@ class _Handler(BaseHTTPRequestHandler):
         pool_stats = self.server.pool.stats()  # type: ignore[attr-defined]
         pool_stats["in_flight"] = state["in_flight"]
         snapshot["pool"] = pool_stats
-        snapshot["jobs"] = self.server.jobs.stats()  # type: ignore[attr-defined]
+        jobs: JobManager = self.server.jobs  # type: ignore[attr-defined]
+        job_stats = jobs.stats()
+        snapshot["jobs"] = job_stats
+        lifecycle = self._lifecycle()
+        snapshot["service"] = {
+            "uptime_seconds": lifecycle.uptime_seconds(),
+            "shutting_down": lifecycle.draining,
+            "watchdog_timeouts": job_stats.get("watchdog_timeouts", 0),
+            "breaker_trips": job_stats.get("breaker", {}).get("trips", 0),
+            "resumed_jobs": job_stats.get("resumed", 0),
+            "tasks_cancelled_at_shutdown": lifecycle.cancelled_at_shutdown,
+        }
         self._send_json(200, snapshot)
         self._finish(200)
 
@@ -510,8 +555,20 @@ class _Handler(BaseHTTPRequestHandler):
             detail={"state": state, "progress": payload.get("progress")},
         )
 
+    def _circuit_open(self, exc: CircuitOpen) -> _BadRequest:
+        """Map a tripped breaker to 503 + its own Retry-After."""
+        metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
+        metrics.increment("service.jobs.circuit_open")
+        return _BadRequest(
+            "circuit_open",
+            str(exc),
+            status=503,
+            headers={"Retry-After": str(max(1, int(round(exc.retry_after))))},
+        )
+
     def _handle_jobs_submit(self) -> None:
         manager = self._jobs_manager()
+        self._check_not_draining()
         service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
         metrics: MetricsRegistry = self.server.metrics  # type: ignore[attr-defined]
         request = self._read_json_body()
@@ -540,6 +597,8 @@ class _Handler(BaseHTTPRequestHandler):
                 digest=digest,
                 config_hash=resolved_hash,
             )
+        except CircuitOpen as exc:
+            raise self._circuit_open(exc)
         except JobQueueFull as exc:
             metrics.increment("service.jobs.rejected")
             raise _BadRequest(
@@ -587,6 +646,8 @@ class _Handler(BaseHTTPRequestHandler):
                 digest=digest,
                 config_hash=resolved_hash,
             )
+        except CircuitOpen as exc:
+            raise self._circuit_open(exc)
         except JobQueueFull as exc:
             metrics.increment("service.jobs.rejected")
             raise _BadRequest(
@@ -905,6 +966,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_bad_request(exc)
 
     def _handle_analyze(self) -> None:
+        self._check_not_draining()
         request = self._parse_analyze_request()
 
         service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
@@ -983,6 +1045,7 @@ class _Handler(BaseHTTPRequestHandler):
         ``{"ok": true, "analysis": ...}`` / ``{"ok": false, "error":
         ...}`` entries in request order.
         """
+        self._check_not_draining()
         service_config: ServiceConfig = self.server.service_config  # type: ignore[attr-defined]
         state: _ServiceState = self.server.state  # type: ignore[attr-defined]
         gate: threading.BoundedSemaphore = self.server.gate  # type: ignore[attr-defined]
@@ -1146,9 +1209,33 @@ class ServiceHandle:
             self._server.pool,  # type: ignore[attr-defined]
             metrics=self._server.metrics,  # type: ignore[attr-defined]
         )
+        self._server.lifecycle = ServiceLifecycle()  # type: ignore[attr-defined]
+        # Re-submit jobs a previous process left behind (store restored
+        # them as resumable from their persisted state + input spool).
+        self._server.jobs.recover(  # type: ignore[attr-defined]
+            self._recovery_analyzer
+        )
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
         )
+
+    def _recovery_analyzer(
+        self, config_dict: dict[str, Any] | None
+    ) -> JumpAnalyzer:
+        """Analyzer for a recovered job, from its spooled config dict.
+
+        An unreadable or stale config falls back to the server's shared
+        analyzer — the checkpoint's config-hash guard then forces a
+        clean re-run rather than resuming against the wrong config.
+        """
+        if config_dict is None:
+            return self._server.analyzer  # type: ignore[attr-defined]
+        try:
+            return self._server.analyzer_cache.get(  # type: ignore[attr-defined]
+                AnalyzerConfig.from_dict(config_dict)
+            )
+        except ConfigurationError:
+            return self._server.analyzer  # type: ignore[attr-defined]
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -1171,15 +1258,50 @@ class ServiceHandle:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Shut the server down and join its thread."""
+    def drain(self, timeout: float | None = None) -> bool:
+        """Flip into draining mode and wait for in-flight work.
+
+        New submissions answer 503 ``draining`` immediately; polling,
+        frame pushes and ``eof`` keep working so admitted jobs can
+        finish.  Returns True when the service went idle within the
+        deadline (``service_config.drain_timeout_seconds`` by default).
+        """
+        lifecycle: ServiceLifecycle = self._server.lifecycle  # type: ignore[attr-defined]
+        lifecycle.begin_drain()
+        if timeout is None:
+            timeout = self._server.service_config.drain_timeout_seconds  # type: ignore[attr-defined]
+        state: _ServiceState = self._server.state  # type: ignore[attr-defined]
+        jobs: JobManager = self._server.jobs  # type: ignore[attr-defined]
+
+        def is_idle() -> bool:
+            return (
+                state.snapshot()["in_flight"] == 0
+                and not jobs.store.running_jobs()
+            )
+
+        return lifecycle.wait_drained(is_idle, timeout)
+
+    def stop(self, drain: bool = False, drain_timeout: float | None = None) -> None:
+        """Shut the server down and join its thread.
+
+        With ``drain=True`` the service first refuses new submissions
+        and waits (up to the drain deadline) for in-flight jobs to
+        finish.  Work still queued when the deadline passes is
+        cancelled; with a persisted store + checkpoint dir those jobs
+        stay ``submitted`` on disk and resume on the next start.
+        """
+        if drain:
+            self.drain(timeout=drain_timeout)
         self._server.shutdown()
         self._server.server_close()
+        self._server.jobs.close()  # type: ignore[attr-defined]
         # Don't wait: a zombie analysis past its deadline must not
         # block shutdown.  Queued-but-unstarted work is cancelled.
-        self._server.pool.shutdown(  # type: ignore[attr-defined]
+        cancelled = self._server.pool.shutdown(  # type: ignore[attr-defined]
             wait=False, cancel_futures=True
         )
+        lifecycle: ServiceLifecycle = self._server.lifecycle  # type: ignore[attr-defined]
+        lifecycle.cancelled_at_shutdown += int(cancelled or 0)
         self._thread.join(timeout=5)
 
     def __enter__(self) -> "ServiceHandle":
@@ -1195,12 +1317,35 @@ def serve(
     config: AnalyzerConfig | None = None,
     service_config: ServiceConfig | None = None,
 ) -> None:
-    """Run the analysis service in the foreground (Ctrl-C to stop)."""
+    """Run the analysis service in the foreground.
+
+    Ctrl-C (SIGINT) and SIGTERM both trigger a graceful drain: new
+    submissions get 503 ``draining`` while in-flight jobs finish
+    (bounded by ``service_config.drain_timeout_seconds``), then the
+    process exits.  With a persisted job store and a checkpoint
+    directory configured, jobs still queued at the deadline resume on
+    the next start.
+    """
     handle = ServiceHandle(
         host=host, port=port, config=config, service_config=service_config
     )
+    stop_requested = threading.Event()
+
+    def _request_stop(signum: int, _frame: Any) -> None:
+        stop_requested.set()
+
+    previous = signal.signal(signal.SIGTERM, _request_stop)
+    handle.start()
     print(f"standing-long-jump analysis service on {handle.address}")
-    handle._server.serve_forever()
+    try:
+        while not stop_requested.wait(0.2):
+            pass
+        print("drain requested; waiting for in-flight work")
+    except KeyboardInterrupt:
+        print("interrupt; draining in-flight work")
+    finally:
+        handle.stop(drain=True)
+        signal.signal(signal.SIGTERM, previous)
 
 
 def request_analysis(

@@ -130,9 +130,14 @@ class StreamingAnalyzer:
         rng: np.random.Generator | None = None,
         instrumentation: Instrumentation | None = None,
         cancel_token: CancellationToken | None = None,
+        checkpointer: Any = None,
     ) -> None:
         self._analyzer = analyzer
         self.config = analyzer.config
+        # Per-stage persistence for the batch finish path (live mode
+        # reconstructs state by frame replay instead — see
+        # repro.resilience.checkpoint).
+        self._checkpointer = checkpointer
         self._given_annotation = annotation
         self._annotation = annotation
         self._rng = rng if rng is not None else np.random.default_rng(0)
@@ -429,6 +434,7 @@ class StreamingAnalyzer:
             rng=self._rng,
             instrumentation=self._instrumentation,
             cancel_token=self._cancel_token,
+            checkpointer=self._checkpointer,
         )
 
     def _finish_live(self) -> JumpAnalysis:

@@ -128,6 +128,7 @@ class TestMetricsEndpoint:
                 "analyzer_cache",
                 "pool",
                 "jobs",
+                "service",
             }
             # the /metrics request itself is only counted after serving,
             # so a fresh server reports no stage work yet
@@ -136,6 +137,12 @@ class TestMetricsEndpoint:
             assert snapshot["analyzer_cache"]["misses"] == 0
             assert snapshot["pool"]["workers"] >= 1
             assert snapshot["pool"]["in_flight"] == 0
+            assert snapshot["service"]["uptime_seconds"] >= 0.0
+            assert snapshot["service"]["shutting_down"] is False
+            assert snapshot["service"]["watchdog_timeouts"] == 0
+            assert snapshot["service"]["breaker_trips"] == 0
+            assert snapshot["service"]["resumed_jobs"] == 0
+            assert snapshot["service"]["tasks_cancelled_at_shutdown"] == 0
 
     def test_analysis_populates_cumulative_stage_timings(
         self, service, tiny_jump
