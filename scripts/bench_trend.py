@@ -1,0 +1,139 @@
+"""Print the committed bench trajectory and validate each file's schema.
+
+The repo commits one bench report per perf-focused PR (``BENCH_4`` →
+``BENCH_6`` → ``BENCH_7`` → ``BENCH_9``).  This script is the cheap CI
+guard that keeps those files honest: every committed report must still
+parse, carry the sections its vintage promised, and the end-to-end
+throughput trend is printed so a regression is visible in the log even
+when it stays inside the gate's allowed factor.
+
+Usage (from the repo root):
+
+    python scripts/bench_trend.py
+
+Exits non-zero when a committed file is missing, unparseable, or
+missing a required section.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Committed reports in chronological order, with the sections each
+#: vintage introduced (later files must carry everything earlier ones
+#: did — sections are only ever added).
+BENCH_FILES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    (
+        "BENCH_4.json",
+        ("segmentation", "ga_single_frame", "tracking", "end_to_end"),
+    ),
+    (
+        "BENCH_6.json",
+        (
+            "segmentation",
+            "ga_single_frame",
+            "tracking",
+            "end_to_end",
+            "time_to_first_result",
+        ),
+    ),
+    (
+        "BENCH_7.json",
+        (
+            "segmentation",
+            "ga_single_frame",
+            "tracking",
+            "end_to_end",
+            "time_to_first_result",
+            "multi_actor",
+        ),
+    ),
+    (
+        "BENCH_9.json",
+        (
+            "segmentation",
+            "ga_single_frame",
+            "tracking",
+            "end_to_end",
+            "time_to_first_result",
+            "multi_actor",
+            "fitness_batch",
+            "scale_out",
+        ),
+    ),
+)
+
+
+def _fail(message: str) -> None:
+    print(f"bench_trend: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _load(name: str) -> dict:
+    path = ROOT / name
+    if not path.exists():
+        _fail(f"{name} is missing")
+    try:
+        report = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        _fail(f"{name} is not valid JSON: {exc}")
+    for key in ("bench_version", "machine", "params", "sections"):
+        if key not in report:
+            _fail(f"{name} lacks top-level key {key!r}")
+    return report
+
+
+def _check_sections(name: str, report: dict, required: tuple[str, ...]) -> None:
+    sections = report["sections"]
+    missing = [section for section in required if section not in sections]
+    if missing:
+        _fail(f"{name} lacks section(s): {', '.join(missing)}")
+    end_to_end = sections["end_to_end"]
+    for side in ("baseline", "optimized"):
+        if "frames_per_sec" not in end_to_end.get(side, {}):
+            _fail(f"{name} end_to_end.{side} lacks frames_per_sec")
+    if "scale_out" in required:
+        scale_out = sections["scale_out"]
+        sizes = scale_out.get("sizes") or []
+        if not sizes:
+            _fail(f"{name} scale_out carries no size entries")
+        for entry in sizes:
+            payload = entry.get("payload") or {}
+            if payload.get("payload_reduction", 0) < 50:
+                _fail(
+                    f"{name} scale_out payload_reduction "
+                    f"{payload.get('payload_reduction')} < 50x"
+                )
+    if "fitness_batch" in required:
+        if "batch_speedup" not in sections["fitness_batch"]:
+            _fail(f"{name} fitness_batch lacks batch_speedup")
+
+
+def main() -> None:
+    print(f"{'file':<14} {'frames':>6} {'baseline fps':>13} "
+          f"{'optimized fps':>14} {'speedup':>8}")
+    previous: float | None = None
+    for name, required in BENCH_FILES:
+        report = _load(name)
+        _check_sections(name, report, required)
+        end_to_end = report["sections"]["end_to_end"]
+        optimized = float(end_to_end["optimized"]["frames_per_sec"])
+        baseline = float(end_to_end["baseline"]["frames_per_sec"])
+        frames = report["params"].get("frames", "?")
+        delta = ""
+        if previous is not None:
+            delta = f"  ({optimized / previous - 1:+.0%} vs prev)"
+        print(
+            f"{name:<14} {frames:>6} {baseline:>13.3f} "
+            f"{optimized:>14.3f} {end_to_end['speedup']:>8}{delta}"
+        )
+        previous = optimized
+    print("bench_trend: all committed bench files validate")
+
+
+if __name__ == "__main__":
+    main()

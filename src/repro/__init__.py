@@ -147,6 +147,9 @@ from .jobs import (
     JobsConfig,
     JobState,
     JobStore,
+    JobStoreBackend,
+    SharedDirectoryBackend,
+    SingleProcessBackend,
     StreamIdleTimeout,
 )
 from .service import (
@@ -273,8 +276,11 @@ __all__ = [
     "JobManager",
     "JobState",
     "JobStore",
+    "JobStoreBackend",
     "JobTimeoutError",
     "JobsConfig",
+    "SharedDirectoryBackend",
+    "SingleProcessBackend",
     "StreamIdleTimeout",
     "CHECKPOINT_STAGES",
     "CircuitBreaker",

@@ -323,14 +323,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .jobs import JobsConfig
     from .service import ServiceConfig, serve
 
+    procs = getattr(args, "procs", 1)
     jobs = JobsConfig()
     if args.state_dir is not None:
         state_dir = Path(args.state_dir)
         state_dir.mkdir(parents=True, exist_ok=True)
-        jobs = JobsConfig(
-            persist_path=str(state_dir / "jobs.json"),
-            checkpoint_dir=str(state_dir / "checkpoints"),
-            job_deadline_seconds=args.job_deadline,
+        if procs > 1:
+            # Multi-process front: per-job records in a shared
+            # directory store all workers drain together, instead of
+            # one JSON snapshot they would fight over.
+            jobs = JobsConfig(
+                store_dir=str(state_dir / "store"),
+                checkpoint_dir=str(state_dir / "checkpoints"),
+                job_deadline_seconds=args.job_deadline,
+            )
+        else:
+            jobs = JobsConfig(
+                persist_path=str(state_dir / "jobs.json"),
+                checkpoint_dir=str(state_dir / "checkpoints"),
+                job_deadline_seconds=args.job_deadline,
+            )
+    elif procs > 1:
+        raise ConfigurationError(
+            "--procs > 1 requires --state-dir: the worker processes "
+            "share the job queue through its directory store"
         )
     elif args.job_deadline:
         jobs = JobsConfig(job_deadline_seconds=args.job_deadline)
@@ -343,6 +359,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             drain_timeout_seconds=args.drain_timeout,
             jobs=jobs,
         ),
+        procs=procs,
     )
     return 0
 
@@ -760,6 +777,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds a graceful stop (SIGTERM/Ctrl-C) waits for "
         "in-flight jobs before cancelling what is still queued",
+    )
+    p_serve.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="worker processes sharing one listener socket (kernel-"
+        "balanced accept); needs --state-dir so the workers drain one "
+        "shared job queue",
     )
     p_serve.add_argument(
         "--job-deadline",

@@ -16,6 +16,11 @@ Layout
 ``store``
     :class:`JobStore` — lock-guarded LRU with result TTL and optional
     JSON-file persistence.
+``backends``
+    :class:`JobStoreBackend` storage protocol with the default
+    :class:`SingleProcessBackend` (in-memory + JSON snapshot) and the
+    :class:`SharedDirectoryBackend` N replicas drain together (atomic
+    rename claims — zero double-claims).
 ``worker``
     :class:`JobWorkerPool` — runs jobs on a shared
     :class:`~repro.perf.pool.WorkerPool`, mirrors pipeline
@@ -35,6 +40,11 @@ Layout
 
 from __future__ import annotations
 
+from .backends import (
+    JobStoreBackend,
+    SharedDirectoryBackend,
+    SingleProcessBackend,
+)
 from .manager import JobManager, JobQueueFull
 from .models import Job, JobsConfig, JobState
 from .store import JobStore
@@ -50,7 +60,10 @@ __all__ = [
     "JobQueueFull",
     "JobState",
     "JobStore",
+    "JobStoreBackend",
     "JobWorkerPool",
     "JobsConfig",
+    "SharedDirectoryBackend",
+    "SingleProcessBackend",
     "StreamIdleTimeout",
 ]

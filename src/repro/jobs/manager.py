@@ -9,9 +9,12 @@ live in :mod:`repro.service`.
 
 from __future__ import annotations
 
+import os
 import threading
+import uuid
 from typing import Any, Callable
 
+from .backends import SharedDirectoryBackend
 from .models import JobsConfig, JobState
 from .store import JobStore
 from .stream import FrameQueue
@@ -68,12 +71,20 @@ class JobManager:
         store_kwargs: dict[str, Any] = {
             "capacity": config.max_jobs,
             "ttl_seconds": config.result_ttl_seconds,
-            "persist_path": config.persist_path,
             "resumable": resumable,
         }
+        if config.store_dir:
+            store_kwargs["backend"] = SharedDirectoryBackend(config.store_dir)
+        else:
+            store_kwargs["persist_path"] = config.persist_path
         if clock is not None:
             store_kwargs["clock"] = clock
         self.store = JobStore(**store_kwargs)
+        # This replica's identity on claim markers in the shared store.
+        self.owner = f"{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self._drain_thread: threading.Thread | None = None
+        self._drain_stop = threading.Event()
+        self.claimed_count = 0  # jobs this replica claimed from the queue
         self.breaker = CircuitBreaker(
             threshold=config.breaker_threshold,
             cooldown_seconds=config.breaker_cooldown_seconds,
@@ -100,7 +111,11 @@ class JobManager:
         self._chunk_counts: dict[str, int] = {}
 
     def close(self) -> None:
-        """Stop background machinery (the watchdog scan thread)."""
+        """Stop background machinery (watchdog + shared-queue drain)."""
+        self._drain_stop.set()
+        if self._drain_thread is not None:
+            self._drain_thread.join(timeout=5)
+            self._drain_thread = None
         self.watchdog.stop()
 
     # ------------------------------------------------------------------
@@ -175,6 +190,12 @@ class JobManager:
             seed,
             frames=getattr(video, "frames", None),
         )
+        if self.store.shared:
+            # Shared store: the submission is published to the queue
+            # and *any* replica (possibly this one, via its drain loop)
+            # claims and runs it from the input spool.
+            self.store.enqueue(payload["id"])
+            return payload
         self.workers.submit(
             payload["id"],
             analyzer,
@@ -215,6 +236,11 @@ class JobManager:
             config_hash=config_hash,
             mode="stream",
         )
+        if self.store.shared:
+            # Streams always run on the replica holding the HTTP
+            # connection (the frame queue lives here), so adopt the
+            # record immediately instead of publishing it for claims.
+            self.store.adopt(payload["id"])
         self._spool_submission(payload["id"], "stream", analyzer, annotation, seed)
         queue = FrameQueue(self.config.stream_queue_frames)
         with self._streams_lock:
@@ -399,6 +425,87 @@ class JobManager:
             recovered.append(job_id)
         return recovered
 
+    # ------------------------------------------------------------------
+    # Shared-queue draining (store_dir mode)
+    # ------------------------------------------------------------------
+    def start_drain(
+        self, analyzer_factory: Callable[[dict[str, Any] | None], Any]
+    ) -> bool:
+        """Start claiming queued jobs from the shared store.
+
+        No-op (returns False) without a shared backend.  The loop polls
+        ``claim_next`` every ``store_drain_interval_seconds``; each
+        claimed job is rebuilt from its input spool — exactly the
+        :meth:`recover` reconstruction — and handed to this replica's
+        worker pool.
+        """
+        if not self.store.shared or self._drain_thread is not None:
+            return False
+        self._drain_stop.clear()
+        self._drain_thread = threading.Thread(
+            target=self._drain_loop,
+            args=(analyzer_factory,),
+            name="slj-job-drain",
+            daemon=True,
+        )
+        self._drain_thread.start()
+        return True
+
+    def _drain_loop(
+        self, analyzer_factory: Callable[[dict[str, Any] | None], Any]
+    ) -> None:
+        while not self._drain_stop.is_set():
+            claimed = self.drain_once(analyzer_factory)
+            if not claimed:
+                self._drain_stop.wait(self.config.store_drain_interval_seconds)
+
+    def drain_once(
+        self, analyzer_factory: Callable[[dict[str, Any] | None], Any]
+    ) -> str | None:
+        """Claim and start at most one queued job; returns its id.
+
+        Exposed separately from the background loop so tests (and
+        synchronous drains) can step the queue deterministically.
+        """
+        job_id = self.store.claim_next(self.owner)
+        if job_id is None:
+            return None
+        self.claimed_count += 1
+        payload = self.store.adopt(job_id)
+        if payload is None:
+            return None
+        if payload["state"] != JobState.SUBMITTED or payload["cancel_requested"]:
+            # Cancelled (or otherwise resolved) while queued — the
+            # claim is consumed but nothing runs.
+            return None
+        directory = self.config.checkpoint_dir
+        meta = load_input_meta(directory, job_id) if directory else None
+        if meta is None:
+            self._fail_unrecoverable(job_id, "input spool unreadable")
+            return None
+        frames_array = load_input_frames(directory, job_id)
+        if frames_array is None:
+            self._fail_unrecoverable(job_id, "frame spool unreadable")
+            return None
+        annotation = None
+        if meta.get("annotation") is not None:
+            from ..serialization import annotation_from_dict
+
+            annotation = annotation_from_dict(meta["annotation"])
+        from ..video.sequence import VideoSequence
+
+        self.workers.submit(
+            job_id,
+            analyzer_factory(meta.get("config")),
+            VideoSequence(frames_array),
+            annotation=annotation,
+            seed=int(meta.get("seed", 0)),
+            checkpointer=self._checkpointer(
+                job_id, payload.get("config_hash", "")
+            ),
+        )
+        return job_id
+
     def _fail_unrecoverable(self, job_id: str, reason: str) -> None:
         self.store.mark_running(job_id)
         self.store.finish(
@@ -415,6 +522,8 @@ class JobManager:
         stats = self.store.stats()
         stats["enabled"] = self.config.enabled
         stats["max_queued"] = self.config.max_queued
+        stats["backend"] = self.store.backend.kind
+        stats["claimed"] = self.claimed_count
         stats["open_streams"] = self.open_streams()
         stats["watchdog_timeouts"] = self.workers.watchdog_timeouts
         stats["breaker"] = self.breaker.snapshot()

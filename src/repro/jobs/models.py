@@ -66,6 +66,15 @@ class JobsConfig:
     # Optional JSON file the store mirrors itself into; terminal jobs
     # (results included) survive a service restart.
     persist_path: str | None = None
+    # Shared-directory job store (see repro.jobs.backends) N service
+    # replicas drain together: submissions are enqueued there and any
+    # replica claims them (atomic rename — zero double-claims).
+    # Requires checkpoint_dir, since the claiming replica rebuilds the
+    # job from its input spool.  Mutually exclusive with persist_path.
+    store_dir: str | None = None
+    # Cadence at which a replica polls the shared queue for claimable
+    # work (store_dir mode only).
+    store_drain_interval_seconds: float = 0.25
     # Bounded per-job frame queue for streaming jobs; chunks that would
     # overflow it answer 429 until the worker drains the backlog.
     stream_queue_frames: int = 64
@@ -115,6 +124,21 @@ class JobsConfig:
         if self.breaker_cooldown_seconds <= 0:
             raise ConfigurationError(
                 "jobs.breaker_cooldown_seconds must be > 0"
+            )
+        if self.store_dir is not None:
+            if self.persist_path is not None:
+                raise ConfigurationError(
+                    "jobs.store_dir and jobs.persist_path are mutually "
+                    "exclusive (the shared store persists per-job records)"
+                )
+            if self.checkpoint_dir is None:
+                raise ConfigurationError(
+                    "jobs.store_dir requires jobs.checkpoint_dir: claiming "
+                    "replicas rebuild jobs from the input spool"
+                )
+        if self.store_drain_interval_seconds <= 0:
+            raise ConfigurationError(
+                "jobs.store_drain_interval_seconds must be > 0"
             )
 
 

@@ -28,13 +28,13 @@ so one reentrant lock serialises the whole lifecycle.
 from __future__ import annotations
 
 import hashlib
-import json
 import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable
 
+from .backends import JobStoreBackend, SingleProcessBackend
 from .models import Job, JobState
 from ..errors import ConfigurationError
 
@@ -43,7 +43,17 @@ _EXPIRED_MEMORY = 1024
 
 
 class JobStore:
-    """Lock-guarded LRU of :class:`Job` records with TTL + persistence."""
+    """Lock-guarded LRU of :class:`Job` records with TTL + persistence.
+
+    Storage is delegated to a :class:`~repro.jobs.backends.JobStoreBackend`:
+    the default :class:`~repro.jobs.backends.SingleProcessBackend`
+    reproduces the historical in-memory + JSON-snapshot behaviour; a
+    *shared* backend (``backend.shared``) keeps one record per job in
+    a directory N replicas read concurrently, in which case this
+    store's dict only holds **locally owned** jobs (created streams,
+    claimed batch work) and every other read falls through to the
+    backend's records.
+    """
 
     def __init__(
         self,
@@ -52,6 +62,7 @@ class JobStore:
         persist_path: str | Path | None = None,
         clock: Callable[[], float] = time.time,
         resumable: Callable[[str], bool] | None = None,
+        backend: JobStoreBackend | None = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"job store capacity must be >= 1, got {capacity}")
@@ -59,9 +70,13 @@ class JobStore:
             raise ConfigurationError(
                 f"job store ttl_seconds must be > 0, got {ttl_seconds}"
             )
+        if backend is not None and persist_path is not None:
+            raise ConfigurationError(
+                "pass either persist_path or an explicit backend, not both"
+            )
         self._capacity = capacity
         self._ttl = ttl_seconds
-        self._persist_path = Path(persist_path) if persist_path else None
+        self._backend = backend or SingleProcessBackend(persist_path)
         self._clock = clock
         self._resumable = resumable or (lambda _job_id: False)
         self._lock = threading.RLock()
@@ -69,13 +84,22 @@ class JobStore:
         self._expired: OrderedDict[str, str] = OrderedDict()
         self._seq = 0
         self.resumed_count = 0  # jobs re-queued across restarts (metrics)
-        if self._persist_path is not None and self._persist_path.exists():
-            self._load()
+        self._load()
 
     @property
     def clock(self) -> Callable[[], float]:
         """The store's time source (shared by the watchdog)."""
         return self._clock
+
+    @property
+    def backend(self) -> JobStoreBackend:
+        """The storage backend records live in."""
+        return self._backend
+
+    @property
+    def shared(self) -> bool:
+        """True when multiple replicas share this store's records."""
+        return self._backend.shared
 
     # ------------------------------------------------------------------
     # Creation / identity
@@ -98,11 +122,23 @@ class JobStore:
         config_hash: str = "",
         mode: str = "batch",
     ) -> dict[str, Any]:
-        """Mint a new ``submitted`` job; returns its status payload."""
+        """Mint a new ``submitted`` job; returns its status payload.
+
+        With a shared backend the sequence number comes from the
+        backend's atomic counter (so replicas never collide) and the
+        record is written for everyone to see; it enters this store's
+        local dict only when this replica executes it (streams, or a
+        batch job claimed via :meth:`adopt`).
+        """
         with self._lock:
             self._evict_expired()
-            self._seq += 1
-            job_id = f"j{self._seq:05d}-{digest[:10]}"
+            if self.shared:
+                seq = self._backend.allocate_seq()
+                self._seq = max(self._seq, seq)
+            else:
+                self._seq += 1
+                seq = self._seq
+            job_id = f"j{seq:05d}-{digest[:10]}"
             job = Job(
                 id=job_id,
                 created_at=self._clock(),
@@ -110,9 +146,41 @@ class JobStore:
                 config_hash=config_hash,
                 mode=mode,
             )
+            if self.shared:
+                self._backend.write_job(job.to_record())
+                return job.to_dict()
             self._jobs[job_id] = job
             self._enforce_capacity()
             self._save()
+            return job.to_dict()
+
+    # ------------------------------------------------------------------
+    # Shared-backend queue surface
+    # ------------------------------------------------------------------
+    def enqueue(self, job_id: str) -> None:
+        """Publish a submitted job for any replica to claim."""
+        self._backend.enqueue(job_id)
+
+    def claim_next(self, owner: str) -> str | None:
+        """Claim the oldest queued job for ``owner`` (at most one winner)."""
+        return self._backend.claim_next(owner)
+
+    def adopt(self, job_id: str) -> dict[str, Any] | None:
+        """Take local ownership of a shared record (after a claim).
+
+        Returns the job's status payload, or ``None`` when the record
+        vanished.  The caller decides what to do with non-``submitted``
+        states (e.g. a job cancelled while queued).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                record = self._backend.read_job(job_id)
+                if record is None:
+                    return None
+                job = Job.from_record(record)
+                self._jobs[job_id] = job
+                self._enforce_capacity()
             return job.to_dict()
 
     # ------------------------------------------------------------------
@@ -121,10 +189,19 @@ class JobStore:
     def payload(
         self, job_id: str, include_result: bool = False
     ) -> dict[str, Any] | None:
-        """Status payload of one job, or ``None`` when unknown/expired."""
+        """Status payload of one job, or ``None`` when unknown/expired.
+
+        Shared backend: a job this replica doesn't own locally is read
+        fresh from its backend record, so any replica can answer status
+        and result polls regardless of which replica ran the job.
+        """
         with self._lock:
             self._evict_expired()
             job = self._jobs.get(job_id)
+            if job is None and self.shared:
+                record = self._backend.read_job(job_id)
+                if record is not None:
+                    job = Job.from_record(record)
             return job.to_dict(include_result=include_result) if job else None
 
     def is_expired(self, job_id: str) -> bool:
@@ -144,7 +221,7 @@ class JobStore:
         with self._lock:
             self._evict_expired()
             out: list[dict[str, Any]] = []
-            for job in reversed(self._jobs.values()):
+            for job in reversed(self._visible_jobs()):
                 if state is not None and job.state != state:
                     continue
                 out.append(job.to_dict())
@@ -152,12 +229,33 @@ class JobStore:
                     break
             return out
 
+    def _visible_jobs(self) -> list[Job]:
+        """Every job a reader should see, oldest first (lock held).
+
+        Local jobs win over their backend record — the local copy has
+        the live progress block that is deliberately never persisted.
+        """
+        if not self.shared:
+            return list(self._jobs.values())
+        merged: dict[str, Job] = {}
+        for job_id in self._backend.list_job_ids():
+            local = self._jobs.get(job_id)
+            if local is not None:
+                merged[job_id] = local
+                continue
+            record = self._backend.read_job(job_id)
+            if record is not None:
+                merged[job_id] = Job.from_record(record)
+        for job_id, job in self._jobs.items():  # local-only stragglers
+            merged.setdefault(job_id, job)
+        return [merged[job_id] for job_id in sorted(merged)]
+
     def counts(self) -> dict[str, int]:
         """Number of stored jobs per state."""
         with self._lock:
             self._evict_expired()
             out = {state: 0 for state in JobState.ALL}
-            for job in self._jobs.values():
+            for job in self._visible_jobs():
                 out[job.state] += 1
             return out
 
@@ -165,7 +263,7 @@ class JobStore:
         """Jobs not yet terminal (queued + running)."""
         with self._lock:
             self._evict_expired()
-            return sum(1 for job in self._jobs.values() if not job.terminal)
+            return sum(1 for job in self._visible_jobs() if not job.terminal)
 
     def queued_jobs(self) -> list[dict[str, Any]]:
         """Status payloads of every ``submitted`` job, oldest first.
@@ -205,7 +303,7 @@ class JobStore:
             return {
                 "states": counts,
                 "pending": counts[JobState.SUBMITTED] + counts[JobState.RUNNING],
-                "size": len(self._jobs),
+                "size": sum(counts.values()),
                 "capacity": self._capacity,
                 "created": self._seq,
                 "expired": len(self._expired),
@@ -231,7 +329,7 @@ class JobStore:
             job.state = JobState.RUNNING
             job.started_at = self._clock()
             job.progress["total_stages"] = total_stages
-            self._save()
+            self._save(job)
             return True
 
     def update_progress(
@@ -337,7 +435,7 @@ class JobStore:
         if state == JobState.SUCCEEDED:
             job.progress["fraction"] = 1.0
             job.progress["current_stage"] = None
-        self._save()
+        self._save(job)
 
     def request_cancel(self, job_id: str) -> str | None:
         """Ask for cancellation.
@@ -350,6 +448,8 @@ class JobStore:
         with self._lock:
             self._evict_expired()
             job = self._jobs.get(job_id)
+            if job is None and self.shared:
+                return self._request_cancel_remote(job_id)
             if job is None:
                 return None
             if job.terminal:
@@ -361,8 +461,39 @@ class JobStore:
                     "message": "job cancelled before it started",
                 })
                 return "cancelled"
-            self._save()
+            self._save(job)
             return "cancelling"
+
+    def _request_cancel_remote(self, job_id: str) -> str | None:
+        """Cancel a shared job another replica owns (lock held).
+
+        Queued jobs are cancelled on the spot: the terminal record is
+        written before any claimer adopts it, so the eventual claimer
+        sees a non-``submitted`` state and skips execution (the claim
+        marker race is benign either way).  For a job already running
+        elsewhere the flag is written best-effort — the owner's next
+        record write wins, so this is advisory, mirroring the
+        single-process "the token is the worker's to honour" contract.
+        """
+        record = self._backend.read_job(job_id)
+        if record is None:
+            return None
+        job = Job.from_record(record)
+        if job.terminal:
+            return "finished"
+        job.cancel_requested = True
+        if job.state == JobState.SUBMITTED:
+            job.state = JobState.CANCELLED
+            job.finished_at = self._clock()
+            job.expires_at = job.finished_at + self._ttl
+            job.error = {
+                "type": "CancelledError",
+                "message": "job cancelled before it started",
+            }
+            self._backend.write_job(job.to_record())
+            return "cancelled"
+        self._backend.write_job(job.to_record())
+        return "cancelling"
 
     def cancel_requested(self, job_id: str) -> bool:
         """Whether cancellation was requested for this job."""
@@ -389,6 +520,8 @@ class JobStore:
         for job in stale:
             del self._jobs[job.id]
             self._remember_expired(job)
+            if self.shared:
+                self._backend.remove_job(job.id)
         if stale:
             self._save()
         return len(stale)
@@ -404,30 +537,39 @@ class JobStore:
             if job.terminal:
                 del self._jobs[job_id]
                 self._remember_expired(job)
+                if self.shared:
+                    self._backend.remove_job(job_id)
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def _save(self) -> None:
-        if self._persist_path is None:
+    def _save(self, job: Job | None = None) -> None:
+        """Persist after a mutation (lock held).
+
+        Non-shared: the whole store is snapshotted (historical
+        behaviour, a no-op without a persist path).  Shared: only the
+        changed job's record is rewritten — full snapshots would race
+        other replicas' writes.
+        """
+        if self.shared:
+            if job is not None:
+                self._backend.write_job(job.to_record())
             return
-        payload = {
+        self._backend.persist_snapshot({
             "seq": self._seq,
             "jobs": [job.to_record() for job in self._jobs.values()],
             "expired": dict(self._expired),
-        }
-        tmp = self._persist_path.with_suffix(self._persist_path.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(self._persist_path)
+        })
 
     def _load(self) -> None:
-        try:
-            payload = json.loads(self._persist_path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ConfigurationError(
-                f"could not load job store from {self._persist_path}: {exc}"
-            ) from exc
+        payload = self._backend.load_snapshot()
+        if payload is None:
+            return
         self._seq = int(payload.get("seq", 0))
+        if self.shared:
+            # Records stay in the backend; claims, not restarts, decide
+            # who runs queued work, so no Interrupted/resumed rewrite.
+            return
         for name, state in dict(payload.get("expired", {})).items():
             self._expired[str(name)] = str(state)
         for record in payload.get("jobs", []):

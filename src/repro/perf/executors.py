@@ -18,6 +18,7 @@ config) are shipped once per worker instead of once per item.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
@@ -26,6 +27,20 @@ from ..errors import ConfigurationError
 
 #: Recognised values of :attr:`ParallelConfig.backend`.
 BACKENDS = ("serial", "threads", "processes")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the host; a container or ``taskset`` can
+    pin the process to fewer.  Pool sizing uses this number: starting
+    more CPU-bound workers than schedulable CPUs only buys context
+    switching.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux
+        return max(1, os.cpu_count() or 1)
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,11 +54,23 @@ class ParallelConfig:
 
     ``threads`` suits the numpy-dominated kernels here (they release
     the GIL); ``processes`` buys true parallelism for Python-heavy
-    steps at the cost of pickling frames across process boundaries.
+    steps.  With ``shared_memory`` enabled (the default), fan-out
+    sites that support it place frames in a
+    :class:`~repro.perf.shm.SharedFrameArena` and ship ~100-byte
+    descriptors to workers instead of pickled ndarrays; disabling it
+    forces the legacy pickled-copy path.
     """
 
     backend: str = "serial"
     workers: int = 4
+    shared_memory: bool = True
+    # Allow more workers than schedulable CPUs.  Off by default: on a
+    # CPU-bound fan-out, oversubscription is pure context-switch
+    # overhead, and on a single-CPU host it makes every pool backend
+    # strictly slower than the serial loop.  Benchmarks (and tests that
+    # must exercise a real cross-process path regardless of the host)
+    # turn it on explicitly.
+    oversubscribe: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -54,8 +81,16 @@ class ParallelConfig:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
 
     def pool_size(self, num_items: int) -> int:
-        """Workers actually worth starting for ``num_items`` tasks."""
-        return max(1, min(self.workers, num_items))
+        """Workers actually worth starting for ``num_items`` tasks.
+
+        Capped at :func:`available_cpus` unless ``oversubscribe`` is
+        set; when this returns 1, :func:`parallel_map` skips the pool
+        entirely and runs in-process.
+        """
+        cap = self.workers
+        if not self.oversubscribe:
+            cap = min(cap, available_cpus())
+        return max(1, min(cap, num_items))
 
     @property
     def is_serial(self) -> bool:
@@ -74,18 +109,18 @@ def parallel_map(
     """Ordered ``[fn(item) for item in items]`` under ``config``'s backend.
 
     ``initializer(*initargs)`` installs per-worker state.  When the call
-    degenerates to in-process execution (serial backend, one worker, or
-    at most one item) the initializer runs once in the calling process,
-    so ``fn`` may rely on it unconditionally.
+    degenerates to in-process execution (serial backend, one worker, at
+    most one item, or a pool capped to one worker by
+    :meth:`ParallelConfig.pool_size`) the initializer runs once in the
+    calling process, so ``fn`` may rely on it unconditionally.
     """
     work = list(items)
     cfg = config or ParallelConfig()
-    if cfg.is_serial or len(work) <= 1:
+    workers = cfg.pool_size(len(work))
+    if cfg.is_serial or len(work) <= 1 or workers <= 1:
         if initializer is not None:
             initializer(*initargs)
         return [fn(item) for item in work]
-
-    workers = cfg.pool_size(len(work))
     if cfg.backend == "threads":
         with ThreadPoolExecutor(
             max_workers=workers,

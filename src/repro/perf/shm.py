@@ -1,0 +1,410 @@
+"""Zero-copy shared-memory frame plane for the ``processes`` backend.
+
+The pipeline is embarrassingly parallel per frame, yet the
+``processes`` backend historically pickled every frame across the fork
+boundary — hundreds of kilobytes per task for work that reads the
+pixels exactly once.  This module places a whole frame stack in one
+:mod:`multiprocessing.shared_memory` segment so workers receive a
+~100-byte :class:`FrameDescriptor` instead and map the pixels
+zero-copy.
+
+Lifecycle contract
+------------------
+* :meth:`SharedFrameArena.create` copies an array into a fresh
+  segment and registers it in a process-local registry;
+* workers attach lazily via :func:`attached_frame` (one mapping per
+  segment per worker, cached, closed at worker exit);
+* the creating process calls :meth:`~SharedFrameArena.close` +
+  :meth:`~SharedFrameArena.unlink` (or uses the arena as a context
+  manager) when the fan-out returns — **reading results out of the
+  arena must happen before that**;
+* an :mod:`atexit` hook unlinks anything the registry still holds, so
+  even a crash between create and unlink leaves ``/dev/shm`` clean.
+
+Workers attach *untracked*: CPython < 3.13 registers every attach with
+that process's ``resource_tracker``, which would unlink the segment
+when the worker exits — while the parent still owns it (python/cpython
+#82300).  :func:`_attach` suppresses that registration, so only the
+creator's tracker ever owns the name.
+
+Graceful degradation is a first-class path, not an afterthought:
+callers probe :func:`shm_available` and report failures through
+:func:`record_fallback`, which logs a warning and feeds the
+``shm_fallbacks`` counter surfaced in the service ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import os
+import threading
+import uuid
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import ReproError
+
+logger = logging.getLogger("repro.perf.shm")
+
+#: Every segment this library creates is named ``slj-<pid hex>-<nonce>``
+#: so leak checks (tests, ops chaos) can scan ``/dev/shm`` for strays.
+SEGMENT_PREFIX = "slj-"
+
+
+class SharedMemoryUnavailable(ReproError):
+    """Shared-memory segments cannot be created/attached on this host."""
+
+
+def shm_available() -> bool:
+    """Whether :mod:`multiprocessing.shared_memory` is usable here."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - platform-dependent
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Fallback accounting (the `shm_fallbacks` /metrics counter)
+# ----------------------------------------------------------------------
+_fallback_lock = threading.Lock()
+_fallback_count = 0
+
+
+def record_fallback(reason: str) -> int:
+    """Count one degradation to the pickled-copy path and warn once each.
+
+    Returns the new cumulative count.  The counter is process-global on
+    purpose: the service surfaces it in ``/metrics`` regardless of
+    which pipeline instance fell back.
+    """
+    global _fallback_count
+    with _fallback_lock:
+        _fallback_count += 1
+        count = _fallback_count
+    logger.warning(
+        "shared-memory frame plane unavailable (%s); "
+        "falling back to pickled frames",
+        reason,
+    )
+    return count
+
+
+def fallback_count() -> int:
+    """Cumulative shared-memory fallbacks in this process."""
+    with _fallback_lock:
+        return _fallback_count
+
+
+def reset_fallback_count() -> None:
+    """Zero the fallback counter (test isolation)."""
+    global _fallback_count
+    with _fallback_lock:
+        _fallback_count = 0
+
+
+# ----------------------------------------------------------------------
+# Descriptors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class FrameDescriptor:
+    """A ~100-byte ticket for one frame of a shared arena.
+
+    ``shape``/``dtype`` describe the **whole** stacked array (frame 0
+    is ``array[0]``), so a worker maps the segment once and serves
+    every index from the same view.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    index: int = 0
+
+
+_attach_lock = threading.Lock()
+
+
+def _attach(name: str) -> Any:
+    """Attach to a named segment without resource-tracker ownership."""
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    # Pre-3.13 attach registers the name with the resource tracker,
+    # which is shared across forks — so a worker exiting (or merely
+    # unregistering) would strip the creator's claim and either unlink
+    # the live segment or double-unregister at shutdown.  Suppress the
+    # registration instead of undoing it.
+    from multiprocessing import resource_tracker
+
+    def _register_except_shm(
+        rname: str, rtype: str, _orig: Any = resource_tracker.register
+    ) -> None:
+        if rtype != "shared_memory":
+            _orig(rname, rtype)
+
+    with _attach_lock:
+        original = resource_tracker.register
+        resource_tracker.register = _register_except_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+# ----------------------------------------------------------------------
+# The arena
+# ----------------------------------------------------------------------
+class SharedFrameArena:
+    """A frame stack living in one shared-memory segment.
+
+    Reference-counted: :meth:`attach_view` bumps the count and
+    :meth:`close` drops it; the underlying mapping closes when the
+    count reaches zero, and :meth:`unlink` (creator only) removes the
+    segment from the OS.  ``with SharedFrameArena.create(...) as
+    arena:`` closes *and* unlinks on exit.
+    """
+
+    _registry: dict[str, "SharedFrameArena"] = {}
+    _registry_lock = threading.Lock()
+
+    def __init__(self, segment: Any, shape: tuple[int, ...], dtype: np.dtype,
+                 owner: bool) -> None:
+        self._segment = segment
+        self._shape = tuple(int(dim) for dim in shape)
+        self._dtype = np.dtype(dtype)
+        self._owner = owner
+        self._refs = 1
+        self._closed = False
+        self._unlinked = False
+        self._lock = threading.Lock()
+        self.array: np.ndarray = np.ndarray(
+            self._shape, dtype=self._dtype, buffer=segment.buf
+        )
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def _new_segment(cls, nbytes: int) -> Any:
+        from multiprocessing import shared_memory
+
+        name = f"{SEGMENT_PREFIX}{os.getpid():x}-{uuid.uuid4().hex[:12]}"
+        return shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, nbytes)
+        )
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedFrameArena":
+        """Copy ``array`` (frames stacked on axis 0) into a new segment."""
+        if not shm_available():
+            raise SharedMemoryUnavailable(
+                "multiprocessing.shared_memory is not importable"
+            )
+        source = np.ascontiguousarray(array)
+        try:
+            segment = cls._new_segment(source.nbytes)
+        except OSError as exc:
+            raise SharedMemoryUnavailable(
+                f"could not create a {source.nbytes}-byte segment: {exc}"
+            ) from exc
+        arena = cls(segment, source.shape, source.dtype, owner=True)
+        arena.array[...] = source
+        cls._register(arena)
+        return arena
+
+    @classmethod
+    def create_empty(
+        cls, shape: tuple[int, ...], dtype: Any
+    ) -> "SharedFrameArena":
+        """A zero-initialised arena (e.g. for masks written by workers)."""
+        if not shm_available():
+            raise SharedMemoryUnavailable(
+                "multiprocessing.shared_memory is not importable"
+            )
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        try:
+            segment = cls._new_segment(nbytes)
+        except OSError as exc:
+            raise SharedMemoryUnavailable(
+                f"could not create a {nbytes}-byte segment: {exc}"
+            ) from exc
+        arena = cls(segment, tuple(shape), dtype, owner=True)
+        arena.array[...] = np.zeros((), dtype=dtype)
+        cls._register(arena)
+        return arena
+
+    @classmethod
+    def attach(cls, descriptor: FrameDescriptor) -> "SharedFrameArena":
+        """Map an existing segment described by ``descriptor``."""
+        try:
+            segment = _attach(descriptor.name)
+        except (OSError, ValueError) as exc:
+            raise SharedMemoryUnavailable(
+                f"could not attach segment {descriptor.name!r}: {exc}"
+            ) from exc
+        return cls(
+            segment, descriptor.shape, np.dtype(descriptor.dtype), owner=False
+        )
+
+    # -- registry / crash cleanup --------------------------------------
+    @classmethod
+    def _register(cls, arena: "SharedFrameArena") -> None:
+        with cls._registry_lock:
+            cls._registry[arena.name] = arena
+
+    @classmethod
+    def _unregister(cls, name: str) -> None:
+        with cls._registry_lock:
+            cls._registry.pop(name, None)
+
+    @classmethod
+    def active_segments(cls) -> tuple[str, ...]:
+        """Names of segments created here and not yet unlinked."""
+        with cls._registry_lock:
+            return tuple(sorted(cls._registry))
+
+    @classmethod
+    def active_segment_count(cls) -> int:
+        """How many created segments are still linked (leak probe)."""
+        with cls._registry_lock:
+            return len(cls._registry)
+
+    @classmethod
+    def cleanup_all(cls) -> int:
+        """Unlink every registered segment (atexit / test teardown)."""
+        with cls._registry_lock:
+            arenas = list(cls._registry.values())
+        for arena in arenas:
+            arena.close()
+            arena.unlink()
+        return len(arenas)
+
+    # -- properties -----------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The OS-level segment name."""
+        return self._segment.name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the stacked array."""
+        return self._shape
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the stacked array."""
+        return int(np.prod(self._shape)) * self._dtype.itemsize
+
+    def __len__(self) -> int:
+        return self._shape[0] if self._shape else 0
+
+    # -- descriptors ----------------------------------------------------
+    def descriptor(self, index: int = 0) -> FrameDescriptor:
+        """The shippable ticket for frame ``index``."""
+        return FrameDescriptor(
+            name=self.name,
+            shape=self._shape,
+            dtype=self._dtype.str,
+            index=int(index),
+        )
+
+    def descriptors(self) -> list[FrameDescriptor]:
+        """One descriptor per frame, in stack order."""
+        return [self.descriptor(index) for index in range(len(self))]
+
+    def frame(self, index: int) -> np.ndarray:
+        """Zero-copy view of frame ``index``."""
+        return self.array[index]
+
+    # -- lifecycle ------------------------------------------------------
+    def attach_view(self) -> np.ndarray:
+        """Bump the refcount and return the full-array view."""
+        with self._lock:
+            if self._closed:
+                raise SharedMemoryUnavailable(
+                    f"arena {self.name!r} is already closed"
+                )
+            self._refs += 1
+        return self.array
+
+    def close(self) -> None:
+        """Drop one reference; unmap the segment at zero."""
+        with self._lock:
+            if self._closed:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self._closed = True
+        # Views into the buffer must be dropped before close() or
+        # CPython refuses to release the memoryview.
+        self.array = None  # type: ignore[assignment]
+        try:
+            self._segment.close()
+        except (OSError, BufferError):  # pragma: no cover - best effort
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS (creator only; idempotent)."""
+        if not self._owner or self._unlinked:
+            return
+        self._unlinked = True
+        type(self)._unregister(self._segment.name)
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # already gone (e.g. test cleanup)
+            pass
+
+    def __enter__(self) -> "SharedFrameArena":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+        self.unlink()
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment cache
+# ----------------------------------------------------------------------
+# One mapping per segment per process; re-attaching per task would cost
+# a mmap syscall per frame and defeat the point.  Closed at exit.
+_attached: dict[str, SharedFrameArena] = {}
+_attached_lock = threading.Lock()
+
+
+def attached_array(descriptor: FrameDescriptor) -> np.ndarray:
+    """The full stacked array behind ``descriptor``, cached per process."""
+    with _attached_lock:
+        arena = _attached.get(descriptor.name)
+        if arena is None:
+            arena = SharedFrameArena.attach(descriptor)
+            _attached[descriptor.name] = arena
+    return arena.array
+
+
+def attached_frame(descriptor: FrameDescriptor) -> np.ndarray:
+    """Zero-copy, read-only view of the frame ``descriptor`` names."""
+    frame = attached_array(descriptor)[descriptor.index]
+    frame.setflags(write=False)
+    return frame
+
+
+def detach_all() -> int:
+    """Close every cached attachment (worker exit / test teardown)."""
+    with _attached_lock:
+        arenas = list(_attached.values())
+        _attached.clear()
+    for arena in arenas:
+        arena.close()
+    return len(arenas)
+
+
+@atexit.register
+def _cleanup_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    detach_all()
+    SharedFrameArena.cleanup_all()

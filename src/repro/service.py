@@ -82,7 +82,9 @@ from __future__ import annotations
 import base64
 import io
 import json
+import os
 import signal
+import socket
 import threading
 import time
 from concurrent.futures import Future
@@ -109,6 +111,7 @@ from .jobs import (
     JobsConfig,
     JobStore,
 )
+from .perf import shm
 from .perf.cache import AnalyzerCache
 from .perf.pool import WorkerPool
 from .pipeline import AnalyzerConfig, JumpAnalyzer
@@ -420,6 +423,7 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "status": "shutting_down" if draining else "ok",
                 "shutting_down": draining,
+                "pid": os.getpid(),
                 "uptime_seconds": lifecycle.uptime_seconds(),
                 "in_flight": state["in_flight"],
                 "max_concurrent": service_config.max_concurrent,
@@ -469,12 +473,16 @@ class _Handler(BaseHTTPRequestHandler):
         snapshot["jobs"] = job_stats
         lifecycle = self._lifecycle()
         snapshot["service"] = {
+            # With `--procs N` each worker process answers with its own
+            # pid, so a scraper sees which replica served the request.
+            "pid": os.getpid(),
             "uptime_seconds": lifecycle.uptime_seconds(),
             "shutting_down": lifecycle.draining,
             "watchdog_timeouts": job_stats.get("watchdog_timeouts", 0),
             "breaker_trips": job_stats.get("breaker", {}).get("trips", 0),
             "resumed_jobs": job_stats.get("resumed", 0),
             "tasks_cancelled_at_shutdown": lifecycle.cancelled_at_shutdown,
+            "shm_fallbacks": shm.fallback_count(),
         }
         self._send_json(200, snapshot)
         self._finish(200)
@@ -1174,6 +1182,27 @@ class _Handler(BaseHTTPRequestHandler):
         self._finish(200)
 
 
+class _SharedSocketHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer accepting on a socket bound elsewhere.
+
+    The multi-process front (``slj serve --procs N``) binds one
+    listener in the parent and forks; every child adopts the same
+    socket through this class, so the kernel load-balances ``accept``
+    across processes with no proxy in front.  The adopted socket is
+    deliberately not closed-on-bind here: the parent owns its fd.
+    """
+
+    def __init__(self, listener: socket.socket, handler: type) -> None:
+        super().__init__(
+            listener.getsockname()[:2], handler, bind_and_activate=False
+        )
+        self.socket.close()  # discard the unbound socket super() made
+        self.socket = listener
+        # What server_bind() would have derived, minus the getfqdn()
+        # DNS round-trip (the listener is already bound and listening).
+        self.server_name, self.server_port = listener.getsockname()[:2]
+
+
 class ServiceHandle:
     """A jump-analysis server running on a background thread."""
 
@@ -1183,9 +1212,15 @@ class ServiceHandle:
         port: int = 0,
         config: AnalyzerConfig | None = None,
         service_config: ServiceConfig | None = None,
+        listener: socket.socket | None = None,
     ) -> None:
         service_config = service_config or ServiceConfig()
-        self._server = ThreadingHTTPServer((host, port), _Handler)
+        if listener is not None:
+            self._server: ThreadingHTTPServer = _SharedSocketHTTPServer(
+                listener, _Handler
+            )
+        else:
+            self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.analyzer = JumpAnalyzer(config)  # type: ignore[attr-defined]
         self._server.metrics = MetricsRegistry()  # type: ignore[attr-defined]
         self._server.service_config = service_config  # type: ignore[attr-defined]
@@ -1213,6 +1248,11 @@ class ServiceHandle:
         # Re-submit jobs a previous process left behind (store restored
         # them as resumable from their persisted state + input spool).
         self._server.jobs.recover(  # type: ignore[attr-defined]
+            self._recovery_analyzer
+        )
+        # With a shared store (jobs.store_dir) this replica also drains
+        # the cross-replica submit queue in the background.
+        self._server.jobs.start_drain(  # type: ignore[attr-defined]
             self._recovery_analyzer
         )
         self._thread = threading.Thread(
@@ -1316,6 +1356,7 @@ def serve(
     port: int = 8765,
     config: AnalyzerConfig | None = None,
     service_config: ServiceConfig | None = None,
+    procs: int = 1,
 ) -> None:
     """Run the analysis service in the foreground.
 
@@ -1325,10 +1366,23 @@ def serve(
     process exits.  With a persisted job store and a checkpoint
     directory configured, jobs still queued at the deadline resume on
     the next start.
+
+    ``procs > 1`` forks that many worker processes sharing one
+    pre-bound listener socket (kernel-balanced ``accept``); each
+    worker reports its own pid in ``/health`` and ``/metrics`` and
+    runs the same drain path on SIGTERM.  Requires ``os.fork``.
     """
+    if procs > 1:
+        _serve_forked(host, port, config, service_config, procs)
+        return
     handle = ServiceHandle(
         host=host, port=port, config=config, service_config=service_config
     )
+    _serve_until_signalled(handle)
+
+
+def _serve_until_signalled(handle: ServiceHandle) -> None:
+    """Start ``handle``, then drain and stop on SIGTERM/Ctrl-C."""
     stop_requested = threading.Event()
 
     def _request_stop(signum: int, _frame: Any) -> None:
@@ -1336,7 +1390,10 @@ def serve(
 
     previous = signal.signal(signal.SIGTERM, _request_stop)
     handle.start()
-    print(f"standing-long-jump analysis service on {handle.address}")
+    print(
+        f"standing-long-jump analysis service on {handle.address} "
+        f"(pid {os.getpid()})"
+    )
     try:
         while not stop_requested.wait(0.2):
             pass
@@ -1346,6 +1403,74 @@ def serve(
     finally:
         handle.stop(drain=True)
         signal.signal(signal.SIGTERM, previous)
+
+
+def _serve_forked(
+    host: str,
+    port: int,
+    config: AnalyzerConfig | None,
+    service_config: ServiceConfig | None,
+    procs: int,
+) -> None:
+    """Fork ``procs`` workers accepting on one pre-bound listener.
+
+    The parent binds, marks the fd inheritable, forks, then only
+    forwards signals and reaps: SIGTERM/SIGINT fan out to every child,
+    whose own handler runs the standard drain-then-stop path.  A child
+    that exits is not restarted — crash-restart policy belongs to the
+    supervisor running ``slj serve``, not to this process.
+    """
+    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+        raise ConfigurationError(
+            f"--procs {procs} requires os.fork, unavailable on this platform"
+        )
+    listener = socket.create_server(
+        (host, port), backlog=128, reuse_port=False
+    )
+    listener.set_inheritable(True)
+    children: list[int] = []
+    for _ in range(procs):
+        pid = os.fork()
+        if pid == 0:  # worker
+            try:
+                handle = ServiceHandle(
+                    config=config,
+                    service_config=service_config,
+                    listener=listener,
+                )
+                _serve_until_signalled(handle)
+            finally:
+                # Skip atexit/GC teardown shared with the parent —
+                # exit hard so only this worker's state is torn down.
+                os._exit(0)
+        children.append(pid)
+
+    resolved_host, resolved_port = listener.getsockname()[:2]
+    print(
+        f"standing-long-jump analysis service on "
+        f"http://{resolved_host}:{resolved_port} "
+        f"({procs} workers: {' '.join(str(pid) for pid in children)})"
+    )
+
+    def _forward(signum: int, _frame: Any) -> None:
+        for pid in children:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    previous_term = signal.signal(signal.SIGTERM, _forward)
+    previous_int = signal.signal(signal.SIGINT, _forward)
+    try:
+        for pid in children:
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:  # pragma: no cover - already reaped
+                pass
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+        listener.close()
 
 
 def request_analysis(

@@ -252,3 +252,71 @@ class TestRunChaos:
         assert not outcome.survived
         assert outcome.error_type == "ReproError"
         assert report.survival_rate == 0.0
+
+
+class TestOpsFaultOutcomeShmGate:
+    """``leaked_shm`` gates the ops verdict exactly like leaked slots."""
+
+    def test_leaked_shm_downgrades_verdict(self):
+        from repro.faults import OpsChaosReport, OpsFaultOutcome
+
+        clean = OpsFaultOutcome(name="kill_worker_mid_job", survived=True)
+        leaky = OpsFaultOutcome(
+            name="drain_under_load", survived=True, leaked_shm=2
+        )
+        assert clean.verdict == "ok"
+        assert leaky.verdict == "leaked"
+        assert leaky.to_dict()["leaked_shm"] == 2
+        report = OpsChaosReport((clean, leaky))
+        assert report.survival_rate == 0.5
+        assert report.failures() == (leaky,)
+        assert "2 leaked shm segment(s)" in report.render_table()
+
+    def test_run_ops_chaos_snapshots_shm(self, monkeypatch, tmp_path):
+        """A scenario that leaves a segment behind is flagged as a leak."""
+        from repro.faults import ops as ops_module
+        from repro.perf.shm import SharedFrameArena
+
+        stray = {}
+
+        def leaky_scenario(video, annotation, config, seed, state):
+            arena = SharedFrameArena.create(np.zeros((1, 2, 2)))
+            stray["arena"] = arena  # deliberately neither closed nor unlinked
+            return ops_module.OpsFaultOutcome(
+                name="kill_worker_mid_job", survived=True
+            )
+
+        monkeypatch.setattr(
+            ops_module, "_scenario_kill_mid_job", leaky_scenario
+        )
+        for name in (
+            "_scenario_restart_mid_stream",
+            "_scenario_wedge_past_watchdog",
+            "_scenario_drain_under_load",
+            "_scenario_breaker_trip_recover",
+        ):
+            monkeypatch.setattr(
+                ops_module,
+                name,
+                lambda video, annotation, config, seed, state, _n=name: (
+                    ops_module.OpsFaultOutcome(
+                        name=_n.removeprefix("_scenario_"), survived=True
+                    )
+                ),
+            )
+        try:
+            report = ops_module.run_ops_chaos(
+                video=None, state_root=str(tmp_path)
+            )
+        finally:
+            arena = stray.pop("arena")
+            arena.close()
+            arena.unlink()
+        leaked = {o.name: o.leaked_shm for o in report.outcomes}
+        assert leaked["kill_worker_mid_job"] == 1
+        assert all(
+            count == 0
+            for name, count in leaked.items()
+            if name != "kill_worker_mid_job"
+        )
+        assert report.survival_rate == pytest.approx(0.8)

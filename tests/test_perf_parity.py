@@ -183,9 +183,14 @@ class TestEndToEndParity:
         jump, annotation = small_jump
         outputs = {}
         for backend in ("serial", "threads", "processes"):
+            # oversubscribe: a single-CPU runner would otherwise cap the
+            # pool to one worker and run in-process, and this test must
+            # prove parity across a *real* pool (shm fan-out included).
             config = dataclasses.replace(
                 get_preset("fast"),
-                parallel=ParallelConfig(backend=backend, workers=2),
+                parallel=ParallelConfig(
+                    backend=backend, workers=2, oversubscribe=True
+                ),
             )
             outputs[backend] = _stripped(_analyze(config, jump, annotation))
         assert outputs["serial"] == outputs["threads"]

@@ -8,6 +8,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.perf.bench import compare_to_baseline, run_bench
 from repro.perf.cache import AnalyzerCache
+from repro.perf import executors
 from repro.perf.executors import BACKENDS, ParallelConfig, parallel_map
 from repro.pipeline import AnalyzerConfig
 from repro.runtime import Instrumentation
@@ -44,9 +45,22 @@ class TestParallelConfig:
             ParallelConfig(workers=0)
 
     def test_pool_size_never_exceeds_items(self):
-        config = ParallelConfig(backend="threads", workers=8)
+        config = ParallelConfig(
+            backend="threads", workers=8, oversubscribe=True
+        )
         assert config.pool_size(3) == 3
         assert config.pool_size(100) == 8
+
+    def test_pool_size_capped_at_available_cpus(self, monkeypatch):
+        monkeypatch.setattr(executors, "available_cpus", lambda: 2)
+        config = ParallelConfig(backend="threads", workers=8)
+        assert config.pool_size(100) == 2
+        # oversubscribe is the explicit escape hatch (benches, tests
+        # that must exercise a real pool regardless of the host).
+        forced = ParallelConfig(
+            backend="threads", workers=8, oversubscribe=True
+        )
+        assert forced.pool_size(100) == 8
 
     def test_serial_detection(self):
         assert ParallelConfig().is_serial
@@ -219,6 +233,15 @@ class TestBenchHarness:
         assert ttfr["warmup_frames"] >= 2
         assert ttfr["first_result_seconds"] > 0
         assert ttfr["ratio_vs_batch"] > 0
+        fitness_batch = sections["fitness_batch"]
+        assert fitness_batch["identical_values"] is True
+        assert fitness_batch["batched"]["evaluations_per_sec"] > 0
+        scale_out = sections["scale_out"]
+        assert scale_out["available_cpus"] >= 1
+        assert scale_out["dispatch"]["tasks"] > 0
+        for entry in scale_out["sizes"]:
+            assert entry["payload"]["payload_reduction"] >= 50
+            assert entry["serial"]["frames_per_sec"] > 0
 
     def test_report_is_json_ready(self, quick_report):
         import json
@@ -276,3 +299,23 @@ class TestBenchHarness:
         # result lands in < 0.25x the batch end-to-end latency.
         assert ttfr["warmup_frames"] >= 2
         assert ttfr["ratio_vs_batch"] < 0.25
+
+    def test_committed_bench_9_shows_scale_out_wins(self):
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_9.json"
+        committed = json.loads(path.read_text())
+        assert committed["bench_version"] == 1
+        assert committed["sections"]["end_to_end"]["speedup"] >= 2.0
+        scale_out = committed["sections"]["scale_out"]
+        assert scale_out["sizes"], "scale_out must carry size entries"
+        for entry in scale_out["sizes"]:
+            # The PR-9 acceptance floors: descriptors shrink the
+            # per-task payload >= 50x, and the processes backend (CPU
+            # cap included) keeps up with the serial loop.
+            assert entry["payload"]["payload_reduction"] >= 50
+            assert entry["processes_vs_serial"] >= 1.0
+        fitness_batch = committed["sections"]["fitness_batch"]
+        assert fitness_batch["identical_values"] is True
+        assert fitness_batch["batch_speedup"] > 1.0

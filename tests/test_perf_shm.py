@@ -1,0 +1,282 @@
+"""Shared-memory frame plane: lifecycle, parity, and degradation.
+
+Three properties make the shm path safe to have on by default:
+
+* **no leaks** — every test asserts /dev/shm is as clean after the
+  run as before it, including when a worker is SIGKILLed mid-batch;
+* **byte parity** — the shm fan-out returns exactly what the serial
+  loop returns, mask for mask;
+* **graceful degradation** — any shm failure falls back to the
+  pickled path with a logged warning and a counter bump, never a
+  crashed analysis.
+
+Several tests set ``oversubscribe`` on the :class:`ParallelConfig`:
+CI runners are often single-CPU, where the default CPU cap would
+collapse the pool to in-process execution and the cross-process code
+path under test would never run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+
+from repro.config import get_preset
+from repro.perf import shm
+from repro.perf.executors import ParallelConfig
+from repro.perf.shm import FrameDescriptor, SharedFrameArena
+from repro.segmentation.pipeline import SegmentationPipeline
+from repro.video.synthesis import (
+    JumpParameters,
+    SyntheticJumpConfig,
+    synthesize_jump,
+)
+
+SHM_DIR = "/dev/shm"
+
+
+def _shm_segments() -> set[str]:
+    """Names of this suite's segments currently backing files."""
+    if not os.path.isdir(SHM_DIR):  # non-Linux: nothing to snapshot
+        return set()
+    return {
+        name
+        for name in os.listdir(SHM_DIR)
+        if name.startswith(shm.SEGMENT_PREFIX)
+    }
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_segments():
+    """Every test must leave /dev/shm exactly as it found it."""
+    shm.reset_fallback_count()
+    before = _shm_segments()
+    yield
+    shm.detach_all()
+    leaked = _shm_segments() - before
+    assert leaked == set(), f"leaked shm segments: {sorted(leaked)}"
+    assert SharedFrameArena.active_segment_count() == 0
+
+
+@pytest.fixture(scope="module")
+def small_jump():
+    return synthesize_jump(
+        SyntheticJumpConfig(seed=11, params=JumpParameters(num_frames=6))
+    )
+
+
+def _mask_bytes(segmentations) -> list[bytes]:
+    out = []
+    for seg in segmentations:
+        for field in (
+            "raw_foreground",
+            "after_noise_removal",
+            "after_spot_removal",
+            "after_hole_fill",
+            "detected_shadow",
+            "person",
+        ):
+            out.append(getattr(seg, field).tobytes())
+        for candidate in seg.candidates:
+            out.append(candidate.tobytes())
+    return out
+
+
+class TestArenaLifecycle:
+    def test_create_roundtrip_and_unlink(self):
+        stack = np.arange(2 * 3 * 4, dtype=np.float64).reshape(2, 3, 4)
+        arena = SharedFrameArena.create(stack)
+        try:
+            assert len(arena) == 2
+            assert arena.shape == (2, 3, 4)
+            np.testing.assert_array_equal(arena.array, stack)
+            # The arena holds a copy: mutating the source is invisible.
+            stack[0, 0, 0] = -1.0
+            assert arena.frame(0)[0, 0] == 0.0
+        finally:
+            arena.close()
+            arena.unlink()
+        assert arena.name not in _shm_segments()
+
+    def test_attach_sees_creator_writes(self):
+        arena = SharedFrameArena.create(np.zeros((3, 4, 4)))
+        try:
+            arena.array[1] = 7.0
+            attached = SharedFrameArena.attach(arena.descriptor(1))
+            try:
+                np.testing.assert_array_equal(
+                    attached.array[1], np.full((4, 4), 7.0)
+                )
+            finally:
+                attached.close()
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_create_empty_is_zero_filled(self):
+        arena = SharedFrameArena.create_empty((2, 3, 5), np.bool_)
+        try:
+            assert not arena.array.any()
+            assert arena.array.dtype == np.bool_
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_refcounted_close(self):
+        arena = SharedFrameArena.create(np.ones((2, 2, 2)))
+        view = arena.attach_view()
+        assert view.shape == (2, 2, 2)
+        arena.close()  # drops the extra view's reference
+        assert arena.array is not None  # still mapped: one ref left
+        arena.close()
+        with pytest.raises(shm.SharedMemoryUnavailable):
+            arena.attach_view()
+        arena.unlink()
+
+    def test_unlink_is_idempotent(self):
+        arena = SharedFrameArena.create(np.ones((1, 2, 2)))
+        arena.close()
+        arena.unlink()
+        arena.unlink()  # second call must be a no-op, not an error
+
+    def test_cleanup_all_sweeps_registry(self):
+        arenas = [SharedFrameArena.create(np.ones((1, 2, 2))) for _ in range(3)]
+        names = {arena.name for arena in arenas}
+        assert names <= set(SharedFrameArena.active_segments())
+        swept = SharedFrameArena.cleanup_all()
+        assert swept >= 3
+        assert SharedFrameArena.active_segment_count() == 0
+
+    def test_descriptor_is_tiny(self):
+        """The whole point: ~100 bytes crosses the pipe, not the frame."""
+        arena = SharedFrameArena.create(np.zeros((48, 240, 320, 3)))
+        try:
+            descriptor = arena.descriptor(17)
+            payload = len(pickle.dumps(descriptor))
+            assert payload < 256
+            frame_payload = len(pickle.dumps(arena.frame(17).copy()))
+            assert frame_payload / payload > 50
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_descriptor_roundtrips_through_pickle(self):
+        descriptor = FrameDescriptor(
+            name="slj-feed-0123", shape=(4, 8, 8, 3), dtype="<f8", index=2
+        )
+        assert pickle.loads(pickle.dumps(descriptor)) == descriptor
+
+    def test_worker_cache_detach(self):
+        arena = SharedFrameArena.create(np.arange(8.0).reshape(2, 2, 2))
+        try:
+            frame = shm.attached_frame(arena.descriptor(1))
+            np.testing.assert_array_equal(frame, arena.frame(1))
+            assert not frame.flags.writeable
+            # Second attach of the same segment reuses the mapping.
+            shm.attached_array(arena.descriptor(0))
+            assert shm.detach_all() == 1
+        finally:
+            arena.close()
+            arena.unlink()
+
+
+class TestSegmentationShmParity:
+    def test_shm_processes_byte_identical_to_serial(self, small_jump):
+        config = get_preset("fast")
+        serial = SegmentationPipeline(config.segmentation).segment_video(
+            small_jump.video
+        )
+        parallel = ParallelConfig(
+            backend="processes", workers=2, oversubscribe=True
+        )
+        pipeline = SegmentationPipeline(config.segmentation, parallel=parallel)
+        shm_result = pipeline.segment_video(small_jump.video)
+        assert _mask_bytes(serial) == _mask_bytes(shm_result)
+        assert shm.fallback_count() == 0
+        assert pipeline.instrumentation.counter(
+            "segmentation.shm_fallbacks"
+        ) == 0
+
+    def test_no_segments_survive_the_batch(self, small_jump):
+        config = get_preset("fast")
+        parallel = ParallelConfig(
+            backend="processes", workers=2, oversubscribe=True
+        )
+        SegmentationPipeline(
+            config.segmentation, parallel=parallel
+        ).segment_video(small_jump.video)
+        # the autouse fixture asserts /dev/shm is clean afterwards
+
+
+def _kill_current_worker(descriptor):  # pragma: no cover - dies by design
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestGracefulDegradation:
+    def test_create_failure_falls_back_to_pickled(
+        self, small_jump, monkeypatch, caplog
+    ):
+        config = get_preset("fast")
+        serial = SegmentationPipeline(config.segmentation).segment_video(
+            small_jump.video
+        )
+        monkeypatch.setattr(
+            SharedFrameArena,
+            "create",
+            classmethod(
+                lambda cls, array: (_ for _ in ()).throw(
+                    shm.SharedMemoryUnavailable("no /dev/shm in this jail")
+                )
+            ),
+        )
+        parallel = ParallelConfig(
+            backend="processes", workers=2, oversubscribe=True
+        )
+        pipeline = SegmentationPipeline(config.segmentation, parallel=parallel)
+        with caplog.at_level("WARNING", logger="repro.perf.shm"):
+            result = pipeline.segment_video(small_jump.video)
+        assert _mask_bytes(result) == _mask_bytes(serial)
+        assert shm.fallback_count() == 1
+        assert pipeline.instrumentation.counter(
+            "segmentation.shm_fallbacks"
+        ) == 1
+        assert any(
+            "falling back" in record.message.lower()
+            or "fallback" in record.message.lower()
+            for record in caplog.records
+        )
+
+    def test_sigkilled_worker_falls_back_without_leaking(
+        self, small_jump, monkeypatch
+    ):
+        """A worker dying mid-batch breaks the pool, not the analysis."""
+        from repro.segmentation import pipeline as pipeline_module
+
+        config = get_preset("fast")
+        serial = SegmentationPipeline(config.segmentation).segment_video(
+            small_jump.video
+        )
+        monkeypatch.setattr(
+            pipeline_module, "_segment_shm_in_worker", _kill_current_worker
+        )
+        parallel = ParallelConfig(
+            backend="processes", workers=2, oversubscribe=True
+        )
+        pipeline = SegmentationPipeline(config.segmentation, parallel=parallel)
+        result = pipeline.segment_video(small_jump.video)
+        assert _mask_bytes(result) == _mask_bytes(serial)
+        assert shm.fallback_count() == 1
+        # the autouse fixture asserts zero leaked segments
+
+
+class TestFallbackCounter:
+    def test_record_fallback_increments_and_resets(self):
+        assert shm.fallback_count() == 0
+        assert shm.record_fallback("unit test") == 1
+        assert shm.record_fallback("unit test again") == 2
+        shm.reset_fallback_count()
+        assert shm.fallback_count() == 0

@@ -531,7 +531,13 @@ class TestManagerRecovery:
             result.pop("trace", None)
             assert result == fast_setup["reference"]
             assert manager.stats()["resumed"] == 1
-            # Terminal cleanup dropped the crash state.
+            # Terminal cleanup dropped the crash state.  The worker
+            # flips the state *before* its finally-block cleanup runs,
+            # so give the sweep a moment on a loaded machine.
+            for _ in range(100):
+                if not has_spool(checkpoints, job_id):
+                    break
+                threading.Event().wait(0.05)
             assert not has_spool(checkpoints, job_id)
         finally:
             manager.close()

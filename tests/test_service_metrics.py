@@ -174,3 +174,36 @@ class TestMetricsEndpoint:
             snapshot = _get_json(f"{handle.address}/metrics")
             assert snapshot["stages"] == {}
             assert snapshot["requests"]["status:400"] == 1
+
+
+class TestScaleOutObservability:
+    """`--procs` observability: pid + shm fallback counter per replica."""
+
+    def test_metrics_expose_pid_and_shm_fallbacks(self):
+        import os
+
+        with ServiceHandle() as handle:
+            snapshot = _get_json(f"{handle.address}/metrics")
+            assert snapshot["service"]["pid"] == os.getpid()
+            assert snapshot["service"]["shm_fallbacks"] == 0
+            health = _get_json(f"{handle.address}/health")
+            assert health["pid"] == os.getpid()
+
+    def test_handle_adopts_prebound_listener(self):
+        """The forked-worker plumbing: serve on a socket bound elsewhere.
+
+        `slj serve --procs N` binds one listener, forks, and every
+        child builds its HTTP server around the inherited socket; this
+        exercises that adoption path in-process.
+        """
+        import socket
+
+        listener = socket.create_server(("127.0.0.1", 0), backlog=8)
+        port = listener.getsockname()[1]
+        handle = ServiceHandle(listener=listener).start()
+        try:
+            assert handle.address.endswith(f":{port}")
+            health = _get_json(f"http://127.0.0.1:{port}/health")
+            assert health["status"] == "ok"
+        finally:
+            handle.stop()
