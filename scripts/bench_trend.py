@@ -1,7 +1,7 @@
 """Print the committed bench trajectory and validate each file's schema.
 
 The repo commits one bench report per perf-focused PR (``BENCH_4`` →
-``BENCH_6`` → ``BENCH_7`` → ``BENCH_9``).  This script is the cheap CI
+``BENCH_6`` → ``BENCH_7`` → ``BENCH_9`` → ``BENCH_10``).  This script is the cheap CI
 guard that keeps those files honest: every committed report must still
 parse, carry the sections its vintage promised, and the end-to-end
 throughput trend is printed so a regression is visible in the log even
@@ -65,6 +65,20 @@ BENCH_FILES: tuple[tuple[str, tuple[str, ...]], ...] = (
             "scale_out",
         ),
     ),
+    (
+        "BENCH_10.json",
+        (
+            "segmentation",
+            "ga_single_frame",
+            "tracking",
+            "end_to_end",
+            "time_to_first_result",
+            "multi_actor",
+            "fitness_batch",
+            "scale_out",
+            "localization",
+        ),
+    ),
 )
 
 
@@ -111,6 +125,13 @@ def _check_sections(name: str, report: dict, required: tuple[str, ...]) -> None:
     if "fitness_batch" in required:
         if "batch_speedup" not in sections["fitness_batch"]:
             _fail(f"{name} fitness_batch lacks batch_speedup")
+    if "localization" in required:
+        localization = sections["localization"]
+        for key in ("frames", "windows_found", "windows_per_sec"):
+            if key not in localization:
+                _fail(f"{name} localization lacks {key}")
+        if localization["windows_found"] < 1:
+            _fail(f"{name} localization found no attempt windows")
 
 
 def main() -> None:

@@ -22,6 +22,11 @@ the synthetic-video substrate and ground truth needed to evaluate it:
 * :mod:`repro.streaming` — the push-based frame-at-a-time core
   (:class:`StreamingAnalyzer`) that batch ``analyze`` wraps, with
   provisional mid-stream estimates;
+* :mod:`repro.localization` — temporal attempt localisation: find the
+  jump(s) inside a long clip before analysing each window;
+* :mod:`repro.profiles` — the movement-profile registry that lifts the
+  paper's standards/rules tables into a pluggable
+  :class:`MovementProfile` (``standing_long_jump``, ``sit_to_stand``);
 * :mod:`repro.service` / :mod:`repro.client` / :mod:`repro.jobs` — the
   versioned ``/v1`` HTTP service the paper sketches as future work,
   its typed client, and the asynchronous job subsystem.
@@ -90,14 +95,28 @@ from .evaluation import (
     evaluate_mot,
     evaluate_tracking,
 )
+from .localization import (
+    AttemptWindow,
+    LocalizationConfig,
+    LocalizationResult,
+    localize_attempts,
+    motion_energy,
+)
 from .pipeline import (
     AnalyzerConfig,
+    AttemptAnalysis,
     JumpAnalysis,
     JumpAnalyzer,
     RobustnessConfig,
     StreamingConfig,
     analyze_video,
     multi_actor_config,
+)
+from .profiles import (
+    MOVEMENT_PROFILES,
+    MovementProfile,
+    get_profile,
+    profile_names,
 )
 from .tracking import (
     AssociationResult,
@@ -182,13 +201,20 @@ from .video import VideoSequence
 from .video.synthesis import (
     JumpParameters,
     JumpStyle,
+    LongClip,
+    LongClipConfig,
     MultiActorJump,
     MultiActorJumpConfig,
+    SitToStandClip,
+    SitToStandClipConfig,
     SyntheticJump,
     SyntheticJumpConfig,
     synthesize_flawed_jump,
+    synthesize_idle_clip,
     synthesize_jump,
+    synthesize_long_clip,
     synthesize_multi_jump,
+    synthesize_sit_to_stand,
 )
 
 __version__ = "1.0.0"
@@ -223,12 +249,22 @@ __all__ = [
     "default_body",
     "simulate_human_annotation",
     "AnalyzerConfig",
+    "AttemptAnalysis",
+    "AttemptWindow",
     "JumpAnalysis",
     "JumpAnalyzer",
+    "LocalizationConfig",
+    "LocalizationResult",
+    "MOVEMENT_PROFILES",
+    "MovementProfile",
     "RobustnessConfig",
     "StreamingConfig",
     "analyze_video",
+    "get_profile",
+    "localize_attempts",
+    "motion_energy",
     "multi_actor_config",
+    "profile_names",
     "AssociationResult",
     "Track",
     "TrackAnalysis",
@@ -308,12 +344,19 @@ __all__ = [
     "VideoSequence",
     "JumpParameters",
     "JumpStyle",
+    "LongClip",
+    "LongClipConfig",
     "MultiActorJump",
     "MultiActorJumpConfig",
+    "SitToStandClip",
+    "SitToStandClipConfig",
     "SyntheticJump",
     "SyntheticJumpConfig",
     "synthesize_flawed_jump",
+    "synthesize_idle_clip",
     "synthesize_jump",
+    "synthesize_long_clip",
     "synthesize_multi_jump",
+    "synthesize_sit_to_stand",
     "__version__",
 ]

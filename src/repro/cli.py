@@ -7,6 +7,11 @@ Subcommands:
 * ``slj analyze`` — run the full pipeline on a saved video and print
   the scoring report.
 * ``slj demo`` — synthesize + analyze end to end in one go.
+  ``--long`` synthesizes a long clip with dead time and several
+  attempts, localises them and scores each one; ``--movement
+  sit_to_stand`` exercises the second registered movement profile.
+* ``slj localize`` — run only the temporal localisation front-stage
+  over a video and print the attempt windows it finds.
 * ``slj jobs submit|status|result|cancel|list`` — drive a running
   service's asynchronous job API (``/v1/jobs``) from the shell.
 * ``slj stream`` — push a video frame by frame through a streaming
@@ -73,6 +78,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="shorthand for --preset fast (quicker, noisier)",
     )
+    group.add_argument(
+        "--movement",
+        default=None,
+        metavar="PROFILE",
+        help="movement profile the tail stages score (shorthand for "
+        "--set profile=NAME); registered profiles are listed in "
+        "docs/profiles.md and by GET /v1/profiles",
+    )
 
 
 def _resolve_cli_config(args: argparse.Namespace) -> AnalyzerConfig:
@@ -84,11 +97,17 @@ def _resolve_cli_config(args: argparse.Namespace) -> AnalyzerConfig:
                 f"--fast conflicts with --preset {preset!r}; pick one"
             )
         preset = "fast"
+    overrides = list(getattr(args, "overrides", ()) or ())
+    movement = getattr(args, "movement", None)
+    if movement is not None:
+        # Appended last so the explicit flag wins over a profile buried
+        # in --config / --set, mirroring the service's `profile` field.
+        overrides.append(f"profile={movement}")
     try:
         return resolve_config(
             preset=preset,
             config_file=getattr(args, "config", None),
-            overrides=getattr(args, "overrides", ()),
+            overrides=overrides,
         )
     except ConfigurationError as exc:
         raise SystemExit(f"bad configuration: {exc}") from None
@@ -195,8 +214,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    if getattr(args, "long", False):
+        return _cmd_demo_long(args)
     if getattr(args, "actors", 1) > 1:
         return _cmd_demo_multi(args)
+    movement = getattr(args, "movement", None)
+    if movement is not None and movement != "standing_long_jump":
+        return _cmd_demo_movement(args)
     analyzer_config = _resolve_cli_config(args)
     config = SyntheticJumpConfig(
         seed=args.seed, violated=_parse_standards(args.violate or [])
@@ -232,6 +256,147 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"wrote analysis JSON to {args.json} "
             f"(config {analysis.config_hash})"
         )
+    return 0
+
+
+def _cmd_demo_long(args: argparse.Namespace) -> int:
+    """``slj demo --long``: localise + score every attempt in a long clip."""
+    from dataclasses import replace
+
+    from .localization import AttemptWindow
+    from .video.synthesis import LongClipConfig, synthesize_long_clip
+
+    if args.violate:
+        print("note: --violate applies to single-jump demos only; ignored")
+    config = _resolve_cli_config(args)
+    config = replace(
+        config, localization=replace(config.localization, enabled=True)
+    )
+    clip = synthesize_long_clip(
+        LongClipConfig(seed=args.seed, attempts=args.attempts)
+    )
+    analysis = JumpAnalyzer(config).analyze(
+        clip.video, rng=np.random.default_rng(args.seed)
+    )
+    truth = [AttemptWindow(start, end, 1.0) for start, end in clip.windows]
+    print(
+        f"long clip: {len(clip.video)} frames, "
+        f"{len(clip.windows)} ground-truth attempts (seed {args.seed})"
+    )
+    for attempt in analysis.attempts:
+        window = attempt.window
+        best_iou = max((window.iou(t) for t in truth), default=0.0)
+        marker = " (primary)" if attempt.primary else ""
+        print(
+            f"  {attempt.attempt_id}: frames {window.start}..{window.end - 1} "
+            f"conf {window.confidence:.2f} score "
+            f"{attempt.analysis.report.score:.3f} "
+            f"distance {attempt.analysis.measurement.distance:.1f}px "
+            f"IoU {best_iou:.2f}{marker}"
+        )
+    if not analysis.attempts:
+        print("  no attempts found")
+    if args.profile:
+        print()
+        print("stage timings:")
+        print(analysis.trace.render_table())
+    if args.json is not None:
+        from .serialization import write_analysis_json
+
+        write_analysis_json(args.json, analysis)
+        print(
+            f"wrote analysis JSON to {args.json} "
+            f"(config {analysis.config_hash})"
+        )
+    if len(analysis.attempts) < args.min_attempts:
+        print(
+            f"FAIL: found {len(analysis.attempts)} attempts, "
+            f"required {args.min_attempts}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_demo_movement(args: argparse.Namespace) -> int:
+    """``slj demo --movement PROFILE``: score a non-jump movement clip."""
+    config = _resolve_cli_config(args)  # validates the profile name
+    if config.profile != "sit_to_stand":
+        raise SystemExit(
+            f"demo has no synthesiser for profile {config.profile!r}; "
+            "use `slj analyze --movement` on your own video"
+        )
+    from .video.synthesis import SitToStandClipConfig, synthesize_sit_to_stand
+
+    if args.violate:
+        print("note: --violate applies to jump demos only; ignored")
+    clip = synthesize_sit_to_stand(SitToStandClipConfig(seed=args.seed))
+    analysis = JumpAnalyzer(config).analyze(
+        clip.video, rng=np.random.default_rng(args.seed)
+    )
+    print(
+        f"synthetic chair rise (seed {args.seed}, "
+        f"ground-truth rise at frame {clip.rise_frame})"
+    )
+    print()
+    print(analysis.report.render_text())
+    print()
+    print(
+        f"rise onset: frame {analysis.events.takeoff_frame} "
+        f"(stand at frame {analysis.events.landing_frame}); "
+        f"rise height {analysis.measurement.distance:.1f}px"
+    )
+    if args.profile:
+        print()
+        print("stage timings:")
+        print(analysis.trace.render_table())
+    if args.json is not None:
+        from .serialization import write_analysis_json
+
+        write_analysis_json(args.json, analysis)
+        print(
+            f"wrote analysis JSON to {args.json} "
+            f"(config {analysis.config_hash})"
+        )
+    return 0
+
+
+def _cmd_localize(args: argparse.Namespace) -> int:
+    """``slj localize``: only the temporal front-stage, no scoring."""
+    import json as _json
+
+    from .localization import localize_attempts
+
+    config = _resolve_cli_config(args)
+    if args.video is not None:
+        video = VideoSequence.load(args.video)
+    else:
+        from .video.synthesis import LongClipConfig, synthesize_long_clip
+
+        video = synthesize_long_clip(
+            LongClipConfig(seed=args.seed, attempts=args.attempts)
+        ).video
+        print(f"synthesized a {len(video)}-frame {args.attempts}-attempt clip")
+    result = localize_attempts(video, config.localization)
+    print(
+        f"{len(result.windows)} attempt windows in {result.num_frames} "
+        f"frames (seed threshold {result.seed_threshold:.4f}, floor "
+        f"{result.floor:.4f})"
+    )
+    for index, window in enumerate(result.windows):
+        marker = " (primary)" if index == result.primary_index else ""
+        print(
+            f"  frames {window.start}..{window.end - 1} "
+            f"({window.frames} frames, confidence "
+            f"{window.confidence:.2f}){marker}"
+        )
+    if result.truncated:
+        print(f"note: truncated to the top {config.localization.max_attempts}")
+    if args.json is not None:
+        Path(args.json).write_text(
+            _json.dumps(result.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote localization JSON to {args.json}")
     return 0
 
 
@@ -386,7 +551,10 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             config_to_dict(_resolve_cli_config(args)) if customised else None
         )
         job = client.submit(
-            encode_video(video), seed=args.seed, config=config
+            encode_video(video),
+            seed=args.seed,
+            config=config,
+            profile=getattr(args, "movement", None),
         )
         print(f"submitted job {job['id']} ({job['state']})")
         if args.wait:
@@ -645,6 +813,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(
         f"tracking: {sections['tracking']['frames_per_sec']} frames/sec"
     )
+    loc = sections.get("localization")
+    if loc:
+        print(
+            f"localization: {loc['windows_found']} windows in "
+            f"{loc['frames']} frames at {loc['frames_per_sec']} frames/sec "
+            f"({loc['windows_per_sec']} windows/sec)"
+        )
     e2e = sections["end_to_end"]
     print(
         f"end-to-end: baseline {e2e['baseline']['seconds']}s, optimized "
@@ -738,6 +913,25 @@ def build_parser() -> argparse.ArgumentParser:
         "tracking and prints one report per track",
     )
     p_demo.add_argument(
+        "--long",
+        action="store_true",
+        help="synthesize a long clip (dead time + --attempts jumps), "
+        "localise the attempts and score each one",
+    )
+    p_demo.add_argument(
+        "--attempts",
+        type=int,
+        default=2,
+        help="attempts in the synthetic long clip (with --long)",
+    )
+    p_demo.add_argument(
+        "--min-attempts",
+        type=int,
+        default=0,
+        help="with --long, exit 1 unless at least this many attempts "
+        "are found (the CI localisation smoke gate)",
+    )
+    p_demo.add_argument(
         "--json", default=None, metavar="PATH", help="also write the analysis as JSON"
     )
     p_demo.add_argument(
@@ -747,6 +941,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_arguments(p_demo)
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_loc = sub.add_parser(
+        "localize",
+        help="find the attempt windows of a video without scoring them",
+    )
+    p_loc.add_argument(
+        "--video",
+        default=None,
+        metavar="PATH",
+        help="video .npz to localise (default: synthesize a long clip)",
+    )
+    p_loc.add_argument("--seed", type=int, default=0)
+    p_loc.add_argument(
+        "--attempts",
+        type=int,
+        default=2,
+        help="attempts in the synthetic clip when no --video is given",
+    )
+    p_loc.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the result as JSON"
+    )
+    _add_config_arguments(p_loc)
+    p_loc.set_defaults(func=_cmd_localize)
 
     p_serve = sub.add_parser("serve", help="run the analysis web service")
     p_serve.add_argument("--host", default="127.0.0.1")

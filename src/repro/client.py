@@ -213,6 +213,7 @@ class ServiceClient:
         seed: int = 0,
         config: dict[str, Any] | None = None,
         preset: str | None = None,
+        profile: str | None = None,
     ) -> dict[str, Any]:
         payload = (
             video if isinstance(video, str) else encode_video(video)
@@ -226,6 +227,8 @@ class ServiceClient:
             body["config"] = config
         if preset is not None:
             body["preset"] = preset
+        if profile is not None:
+            body["profile"] = profile
         return body
 
     # ------------------------------------------------------------------
@@ -238,16 +241,19 @@ class ServiceClient:
         seed: int = 0,
         config: dict[str, Any] | None = None,
         preset: str | None = None,
+        profile: str | None = None,
     ) -> dict[str, Any]:
         """``POST /v1/analyze``: block until the analysis payload.
 
         ``video`` may be a :class:`VideoSequence` or an
-        already-encoded base64 ``.npz`` string.
+        already-encoded base64 ``.npz`` string.  ``profile`` selects
+        the movement to score (``GET /v1/profiles`` lists them); an
+        unknown name is a 400 ``unknown_profile``.
         """
         return self._request(
             "POST",
             "/analyze",
-            self._video_body(video, annotation, seed, config, preset),
+            self._video_body(video, annotation, seed, config, preset, profile),
         )
 
     def analyze_batch(
@@ -256,6 +262,7 @@ class ServiceClient:
         seed: int = 0,
         config: dict[str, Any] | None = None,
         preset: str | None = None,
+        profile: str | None = None,
     ) -> dict[str, Any]:
         """``POST /v1/analyze/batch``: many videos, one round trip.
 
@@ -276,6 +283,8 @@ class ServiceClient:
             body["config"] = config
         if preset is not None:
             body["preset"] = preset
+        if profile is not None:
+            body["profile"] = profile
         return self._request("POST", "/analyze/batch", body)
 
     # ------------------------------------------------------------------
@@ -288,12 +297,13 @@ class ServiceClient:
         seed: int = 0,
         config: dict[str, Any] | None = None,
         preset: str | None = None,
+        profile: str | None = None,
     ) -> dict[str, Any]:
         """``POST /v1/jobs``: returns the submitted job payload (202)."""
         response = self._request(
             "POST",
             "/jobs",
-            self._video_body(video, annotation, seed, config, preset),
+            self._video_body(video, annotation, seed, config, preset, profile),
         )
         return response["job"]
 
@@ -315,6 +325,7 @@ class ServiceClient:
         seed: int = 0,
         config: dict[str, Any] | None = None,
         preset: str | None = None,
+        profile: str | None = None,
     ) -> dict[str, Any]:
         """``POST /v1/jobs`` with ``"mode": "stream"``: open a stream job.
 
@@ -330,6 +341,8 @@ class ServiceClient:
             body["config"] = config
         if preset is not None:
             body["preset"] = preset
+        if profile is not None:
+            body["profile"] = profile
         return self._request("POST", "/jobs", body)["job"]
 
     def push_frames(
@@ -377,6 +390,7 @@ class ServiceClient:
         seed: int = 0,
         config: dict[str, Any] | None = None,
         preset: str | None = None,
+        profile: str | None = None,
         chunk_frames: int = 4,
         on_update: Any = None,
         timeout: float = 300.0,
@@ -392,7 +406,11 @@ class ServiceClient:
                 f"chunk_frames must be >= 1, got {chunk_frames}"
             )
         job = self.submit_stream(
-            annotation=annotation, seed=seed, config=config, preset=preset
+            annotation=annotation,
+            seed=seed,
+            config=config,
+            preset=preset,
+            profile=profile,
         )
         job_id = job["id"]
         frames = video.frames
@@ -464,6 +482,10 @@ class ServiceClient:
     def standards(self) -> dict[str, Any]:
         """``GET /v1/standards``."""
         return self._request("GET", "/standards")
+
+    def profiles(self) -> dict[str, Any]:
+        """``GET /v1/profiles``: every registered movement profile."""
+        return self._request("GET", "/profiles")
 
     def config(self) -> dict[str, Any]:
         """``GET /v1/config``."""

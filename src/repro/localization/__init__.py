@@ -1,0 +1,33 @@
+"""Temporal localisation: find the attempts in a long video.
+
+The paper's contract is "frame 1 is pre-takeoff, the last frame is the
+landing" — real footage has dead time and multiple attempts.  This
+package locates the action: per-frame motion-energy and
+silhouette-centroid signals (:mod:`repro.localization.signals`,
+reusing the Step-1 change-detection machinery), a hysteresis segmenter
+that turns the energy signal into
+:class:`~repro.localization.windows.AttemptWindow` spans, and a typed
+:class:`~repro.localization.config.LocalizationConfig` the analyzer
+consumes as a front-stage (``AnalyzerConfig.localization``).
+
+See ``docs/profiles.md`` for the signal pipeline and window semantics.
+"""
+
+from .config import LocalizationConfig
+from .signals import centroid_track, motion_energy
+from .windows import (
+    AttemptWindow,
+    LocalizationResult,
+    find_attempt_windows,
+    localize_attempts,
+)
+
+__all__ = [
+    "LocalizationConfig",
+    "AttemptWindow",
+    "LocalizationResult",
+    "centroid_track",
+    "find_attempt_windows",
+    "localize_attempts",
+    "motion_energy",
+]

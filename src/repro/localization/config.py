@@ -1,0 +1,100 @@
+"""Typed configuration of the temporal localisation front-stage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class LocalizationConfig:
+    """Find-the-attempt behaviour of the analyzer.
+
+    Off by default: the paper's contract is "the clip *is* the jump",
+    and that path stays untouched.  With ``enabled``, the analyzer
+    first scans the whole video for activity (see
+    :mod:`repro.localization.signals`), segments it into
+    :class:`~repro.localization.windows.AttemptWindow` spans, and
+    analyses each window independently — long clips with dead time and
+    multiple attempts become an ``attempts`` array on the analysis.
+
+    The segmenter is a hysteresis (Schmitt-trigger) threshold on the
+    motion-energy signal:
+
+    * a frame whose changed-pixel fraction reaches
+      ``max(activity_floor, activity_fraction * reference)`` *seeds* a
+      window (``reference`` is a robust high quantile of the
+      above-floor energies, so one freak frame cannot raise the bar
+      for everything else);
+    * the window extends outward over every neighbouring frame still
+      at or above ``activity_floor`` — so the quiet wind-up and settle
+      around an energetic jump stay inside its window;
+    * runs closer than ``merge_gap`` frames merge, each window is
+      padded by ``pad_before`` / ``pad_after`` context frames, and
+      anything shorter than ``min_window_frames`` is dropped as noise.
+
+    All knobs change results, so the whole block participates in
+    ``config_hash``.
+    """
+
+    enabled: bool = False
+    #: Per-pixel change threshold (max-channel |frame[t] − frame[t−1]|,
+    #: frames in [0, 1]) — the Step-1 change test, but deliberately
+    #: *coarser* than segmentation's 0.05: localisation only needs to
+    #: see the person move, so the threshold sits above sensor noise
+    #: and transient light blobs (NoiseConfig.blob_strength 0.18) and
+    #: below person-vs-background contrast.
+    pixel_threshold: float = 0.20
+    #: Absolute changed-pixel fraction below which a frame is dead time
+    #: (the hysteresis *low* threshold).
+    activity_floor: float = 0.002
+    #: Seed threshold as a fraction of the clip's reference energy
+    #: (the hysteresis *high* threshold).
+    activity_fraction: float = 0.25
+    #: Windows shorter than this are dropped (scoring needs >= 4
+    #: frames; real attempts are much longer).
+    min_window_frames: int = 6
+    #: Active runs separated by at most this many quiet frames merge.
+    merge_gap: int = 4
+    #: Context frames prepended / appended to every window.
+    pad_before: int = 4
+    pad_after: int = 3
+    #: Hard cap on emitted windows (highest-confidence kept, temporal
+    #: order preserved); ``LocalizationResult.truncated`` records a hit.
+    max_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pixel_threshold < 1.0:
+            raise ConfigurationError(
+                "localization.pixel_threshold must be in (0, 1), got "
+                f"{self.pixel_threshold}"
+            )
+        if not 0.0 <= self.activity_floor < 1.0:
+            raise ConfigurationError(
+                "localization.activity_floor must be in [0, 1), got "
+                f"{self.activity_floor}"
+            )
+        if not 0.0 < self.activity_fraction <= 1.0:
+            raise ConfigurationError(
+                "localization.activity_fraction must be in (0, 1], got "
+                f"{self.activity_fraction}"
+            )
+        if self.min_window_frames < 4:
+            raise ConfigurationError(
+                "localization.min_window_frames must be >= 4 (scoring "
+                f"needs four poses), got {self.min_window_frames}"
+            )
+        if self.merge_gap < 0:
+            raise ConfigurationError(
+                f"localization.merge_gap must be >= 0, got {self.merge_gap}"
+            )
+        if self.pad_before < 0 or self.pad_after < 0:
+            raise ConfigurationError(
+                "localization.pad_before/pad_after must be >= 0, got "
+                f"{self.pad_before}/{self.pad_after}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"localization.max_attempts must be >= 1, got {self.max_attempts}"
+            )

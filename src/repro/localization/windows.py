@@ -1,0 +1,191 @@
+"""Attempt-window segmentation of the motion-energy signal."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .config import LocalizationConfig
+from .signals import centroid_track, motion_energy
+from ..video.sequence import VideoSequence
+
+
+@dataclass(frozen=True, slots=True)
+class AttemptWindow:
+    """One candidate attempt: a half-open frame span with confidence."""
+
+    start: int
+    end: int  # exclusive
+    confidence: float
+
+    @property
+    def frames(self) -> int:
+        """Number of frames in the window."""
+        return self.end - self.start
+
+    def iou(self, other: "AttemptWindow") -> float:
+        """Temporal intersection-over-union with another window."""
+        inter = min(self.end, other.end) - max(self.start, other.start)
+        if inter <= 0:
+            return 0.0
+        union = max(self.end, other.end) - min(self.start, other.start)
+        return inter / union
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "start": self.start,
+            "end": self.end,
+            "frames": self.frames,
+            "confidence": self.confidence,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class LocalizationResult:
+    """Everything one localisation pass produced."""
+
+    windows: tuple[AttemptWindow, ...]  # temporal order
+    energy: tuple[float, ...]  # per-frame motion energy
+    #: Resolved hysteresis thresholds of this clip.
+    seed_threshold: float
+    floor: float
+    num_frames: int
+    #: True when more than ``max_attempts`` windows were found and the
+    #: lowest-confidence ones were dropped.
+    truncated: bool = False
+
+    @property
+    def primary_index(self) -> int | None:
+        """Index of the highest-confidence window (ties: earliest)."""
+        if not self.windows:
+            return None
+        best = max(range(len(self.windows)),
+                   key=lambda i: (self.windows[i].confidence, -i))
+        return best
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (the ``localization`` payload block)."""
+        return {
+            "enabled": True,
+            "num_frames": self.num_frames,
+            "windows": [w.to_dict() for w in self.windows],
+            "primary": self.primary_index,
+            "seed_threshold": self.seed_threshold,
+            "floor": self.floor,
+            "truncated": self.truncated,
+        }
+
+
+def _runs(mask: np.ndarray) -> list[tuple[int, int]]:
+    """Half-open ``(start, end)`` spans of True runs in ``mask``."""
+    padded = np.concatenate(([False], mask, [False]))
+    edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    return [(int(edges[i]), int(edges[i + 1])) for i in range(0, len(edges), 2)]
+
+
+def find_attempt_windows(
+    energy: np.ndarray, config: LocalizationConfig
+) -> tuple[list[tuple[int, int]], float, float]:
+    """Segment an energy signal into raw attempt spans.
+
+    Returns ``(spans, seed_threshold, floor)`` — spans are half-open,
+    temporally ordered, merged and padded but *unscored* (confidence
+    needs the centroid signal; see :func:`localize_attempts`).
+    """
+    floor = config.activity_floor
+    n = len(energy)
+    above = energy > floor
+    if n == 0 or not above.any():
+        return [], floor, floor
+    # Robust reference: a high quantile of above-floor energies, so a
+    # single freak frame (e.g. a scene cut) cannot raise the seed bar
+    # past every real attempt.
+    reference = float(np.percentile(energy[above], 90.0))
+    seed_threshold = max(floor, config.activity_fraction * reference)
+    seeds = energy >= seed_threshold
+    if not seeds.any():
+        return [], seed_threshold, floor
+    # Hysteresis: keep above-floor runs that contain at least one seed.
+    spans = [
+        (start, end)
+        for start, end in _runs(above)
+        if seeds[start:end].any()
+    ]
+    # Merge runs separated by short quiet gaps.
+    merged: list[tuple[int, int]] = []
+    for start, end in spans:
+        if merged and start - merged[-1][1] <= config.merge_gap:
+            merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    # Drop flicker before padding, so an isolated spike cannot grow a
+    # window out of pure context frames.
+    merged = [
+        (s, e) for s, e in merged if e - s >= config.min_window_frames
+    ]
+    # Pad with context and re-merge any overlaps padding created.
+    padded: list[tuple[int, int]] = []
+    for start, end in merged:
+        start = max(0, start - config.pad_before)
+        end = min(n, end + config.pad_after)
+        if padded and start <= padded[-1][1]:
+            padded[-1] = (padded[-1][0], end)
+        else:
+            padded.append((start, end))
+    return padded, seed_threshold, floor
+
+
+def localize_attempts(
+    video: VideoSequence, config: LocalizationConfig | None = None
+) -> LocalizationResult:
+    """Find the attempt windows of a long video.
+
+    Computes the motion-energy signal, segments it (see
+    :func:`find_attempt_windows`), and scores every window with a
+    deterministic confidence blending its mean energy against the clip
+    reference with the silhouette-centroid travel across the window —
+    an energetic window whose subject actually *goes somewhere* ranks
+    above one that merely flickers.  A clip with no activity yields an
+    empty window tuple (the analyzer's clean ``no_attempts`` path),
+    never an exception.
+    """
+    config = config or LocalizationConfig()
+    energy = motion_energy(video, config.pixel_threshold)
+    spans, seed_threshold, floor = find_attempt_windows(energy, config)
+    windows: list[AttemptWindow] = []
+    if spans:
+        centroids = centroid_track(video, config.pixel_threshold)
+        diagonal = float(np.hypot(video.width, video.height))
+        peak = float(max(energy.max(), 1e-12))
+        for start, end in spans:
+            window_energy = float(energy[start:end].mean()) / peak
+            valid = ~np.isnan(centroids[start:end, 0])
+            if valid.sum() >= 2:
+                first = centroids[start:end][valid][0]
+                last = centroids[start:end][valid][-1]
+                travel = float(np.hypot(*(last - first)))
+                # A quarter of the frame diagonal is "travelled plenty".
+                travel_score = min(1.0, travel / (0.25 * diagonal))
+            else:
+                travel_score = 0.0
+            confidence = 0.6 * min(1.0, window_energy) + 0.4 * travel_score
+            windows.append(AttemptWindow(start, end, float(confidence)))
+    truncated = len(windows) > config.max_attempts
+    if truncated:
+        keep = sorted(
+            sorted(range(len(windows)),
+                   key=lambda i: windows[i].confidence,
+                   reverse=True)[: config.max_attempts]
+        )
+        windows = [windows[i] for i in keep]
+    return LocalizationResult(
+        windows=tuple(windows),
+        energy=tuple(float(e) for e in energy),
+        seed_threshold=seed_threshold,
+        floor=floor,
+        num_frames=len(video),
+        truncated=truncated,
+    )

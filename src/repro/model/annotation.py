@@ -22,7 +22,7 @@ import numpy as np
 
 from .fitness import estimate_thicknesses
 from .geometry import mask_points_world, wrap_angle
-from .pose import StickPose
+from .pose import StickPose, forward_kinematics
 from .sticks import FOOT, NUM_STICKS, SHANK, THIGH, UPPER_ARM, FOREARM, BodyDimensions, default_body
 from ..errors import ModelError
 from ..imaging.image import ensure_mask
@@ -82,14 +82,23 @@ def simulate_human_annotation(
 def auto_annotate(
     mask: np.ndarray,
     dims: BodyDimensions | None = None,
+    prior_angles: "tuple[float, ...] | None" = None,
 ) -> FirstFrameAnnotation:
-    """Derive a rough standing pose from silhouette moments (extension).
+    """Derive a rough first-frame pose from silhouette moments (extension).
 
     The trunk centre is placed at the silhouette centroid, the trunk
     angle follows the principal axis of the point cloud, limbs start at
     a standing prior, and the body is scaled so its stature matches the
     silhouette height.  Intended for frames where the person is roughly
     upright (the first frame of a standing long jump).
+
+    ``prior_angles`` substitutes a different start posture (a movement
+    profile's :attr:`~repro.profiles.MovementProfile.start_angles`,
+    e.g. seated for sit-to-stand).  The body is then scaled so the
+    *posed model's* vertical extent matches the silhouette height —
+    scaling by stature would shrink the model to the crouched height —
+    and the model is centred on the silhouette via the posed model's
+    own point centroid instead of the standing-body nudge.
     """
     mask = ensure_mask(mask)
     points = mask_points_world(mask)
@@ -97,6 +106,34 @@ def auto_annotate(
         raise ModelError("silhouette too small to auto-annotate")
 
     centroid = points.mean(axis=0)
+    height = points[:, 1].max() - points[:, 1].min()
+
+    if prior_angles is not None:
+        if len(prior_angles) != NUM_STICKS:
+            raise ModelError(
+                f"prior_angles needs {NUM_STICKS} angles, got {len(prior_angles)}"
+            )
+        base = dims or default_body(stature=max(height, 1.0))
+        genes = np.array([0.0, 0.0, *prior_angles], dtype=np.float64)[None, :]
+        segments = forward_kinematics(genes, base)[0]
+        endpoints = segments.reshape(-1, 2)
+        extent = float(endpoints[:, 1].max() - endpoints[:, 1].min())
+        scale = max(height, 1.0) / max(extent, 1.0)
+        scaled = base.scaled(scale)
+        # Align the posed model's endpoint centroid with the
+        # silhouette centroid: the trunk centre offset is the scaled
+        # negative of the model centroid at origin.
+        model_centroid = endpoints.mean(axis=0) * scale
+        pose = StickPose(
+            x0=float(centroid[0] - model_centroid[0]),
+            y0=float(centroid[1] - model_centroid[1]),
+            angles_deg=tuple(float(wrap_angle(a)) for a in prior_angles),
+        )
+        thickness = estimate_thicknesses(mask, pose, scaled)
+        return FirstFrameAnnotation(
+            pose=pose, dims=scaled.with_thicknesses(thickness)
+        )
+
     centered = points - centroid
     cov = centered.T @ centered / points.shape[0]
     eigvals, eigvecs = np.linalg.eigh(cov)
@@ -105,7 +142,6 @@ def auto_annotate(
         principal = -principal
     trunk_angle = float(wrap_angle(np.degrees(np.arctan2(principal[0], principal[1]))))
 
-    height = points[:, 1].max() - points[:, 1].min()
     base = dims or default_body(stature=max(height, 1.0))
     scale = max(height, 1.0) / base.stature
     scaled = base.scaled(scale)

@@ -26,7 +26,11 @@ reports a machine-readable JSON document (committed as
 * ``fitness_batch`` — the population-batched
   :meth:`SilhouetteFitness.evaluate` against a per-chromosome loop
   (evaluations/sec and the batch speedup), so the batching claim in
-  the docs stays a measured number.
+  the docs stays a measured number;
+* ``localization`` — the temporal attempt-localisation front-stage
+  (:func:`repro.localization.localize_attempts`) over a long
+  multi-attempt clip with dead time: frames/sec of the scan and
+  attempt windows found per second.
 
 The report also records machine info and the config hash, so two
 bench files are comparable at a glance.  :func:`compare_to_baseline`
@@ -455,6 +459,47 @@ def _bench_fitness_batch(
     }
 
 
+def _bench_localization(seed: int, quick: bool) -> dict[str, Any]:
+    """Attempt localisation throughput on a long dead-time clip.
+
+    The scan is a whole-video pass (motion energy + centroid track +
+    hysteresis segmentation), so the honest unit is frames/sec of long
+    clip processed; ``windows_per_sec`` is the headline the ISSUE asks
+    for.  The full bench uses a ~300-frame two-attempt clip; ``quick``
+    drops to the default 76-frame clip.
+    """
+    from ..localization import LocalizationConfig, localize_attempts
+    from ..video.synthesis.longclip import LongClipConfig, synthesize_long_clip
+
+    clip_config = (
+        LongClipConfig(seed=seed)
+        if quick
+        else LongClipConfig(
+            seed=seed,
+            attempt_frames=60,
+            dead_pre=60,
+            dead_between=60,
+            dead_post=60,
+        )
+    )
+    clip = synthesize_long_clip(clip_config)
+    config = LocalizationConfig(enabled=True)
+    repeats = 3 if quick else 5
+    localize_attempts(clip.video, config)  # warm caches before timing
+    seconds = float("inf")
+    for _ in range(repeats):
+        attempt, result = _timed(lambda: localize_attempts(clip.video, config))
+        seconds = min(seconds, attempt)
+    return {
+        "frames": len(clip.video),
+        "attempts_truth": len(clip.windows),
+        "windows_found": len(result.windows),
+        "seconds": round(seconds, 4),
+        "frames_per_sec": round(len(clip.video) / seconds, 2),
+        "windows_per_sec": round(len(result.windows) / seconds, 2),
+    }
+
+
 def run_bench(
     config: Any = None,
     *,
@@ -503,6 +548,7 @@ def run_bench(
         jump.person_masks[0], jump.dims, quick, seed
     )
     sections["scale_out"] = _bench_scale_out(config, workers, seed, quick)
+    sections["localization"] = _bench_localization(seed, quick)
 
     # Baseline: the pre-perf-layer code paths — reference distance
     # kernel, per-stick containment loop, full GA re-evaluation every

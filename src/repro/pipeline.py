@@ -28,9 +28,17 @@ from .config.hashing import config_hash
 from .config.schema import config_from_dict, config_to_dict
 from .errors import ConfigurationError, ReproError, SegmentationError, VideoError
 from .ga.temporal import TemporalPoseTracker, TrackerConfig, TrackingResult
+from .localization import (
+    AttemptWindow,
+    LocalizationConfig,
+    LocalizationResult,
+    localize_attempts,
+)
 from .model.annotation import FirstFrameAnnotation, auto_annotate
 from .model.pose import StickPose
+from .model.sticks import default_body
 from .perf.executors import ParallelConfig
+from .profiles import MovementProfile, get_profile, profile_names
 from .runtime import (
     CancellationToken,
     FallbackPolicy,
@@ -182,6 +190,14 @@ class AnalyzerConfig:
     # Frame-at-a-time behaviour (warm-up length, provisional output).
     # The default keeps the batch contract; see StreamingConfig.
     streaming: StreamingConfig = field(default_factory=StreamingConfig)
+    # Temporal localisation front-stage (find the attempts in a long
+    # clip).  Off by default — the paper's "the clip is the jump"
+    # contract; see repro.localization.
+    localization: LocalizationConfig = field(default_factory=LocalizationConfig)
+    # Which movement the tail stages score (events, rules, distance);
+    # resolved through the MOVEMENT_PROFILES registry.  See
+    # repro.profiles and docs/profiles.md.
+    profile: str = "standing_long_jump"
 
     def __post_init__(self) -> None:
         from .errors import ConfigurationError
@@ -190,6 +206,11 @@ class AnalyzerConfig:
             raise ConfigurationError(
                 "smoothing_mode must be median/mean/kalman/none, got "
                 f"{self.smoothing_mode!r}"
+            )
+        if self.profile not in profile_names():
+            raise ConfigurationError(
+                f"unknown movement profile {self.profile!r}; choose from: "
+                f"{', '.join(profile_names())}"
             )
 
     def to_dict(self) -> dict[str, Any]:
@@ -229,6 +250,26 @@ def multi_actor_config(
 
 
 @dataclass(frozen=True, slots=True)
+class AttemptAnalysis:
+    """One localised attempt of a long clip, fully analysed.
+
+    ``analysis`` is a complete :class:`JumpAnalysis` of the window's
+    sub-clip — frame indices inside it (events, decisive frames) are
+    *window-relative*; add ``window.start`` for absolute positions.
+    """
+
+    attempt_id: str  # "a0", "a1", ... in temporal order
+    window: AttemptWindow
+    analysis: "JumpAnalysis"
+    primary: bool  # highest-confidence window of the clip
+
+    @property
+    def score(self) -> float:
+        """The attempt's rule score, for quick ranking."""
+        return self.analysis.report.score
+
+
+@dataclass(frozen=True, slots=True)
 class JumpAnalysis:
     """Everything the pipeline produced for one video."""
 
@@ -254,6 +295,15 @@ class JumpAnalysis:
     # single-jumper path; the top-level fields above always describe
     # the primary track either way.
     tracks: tuple[TrackAnalysis, ...] = ()
+    # Per-attempt analyses when temporal localisation is enabled (one
+    # entry per attempt window, temporal order).  Empty on the classic
+    # whole-clip path; the top-level fields above always describe the
+    # primary attempt either way — the same backward-compat pattern as
+    # ``tracks``.
+    attempts: tuple[AttemptAnalysis, ...] = ()
+    # The localisation pass that produced ``attempts`` (windows,
+    # energy signal, resolved thresholds); None when disabled.
+    localization: "LocalizationResult | None" = None
 
     @property
     def degraded(self) -> bool:
@@ -290,6 +340,9 @@ class JumpAnalyzer:
 
     def __init__(self, config: AnalyzerConfig | None = None) -> None:
         self.config = config or AnalyzerConfig()
+        # Resolved once: the movement the tail stages score (events,
+        # rules, distance).  config.__post_init__ validated the name.
+        self._profile: MovementProfile = get_profile(self.config.profile)
         self._runner = PipelineRunner(
             [
                 FunctionStage("segmentation", self._stage_segmentation),
@@ -395,7 +448,9 @@ class JumpAnalyzer:
             # (left on the blackboard) seeds the first spawn.
             return silhouettes
         if ctx.artifacts.get("annotation") is None:
-            ctx.artifacts["annotation"] = auto_annotate(silhouettes[0])
+            ctx.artifacts["annotation"] = auto_annotate(
+                silhouettes[0], prior_angles=self._profile.start_angles
+            )
             ctx.instrumentation.count("annotation.automatic", 1)
         return silhouettes
 
@@ -508,14 +563,18 @@ class JumpAnalyzer:
         self, poses: tuple[StickPose, ...], ctx: StageContext
     ) -> tuple[StickPose, ...]:
         annotation: FirstFrameAnnotation = ctx.require("annotation")
-        ctx.artifacts["events"] = detect_events(poses, annotation.dims)
+        ctx.artifacts["events"] = self._profile.detect_events(
+            poses, annotation.dims
+        )
         return poses
 
     def _stage_scoring(
         self, poses: tuple[StickPose, ...], ctx: StageContext
     ) -> tuple[StickPose, ...]:
         events: JumpEvents = ctx.require("events")
-        scorer = JumpScorer(instrumentation=ctx.instrumentation)
+        scorer = JumpScorer(
+            instrumentation=ctx.instrumentation, profile=self._profile
+        )
         ctx.artifacts["report"] = scorer.score(
             poses, takeoff_frame=events.takeoff_frame
         )
@@ -525,8 +584,8 @@ class JumpAnalyzer:
         self, poses: tuple[StickPose, ...], ctx: StageContext
     ) -> tuple[StickPose, ...]:
         annotation: FirstFrameAnnotation = ctx.require("annotation")
-        ctx.artifacts["measurement"] = measure_jump(
-            poses, annotation.dims, landing_frame=len(poses) - 1
+        ctx.artifacts["measurement"] = self._profile.measure(
+            poses, annotation.dims, len(poses) - 1
         )
         return poses
 
@@ -577,7 +636,9 @@ class JumpAnalyzer:
             )
         except ReproError:  # too-short / inconsistent sequence
             windows = StageWindows.paper_default()
-        ctx.artifacts["report"] = JumpReport(results=(), windows=windows)
+        ctx.artifacts["report"] = JumpReport(
+            results=(), windows=windows, profile=self.config.profile
+        )
         return poses
 
     def _fallback_measurement(
@@ -699,6 +760,31 @@ class JumpAnalyzer:
         cancel_token: "CancellationToken | None",
         checkpointer: Any = None,
     ) -> JumpAnalysis:
+        """Whole-sequence analysis, with optional localisation front-stage.
+
+        With ``localization.enabled`` the video is first segmented into
+        attempt windows and each window runs through the classic
+        seven-stage path independently (see :meth:`_analyze_localized`);
+        otherwise the clip is analysed as one attempt, exactly as the
+        paper assumes.
+        """
+        if self.config.localization.enabled:
+            return self._analyze_localized(
+                video, annotation, rng, instrumentation, cancel_token
+            )
+        return self._analyze_window(
+            video, annotation, rng, instrumentation, cancel_token, checkpointer
+        )
+
+    def _analyze_window(
+        self,
+        video: VideoSequence,
+        annotation: FirstFrameAnnotation | None,
+        rng: np.random.Generator,
+        instrumentation: Instrumentation,
+        cancel_token: "CancellationToken | None",
+        checkpointer: Any = None,
+    ) -> JumpAnalysis:
         """The classic whole-sequence path: run all seven stages.
 
         With a ``checkpointer``, a stage checkpoint left by a previous
@@ -760,6 +846,157 @@ class JumpAnalyzer:
             config_hash=resolved_hash,
             diagnostics=diagnostics,
             tracks=tracks,
+        )
+
+    def _analyze_localized(
+        self,
+        video: VideoSequence,
+        annotation: FirstFrameAnnotation | None,
+        rng: np.random.Generator,
+        instrumentation: Instrumentation,
+        cancel_token: "CancellationToken | None",
+    ) -> JumpAnalysis:
+        """Find the attempts in a long clip and analyse each one.
+
+        Every window runs the classic seven-stage path over its
+        sub-clip, sequentially and against the *same* rng — a clip
+        whose single window spans the whole video therefore draws the
+        identical random stream and reproduces the classic result
+        byte-for-byte (the single-attempt parity pin).  The caller's
+        ``annotation`` anchors only a window that starts at frame 0;
+        later windows fall back to the automatic initialiser (a
+        hand-drawn frame-0 stick figure has no meaning mid-clip).
+        Checkpointing is not threaded through the multi-window path —
+        localised runs are re-run from scratch on resume.
+        """
+        if len(video) == 0:
+            raise VideoError(
+                "cannot analyze a zero-frame video; the sequence needs at "
+                "least one frame to segment and anchor the stick model"
+            )
+        with instrumentation.span("localization"):
+            result = localize_attempts(video, self.config.localization)
+        instrumentation.count("localization.windows", len(result.windows))
+        if not result.windows:
+            return self._no_attempts_analysis(
+                video, annotation, result, instrumentation
+            )
+        primary_index = result.primary_index
+        attempts: list[AttemptAnalysis] = []
+        for index, window in enumerate(result.windows):
+            if window.start == 0 and window.end == len(video):
+                sub_video = video  # identity, not a copy: parity anchor
+            else:
+                sub_video = video.clip(window.start, window.end)
+            sub_annotation = annotation if window.start == 0 else None
+            analysis = self._analyze_window(
+                sub_video, sub_annotation, rng, instrumentation, cancel_token
+            )
+            attempts.append(
+                AttemptAnalysis(
+                    attempt_id=f"a{index}",
+                    window=window,
+                    analysis=analysis,
+                    primary=index == primary_index,
+                )
+            )
+        primary = attempts[primary_index].analysis
+        diagnostics = dict(primary.diagnostics)
+        diagnostics["attempts"] = [
+            {
+                "attempt_id": a.attempt_id,
+                "start": a.window.start,
+                "end": a.window.end,
+                "confidence": a.window.confidence,
+                "primary": a.primary,
+                "score": a.score,
+                "degraded": a.analysis.degraded,
+            }
+            for a in attempts
+        ]
+        diagnostics["degraded"] = bool(
+            diagnostics.get("degraded")
+            or any(a.analysis.degraded for a in attempts)
+        )
+        return replace(
+            primary,
+            attempts=tuple(attempts),
+            localization=result,
+            diagnostics=diagnostics,
+        )
+
+    def _no_attempts_analysis(
+        self,
+        video: VideoSequence,
+        annotation: FirstFrameAnnotation | None,
+        result: LocalizationResult,
+        instrumentation: Instrumentation,
+    ) -> JumpAnalysis:
+        """A clean empty analysis for a clip with no detected activity.
+
+        A zero-motion video is a *valid input* to a localising
+        analyzer, not an error: the result carries an empty ``attempts``
+        array, an empty report, and ``diagnostics["no_attempts"]`` so
+        every consumer (service payloads, CLI) renders it gracefully.
+        """
+        from .scoring.phases import StageWindows
+
+        instrumentation.event("localization/no_attempts")
+        config_dict = self.config.to_dict()
+        resolved_hash = config_hash(config_dict)
+        if annotation is None:
+            annotation = FirstFrameAnnotation(
+                pose=StickPose.standing(
+                    x0=video.width / 2.0, y0=video.height / 2.0
+                ),
+                dims=default_body(),
+            )
+        return JumpAnalysis(
+            segmentations=(),
+            background=np.zeros_like(
+                np.asarray(video[0], dtype=np.float64)
+            ),
+            annotation=annotation,
+            tracking=TrackingResult(poses=(), records=(), health=()),
+            poses=(),
+            events=JumpEvents(
+                takeoff_frame=0,
+                landing_frame=0,
+                peak_frame=0,
+                ground_height=0.0,
+            ),
+            report=JumpReport(
+                results=(),
+                windows=StageWindows.paper_default(),
+                profile=self.config.profile,
+            ),
+            measurement=JumpMeasurement(
+                distance=0.0,
+                takeoff_line_x=0.0,
+                landing_heel_x=0.0,
+                landing_frame=0,
+                relative_to_stature=0.0,
+            ),
+            trace=RunTrace(
+                stages=(),
+                metadata={
+                    "config": config_dict,
+                    "config_hash": resolved_hash,
+                },
+            ),
+            config=config_dict,
+            config_hash=resolved_hash,
+            diagnostics={
+                "degraded": False,
+                "no_attempts": True,
+                "unhealthy_frames": [],
+                "flagged_frames": [],
+                "health_summary": {},
+                "frame_health": [],
+                "degraded_stages": [],
+                "attempts": [],
+            },
+            localization=result,
         )
 
     @staticmethod

@@ -1,0 +1,49 @@
+"""Movement profiles: score any silhouette-tracked movement.
+
+The scoring engine (stage windows, rule evaluation, report rendering,
+distance measurement) is movement-agnostic; what makes it "the
+standing long jump" is a table of standards and rules.  This package
+lifts that table into :class:`MovementProfile` and registers profiles
+like segmentation steps and search strategies are registered, selected
+via ``AnalyzerConfig.profile``.  Two profiles ship:
+
+* ``standing_long_jump`` — the paper's E1-E7 / R1-R7 tables, unchanged
+  (scoring through the profile is outcome-identical to the classic
+  pipeline);
+* ``sit_to_stand`` — the chair-rise test, proving the engine
+  generalises: new standards, a rise-onset phase boundary, vertical
+  distance semantics.
+
+See ``docs/profiles.md`` for how to register your own.
+"""
+
+from .base import (
+    MOVEMENT_PROFILES,
+    MovementProfile,
+    get_profile,
+    profile_names,
+)
+# Import order is registration order: the paper's movement first.
+from .standing_long_jump import STANDING_LONG_JUMP
+from .sit_to_stand import (
+    SIT_TO_STAND,
+    SIT_TO_STAND_ADVICE,
+    SIT_TO_STAND_RULES,
+    SitToStandStandard,
+    detect_sit_to_stand_events,
+    measure_sit_to_stand,
+)
+
+__all__ = [
+    "MOVEMENT_PROFILES",
+    "MovementProfile",
+    "get_profile",
+    "profile_names",
+    "STANDING_LONG_JUMP",
+    "SIT_TO_STAND",
+    "SIT_TO_STAND_ADVICE",
+    "SIT_TO_STAND_RULES",
+    "SitToStandStandard",
+    "detect_sit_to_stand_events",
+    "measure_sit_to_stand",
+]

@@ -1,0 +1,88 @@
+"""The :class:`MovementProfile` abstraction and its registry.
+
+The paper scores exactly one movement — the standing long jump — and
+its Table 1 → Table 2 translation is, structurally, a *table*: a list
+of standards, one measurable rule per standard, a phase model that
+assigns each rule a frame window, and a distance measure.  A
+:class:`MovementProfile` packages that table so the pipeline can score
+any silhouette-tracked movement: the analyzer resolves
+``AnalyzerConfig.profile`` through :data:`MOVEMENT_PROFILES` exactly
+like segmentation steps and search strategies resolve theirs.
+
+Profiles are *data*, not subclasses: the engine (GA tracking, stage
+windows, rule evaluation, report rendering) is shared; a profile only
+supplies the standards table, the rule predicates, the event detector
+that finds the phase boundary, and the measurement semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..analysis.events import JumpEvents
+from ..model.pose import StickPose
+from ..model.sticks import BodyDimensions
+from ..registry import Registry
+from ..scoring.distance import JumpMeasurement
+from ..scoring.rules import Rule
+
+#: ``detect_events(poses, dims) -> JumpEvents`` — finds the movement's
+#: temporal structure; ``takeoff_frame`` is the phase boundary the
+#: stage windows split at (rise onset for sit-to-stand).
+EventDetector = Callable[[Sequence[StickPose], BodyDimensions], JumpEvents]
+
+#: ``measure(poses, dims, landing_frame) -> JumpMeasurement`` — the
+#: profile's distance semantics (horizontal jump length, vertical rise).
+Measurer = Callable[
+    [Sequence[StickPose], BodyDimensions, "int | None"], JumpMeasurement
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MovementProfile:
+    """One scoreable movement: standards, rules, phases, distance."""
+
+    #: Registry key (``standing_long_jump``) and config value.
+    name: str
+    #: Human title used in report headers ("Standing Long Jump").
+    title: str
+    #: One-line description for ``GET /v1/profiles`` and the CLI.
+    description: str
+    #: The standards table — enum members carrying ``.name``,
+    #: ``.stage`` (a :class:`~repro.scoring.phases.StageWindows` stage
+    #: key) and ``.description``.
+    standards: tuple[Any, ...]
+    #: One measurable :class:`~repro.scoring.rules.Rule` per standard.
+    rules: tuple[Rule, ...]
+    #: Coaching advice per standard, issued on violation.
+    advice: Mapping[Any, str]
+    #: Event detector supplying the phase boundary (and landing/peak).
+    detect_events: EventDetector
+    #: Distance measure; what ``JumpMeasurement.distance`` means for
+    #: this movement is stated by ``distance_label``.
+    measure: Measurer
+    distance_label: str = "distance (px)"
+    #: First-frame annotation prior: the stick angles a person starts
+    #: this movement in (``None`` → the standing prior).  Automatic
+    #: annotation fits the model to the first silhouette assuming this
+    #: posture — a seated start would otherwise be mis-scaled and
+    #: mis-posed, and the error cascades through tracking.
+    start_angles: "tuple[float, ...] | None" = None
+
+
+#: All registered movement profiles.  Register with
+#: ``MOVEMENT_PROFILES.add(profile.name, profile)`` at import time —
+#: both shipped profiles do, so importing :mod:`repro.profiles`
+#: populates the registry.
+MOVEMENT_PROFILES: Registry[MovementProfile] = Registry("movement profile")
+
+
+def get_profile(name: str) -> MovementProfile:
+    """Look a profile up; unknown names list the registered ones."""
+    return MOVEMENT_PROFILES.get(name)
+
+
+def profile_names() -> tuple[str, ...]:
+    """Registered profile names, in registration order."""
+    return MOVEMENT_PROFILES.names()

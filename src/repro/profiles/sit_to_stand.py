@@ -1,0 +1,219 @@
+"""Sit-to-stand: a second movement through the same engine.
+
+The chair-rise test is the classic clinical silhouette-analysis
+movement (see *Sit-to-Stand Analysis in the Wild*, PAPERS.md), and it
+exercises every part of the profile abstraction the standing long jump
+does not: the phase boundary is a *rise onset* rather than a takeoff,
+the "distance" is a vertical trunk rise rather than a horizontal jump
+length, and the standards table is a different shape (4 standards, two
+per phase).  The rule predicates themselves reuse the scoring layer's
+angle measures — the engine is shared, only the table changes.
+
+Phase mapping: the generic stage keys ``initiation`` / ``air_landing``
+(see :mod:`repro.scoring.phases`) are interpreted as *seated
+preparation* (first frame → rise onset) and *rise-and-stand* (rise
+onset → end).  ``JumpEvents.takeoff_frame`` carries the rise onset so
+:class:`~repro.scoring.phases.StageWindows` splits correctly with no
+changes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.events import JumpEvents, foot_clearance
+from ..errors import ScoringError
+from ..model.pose import StickPose
+from ..model.sticks import BodyDimensions
+from ..scoring.distance import JumpMeasurement
+from ..scoring.rules import Rule, _knee_flexion, _trunk_angle
+from ..scoring.standards import STAGE_AIR_LANDING, STAGE_INITIATION
+from .base import MOVEMENT_PROFILES, MovementProfile
+
+
+class SitToStandStandard(Enum):
+    """Form standards of the chair rise, two per phase."""
+
+    S1 = (STAGE_INITIATION, "Trunk leaned forward to rise")
+    S2 = (STAGE_INITIATION, "Knees deeply flexed while seated")
+    S3 = (STAGE_AIR_LANDING, "Knees fully extended at stand")
+    S4 = (STAGE_AIR_LANDING, "Trunk upright at stand")
+
+    @property
+    def stage(self) -> str:
+        """``"initiation"`` (seated) or ``"air_landing"`` (rise/stand)."""
+        return self.value[0]
+
+    @property
+    def description(self) -> str:
+        """The standard's wording."""
+        return self.value[1]
+
+
+def _trunk_uprightness(pose: StickPose) -> float:
+    """Absolute trunk lean from vertical, degrees (0 = upright)."""
+    return abs(_trunk_angle(pose))
+
+
+def _knee_flexion_magnitude(pose: StickPose) -> float:
+    """Unsigned knee flexion |ρ6 − ρ3|, degrees (0 = straight leg).
+
+    The signed measure the jump rules use can wrap to large negative
+    values when the tracker briefly swaps leg sticks; the magnitude is
+    what "how bent is the knee" means here.
+    """
+    return abs(_knee_flexion(pose))
+
+
+#: One measurable rule per standard, same shape as the jump's Table 2.
+#: Thresholds are tuned to the shared GA tracker's accuracy on
+#: silhouettes (like the paper's own Table 2 thresholds were): a
+#: straightened leg is estimated at ~40° flexion, a seated one at
+#: 90°+, so "extended" is < 50° and "deeply flexed" is > 60°.
+SIT_TO_STAND_RULES: tuple[Rule, ...] = (
+    Rule("T1", SitToStandStandard.S1, "max ρ0 > 25°", _trunk_angle, 25.0, True),
+    Rule(
+        "T2",
+        SitToStandStandard.S2,
+        "max |ρ6 − ρ3| > 60°",
+        _knee_flexion_magnitude,
+        60.0,
+        True,
+    ),
+    Rule(
+        "T3",
+        SitToStandStandard.S3,
+        "min |ρ6 − ρ3| < 50°",
+        _knee_flexion_magnitude,
+        50.0,
+        False,
+    ),
+    Rule("T4", SitToStandStandard.S4, "min |ρ0| < 15°", _trunk_uprightness, 15.0, False),
+)
+
+SIT_TO_STAND_ADVICE: dict[SitToStandStandard, str] = {
+    SitToStandStandard.S1: (
+        "Lean your trunk forward over your feet before rising — it "
+        "moves your weight onto your legs instead of your arms."
+    ),
+    SitToStandStandard.S2: (
+        "Start from a genuine seated position with knees well bent; "
+        "rising from a half-crouch skips the movement being tested."
+    ),
+    SitToStandStandard.S3: (
+        "Straighten your knees completely at the top of the rise — "
+        "stopping short leaves you in a crouch, not a stand."
+    ),
+    SitToStandStandard.S4: (
+        "Finish upright: bring your trunk back over your hips once "
+        "your knees are extended."
+    ),
+}
+
+
+def detect_sit_to_stand_events(
+    poses: Sequence[StickPose],
+    dims: BodyDimensions,
+    rise_fraction: float = 0.5,
+    settle_fraction: float = 0.10,
+) -> JumpEvents:
+    """Detect rise onset, stand and peak from the trunk-height track.
+
+    The trunk centre (``pose.y0``) rises monotonically-ish from seated
+    to standing: onset is the first frame clearly above the seated
+    baseline (``rise_fraction`` of the total rise — defaulting to half
+    the rise, deliberately *late*, so the forward lean that precedes
+    and overlaps the early rise stays inside the seated preparation
+    window), the stand is the first frame within ``settle_fraction``
+    of the top.  The result is
+    packaged as :class:`~repro.analysis.events.JumpEvents` with the
+    onset in ``takeoff_frame`` so the shared stage windows split the
+    sequence at the start of the rise.
+    """
+    if len(poses) < 4:
+        raise ScoringError(f"need at least 4 poses, got {len(poses)}")
+    heights = np.array([pose.y0 for pose in poses])
+    base = float(np.median(heights[:3]))
+    top = float(heights.max())
+    rise = top - base
+    if rise <= 1e-9:
+        # No rise at all: fall back to the midpoint split, like the
+        # jump detector does when the jumper never goes airborne.
+        onset = len(poses) // 2
+        settled = len(poses) - 1
+    else:
+        above = heights > base + rise_fraction * rise
+        onset = int(np.argmax(above)) if above.any() else len(poses) // 2
+        onset = max(1, min(onset, len(poses) - 1))
+        settled_mask = heights >= top - settle_fraction * rise
+        later = np.nonzero(settled_mask[onset:])[0]
+        settled = int(onset + later[0]) if later.size else len(poses) - 1
+    peak = int(heights.argmax())
+    ground = float(foot_clearance(poses[:1], dims)[0])
+    return JumpEvents(
+        takeoff_frame=int(onset),
+        landing_frame=int(max(settled, onset)),
+        peak_frame=peak,
+        ground_height=ground,
+    )
+
+
+def measure_sit_to_stand(
+    poses: Sequence[StickPose],
+    dims: BodyDimensions,
+    landing_frame: "int | None" = None,
+) -> JumpMeasurement:
+    """Measure the vertical trunk rise of a chair stand.
+
+    Reuses the :class:`~repro.scoring.distance.JumpMeasurement` shape
+    with profile semantics: ``distance`` is the vertical rise of the
+    trunk centre (px), ``takeoff_line_x`` / ``landing_heel_x`` carry
+    the seated and standing trunk heights (the measurement's two
+    endpoints, exactly as for the jump — just along y instead of x).
+    """
+    if len(poses) < 2:
+        raise ScoringError("need at least two poses to measure a rise")
+    if landing_frame is None:
+        landing_frame = len(poses) - 1
+    if not 0 < landing_frame < len(poses):
+        raise ScoringError(
+            f"landing_frame {landing_frame} out of range for {len(poses)} poses"
+        )
+    heights = np.array([pose.y0 for pose in poses])
+    seated = float(heights[0])
+    stand = float(heights[: landing_frame + 1].max())
+    rise = stand - seated
+    return JumpMeasurement(
+        distance=float(rise),
+        takeoff_line_x=seated,
+        landing_heel_x=stand,
+        landing_frame=int(landing_frame),
+        relative_to_stature=float(rise / dims.stature),
+    )
+
+
+SIT_TO_STAND = MovementProfile(
+    name="sit_to_stand",
+    title="Sit to Stand",
+    description=(
+        "Chair rise scored through the shared engine: seated "
+        "preparation then rise-and-stand, four form standards, "
+        "distance measured as the vertical trunk rise."
+    ),
+    standards=tuple(SitToStandStandard),
+    rules=SIT_TO_STAND_RULES,
+    advice=SIT_TO_STAND_ADVICE,
+    detect_events=detect_sit_to_stand_events,
+    measure=measure_sit_to_stand,
+    distance_label="vertical rise (px, seated to standing trunk height)",
+    # A typical deep-seated posture (trunk slightly forward, knees and
+    # hips well flexed): the first-frame annotation prior.  Close to,
+    # but deliberately not identical to, the synthetic clip's seated
+    # keyframe — annotation must tolerate a few degrees of mismatch.
+    start_angles=(10.0, 10.0, 185.0, 140.0, 10.0, 190.0, 225.0, 90.0),
+)
+
+MOVEMENT_PROFILES.add(SIT_TO_STAND.name, SIT_TO_STAND)

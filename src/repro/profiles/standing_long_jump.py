@@ -1,0 +1,35 @@
+"""The paper's movement, repackaged as a profile.
+
+This is a *wrapper*, not a rewrite: the profile points at the very
+same ``RULES`` tuple, ``Standard`` enum, ``ADVICE`` mapping, event
+detector and distance measure the scoring layer has always used, so
+scoring through the profile is outcome-identical to the pre-registry
+pipeline (the single-attempt parity pin in ``tests/test_profiles.py``
+asserts object identity, not just equality).
+"""
+
+from __future__ import annotations
+
+from ..analysis.events import detect_events
+from ..scoring.distance import measure_jump
+from ..scoring.rules import RULES
+from ..scoring.standards import ADVICE, Standard
+from .base import MOVEMENT_PROFILES, MovementProfile
+
+STANDING_LONG_JUMP = MovementProfile(
+    name="standing_long_jump",
+    title="Standing Long Jump",
+    description=(
+        "The paper's movement: Table 1 standards E1-E7 checked by the "
+        "Table 2 rules R1-R7, distance measured takeoff line to "
+        "landing heel."
+    ),
+    standards=tuple(Standard),
+    rules=RULES,
+    advice=ADVICE,
+    detect_events=detect_events,
+    measure=measure_jump,
+    distance_label="jump distance (px, takeoff line to landing heel)",
+)
+
+MOVEMENT_PROFILES.add(STANDING_LONG_JUMP.name, STANDING_LONG_JUMP)

@@ -19,10 +19,24 @@ from ..runtime import Instrumentation
 
 @dataclass(frozen=True, slots=True)
 class JumpReport:
-    """Full scoring outcome of one jump."""
+    """Full scoring outcome of one movement attempt.
+
+    ``profile`` names the :class:`~repro.profiles.MovementProfile`
+    whose rules produced ``results`` — the default keeps every
+    pre-registry report valid.  Title and advice resolve through the
+    profile registry lazily (scoring does not import profiles at
+    module level; profiles import scoring).
+    """
 
     results: tuple[RuleResult, ...]
     windows: StageWindows
+    profile: str = "standing_long_jump"
+
+    def _movement(self):
+        """The profile behind this report (registry lookup)."""
+        from ..profiles import get_profile
+
+        return get_profile(self.profile)
 
     @property
     def passed(self) -> tuple[RuleResult, ...]:
@@ -46,12 +60,19 @@ class JumpReport:
 
     def advice(self) -> list[str]:
         """Coaching advice for every violated standard."""
-        return [ADVICE[standard] for standard in self.violated_standards]
+        if self.profile == "standing_long_jump":
+            return [ADVICE[standard] for standard in self.violated_standards]
+        advice_map = self._movement().advice
+        return [advice_map[standard] for standard in self.violated_standards]
 
     def render_text(self) -> str:
         """Human-readable multi-line report."""
+        if self.profile == "standing_long_jump":
+            title = "Standing Long Jump"
+        else:
+            title = self._movement().title
         lines = [
-            "Standing Long Jump — scoring report",
+            f"{title} — scoring report",
             f"score: {len(self.passed)}/{len(self.results)} rules satisfied",
             "",
         ]
@@ -72,7 +93,13 @@ class JumpReport:
 
 
 class JumpScorer:
-    """Score pose sequences against the rules of Table 2.
+    """Score pose sequences against a movement's rule table.
+
+    By default the rules are the paper's Table 2 (the
+    ``standing_long_jump`` profile); pass a
+    :class:`~repro.profiles.MovementProfile` to score any registered
+    movement — the engine (windows, aggregation, report shape) is
+    identical, only the table changes.
 
     An attached :class:`~repro.runtime.Instrumentation` times rule
     evaluation under the ``scoring/rules`` span and accumulates the
@@ -83,8 +110,10 @@ class JumpScorer:
         self,
         windows: StageWindows | None = None,
         instrumentation: Instrumentation | None = None,
+        profile=None,
     ) -> None:
         self._windows = windows
+        self._profile = profile
         self.instrumentation = instrumentation or Instrumentation()
 
     def score(
@@ -100,9 +129,21 @@ class JumpScorer:
         windows = self._windows or StageWindows.for_sequence(
             len(poses), takeoff_frame=takeoff_frame
         )
+        if self._profile is None:
+            rules, profile_name = None, "standing_long_jump"
+        else:
+            rules = self._profile.rules
+            profile_name = self._profile.name
         with self.instrumentation.span("scoring/rules"):
-            results = tuple(evaluate_rules(poses, windows))
-        report = JumpReport(results=results, windows=windows)
+            if rules is None:
+                results = tuple(evaluate_rules(poses, windows))
+            else:
+                results = tuple(
+                    rule.evaluate(poses, windows) for rule in rules
+                )
+        report = JumpReport(
+            results=results, windows=windows, profile=profile_name
+        )
         self.instrumentation.count("scoring.rules_evaluated", len(results))
         self.instrumentation.count("scoring.rules_failed", len(report.failed))
         return report

@@ -88,6 +88,7 @@ def report_to_dict(report: JumpReport) -> dict[str, Any]:
     """Serialise a scoring report (one entry per rule + advice)."""
     return {
         "score": report.score,
+        "profile": report.profile,
         "windows": {
             "initiation": list(report.windows.initiation),
             "air_landing": list(report.windows.air_landing),
@@ -112,15 +113,28 @@ def report_to_dict(report: JumpReport) -> dict[str, Any]:
 
 
 def report_from_dict(data: dict[str, Any]) -> JumpReport:
-    """Deserialise a scoring report (rules resolved from Table 2)."""
+    """Deserialise a scoring report.
+
+    Rule objects are resolved from the report's movement profile
+    (Table 2 for the default ``standing_long_jump``; payloads written
+    before profiles existed carry no ``"profile"`` key and resolve the
+    same way).
+    """
+    from .profiles import get_profile
     from .scoring.rules import RuleResult
 
     try:
+        profile_name = str(data.get("profile", "standing_long_jump"))
+        rules = (
+            RULES
+            if profile_name == "standing_long_jump"
+            else get_profile(profile_name).rules
+        )
         windows = StageWindows(
             initiation=tuple(data["windows"]["initiation"]),
             air_landing=tuple(data["windows"]["air_landing"]),
         )
-        by_id = {rule.rule_id: rule for rule in RULES}
+        by_id = {rule.rule_id: rule for rule in rules}
         results = tuple(
             RuleResult(
                 rule=by_id[entry["rule"]],
@@ -131,7 +145,9 @@ def report_from_dict(data: dict[str, Any]) -> JumpReport:
             )
             for entry in data["rules"]
         )
-        return JumpReport(results=results, windows=windows)
+        return JumpReport(
+            results=results, windows=windows, profile=profile_name
+        )
     except (KeyError, TypeError, ValueError) as exc:
         raise ReproError(f"malformed report payload: {exc}") from exc
 
@@ -214,6 +230,65 @@ def _tracks_list(analysis) -> list[dict[str, Any]]:
     ]
 
 
+def attempt_to_dict(attempt) -> dict[str, Any]:
+    """Serialise one :class:`~repro.pipeline.AttemptAnalysis`.
+
+    The per-attempt shape mirrors the top-level analysis fields (the
+    ``tracks`` pattern): window placement on the source clip, then the
+    attempt's own report/events/measurement with frame indices
+    *relative to the window*.
+    """
+    return {
+        "attempt_id": attempt.attempt_id,
+        "window": attempt.window.to_dict(),
+        "primary": attempt.primary,
+        "report": report_to_dict(attempt.analysis.report),
+        "events": _events_dict(attempt.analysis.events),
+        "measurement": _measurement_dict(attempt.analysis.measurement),
+        "degraded": attempt.analysis.degraded,
+    }
+
+
+def _attempts_list(analysis) -> list[dict[str, Any]]:
+    """The per-attempt array: real attempts, or a synthesised one.
+
+    Mirrors ``tracks``: when localisation did not run (classic
+    whole-clip path) the top-level fields are repackaged as one ``a0``
+    entry spanning the full clip, so consumers see the same
+    ``attempts`` shape regardless of mode.  A localised run that found
+    nothing serialises as an empty array.
+    """
+    attempts = getattr(analysis, "attempts", ())
+    if attempts:
+        return [attempt_to_dict(attempt) for attempt in attempts]
+    if getattr(analysis, "localization", None) is not None:
+        return []  # localisation ran and found no attempts
+    num_frames = len(analysis.poses)
+    return [
+        {
+            "attempt_id": "a0",
+            "window": {
+                "start": 0,
+                "end": num_frames,
+                "frames": num_frames,
+                "confidence": 1.0,
+            },
+            "primary": True,
+            "report": report_to_dict(analysis.report),
+            "events": _events_dict(analysis.events),
+            "measurement": _measurement_dict(analysis.measurement),
+            "degraded": analysis.degraded,
+        }
+    ]
+
+
+def _localization_dict(analysis) -> dict[str, Any]:
+    result = getattr(analysis, "localization", None)
+    if result is None:
+        return {"enabled": False}
+    return result.to_dict()
+
+
 def analysis_to_dict(analysis) -> dict[str, Any]:
     """Serialise the full outcome of :meth:`JumpAnalyzer.analyze`.
 
@@ -226,6 +301,10 @@ def analysis_to_dict(analysis) -> dict[str, Any]:
     ``tracks`` is always present: the per-actor report array on the
     multi-actor path, and a single synthesised entry mirroring the
     top-level fields on the classic path (see ``docs/tracking.md``).
+    ``attempts`` and ``localization`` follow the same pattern for the
+    temporal-localisation path: real per-window entries when
+    localisation ran, a synthesised full-clip ``a0`` entry otherwise
+    (see ``docs/profiles.md``).
     """
     return {
         "config": dict(analysis.config),
@@ -236,6 +315,8 @@ def analysis_to_dict(analysis) -> dict[str, Any]:
         "measurement": _measurement_dict(analysis.measurement),
         "annotation": annotation_to_dict(analysis.annotation),
         "tracks": _tracks_list(analysis),
+        "attempts": _attempts_list(analysis),
+        "localization": _localization_dict(analysis),
         "trace": analysis.trace.to_dict(),
         "diagnostics": dict(analysis.diagnostics),
     }
@@ -294,3 +375,46 @@ def standards_payload() -> dict[str, Any]:
             for rule in RULES
         ],
     }
+
+
+def profiles_payload() -> dict[str, Any]:
+    """Every registered movement profile as one JSON document.
+
+    Served by ``GET /v1/profiles``: each profile's identity plus its
+    full standards/rules tables in the :func:`standards_payload`
+    shape, so a client can render scoring explanations for any
+    movement, not just the jump.
+    """
+    from .profiles import MOVEMENT_PROFILES
+
+    profiles = []
+    for name in MOVEMENT_PROFILES.names():
+        profile = MOVEMENT_PROFILES.get(name)
+        profiles.append(
+            {
+                "name": profile.name,
+                "title": profile.title,
+                "description": profile.description,
+                "distance_label": profile.distance_label,
+                "standards": [
+                    {
+                        "name": standard.name,
+                        "stage": standard.stage,
+                        "description": standard.description,
+                        "advice": profile.advice[standard],
+                    }
+                    for standard in profile.standards
+                ],
+                "rules": [
+                    {
+                        "rule": rule.rule_id,
+                        "standard": rule.standard.name,
+                        "expression": rule.expression,
+                        "threshold_deg": rule.threshold,
+                        "direction": "greater" if rule.greater else "less",
+                    }
+                    for rule in profile.rules
+                ],
+            }
+        )
+    return {"profiles": profiles}

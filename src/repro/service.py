@@ -117,9 +117,11 @@ from .perf.pool import WorkerPool
 from .pipeline import AnalyzerConfig, JumpAnalyzer
 from .resilience import ServiceLifecycle
 from .runtime import Instrumentation, MetricsRegistry
+from .profiles import profile_names
 from .serialization import (
     analysis_payload,
     annotation_from_dict,
+    profiles_payload,
     standards_payload,
 )
 from .video.sequence import VideoSequence
@@ -137,6 +139,7 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("GET", "/v1/jobs/{id}"),
     ("GET", "/v1/jobs/{id}/result"),
     ("GET", "/v1/metrics"),
+    ("GET", "/v1/profiles"),
     ("GET", "/v1/standards"),
     ("GET", "/v1/version"),
     ("POST", "/v1/analyze"),
@@ -366,6 +369,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_health()
             elif path == "/standards":
                 self._send_json(200, standards_payload())
+                self._finish(200)
+            elif path == "/profiles":
+                self._send_json(200, profiles_payload())
                 self._finish(200)
             elif path == "/config":
                 self._handle_config()
@@ -874,14 +880,31 @@ class _Handler(BaseHTTPRequestHandler):
     def _parse_config_block(
         self, request: dict[str, Any]
     ) -> AnalyzerConfig | None:
-        """Resolve the optional ``preset`` / ``config`` request fields.
+        """Resolve the ``preset`` / ``config`` / ``profile`` request fields.
 
         Returns ``None`` when the request doesn't customise the
         configuration (the server's shared analyzer is used).
+        ``profile`` is first-class shorthand for
+        ``{"config": {"profile": ...}}``, validated against the
+        movement-profile registry before any analysis starts so an
+        unknown name is a structured 400, not a mid-analysis failure.
         """
         preset = request.get("preset")
         overlay = request.get("config")
-        if preset is None and overlay is None:
+        profile = request.get("profile")
+        if profile is not None:
+            if not isinstance(profile, str):
+                raise _BadRequest(
+                    "bad_config",
+                    f"'profile' must be a string, got {profile!r}",
+                )
+            if profile not in profile_names():
+                raise _BadRequest(
+                    "unknown_profile",
+                    f"unknown movement profile {profile!r}",
+                    detail={"valid_profiles": list(profile_names())},
+                )
+        if preset is None and overlay is None and profile is None:
             return None
         if preset is not None and not isinstance(preset, str):
             raise _BadRequest(
@@ -900,6 +923,10 @@ class _Handler(BaseHTTPRequestHandler):
             resolved = config_to_dict(base)
             if overlay:
                 resolved = deep_merge(resolved, overlay)
+            if profile is not None:
+                # The explicit field wins over a profile buried in the
+                # config overlay.
+                resolved = deep_merge(resolved, {"profile": profile})
             return AnalyzerConfig.from_dict(resolved)
         except ConfigurationError as exc:
             raise _BadRequest("bad_config", str(exc))

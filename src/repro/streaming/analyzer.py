@@ -143,7 +143,15 @@ class StreamingAnalyzer:
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._instrumentation = instrumentation or Instrumentation()
         self._cancel_token = cancel_token
-        self._live = self.config.streaming.warmup_frames > 0
+        # Localisation needs the whole clip before the attempt windows
+        # are known, so a localising stream buffers every frame and
+        # finishes through the batch front-stage — live per-frame
+        # tracking (and its provisionals) only applies to the classic
+        # one-attempt contract.  See docs/streaming.md.
+        self._live = (
+            self.config.streaming.warmup_frames > 0
+            and not self.config.localization.enabled
+        )
         self._buffer: list[np.ndarray] = []
         self._video: VideoSequence | None = None
         self._frames_seen = 0

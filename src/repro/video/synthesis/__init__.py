@@ -9,6 +9,12 @@ from .dataset import (
     synthesize_jump,
 )
 from .flaws import Standard, all_standards, apply_flaws, violate
+from .longclip import (
+    LongClip,
+    LongClipConfig,
+    synthesize_idle_clip,
+    synthesize_long_clip,
+)
 from .motion import (
     PHASE_FLIGHT,
     PHASE_INITIATION,
@@ -37,6 +43,12 @@ from .render import (
 )
 from .scene import Scene, SceneConfig
 from .shadow import ShadowConfig, apply_shadow, project_shadow_mask
+from .sit_to_stand import (
+    SitToStandClip,
+    SitToStandClipConfig,
+    generate_sit_to_stand_poses,
+    synthesize_sit_to_stand,
+)
 
 __all__ = [
     "BodyAppearance",
@@ -49,6 +61,14 @@ __all__ = [
     "all_standards",
     "apply_flaws",
     "violate",
+    "LongClip",
+    "LongClipConfig",
+    "synthesize_idle_clip",
+    "synthesize_long_clip",
+    "SitToStandClip",
+    "SitToStandClipConfig",
+    "generate_sit_to_stand_poses",
+    "synthesize_sit_to_stand",
     "PHASE_FLIGHT",
     "PHASE_INITIATION",
     "PHASE_LANDING",

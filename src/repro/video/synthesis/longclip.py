@@ -1,0 +1,231 @@
+"""Long clips with dead time and multiple attempts, with window truth.
+
+The localisation subsystem (:mod:`repro.localization`) needs footage
+the paper never assumed: leading dead time, several attempts, quiet
+gaps between them.  :func:`synthesize_long_clip` builds exactly that
+from the existing single-jump motion generator — N jumps laid out left
+to right (each attempt starts where the previous one settled), held
+poses filling the gaps — and returns the ground-truth attempt windows,
+so localisation accuracy is measurable as window IoU.
+
+Dead time is a *held* pose plus the full noise stack (sensor noise,
+flicker, transient blobs): quiet, not frozen pixels.  Mid-gap the held
+pose snaps from the previous attempt's settle to the next attempt's
+stance — a deliberate single-frame discontinuity the segmenter must
+reject as too short to be an attempt.
+
+:func:`synthesize_idle_clip` is the degenerate case: one person,
+no movement at all — the zero-attempt input of the ``no_attempts``
+contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .body import BodyAppearance
+from .motion import JumpMotion, JumpParameters, generate_jump_motion, good_style
+from .noise import NoiseConfig
+from .render import render_poses
+from .scene import Scene, SceneConfig
+from .shadow import ShadowConfig
+from ..sequence import VideoSequence
+from ...errors import ConfigurationError
+from ...model.pose import StickPose
+from ...model.sticks import BodyDimensions, default_body
+
+
+@dataclass(frozen=True, slots=True)
+class LongClipConfig:
+    """Layout of a multi-attempt clip on one timeline."""
+
+    seed: int = 0
+    attempts: int = 2
+    attempt_frames: int = 20
+    #: Dead time before the first attempt / between attempts / after
+    #: the last one (frames of held pose under full noise).
+    dead_pre: int = 12
+    dead_between: int = 12
+    dead_post: int = 12
+    #: Per-attempt jump length; kept shorter than the single-jump
+    #: default so several attempts fit one scene.
+    jump_distance: float = 44.0
+    stature: float = 72.0
+    stand_x: float = 30.0
+    ground_level: float = 12.0
+    margin: float = 26.0  # scene space right of the last landing
+    appearance: BodyAppearance = field(default_factory=BodyAppearance)
+    shadow: ShadowConfig = field(default_factory=ShadowConfig)
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ConfigurationError(
+                f"attempts must be >= 1, got {self.attempts}"
+            )
+        if self.attempt_frames < 4:
+            raise ConfigurationError(
+                f"attempt_frames must be >= 4, got {self.attempt_frames}"
+            )
+        if min(self.dead_pre, self.dead_between, self.dead_post) < 0:
+            raise ConfigurationError("dead segments must be >= 0 frames")
+
+    @property
+    def num_frames(self) -> int:
+        """Total clip length in frames."""
+        gaps = self.dead_between * max(self.attempts - 1, 0)
+        return (
+            self.dead_pre
+            + self.attempts * self.attempt_frames
+            + gaps
+            + self.dead_post
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LongClip:
+    """A rendered multi-attempt clip with complete ground truth."""
+
+    video: VideoSequence
+    person_masks: tuple[np.ndarray, ...]
+    shadow_masks: tuple[np.ndarray, ...]
+    #: Ground-truth attempt spans, half-open ``(start, end)`` frame
+    #: indices into ``video``, temporal order.
+    windows: tuple[tuple[int, int], ...]
+    #: The per-attempt ground-truth motions (window-relative poses).
+    motions: tuple[JumpMotion, ...]
+    dims: BodyDimensions
+    config: LongClipConfig
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the video."""
+        return len(self.video)
+
+
+def _attempt_parameters(config: LongClipConfig, index: int) -> JumpParameters:
+    """Jump parameters of attempt ``index`` (laid out left to right)."""
+    base = JumpParameters(
+        num_frames=config.attempt_frames,
+        jump_distance=config.jump_distance,
+        ground_level=config.ground_level,
+    )
+    # Each attempt starts where the previous one settled: the motion
+    # generator advances the centre by jump_distance + settle_advance
+    # over one attempt, so consecutive stand positions chain with no
+    # positional jump at the attempt boundary.
+    advance = config.jump_distance + base.settle_advance
+    return replace(base, stand_x=config.stand_x + index * advance)
+
+
+def long_clip_scene(config: LongClipConfig) -> SceneConfig:
+    """A scene wide enough for every attempt plus margin."""
+    last = _attempt_parameters(config, config.attempts - 1)
+    width = int(
+        np.ceil(
+            last.stand_x
+            + config.jump_distance
+            + last.settle_advance
+            + config.margin
+        )
+    )
+    return SceneConfig(
+        width=max(width, 160), ground_level=config.ground_level
+    )
+
+
+def synthesize_long_clip(config: LongClipConfig | None = None) -> LongClip:
+    """Render a multi-attempt clip with ground-truth windows."""
+    config = config or LongClipConfig()
+    rng = np.random.default_rng(config.seed)
+    dims = default_body(stature=config.stature)
+    style = good_style()
+
+    motions = [
+        generate_jump_motion(dims, _attempt_parameters(config, index), style)
+        for index in range(config.attempts)
+    ]
+
+    poses: list[StickPose] = []
+    windows: list[tuple[int, int]] = []
+    # Leading dead time holds the first attempt's stance (sway is zero
+    # at t=0, so attempt frame 0 continues the hold seamlessly).
+    poses.extend([motions[0].poses[0]] * config.dead_pre)
+    for index, motion in enumerate(motions):
+        start = len(poses)
+        poses.extend(motion.poses)
+        windows.append((start, len(poses)))
+        if index + 1 < len(motions):
+            # Gap: hold the settle, then snap mid-gap to the next
+            # stance — one isolated discontinuity frame.
+            hold = config.dead_between // 2
+            poses.extend([motion.poses[-1]] * hold)
+            poses.extend(
+                [motions[index + 1].poses[0]] * (config.dead_between - hold)
+            )
+    poses.extend([motions[-1].poses[-1]] * config.dead_post)
+
+    scene = Scene(long_clip_scene(config))
+    rendered = render_poses(
+        poses,
+        dims,
+        scene,
+        appearance=config.appearance,
+        shadow_config=config.shadow,
+        noise_config=config.noise,
+        rng=rng,
+    )
+    return LongClip(
+        video=rendered.video,
+        person_masks=rendered.person_masks,
+        shadow_masks=rendered.shadow_masks,
+        windows=tuple(windows),
+        motions=tuple(motions),
+        dims=dims,
+        config=config,
+    )
+
+
+def synthesize_idle_clip(
+    num_frames: int = 30,
+    seed: int = 0,
+    stature: float = 72.0,
+) -> LongClip:
+    """A clip where nothing happens: one person standing still.
+
+    The full noise stack still runs, so the clip is realistic dead
+    time, not frozen pixels — the zero-attempt input the localising
+    analyzer must turn into a clean ``no_attempts`` result.
+    """
+    if num_frames < 2:
+        raise ConfigurationError(
+            f"an idle clip needs >= 2 frames, got {num_frames}"
+        )
+    config = LongClipConfig(seed=seed, stature=stature)
+    rng = np.random.default_rng(seed)
+    dims = default_body(stature=stature)
+    motion = generate_jump_motion(
+        dims, _attempt_parameters(config, 0), good_style()
+    )
+    poses = [motion.poses[0]] * num_frames
+    scene = Scene(SceneConfig(ground_level=config.ground_level))
+    rendered = render_poses(
+        poses,
+        dims,
+        scene,
+        appearance=config.appearance,
+        shadow_config=config.shadow,
+        noise_config=config.noise,
+        rng=rng,
+    )
+    return LongClip(
+        video=rendered.video,
+        person_masks=rendered.person_masks,
+        shadow_masks=rendered.shadow_masks,
+        windows=(),
+        motions=(),
+        dims=dims,
+        config=config,
+    )

@@ -11,10 +11,11 @@ purity and MOTA-lite.
 The default layout is deliberately *non-crossing* (parallel lanes with
 clearance between the longest jump and the next lane's start), so a
 correct tracker must produce exactly N tracks with zero ID switches —
-the acceptance bar the tests pin.  Crossing/occlusion behaviour is
-exercised separately at the mask level (see
-``tests/test_tracking_edge_cases.py``) because the jump motion model
-only moves actors rightward.
+the acceptance bar the tests pin.  ``crossing=True`` instead renders
+the :func:`crossing_actor_parameters` layout: two actors sharing one
+lane so the first jumper's flight carries it through the second's
+silhouette — the occlusion-merge benchmark, where the pinned
+acceptance bar is a *bounded* number of ID switches (≤ 1), not zero.
 """
 
 from __future__ import annotations
@@ -66,6 +67,11 @@ class MultiActorJumpConfig:
     takeoff_stagger: float = 0.08
     scene_height: int = 120
     ground_level: float = 12.0
+    #: Render the :func:`crossing_actor_parameters` layout instead of
+    #: parallel lanes: both actors share one lane and the first
+    #: jumper's flight passes through the second's silhouette.
+    #: Requires exactly two actors.
+    crossing: bool = False
     shadow: ShadowConfig = field(default_factory=ShadowConfig)
     noise: NoiseConfig = field(default_factory=NoiseConfig)
 
@@ -75,6 +81,11 @@ class MultiActorJumpConfig:
                 f"actors must be in 1..4, got {self.actors} (the staggered "
                 "takeoff fractions leave the valid (0, landing) range beyond "
                 "four actors)"
+            )
+        if self.crossing and self.actors != 2:
+            raise ConfigurationError(
+                "crossing=True needs exactly 2 actors (one jumper crossing "
+                f"one bystander's lane), got {self.actors}"
             )
         if self.num_frames < 8:
             raise ConfigurationError(
@@ -158,21 +169,27 @@ class MultiActorJump:
 def synthesize_multi_jump(
     config: MultiActorJumpConfig | None = None,
 ) -> MultiActorJump:
-    """Generate one labelled N-actor scene (lane layout, no crossing)."""
+    """Generate one labelled N-actor scene (parallel lanes, or the
+    overlapping :func:`crossing_actor_parameters` layout with
+    ``crossing=True``)."""
     config = config or MultiActorJumpConfig()
     rng = np.random.default_rng(config.seed)
     scene = Scene(config.scene_config())
     shape = (config.scene_height, config.scene_width)
 
+    if config.crossing:
+        parameters = crossing_actor_parameters(config)
+    else:
+        parameters = tuple(
+            config.actor_parameters(index) for index in range(config.actors)
+        )
     motions: list[JumpMotion] = []
     all_dims: list[BodyDimensions] = []
     for index in range(config.actors):
         dims = default_body(stature=config.actor_stature(index))
         all_dims.append(dims)
         motions.append(
-            generate_jump_motion(
-                dims, config.actor_parameters(index), good_style()
-            )
+            generate_jump_motion(dims, parameters[index], good_style())
         )
 
     extras = []
@@ -220,8 +237,9 @@ def crossing_actor_parameters(
     Both actors share one lane: the second stands where the first
     lands, so the first actor's flight carries it into (and through)
     the second's silhouette — an occlusion merge the tracker must
-    survive with a bounded number of ID switches.  Returned as
-    parameters (not a rendered scene) because the merge behaviour is
+    survive with a bounded number of ID switches.
+    :func:`synthesize_multi_jump` renders this layout when the config
+    sets ``crossing=True``; the merge behaviour is additionally
     asserted at the mask level in the edge-case tests.
     """
     first = config.actor_parameters(0)

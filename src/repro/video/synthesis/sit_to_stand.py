@@ -1,0 +1,159 @@
+"""Sit-to-stand motion and video synthesis.
+
+The chair-rise clip that exercises the ``sit_to_stand`` movement
+profile: a figure holds a deep seated crouch (with the usual idle
+sway), leans the trunk forward, then extends knees and trunk to full
+stand.  Reuses the keyframe-blending machinery of
+:mod:`repro.video.synthesis.motion` and the standard renderer, so the
+clip passes through segmentation/annotation/tracking untouched — only
+events, rules and measurement differ, which is exactly what the
+profile abstraction claims to isolate.
+
+No chair is rendered: the seated keyframe is a self-supporting deep
+crouch (feet on the ground), which keeps the silhouette a single
+connected person blob for Step-2 annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .body import BodyAppearance
+from .motion import Angles, _blend_angles, _grounded_y0, _smoothstep
+from .noise import NoiseConfig
+from .render import RenderedJumpFrames, render_poses
+from .scene import Scene, SceneConfig
+from .shadow import ShadowConfig
+from ..sequence import VideoSequence
+from ...errors import ConfigurationError
+from ...model.geometry import wrap_angle
+from ...model.pose import StickPose
+from ...model.sticks import BodyDimensions, default_body
+
+#: Keyframes (trunk, neck, arm, thigh, head, forearm, shank, foot), in
+#: degrees, chosen so the sit-to-stand rules T1-T4 pass with a wide
+#: margin: seated knee flexion |rho6 - rho3| = 88 deg > 60, leaning trunk
+#: 32 deg > 25, standing knee flexion 0 < 25 and trunk 0 < 15.
+SEATED: Angles = (8.0, 10.0, 185.0, 140.0, 10.0, 190.0, 228.0, 90.0)
+LEAN: Angles = (35.0, 20.0, 190.0, 135.0, 20.0, 200.0, 230.0, 90.0)
+STAND: Angles = (0.0, 0.0, 180.0, 180.0, 0.0, 180.0, 180.0, 90.0)
+
+
+@dataclass(frozen=True, slots=True)
+class SitToStandClipConfig:
+    """Timeline and scene layout of a synthetic chair rise."""
+
+    seed: int = 0
+    num_frames: int = 32
+    #: Timeline fractions: hold seated, blend to forward lean, extend
+    #: to stand, hold standing.
+    lean_start: float = 0.2
+    rise_start: float = 0.5
+    stand_at: float = 0.8
+    center_x: float = 60.0
+    stature: float = 72.0
+    ground_level: float = 12.0
+    #: Seated idle sway, degrees (same realism/background rationale as
+    #: JumpParameters.sway_amplitude).
+    sway_amplitude: float = 2.0
+    sway_cycles: float = 2.0
+    appearance: BodyAppearance = field(default_factory=BodyAppearance)
+    shadow: ShadowConfig = field(default_factory=ShadowConfig)
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_frames < 4:
+            raise ConfigurationError(
+                f"a chair rise needs at least 4 frames, got {self.num_frames}"
+            )
+        if not 0.0 < self.lean_start < self.rise_start < self.stand_at < 1.0:
+            raise ConfigurationError(
+                "need 0 < lean_start < rise_start < stand_at < 1, got "
+                f"{self.lean_start}, {self.rise_start}, {self.stand_at}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class SitToStandClip:
+    """A rendered chair rise with ground-truth poses."""
+
+    video: VideoSequence
+    person_masks: tuple[np.ndarray, ...]
+    poses: tuple[StickPose, ...]
+    #: First frame of the rise blend — the ground-truth onset.
+    rise_frame: int
+    dims: BodyDimensions
+    config: SitToStandClipConfig
+
+
+def _sts_angles(config: SitToStandClipConfig, t: float) -> Angles:
+    """Keyframe-blended angles at timeline position ``t`` in [0, 1]."""
+    if t <= config.lean_start:
+        angles = SEATED
+    elif t <= config.rise_start:
+        local = (t - config.lean_start) / (config.rise_start - config.lean_start)
+        angles = _blend_angles(SEATED, LEAN, _smoothstep(local))
+    elif t <= config.stand_at:
+        local = (t - config.rise_start) / (config.stand_at - config.rise_start)
+        angles = _blend_angles(LEAN, STAND, _smoothstep(local))
+    else:
+        angles = STAND
+    if config.sway_amplitude > 0 and t < config.lean_start:
+        local = t / config.lean_start
+        wave = np.sin(2.0 * np.pi * config.sway_cycles * local)
+        sway = config.sway_amplitude * (1.0 - local) * wave
+        gains = (0.5, 0.8, 2.0, 0.2, 0.8, 2.5, 0.1, 0.0)
+        angles = tuple(
+            float(wrap_angle(angle + gain * sway))
+            for angle, gain in zip(angles, gains)
+        )
+    return angles
+
+
+def generate_sit_to_stand_poses(
+    dims: BodyDimensions, config: SitToStandClipConfig
+) -> tuple[tuple[StickPose, ...], int]:
+    """Ground-truth poses and the rise-onset frame index."""
+    times = np.linspace(0.0, 1.0, config.num_frames)
+    poses = []
+    for t in times:
+        angles = _sts_angles(config, float(t))
+        # Feet stay planted throughout — the rise is purely vertical
+        # extension over the feet, so y0 tracks the grounded height.
+        y0 = _grounded_y0(angles, dims, config.ground_level)
+        poses.append(
+            StickPose(x0=config.center_x, y0=float(y0), angles_deg=angles)
+        )
+    rise_frame = int(np.searchsorted(times, config.rise_start, side="right"))
+    rise_frame = min(max(rise_frame, 1), config.num_frames - 1)
+    return tuple(poses), rise_frame
+
+
+def synthesize_sit_to_stand(
+    config: SitToStandClipConfig | None = None,
+) -> SitToStandClip:
+    """Render one synthetic chair rise with ground truth."""
+    config = config or SitToStandClipConfig()
+    rng = np.random.default_rng(config.seed)
+    dims = default_body(stature=config.stature)
+    poses, rise_frame = generate_sit_to_stand_poses(dims, config)
+    scene = Scene(SceneConfig(ground_level=config.ground_level))
+    rendered: RenderedJumpFrames = render_poses(
+        poses,
+        dims,
+        scene,
+        appearance=config.appearance,
+        shadow_config=config.shadow,
+        noise_config=config.noise,
+        rng=rng,
+    )
+    return SitToStandClip(
+        video=rendered.video,
+        person_masks=rendered.person_masks,
+        poses=poses,
+        rise_frame=rise_frame,
+        dims=dims,
+        config=config,
+    )

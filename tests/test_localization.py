@@ -1,0 +1,299 @@
+"""Temporal localisation: signals, windows, and the analyzer front-stage.
+
+Four contracts pinned here:
+
+1. **Segmenter mechanics** — hysteresis seeding/extension, gap
+   merging, flicker dropping *before* padding, edge clamping and the
+   ``max_attempts`` truncation, all on hand-built energy signals.
+2. **Window accuracy** — the synthetic two-attempt long clip yields
+   exactly two windows overlapping ground truth (IoU >= 0.5 each),
+   deterministically; an idle clip yields none.
+3. **Single-attempt parity** — a plain jump clip analysed with
+   localisation *enabled* reproduces the localisation-off result
+   byte-identically (score, events, rule verdicts, poses), while the
+   config hash moves (the knob participates in ``config_hash``).
+4. **No-attempts path** — a zero-motion video is a valid input:
+   empty ``attempts``, ``no_attempts`` diagnostics, no exception.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import config_hash, config_to_dict
+from repro.ga.engine import GAConfig
+from repro.ga.temporal import TrackerConfig
+from repro.localization import (
+    AttemptWindow,
+    LocalizationConfig,
+    localize_attempts,
+    motion_energy,
+)
+from repro.localization.windows import find_attempt_windows
+from repro.model.annotation import simulate_human_annotation
+from repro.model.fitness import FitnessConfig
+from repro.pipeline import AnalyzerConfig, JumpAnalyzer
+from repro.video.synthesis import (
+    LongClipConfig,
+    synthesize_idle_clip,
+    synthesize_long_clip,
+)
+
+
+def fast_config(**overrides):
+    return AnalyzerConfig(
+        tracker=TrackerConfig(
+            ga=GAConfig(population_size=30, max_generations=10, patience=5),
+            fitness=FitnessConfig(max_points=500),
+        ),
+        **overrides,
+    )
+
+
+def localizing(config):
+    return replace(
+        config, localization=replace(config.localization, enabled=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def long_clip():
+    return synthesize_long_clip(LongClipConfig(seed=0, attempts=2))
+
+
+class TestAttemptWindow:
+    def test_frames_and_iou(self):
+        a = AttemptWindow(10, 30, 1.0)
+        b = AttemptWindow(20, 40, 1.0)
+        assert a.frames == 20
+        assert a.iou(b) == pytest.approx(10 / 30)
+        assert a.iou(a) == 1.0
+        assert a.iou(AttemptWindow(40, 50, 1.0)) == 0.0
+
+    def test_to_dict(self):
+        d = AttemptWindow(3, 9, 0.5).to_dict()
+        assert d == {"start": 3, "end": 9, "frames": 6, "confidence": 0.5}
+
+
+class TestFindAttemptWindows:
+    CONFIG = LocalizationConfig(
+        enabled=True,
+        activity_floor=0.1,
+        activity_fraction=0.5,
+        min_window_frames=4,
+        merge_gap=2,
+        pad_before=1,
+        pad_after=1,
+    )
+
+    def test_hysteresis_extends_over_above_floor_run(self):
+        # One seed frame inside a longer above-floor run: the whole run
+        # (plus padding) becomes the window.
+        energy = np.array([0.0] * 5 + [0.2, 0.2, 0.9, 0.2, 0.2] + [0.0] * 5)
+        spans, seed, floor = find_attempt_windows(energy, self.CONFIG)
+        assert spans == [(4, 11)]  # run [5, 10) padded by 1/1
+        assert floor == 0.1
+        assert seed > floor
+
+    def test_above_floor_run_without_seed_is_dropped(self):
+        # An above-floor plateau that never reaches the seed threshold
+        # stays dead time (that is what hysteresis means here).
+        energy = np.array(
+            [0.0] * 4 + [0.9] * 6 + [0.0] * 4 + [0.15] * 6 + [0.0] * 4
+        )
+        spans, _, _ = find_attempt_windows(energy, self.CONFIG)
+        assert spans == [(3, 11)]
+
+    def test_merge_gap(self):
+        energy = np.array(
+            [0.0] * 4 + [0.9] * 5 + [0.0, 0.0] + [0.9] * 5 + [0.0] * 4
+        )
+        spans, _, _ = find_attempt_windows(energy, self.CONFIG)
+        assert len(spans) == 1  # 2-frame gap <= merge_gap merges
+
+    def test_flicker_dropped_before_padding(self):
+        # A 2-frame spike < min_window_frames must not survive by being
+        # padded up to the minimum length.
+        energy = np.array([0.0] * 8 + [0.9, 0.9] + [0.0] * 8)
+        spans, _, _ = find_attempt_windows(energy, self.CONFIG)
+        assert spans == []
+
+    def test_padding_clamped_to_video(self):
+        energy = np.array([0.9] * 6 + [0.0] * 3)
+        spans, _, _ = find_attempt_windows(energy, self.CONFIG)
+        assert spans == [(0, 7)]
+
+    def test_empty_and_quiet_signals(self):
+        assert find_attempt_windows(np.array([]), self.CONFIG)[0] == []
+        quiet = np.full(20, 0.01)
+        assert find_attempt_windows(quiet, self.CONFIG)[0] == []
+
+    def test_truncation_keeps_best_in_temporal_order(self, long_clip):
+        config = replace(
+            LocalizationConfig(enabled=True), max_attempts=1
+        )
+        result = localize_attempts(long_clip.video, config)
+        assert result.truncated
+        assert len(result.windows) == 1
+        full = localize_attempts(
+            long_clip.video, LocalizationConfig(enabled=True)
+        )
+        best = full.windows[full.primary_index]
+        assert result.windows[0] == best
+
+
+class TestLongClipLocalization:
+    def test_two_attempts_found_with_iou(self, long_clip):
+        result = localize_attempts(long_clip.video, LocalizationConfig())
+        assert len(result.windows) == 2
+        assert not result.truncated
+        for window, (start, end) in zip(result.windows, long_clip.windows):
+            truth = AttemptWindow(start, end, 1.0)
+            assert window.iou(truth) >= 0.5
+        # Temporal order, and windows never overlap.
+        assert result.windows[0].end <= result.windows[1].start
+
+    def test_deterministic(self, long_clip):
+        first = localize_attempts(long_clip.video, LocalizationConfig())
+        second = localize_attempts(long_clip.video, LocalizationConfig())
+        assert first == second
+
+    def test_motion_energy_shape_and_dead_time(self, long_clip):
+        energy = motion_energy(long_clip.video, 0.20)
+        assert len(energy) == len(long_clip.video)
+        assert energy[0] == 0.0  # no predecessor frame
+        config = long_clip.config
+        # Mid-dead-time frames are quieter than mid-attempt frames.
+        mid_dead = config.dead_pre // 2
+        mid_jump = long_clip.windows[0][0] + config.attempt_frames // 2
+        assert energy[mid_dead] < energy[mid_jump]
+
+    def test_idle_clip_has_no_windows(self):
+        idle = synthesize_idle_clip(num_frames=30, seed=0)
+        result = localize_attempts(idle.video, LocalizationConfig())
+        assert result.windows == ()
+        assert result.primary_index is None
+
+
+class TestLocalizedAnalysis:
+    @pytest.fixture(scope="class")
+    def localized(self, long_clip):
+        analyzer = JumpAnalyzer(localizing(fast_config()))
+        return analyzer.analyze(
+            long_clip.video, rng=np.random.default_rng(0)
+        )
+
+    def test_two_scored_attempts(self, localized, long_clip):
+        assert len(localized.attempts) == 2
+        for attempt, (start, end) in zip(
+            localized.attempts, long_clip.windows
+        ):
+            truth = AttemptWindow(start, end, 1.0)
+            assert attempt.window.iou(truth) >= 0.5
+            assert attempt.analysis.report.score > 0.0
+            assert attempt.analysis.measurement.distance > 0.0
+
+    def test_ordering_ids_and_primary(self, localized):
+        assert [a.attempt_id for a in localized.attempts] == ["a0", "a1"]
+        starts = [a.window.start for a in localized.attempts]
+        assert starts == sorted(starts)
+        assert sum(a.primary for a in localized.attempts) == 1
+        primary = next(a for a in localized.attempts if a.primary)
+        # The top-level fields mirror the primary attempt.
+        assert localized.report is primary.analysis.report
+        assert localized.events is primary.analysis.events
+
+    def test_attempts_diagnostics(self, localized):
+        entries = localized.diagnostics["attempts"]
+        assert [e["attempt_id"] for e in entries] == ["a0", "a1"]
+        for entry in entries:
+            assert set(entry) >= {"start", "end", "confidence", "score"}
+
+    def test_localization_result_attached(self, localized, long_clip):
+        assert localized.localization is not None
+        assert localized.localization.num_frames == len(long_clip.video)
+
+
+class TestSingleAttemptParity:
+    """Localisation on + one clean jump == the classic result, byte for byte."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, jump):
+        annotation = simulate_human_annotation(
+            jump.motion.poses[0],
+            jump.dims,
+            mask=jump.person_masks[0],
+            rng=np.random.default_rng(0),
+        )
+        classic = JumpAnalyzer(fast_config()).analyze(
+            jump.video, annotation=annotation, rng=np.random.default_rng(1)
+        )
+        localized = JumpAnalyzer(localizing(fast_config())).analyze(
+            jump.video, annotation=annotation, rng=np.random.default_rng(1)
+        )
+        return classic, localized
+
+    def test_window_spans_whole_clip(self, pair, jump):
+        _, localized = pair
+        assert len(localized.attempts) == 1
+        window = localized.attempts[0].window
+        assert (window.start, window.end) == (0, len(jump.video))
+
+    def test_score_events_verdicts_identical(self, pair):
+        classic, localized = pair
+        assert localized.report.score == classic.report.score
+        assert localized.events == classic.events
+        for mine, theirs in zip(
+            localized.report.results, classic.report.results
+        ):
+            assert mine.rule.rule_id == theirs.rule.rule_id
+            assert mine.passed == theirs.passed
+            assert mine.value == theirs.value
+
+    def test_poses_identical(self, pair):
+        classic, localized = pair
+        assert len(localized.poses) == len(classic.poses)
+        for mine, theirs in zip(localized.poses, classic.poses):
+            assert mine.to_genes().tolist() == theirs.to_genes().tolist()
+
+    def test_config_hash_moves_with_the_knob(self, pair):
+        classic, localized = pair
+        assert localized.config_hash != classic.config_hash
+        assert config_hash(config_to_dict(localizing(fast_config()))) == (
+            localized.config_hash
+        )
+
+
+class TestNoAttempts:
+    def test_zero_motion_video_is_clean(self):
+        idle = synthesize_idle_clip(num_frames=30, seed=0)
+        analyzer = JumpAnalyzer(localizing(fast_config()))
+        analysis = analyzer.analyze(idle.video, rng=np.random.default_rng(0))
+        assert analysis.attempts == ()
+        assert analysis.diagnostics["no_attempts"] is True
+        assert analysis.diagnostics["attempts"] == []
+        assert analysis.report.score == 0.0
+        assert analysis.localization is not None
+        assert analysis.localization.windows == ()
+
+
+class TestLocalizationConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pixel_threshold": 0.0},
+            {"pixel_threshold": 1.0},
+            {"activity_floor": -0.1},
+            {"activity_fraction": 0.0},
+            {"min_window_frames": 3},
+            {"merge_gap": -1},
+            {"pad_before": -1},
+            {"max_attempts": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            LocalizationConfig(**kwargs)

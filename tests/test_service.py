@@ -122,3 +122,87 @@ class TestEndpoints:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
+
+
+class TestProfilesAPI:
+    """The profile-aware v1 surface: listing, selection, rejection."""
+
+    def test_get_profiles(self, service):
+        status, payload = _get(f"{service.address}/profiles")
+        assert status == 200
+        names = [p["name"] for p in payload["profiles"]]
+        assert names == ["standing_long_jump", "sit_to_stand"]
+        for profile in payload["profiles"]:
+            assert profile["title"]
+            assert profile["distance_label"]
+            assert len(profile["standards"]) == len(profile["rules"])
+            for rule in profile["rules"]:
+                assert set(rule) >= {
+                    "rule",
+                    "standard",
+                    "expression",
+                    "threshold_deg",
+                    "direction",
+                }
+
+    def test_unknown_profile_is_structured_400(self, service, jump):
+        request = urllib.request.Request(
+            f"{service.address}/analyze",
+            data=json.dumps(
+                {"video_npz_b64": encode_video(jump.video), "profile": "backflip"}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["type"] == "unknown_profile"
+        assert body["error"]["detail"]["valid_profiles"] == [
+            "standing_long_jump",
+            "sit_to_stand",
+        ]
+
+    def test_non_string_profile_is_bad_config(self, service, jump):
+        request = urllib.request.Request(
+            f"{service.address}/analyze",
+            data=json.dumps(
+                {"video_npz_b64": encode_video(jump.video), "profile": 7}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["type"] == "bad_config"
+
+    def test_payload_carries_attempts_and_localization(self, service, jump):
+        annotation = simulate_human_annotation(
+            jump.motion.poses[0],
+            jump.dims,
+            mask=jump.person_masks[0],
+            rng=np.random.default_rng(0),
+        )
+        from repro.client import ServiceClient
+        from repro.serialization import annotation_to_dict
+
+        client = ServiceClient(service.address)
+        result = client.analyze(
+            jump.video,
+            annotation=annotation_to_dict(annotation),
+            seed=1,
+            profile="standing_long_jump",
+        )
+        # Classic single-attempt clip: the synthesised a0 mirrors the
+        # top-level fields (PR 7's `tracks` backward-compat pattern).
+        assert result["localization"] == {"enabled": False}
+        (attempt,) = result["attempts"]
+        assert attempt["attempt_id"] == "a0"
+        assert attempt["primary"] is True
+        assert attempt["window"]["start"] == 0
+        assert attempt["window"]["end"] == len(jump.video)
+        assert attempt["report"]["score"] == result["report"]["score"]
+        assert result["report"]["profile"] == "standing_long_jump"
